@@ -1,0 +1,227 @@
+// Package agl is a Go implementation of AGL ("AGL: A Scalable System for
+// Industrial-purpose Graph Machine Learning", Zhang et al., VLDB 2020) —
+// an integrated training and inference system for graph neural networks
+// built entirely on classic infrastructure: MapReduce and parameter
+// servers.
+//
+// The system has three modules, mirrored by this package's API:
+//
+//   - Flatten (GraphFlat): a MapReduce pipeline that materializes, for
+//     every target node, an information-complete k-hop neighborhood
+//     ("GraphFeature"), with hub re-indexing and neighbor sampling.
+//   - Train (GraphTrainer): parameter-server training over the
+//     self-contained GraphFeatures, with the paper's three optimizations —
+//     training pipeline, graph pruning, and edge partitioning.
+//   - Infer (GraphInfer): hierarchical model segmentation plus a K+1
+//     round MapReduce pipeline that computes every node embedding exactly
+//     once.
+//
+// A minimal end-to-end run:
+//
+//	ds, _ := agl.NewUUG(agl.UUGConfig{Nodes: 5000})
+//	targets := agl.BinaryTargets(ds, ds.Train)
+//	flat, _ := agl.Flatten(agl.FlatConfig{Hops: 2, MaxNeighbors: 20}, ds.G, targets)
+//	res, _ := agl.Train(agl.TrainConfig{
+//		Model: agl.ModelConfig{Kind: agl.GAT, InDim: ds.G.FeatureDim(),
+//			Hidden: 8, Classes: 1, Layers: 2},
+//		Loss: agl.LossBCE, Epochs: 7,
+//	}, flat.Records)
+//	scores, _ := agl.Infer(agl.InferConfig{MaxNeighbors: 20}, res.Model, ds.G)
+package agl
+
+import (
+	"io"
+
+	"agl/internal/core"
+	"agl/internal/datagen"
+	"agl/internal/gnn"
+	"agl/internal/graph"
+	"agl/internal/mapreduce"
+	"agl/internal/nn"
+	"agl/internal/ps"
+	"agl/internal/sampling"
+)
+
+// Graph-substrate types.
+type (
+	// Graph is a directed attributed graph (node table + edge table).
+	Graph = graph.Graph
+	// Node is one node-table row.
+	Node = graph.Node
+	// Edge is one edge-table row.
+	Edge = graph.Edge
+)
+
+// NewGraph builds a Graph from node and edge rows; self loops are dropped
+// and duplicate edges merged.
+func NewGraph(nodes []Node, edges []Edge) (*Graph, error) {
+	return graph.Build(nodes, edges)
+}
+
+// Dataset types and generators (synthetic stand-ins for the paper's
+// evaluation data; see DESIGN.md).
+type (
+	// Dataset bundles a graph with labels and splits.
+	Dataset = datagen.Dataset
+	// CoraConfig parameterizes the citation-network generator.
+	CoraConfig = datagen.CoraConfig
+	// PPIConfig parameterizes the protein-interaction generator.
+	PPIConfig = datagen.PPIConfig
+	// UUGConfig parameterizes the social-graph generator.
+	UUGConfig = datagen.UUGConfig
+)
+
+// NewCora generates a Cora-like citation dataset.
+func NewCora(cfg CoraConfig) (*Dataset, error) { return datagen.Cora(cfg) }
+
+// NewPPI generates a PPI-like multi-label dataset.
+func NewPPI(cfg PPIConfig) (*Dataset, error) { return datagen.PPI(cfg) }
+
+// NewUUG generates a UUG-like power-law social dataset.
+func NewUUG(cfg UUGConfig) (*Dataset, error) { return datagen.UUG(cfg) }
+
+// Model types.
+type (
+	// Model is a K-layer GNN with a dense prediction head.
+	Model = gnn.Model
+	// ModelConfig configures a model.
+	ModelConfig = gnn.Config
+)
+
+// Model kinds.
+const (
+	GCN  = gnn.KindGCN
+	SAGE = gnn.KindSAGE
+	GAT  = gnn.KindGAT
+	GIN  = gnn.KindGIN
+)
+
+// Activations re-exported for ModelConfig.Act.
+const (
+	ActReLU      = nn.ActReLU
+	ActLeakyReLU = nn.ActLeakyReLU
+	ActTanh      = nn.ActTanh
+	ActSigmoid   = nn.ActSigmoid
+	ActELU       = nn.ActELU
+)
+
+// NewModel constructs a model with Glorot-initialized parameters.
+func NewModel(cfg ModelConfig) (*Model, error) { return gnn.NewModel(cfg) }
+
+// SaveModel serializes a model (config + weights) to w.
+func SaveModel(m *Model, w io.Writer) error { return m.Save(w) }
+
+// LoadModel reads a model written by SaveModel.
+func LoadModel(r io.Reader) (*Model, error) { return gnn.Load(r) }
+
+// GraphFlat types.
+type (
+	// FlatConfig parameterizes GraphFlat.
+	FlatConfig = core.FlatConfig
+	// FlatResult is GraphFlat's output (GraphFeature records + stats).
+	FlatResult = core.FlatResult
+	// Target marks a node to flatten, with its supervision.
+	Target = core.Target
+)
+
+// Sampling strategies for FlatConfig.Strategy / InferConfig.Strategy.
+var (
+	// SampleUniform picks neighbors uniformly at random.
+	SampleUniform sampling.Strategy = sampling.Uniform{}
+	// SampleWeighted picks neighbors proportionally to edge weight.
+	SampleWeighted sampling.Strategy = sampling.Weighted{}
+	// SampleTopK deterministically keeps the heaviest edges.
+	SampleTopK sampling.Strategy = sampling.TopK{}
+)
+
+// Flatten runs the GraphFlat pipeline over g for the given targets.
+func Flatten(cfg FlatConfig, g *Graph, targets map[int64]Target) (*FlatResult, error) {
+	return core.Flatten(cfg, mapreduce.MemInput(core.TableRecords(g)), targets)
+}
+
+// ClassTargets builds single-label targets for the given node IDs.
+func ClassTargets(ds *Dataset, ids []int64) map[int64]Target {
+	out := make(map[int64]Target, len(ids))
+	for _, id := range ids {
+		out[id] = Target{Label: int64(ds.LabelOf(id))}
+	}
+	return out
+}
+
+// BinaryTargets builds binary BCE targets (label vector [y]) for node IDs.
+func BinaryTargets(ds *Dataset, ids []int64) map[int64]Target {
+	out := make(map[int64]Target, len(ids))
+	for _, id := range ids {
+		y := ds.LabelOf(id)
+		out[id] = Target{Label: int64(y), LabelVec: []float64{float64(y)}}
+	}
+	return out
+}
+
+// MultiLabelTargets builds multi-label BCE targets for node IDs.
+func MultiLabelTargets(ds *Dataset, ids []int64) map[int64]Target {
+	out := make(map[int64]Target, len(ids))
+	for _, id := range ids {
+		out[id] = Target{Label: -1, LabelVec: append([]float64(nil), ds.LabelVecOf(id)...)}
+	}
+	return out
+}
+
+// GraphTrainer types.
+type (
+	// TrainConfig parameterizes GraphTrainer.
+	TrainConfig = core.TrainConfig
+	// TrainResult is GraphTrainer's output.
+	TrainResult = core.TrainResult
+	// EvalConfig parameterizes Evaluate.
+	EvalConfig = core.EvalConfig
+)
+
+// Losses.
+const (
+	LossCE  = core.LossCE
+	LossBCE = core.LossBCE
+)
+
+// Metrics.
+const (
+	MetricAccuracy = core.MetricAccuracy
+	MetricMicroF1  = core.MetricMicroF1
+	MetricAUC      = core.MetricAUC
+)
+
+// Parameter-server consistency modes.
+const (
+	Async = ps.Async
+	Sync  = ps.Sync
+)
+
+// Train runs distributed parameter-server training over GraphFeature
+// records produced by Flatten.
+func Train(cfg TrainConfig, records [][]byte) (*TrainResult, error) {
+	return core.Train(cfg, records)
+}
+
+// TrainWithHistory is Train with per-epoch evaluation (convergence curves).
+func TrainWithHistory(cfg TrainConfig, records [][]byte) (*TrainResult, error) {
+	return core.TrainWithHistory(cfg, records)
+}
+
+// Evaluate scores a model over GraphFeature records.
+func Evaluate(m *Model, records [][]byte, cfg EvalConfig) (float64, error) {
+	return core.Evaluate(m, records, cfg)
+}
+
+// GraphInfer types.
+type (
+	// InferConfig parameterizes GraphInfer.
+	InferConfig = core.InferConfig
+	// InferResult holds per-node predicted scores plus cost accounting.
+	InferResult = core.InferResult
+)
+
+// Infer runs the GraphInfer pipeline over the whole graph and returns
+// predicted scores for every node.
+func Infer(cfg InferConfig, m *Model, g *Graph) (*InferResult, error) {
+	return core.Infer(cfg, m, mapreduce.MemInput(core.TableRecords(g)))
+}

@@ -1,0 +1,117 @@
+package agl_test
+
+import (
+	"bytes"
+	"testing"
+
+	"agl"
+)
+
+// TestPublicAPIEndToEnd exercises the full public surface: dataset
+// generation, GraphFlat, GraphTrainer, model save/load, GraphInfer.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds, err := agl.NewUUG(agl.UUGConfig{Nodes: 500, FeatDim: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := agl.BinaryTargets(ds, ds.Train)
+	flat, err := agl.Flatten(agl.FlatConfig{
+		Hops: 2, MaxNeighbors: 10, Seed: 2, TempDir: t.TempDir(),
+	}, ds.G, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.Records) != len(ds.Train) {
+		t.Fatalf("records=%d want %d", len(flat.Records), len(ds.Train))
+	}
+
+	testFlat, err := agl.Flatten(agl.FlatConfig{
+		Hops: 2, MaxNeighbors: 10, Seed: 2, TempDir: t.TempDir(),
+	}, ds.G, agl.BinaryTargets(ds, ds.Test))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := agl.Train(agl.TrainConfig{
+		Model: agl.ModelConfig{
+			Kind: agl.GAT, InDim: 8, Hidden: 8, Classes: 1, Layers: 2,
+			Act: agl.ActReLU, Seed: 3,
+		},
+		Loss: agl.LossBCE, BatchSize: 32, Epochs: 6, LR: 0.02,
+		Workers: 2, Mode: agl.Async, Pipeline: true, Pruning: true, AggThreads: 2,
+		Eval: testFlat.Records, EvalMetric: agl.MetricAUC, Seed: 4,
+	}, flat.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc := res.History[len(res.History)-1].Metric
+	if auc < 0.55 {
+		t.Fatalf("AUC %v barely above random", auc)
+	}
+
+	// Save/load round trip.
+	var buf bytes.Buffer
+	if err := agl.SaveModel(res.Model, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := agl.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Whole-graph inference with the loaded model.
+	inf, err := agl.Infer(agl.InferConfig{
+		MaxNeighbors: 10, Seed: 2, TempDir: t.TempDir(),
+	}, loaded, ds.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inf.Scores) != ds.G.NumNodes() {
+		t.Fatalf("scored %d of %d nodes", len(inf.Scores), ds.G.NumNodes())
+	}
+	for id, s := range inf.Scores {
+		if len(s) != 1 || s[0] < 0 || s[0] > 1 {
+			t.Fatalf("node %d: bad score %v", id, s)
+		}
+	}
+}
+
+func TestPublicAPIMulticlass(t *testing.T) {
+	ds, err := agl.NewCora(agl.CoraConfig{
+		Nodes: 150, Edges: 450, FeatDim: 24, Classes: 3, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := agl.Flatten(agl.FlatConfig{Hops: 1, Seed: 6, TempDir: t.TempDir()},
+		ds.G, agl.ClassTargets(ds, ds.Train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agl.Train(agl.TrainConfig{
+		Model: agl.ModelConfig{
+			Kind: agl.GCN, InDim: 24, Hidden: 8, Classes: 3, Layers: 1,
+			Act: agl.ActReLU, Seed: 7,
+		},
+		Loss: agl.LossCE, Epochs: 5, LR: 0.02, Seed: 8,
+	}, flat.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.History[len(res.History)-1].Loss >= res.History[0].Loss {
+		t.Fatal("loss did not decrease")
+	}
+	acc, err := agl.Evaluate(res.Model, flat.Records, agl.EvalConfig{Metric: agl.MetricAccuracy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc <= 0.34 {
+		t.Fatalf("train accuracy %v at random level", acc)
+	}
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := agl.NewGraph([]agl.Node{{ID: 1}}, []agl.Edge{{Src: 1, Dst: 9}}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

@@ -1,0 +1,64 @@
+// Command aglbench regenerates the paper's evaluation tables and figures.
+//
+//	aglbench -exp all            # every experiment, moderate scale
+//	aglbench -exp table4 -quick  # one experiment, CI scale
+//
+// Output juxtaposes measured values with the paper's reported numbers;
+// EXPERIMENTS.md records a reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"agl/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aglbench: ")
+
+	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|fig7|fig8|all")
+	quick := flag.Bool("quick", false, "CI-scale datasets and epochs")
+	seed := flag.Int64("seed", 1, "global seed")
+	verbose := flag.Bool("v", false, "progress logging")
+	flag.Parse()
+
+	opt := experiments.Options{Quick: *quick, Seed: *seed}
+	if *verbose {
+		opt.Logf = log.Printf
+	}
+
+	run := func(name string, f func() (fmt.Stringer, error)) {
+		res, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(res)
+	}
+
+	switch *exp {
+	case "table1":
+		fmt.Println(experiments.Table1())
+	case "table2":
+		run("table2", func() (fmt.Stringer, error) { return experiments.Table2(opt) })
+	case "table3":
+		run("table3", func() (fmt.Stringer, error) { return experiments.Table3(opt) })
+	case "table4":
+		run("table4", func() (fmt.Stringer, error) { return experiments.Table4(opt) })
+	case "table5":
+		run("table5", func() (fmt.Stringer, error) { return experiments.Table5(opt) })
+	case "fig7":
+		run("fig7", func() (fmt.Stringer, error) { return experiments.Fig7(opt) })
+	case "fig8":
+		run("fig8", func() (fmt.Stringer, error) { return experiments.Fig8(opt) })
+	case "all":
+		if err := experiments.WriteAll(os.Stdout, opt); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}

@@ -1,0 +1,159 @@
+// Command graphtrainer is the CLI front end of GraphTrainer (paper Fig 6):
+//
+//	GraphTrainer -m model_name -i input -t train_strategy -c dist_configs
+//
+// It reads GraphFeature records produced by graphflat, trains a GNN with
+// parameter-server workers, and saves the model.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"agl/internal/core"
+	"agl/internal/dfs"
+	"agl/internal/gnn"
+	"agl/internal/nn"
+	"agl/internal/ps"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("graphtrainer: ")
+
+	modelName := flag.String("m", "gcn", "model: gcn|sage|gat")
+	input := flag.String("i", "graphfeatures", "input dataset directory (graphflat output)")
+	evalInput := flag.String("eval", "", "optional eval dataset directory")
+	loss := flag.String("loss", "ce", "loss: ce|bce")
+	metric := flag.String("metric", "accuracy", "eval metric: accuracy|f1|auc")
+	hidden := flag.Int("hidden", 16, "embedding dimension")
+	classes := flag.Int("classes", 2, "output classes (1 for binary BCE)")
+	layers := flag.Int("layers", 2, "GNN layers K")
+	heads := flag.Int("heads", 1, "attention heads (gat)")
+	dropout := flag.Float64("dropout", 0.1, "dropout rate")
+	batch := flag.Int("batch", 64, "batch size")
+	epochs := flag.Int("epochs", 10, "training epochs")
+	lr := flag.Float64("lr", 0.01, "Adam learning rate")
+	workers := flag.Int("workers", 1, "training workers")
+	shards := flag.Int("ps", 1, "parameter-server shards")
+	mode := flag.String("mode", "async", "consistency: async|sync")
+	strategy := flag.String("t", "pipeline,pruning,partition", "train strategy: comma list of pipeline,pruning,partition")
+	seed := flag.Int64("seed", 1, "seed")
+	out := flag.String("o", "model.agl", "output model file")
+	flag.Parse()
+
+	records, inDim, err := loadRecords(*input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var eval [][]byte
+	if *evalInput != "" {
+		eval, _, err = loadRecords(*evalInput)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := core.TrainConfig{
+		Model: gnn.Config{
+			Kind: *modelName, InDim: inDim, Hidden: *hidden, Classes: *classes,
+			Layers: *layers, Heads: *heads, Act: nn.ActReLU, Dropout: *dropout,
+			Seed: *seed,
+		},
+		BatchSize: *batch, Epochs: *epochs, LR: *lr,
+		Workers: *workers, PSShards: *shards,
+		Eval: eval, Seed: *seed,
+		Logf: log.Printf,
+	}
+	switch *loss {
+	case "ce":
+		cfg.Loss = core.LossCE
+	case "bce":
+		cfg.Loss = core.LossBCE
+	default:
+		log.Fatalf("unknown loss %q", *loss)
+	}
+	switch *metric {
+	case "accuracy":
+		cfg.EvalMetric = core.MetricAccuracy
+	case "f1":
+		cfg.EvalMetric = core.MetricMicroF1
+	case "auc":
+		cfg.EvalMetric = core.MetricAUC
+	default:
+		log.Fatalf("unknown metric %q", *metric)
+	}
+	if *mode == "sync" {
+		cfg.Mode = ps.Sync
+	}
+	for _, s := range strings.Split(*strategy, ",") {
+		switch strings.TrimSpace(s) {
+		case "pipeline":
+			cfg.Pipeline = true
+		case "pruning":
+			cfg.Pruning = true
+		case "partition":
+			cfg.AggThreads = 8
+		case "":
+		default:
+			log.Fatalf("unknown train strategy %q", s)
+		}
+	}
+
+	res, err := core.Train(cfg, records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range res.History {
+		line := fmt.Sprintf("epoch %2d  loss %.4f  vec %s  compute %s",
+			st.Epoch, st.Loss, st.VecBusy.Round(1e6), st.ComputeBusy.Round(1e6))
+		if st.HasMetric {
+			line += fmt.Sprintf("  %s %.4f", cfg.EvalMetric, st.Metric)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("total %s, PS traffic %.2f MB down / %.2f MB up\n",
+		res.Total.Round(1e6), float64(res.PSBytesOut)/1e6, float64(res.PSBytesIn)/1e6)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Model.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model saved to %s\n", *out)
+}
+
+// loadRecords reads GraphFeature records and sniffs the feature dimension
+// from the first record.
+func loadRecords(path string) ([][]byte, int, error) {
+	dir, err := dfs.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	records, err := dir.ReadAll()
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(records) == 0 {
+		return nil, 0, fmt.Errorf("no records in %s", path)
+	}
+	recs, err := core.DecodeRecords(records[:1])
+	if err != nil {
+		return nil, 0, err
+	}
+	dim := 0
+	for _, n := range recs[0].SG.Nodes {
+		if len(n.Feat) > dim {
+			dim = len(n.Feat)
+		}
+	}
+	return records, dim, nil
+}

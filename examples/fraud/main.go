@@ -1,0 +1,94 @@
+// Fraud: the paper's motivating industrial scenario — risk scoring over a
+// power-law User-User interaction Graph. Demonstrates what the public
+// benchmarks don't: hub re-indexing, weighted neighbor sampling over
+// interaction strengths, distributed async training, and whole-graph
+// GraphInfer deployment producing a ranked risk report.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"agl"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds, err := agl.NewUUG(agl.UUGConfig{Nodes: 6000, FeatDim: 32, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := ds.G.Stats()
+	fmt.Printf("user-user graph: %d users, %d interactions, max in-degree %d (mean %.1f)\n",
+		stats.Nodes, stats.Edges, stats.MaxInDegree, stats.MeanInDegree)
+
+	// GraphFlat with the industrial knobs: weighted sampling keeps the
+	// strongest interactions; hubs above 64 in-edges are re-indexed across
+	// suffixed shuffle keys.
+	flatCfg := agl.FlatConfig{
+		Hops: 2, MaxNeighbors: 15, Strategy: agl.SampleWeighted,
+		HubThreshold: 64, Seed: 13,
+	}
+	train, err := agl.Flatten(flatCfg, ds.G, agl.BinaryTargets(ds, ds.Train))
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := agl.Flatten(flatCfg, ds.G, agl.BinaryTargets(ds, ds.Test))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GraphFlat: %d features, %d hub users re-indexed\n",
+		len(train.Records), train.HubCount)
+
+	// 2-layer GAT with 8-dim embeddings — the paper's UUG model — trained
+	// with 4 async workers.
+	res, err := agl.TrainWithHistory(agl.TrainConfig{
+		Model: agl.ModelConfig{
+			Kind: agl.GAT, InDim: 32, Hidden: 8, Classes: 1, Layers: 2,
+			Act: agl.ActReLU, Seed: 17,
+		},
+		Loss: agl.LossBCE, BatchSize: 64, Epochs: 7, LR: 0.01,
+		Workers: 4, PSShards: 2, Mode: agl.Async,
+		Pipeline: true, Pruning: true, AggThreads: 4,
+		Eval: test.Records, EvalMetric: agl.MetricAUC, EvalEvery: 1, Seed: 19,
+	}, train.Records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range res.History {
+		fmt.Printf("epoch %d: loss %.4f AUC %.4f\n", st.Epoch, st.Loss, st.Metric)
+	}
+
+	// Deploy: score all users with GraphInfer using the same sampling
+	// configuration as training (consistency, paper §3.4).
+	inf, err := agl.Infer(agl.InferConfig{
+		MaxNeighbors: 15, Strategy: agl.SampleWeighted,
+		HubThreshold: 64, Seed: 13,
+	}, res.Model, ds.G)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type scored struct {
+		id   int64
+		risk float64
+	}
+	ranked := make([]scored, 0, len(inf.Scores))
+	for id, s := range inf.Scores {
+		ranked = append(ranked, scored{id, s[0]})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].risk > ranked[j].risk })
+	fmt.Printf("\nGraphInfer scored %d users in %s; top-10 risk:\n",
+		len(ranked), inf.Wall.Round(1e6))
+	hits := 0
+	for i := 0; i < 10 && i < len(ranked); i++ {
+		actual := ds.LabelOf(ranked[i].id)
+		if actual == 1 {
+			hits++
+		}
+		fmt.Printf("  user %-6d risk %.3f (actual class %d)\n",
+			ranked[i].id, ranked[i].risk, actual)
+	}
+	fmt.Printf("precision@10 = %d/10\n", hits)
+}

@@ -1,0 +1,68 @@
+// PPI: multi-label protein-function prediction across 24 independent
+// graphs — the paper's second public benchmark. Demonstrates multi-label
+// BCE training over GraphFeatures and micro-F1 evaluation, plus the effect
+// of the §3.3.2 optimization strategies on epoch time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"agl"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Scaled-down PPI (the published dataset has 56944 nodes across 24
+	// graphs; this keeps the 24-graph structure at a twentieth the size).
+	ds, err := agl.NewPPI(agl.PPIConfig{Scale: 0.05, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ds.Summary())
+
+	flatCfg := agl.FlatConfig{Hops: 2, MaxNeighbors: 15, Seed: 2}
+	train, err := agl.Flatten(flatCfg, ds.G, agl.MultiLabelTargets(ds, ds.Train))
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := agl.Flatten(flatCfg, ds.G, agl.MultiLabelTargets(ds, ds.Test))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mcfg := agl.ModelConfig{
+		Kind: agl.SAGE, InDim: ds.G.FeatureDim(), Hidden: 64, Classes: 121,
+		Layers: 2, Act: agl.ActReLU, Seed: 3,
+	}
+	configs := []struct {
+		name       string
+		pipeline   bool
+		pruning    bool
+		aggThreads int
+	}{
+		{"base", true, false, 1},
+		{"+pruning", true, true, 1},
+		{"+partition", true, false, 8},
+		{"+pruning&partition", true, true, 8},
+	}
+	fmt.Printf("%-20s  %-12s  %-8s\n", "config", "time/epoch", "micro-F1")
+	for _, c := range configs {
+		res, err := agl.Train(agl.TrainConfig{
+			Model: mcfg, Loss: agl.LossBCE, BatchSize: 64, Epochs: 6, LR: 0.01,
+			Pipeline: c.pipeline, Pruning: c.pruning, AggThreads: c.aggThreads,
+			Eval: test.Records, EvalMetric: agl.MetricMicroF1, Seed: 4,
+		}, train.Records)
+		if err != nil {
+			log.Fatal(err)
+		}
+		per := res.Total / time.Duration(len(res.History))
+		f1 := res.History[len(res.History)-1].Metric
+		fmt.Printf("%-20s  %-12s  %-8.3f\n", c.name, per.Round(time.Millisecond), f1)
+	}
+	fmt.Println("\npaper Table 4 shape: pruning helps at depth >= 2; partitioning helps")
+	fmt.Println("aggregation-bound models (GCN/SAGE) more than attention-bound GAT;")
+	fmt.Println("identical micro-F1 across configs (optimizations are exact).")
+}

@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"testing"
+
+	"agl/internal/datagen"
+	"agl/internal/gnn"
+	"agl/internal/nn"
+)
+
+func TestFullGraphTrainerLearnsCora(t *testing.T) {
+	ds, err := datagen.Cora(datagen.CoraConfig{
+		Nodes: 240, Edges: 700, FeatDim: 48, Classes: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(ds, Config{
+		Model: gnn.Config{
+			Kind: gnn.KindGCN, InDim: 48, Hidden: 16, Classes: 4, Layers: 2,
+			Act: nn.ActReLU, Seed: 2,
+		},
+		Epochs: 60, LR: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Losses[len(res.Losses)-1] >= res.Losses[0] {
+		t.Fatal("loss did not decrease")
+	}
+	acc, err := Evaluate(res.Model, ds, ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.5 {
+		t.Fatalf("accuracy %v too low (random = 0.25)", acc)
+	}
+	if res.EpochTime <= 0 {
+		t.Fatal("no epoch timing")
+	}
+}
+
+func TestFullGraphTrainerMultiLabel(t *testing.T) {
+	ds, err := datagen.PPI(datagen.PPIConfig{Scale: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(ds, Config{
+		Model: gnn.Config{
+			Kind: gnn.KindSAGE, InDim: 50, Hidden: 16, Classes: 121, Layers: 2,
+			Act: nn.ActReLU, Seed: 4,
+		},
+		Epochs: 15, LR: 0.02, MultiLabel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := Evaluate(res.Model, ds, ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 <= 0.3 {
+		t.Fatalf("micro-F1 %v too low", f1)
+	}
+}
+
+func TestFullGraphTrainerBinaryUUG(t *testing.T) {
+	ds, err := datagen.UUG(datagen.UUGConfig{Nodes: 400, FeatDim: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Train(ds, Config{
+		Model: gnn.Config{
+			Kind: gnn.KindGCN, InDim: 8, Hidden: 8, Classes: 2, Layers: 2,
+			Act: nn.ActReLU, Seed: 6,
+		},
+		Epochs: 25, LR: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Evaluate(res.Model, ds, ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.55 {
+		t.Fatalf("accuracy %v too low (random = 0.5)", acc)
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"agl/internal/gnn"
+	"agl/internal/sparse"
+	"agl/internal/tensor"
+	"agl/internal/wire"
+)
+
+// Batch is a vectorized batch of training examples: the merged subgraph of
+// every target's GraphFeature expressed as the three matrices of paper
+// §3.3.1 (adjacency, node features, edge weights), plus supervision.
+type Batch struct {
+	Graph     *gnn.BatchGraph
+	TargetIDs []int64
+	// Labels holds per-target class labels for cross-entropy training.
+	Labels []int
+	// LabelVecs holds per-target 0/1 vectors for BCE (multi-label or
+	// binary) training; nil when unused.
+	LabelVecs *tensor.Matrix
+	// NodeIDs maps batch row -> original node id.
+	NodeIDs []int64
+}
+
+// AssembleBatch merges decoded TrainRecords into a single Batch — the
+// "subgraph vectorization" phase of GraphTrainer. Subgraphs of different
+// targets overlap; nodes and edges are deduplicated by id.
+func AssembleBatch(recs []*wire.TrainRecord, numClasses int, multiLabel bool) (*Batch, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	index := make(map[int64]int)
+	var nodeIDs []int64
+	var feats [][]float64
+	var degs []float64
+	anyDeg := false
+	edgeSeen := make(map[[2]int64]bool)
+	var coos []sparse.Coo
+
+	addNode := func(n wire.SGNode) int {
+		if i, ok := index[n.ID]; ok {
+			return i
+		}
+		i := len(nodeIDs)
+		index[n.ID] = i
+		nodeIDs = append(nodeIDs, n.ID)
+		feats = append(feats, n.Feat)
+		degs = append(degs, n.Deg)
+		if n.Deg > 0 {
+			anyDeg = true
+		}
+		return i
+	}
+
+	for _, rec := range recs {
+		for _, n := range rec.SG.Nodes {
+			addNode(n)
+		}
+	}
+	var edgeFeat map[[2]int][]float64
+	for _, rec := range recs {
+		for _, e := range rec.SG.Edges {
+			k := [2]int64{e.Src, e.Dst}
+			if edgeSeen[k] {
+				continue
+			}
+			edgeSeen[k] = true
+			si, ok1 := index[e.Src]
+			di, ok2 := index[e.Dst]
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("core: edge (%d,%d) references node outside subgraphs", e.Src, e.Dst)
+			}
+			coos = append(coos, sparse.Coo{Row: di, Col: si, Val: e.Weight})
+			if len(e.Feat) > 0 {
+				if edgeFeat == nil {
+					edgeFeat = make(map[[2]int][]float64)
+				}
+				edgeFeat[[2]int{di, si}] = e.Feat
+			}
+		}
+	}
+
+	featDim := 0
+	for _, f := range feats {
+		if len(f) > featDim {
+			featDim = len(f)
+		}
+	}
+	x := tensor.New(len(nodeIDs), featDim)
+	for i, f := range feats {
+		copy(x.Row(i), f)
+	}
+
+	adj := sparse.NewCSR(len(nodeIDs), len(nodeIDs), coos)
+	b := &Batch{
+		Graph:   &gnn.BatchGraph{Adj: adj, X: x},
+		NodeIDs: nodeIDs,
+	}
+	if anyDeg {
+		b.Graph.Deg = degs
+	}
+	b.Graph.EdgeFeat = edgeFeat
+	if multiLabel || len(recs[0].LabelVec) > 0 {
+		cols := numClasses
+		if len(recs[0].LabelVec) > 0 {
+			cols = len(recs[0].LabelVec)
+		}
+		b.LabelVecs = tensor.New(len(recs), cols)
+	}
+	for bi, rec := range recs {
+		ti, ok := index[rec.TargetID]
+		if !ok {
+			return nil, fmt.Errorf("core: target %d missing from its own subgraph", rec.TargetID)
+		}
+		b.Graph.Targets = append(b.Graph.Targets, ti)
+		b.TargetIDs = append(b.TargetIDs, rec.TargetID)
+		b.Labels = append(b.Labels, int(rec.Label))
+		if b.LabelVecs != nil {
+			copy(b.LabelVecs.Row(bi), rec.LabelVec)
+		}
+	}
+	b.Graph.Dist = gnn.ComputeDistances(adj, b.Graph.Targets)
+	return b, nil
+}
+
+// DecodeRecords parses a slice of encoded TrainRecords.
+func DecodeRecords(encoded [][]byte) ([]*wire.TrainRecord, error) {
+	out := make([]*wire.TrainRecord, 0, len(encoded))
+	for i, e := range encoded {
+		rec, err := wire.DecodeTrainRecord(e)
+		if err != nil {
+			return nil, fmt.Errorf("core: record %d: %w", i, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+
+	"agl/internal/datagen"
+	"agl/internal/gnn"
+	"agl/internal/mapreduce"
+	"agl/internal/nn"
+	"agl/internal/sampling"
+	"agl/internal/wire"
+)
+
+// Ablation benchmarks for the design choices in DESIGN.md: sampling,
+// re-indexing, the three GraphTrainer optimizations, and the two inference
+// pipelines.
+
+func benchGraph(b *testing.B, nodes int) (*datagen.Dataset, mapreduce.MemInput) {
+	b.Helper()
+	ds, err := datagen.UUG(datagen.UUGConfig{Nodes: nodes, FeatDim: 16, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, mapreduce.MemInput(TableRecords(ds.G))
+}
+
+func benchTargets(ds *datagen.Dataset) map[int64]Target {
+	targets := make(map[int64]Target, len(ds.Train))
+	for _, id := range ds.Train {
+		y := ds.LabelOf(id)
+		targets[id] = Target{Label: int64(y), LabelVec: []float64{float64(y)}}
+	}
+	return targets
+}
+
+func BenchmarkFlatten2Hop(b *testing.B) {
+	ds, tables := benchGraph(b, 2000)
+	targets := benchTargets(ds)
+	cfg := FlatConfig{Hops: 2, MaxNeighbors: 15, Seed: 2, TempDir: b.TempDir()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Flatten(cfg, tables, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlatten2HopNoSampling(b *testing.B) {
+	ds, tables := benchGraph(b, 2000)
+	targets := benchTargets(ds)
+	cfg := FlatConfig{Hops: 2, Seed: 2, TempDir: b.TempDir()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Flatten(cfg, tables, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlattenWithReindexing(b *testing.B) {
+	ds, tables := benchGraph(b, 2000)
+	targets := benchTargets(ds)
+	cfg := FlatConfig{
+		Hops: 2, MaxNeighbors: 15, Seed: 2, HubThreshold: 32,
+		Strategy: sampling.Weighted{}, TempDir: b.TempDir(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Flatten(cfg, tables, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchTrainRecords(b *testing.B) [][]byte {
+	b.Helper()
+	ds, tables := benchGraph(b, 1500)
+	res, err := Flatten(FlatConfig{
+		Hops: 2, MaxNeighbors: 15, Seed: 2, TempDir: b.TempDir(),
+	}, tables, benchTargets(ds))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Records
+}
+
+func benchTrainConfig(pruning bool, threads int, pipeline bool) TrainConfig {
+	return TrainConfig{
+		Model: gnn.Config{
+			Kind: gnn.KindGAT, InDim: 16, Hidden: 8, Classes: 1, Layers: 2,
+			Act: nn.ActReLU, Seed: 3,
+		},
+		Loss: LossBCE, BatchSize: 64, Epochs: 1, LR: 0.01,
+		Pipeline: pipeline, Pruning: pruning, AggThreads: threads, Seed: 4,
+	}
+}
+
+func BenchmarkTrainEpochBase(b *testing.B) {
+	recs := benchTrainRecords(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(benchTrainConfig(false, 1, false), recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainEpochPruning(b *testing.B) {
+	recs := benchTrainRecords(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(benchTrainConfig(true, 1, false), recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainEpochPartition(b *testing.B) {
+	recs := benchTrainRecords(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(benchTrainConfig(false, 8, false), recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainEpochAllOptimizations(b *testing.B) {
+	recs := benchTrainRecords(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(benchTrainConfig(true, 8, true), recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchAssembly(b *testing.B) {
+	encoded := benchTrainRecords(b)
+	if len(encoded) > 64 {
+		encoded = encoded[:64]
+	}
+	recs := make([]*wire.TrainRecord, 0, len(encoded))
+	for _, e := range encoded {
+		r, err := wire.DecodeTrainRecord(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs = append(recs, r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AssembleBatch(recs, 1, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchInferModel(b *testing.B) *gnn.Model {
+	b.Helper()
+	m, err := gnn.NewModel(gnn.Config{
+		Kind: gnn.KindGAT, InDim: 16, Hidden: 8, Classes: 1, Layers: 2,
+		Act: nn.ActTanh, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkGraphInfer(b *testing.B) {
+	_, tables := benchGraph(b, 1500)
+	model := benchInferModel(b)
+	cfg := InferConfig{MaxNeighbors: 15, Seed: 2, TempDir: b.TempDir()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Infer(cfg, model, tables); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOriginalInfer(b *testing.B) {
+	ds, tables := benchGraph(b, 1500)
+	model := benchInferModel(b)
+	cfg := FlatConfig{Hops: 2, MaxNeighbors: 15, Seed: 2, TempDir: b.TempDir()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OriginalInfer(cfg, model, tables, ds.G.IDs()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

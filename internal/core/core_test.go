@@ -1,0 +1,768 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"agl/internal/datagen"
+	"agl/internal/gnn"
+	"agl/internal/graph"
+	"agl/internal/mapreduce"
+	"agl/internal/nn"
+	"agl/internal/ps"
+	"agl/internal/sampling"
+	"agl/internal/tensor"
+	"agl/internal/wire"
+)
+
+// chainGraph builds 0->1->2->3->4 (edges point forward: src=i, dst=i+1).
+func chainGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	var nodes []graph.Node
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, graph.Node{ID: int64(i), Feat: []float64{float64(i), 1}})
+		if i > 0 {
+			edges = append(edges, graph.Edge{Src: int64(i - 1), Dst: int64(i), Weight: 1})
+		}
+	}
+	g, err := graph.Build(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func flatten(t *testing.T, g *graph.Graph, cfg FlatConfig, targets map[int64]Target) *FlatResult {
+	t.Helper()
+	cfg.TempDir = t.TempDir()
+	res, err := Flatten(cfg, mapreduce.MemInput(TableRecords(g)), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func recordByID(t *testing.T, res *FlatResult, id int64) *wire.TrainRecord {
+	t.Helper()
+	for _, enc := range res.Records {
+		rec, err := wire.DecodeTrainRecord(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.TargetID == id {
+			return rec
+		}
+	}
+	t.Fatalf("no record for target %d", id)
+	return nil
+}
+
+func nodeIDs(sg *wire.Subgraph) []int64 {
+	var ids []int64
+	for _, n := range sg.Nodes {
+		ids = append(ids, n.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestTableRowRoundTrip(t *testing.T) {
+	n := graph.Node{ID: 7, Feat: []float64{1.5, -2}}
+	row, err := DecodeTableRow(EncodeNodeRow(n))
+	if err != nil || !row.IsNode || row.Node.ID != 7 || row.Node.Feat[1] != -2 {
+		t.Fatalf("node row: %+v err=%v", row, err)
+	}
+	e := graph.Edge{Src: 1, Dst: 2, Weight: 0.25}
+	row, err = DecodeTableRow(EncodeEdgeRow(e))
+	if err != nil || row.IsNode || row.Edge.Dst != 2 || row.Edge.Weight != 0.25 {
+		t.Fatalf("edge row: %+v err=%v", row, err)
+	}
+	if _, err := DecodeTableRow([]byte("garbage")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestWeightedInDegrees(t *testing.T) {
+	g := chainGraph(t, 4)
+	w, u, err := WeightedInDegrees(mapreduce.MemInput(TableRecords(g)),
+		mapreduce.Config{TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 has no in-edges: weighted degree 1 (self term), count 0.
+	if w[0] != 1 || u[0] != 0 {
+		t.Fatalf("node 0: w=%v u=%v", w[0], u[0])
+	}
+	if w[2] != 2 || u[2] != 1 {
+		t.Fatalf("node 2: w=%v u=%v", w[2], u[2])
+	}
+}
+
+func TestFlattenKHopChain(t *testing.T) {
+	g := chainGraph(t, 5)
+	targets := map[int64]Target{4: {Label: 1}}
+	for hops := 1; hops <= 3; hops++ {
+		res := flatten(t, g, FlatConfig{Hops: hops}, targets)
+		if len(res.Records) != 1 {
+			t.Fatalf("hops=%d records=%d", hops, len(res.Records))
+		}
+		rec := recordByID(t, res, 4)
+		ids := nodeIDs(rec.SG)
+		// k-hop of node 4 along the chain: {4-k .. 4}.
+		want := []int64{}
+		for i := 4 - hops; i <= 4; i++ {
+			want = append(want, int64(i))
+		}
+		if fmt.Sprint(ids) != fmt.Sprint(want) {
+			t.Fatalf("hops=%d nodes=%v want %v", hops, ids, want)
+		}
+		if len(rec.SG.Edges) != hops {
+			t.Fatalf("hops=%d edges=%d want %d", hops, len(rec.SG.Edges), hops)
+		}
+		if rec.Label != 1 {
+			t.Fatalf("label=%d", rec.Label)
+		}
+		// Every node carries its features.
+		for _, n := range rec.SG.Nodes {
+			if len(n.Feat) != 2 || n.Feat[0] != float64(n.ID) {
+				t.Fatalf("node %d features missing: %v", n.ID, n.Feat)
+			}
+		}
+	}
+}
+
+func TestFlattenDiamondCollectsAllPaths(t *testing.T) {
+	// Diamond: 1->3, 2->3, 0->1, 0->2; 2-hop of 3 = {0,1,2,3} with 4 edges.
+	nodes := []graph.Node{{ID: 0, Feat: []float64{0}}, {ID: 1, Feat: []float64{1}},
+		{ID: 2, Feat: []float64{2}}, {ID: 3, Feat: []float64{3}}}
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3},
+	}
+	g, err := graph.Build(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := flatten(t, g, FlatConfig{Hops: 2}, map[int64]Target{3: {}})
+	rec := recordByID(t, res, 3)
+	if fmt.Sprint(nodeIDs(rec.SG)) != "[0 1 2 3]" {
+		t.Fatalf("nodes: %v", nodeIDs(rec.SG))
+	}
+	if len(rec.SG.Edges) != 4 {
+		t.Fatalf("edges: %d want 4", len(rec.SG.Edges))
+	}
+}
+
+func TestFlattenOnlyTargetsEmitted(t *testing.T) {
+	g := chainGraph(t, 6)
+	res := flatten(t, g, FlatConfig{Hops: 2}, map[int64]Target{2: {}, 5: {}})
+	if len(res.Records) != 2 {
+		t.Fatalf("records=%d want 2", len(res.Records))
+	}
+}
+
+func TestFlattenSamplingCapsInDegree(t *testing.T) {
+	// Star: 30 leaves all pointing at hub 999.
+	nodes := []graph.Node{{ID: 999, Feat: []float64{9}}}
+	var edges []graph.Edge
+	for i := 0; i < 30; i++ {
+		nodes = append(nodes, graph.Node{ID: int64(i), Feat: []float64{float64(i)}})
+		edges = append(edges, graph.Edge{Src: int64(i), Dst: 999, Weight: float64(i + 1)})
+	}
+	g, err := graph.Build(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := flatten(t, g, FlatConfig{Hops: 1, MaxNeighbors: 5, Seed: 11}, map[int64]Target{999: {}})
+	rec := recordByID(t, res, 999)
+	if len(rec.SG.Edges) != 5 {
+		t.Fatalf("sampled edges=%d want 5", len(rec.SG.Edges))
+	}
+	if len(rec.SG.Nodes) != 6 { // hub + 5 sampled leaves
+		t.Fatalf("nodes=%d want 6", len(rec.SG.Nodes))
+	}
+	// Deterministic given the seed.
+	res2 := flatten(t, g, FlatConfig{Hops: 1, MaxNeighbors: 5, Seed: 11}, map[int64]Target{999: {}})
+	rec2 := recordByID(t, res2, 999)
+	if fmt.Sprint(nodeIDs(rec.SG)) != fmt.Sprint(nodeIDs(rec2.SG)) {
+		t.Fatal("sampling not deterministic across runs")
+	}
+	// Different seed, (very likely) different choice.
+	res3 := flatten(t, g, FlatConfig{Hops: 1, MaxNeighbors: 5, Seed: 12}, map[int64]Target{999: {}})
+	rec3 := recordByID(t, res3, 999)
+	if fmt.Sprint(nodeIDs(rec.SG)) == fmt.Sprint(nodeIDs(rec3.SG)) {
+		t.Log("warning: same sample under different seed (possible but unlikely)")
+	}
+}
+
+func TestFlattenWeightedSamplingPrefersHeavy(t *testing.T) {
+	nodes := []graph.Node{{ID: 100, Feat: []float64{0}}}
+	var edges []graph.Edge
+	for i := 0; i < 20; i++ {
+		w := 0.001
+		if i >= 18 {
+			w = 1000 // two dominant edges
+		}
+		nodes = append(nodes, graph.Node{ID: int64(i), Feat: []float64{1}})
+		edges = append(edges, graph.Edge{Src: int64(i), Dst: 100, Weight: w})
+	}
+	g, err := graph.Build(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := flatten(t, g, FlatConfig{
+		Hops: 1, MaxNeighbors: 2, Seed: 3, Strategy: sampling.Weighted{},
+	}, map[int64]Target{100: {}})
+	rec := recordByID(t, res, 100)
+	for _, e := range rec.SG.Edges {
+		if e.Src != 18 && e.Src != 19 {
+			t.Fatalf("weighted sampling kept light edge from %d", e.Src)
+		}
+	}
+}
+
+func TestFlattenReindexingHandlesHubs(t *testing.T) {
+	// Hub with in-degree 40, threshold 10 -> 4 suffix shards.
+	nodes := []graph.Node{{ID: 500, Feat: []float64{5}}}
+	var edges []graph.Edge
+	for i := 0; i < 40; i++ {
+		nodes = append(nodes, graph.Node{ID: int64(i), Feat: []float64{float64(i)}})
+		edges = append(edges, graph.Edge{Src: int64(i), Dst: 500, Weight: 1})
+	}
+	g, err := graph.Build(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := flatten(t, g, FlatConfig{
+		Hops: 1, MaxNeighbors: 8, HubThreshold: 10, Seed: 7,
+	}, map[int64]Target{500: {}})
+	if res.HubCount != 1 {
+		t.Fatalf("hub count=%d", res.HubCount)
+	}
+	rec := recordByID(t, res, 500)
+	if len(rec.SG.Edges) > 8 {
+		t.Fatalf("re-indexed hub kept %d edges, cap 8", len(rec.SG.Edges))
+	}
+	if len(rec.SG.Edges) < 4 {
+		t.Fatalf("re-indexed hub kept only %d edges", len(rec.SG.Edges))
+	}
+	// Extra reindex rounds must appear in accounting.
+	if len(res.RoundStats) != 3 { // degrees+join, reindex, merge -> join, reindex, merge
+		t.Logf("round stats: %d", len(res.RoundStats))
+	}
+}
+
+func TestFlattenNonHubUnaffectedByReindexing(t *testing.T) {
+	g := chainGraph(t, 5)
+	plain := flatten(t, g, FlatConfig{Hops: 2, Seed: 1}, map[int64]Target{4: {}})
+	reidx := flatten(t, g, FlatConfig{Hops: 2, Seed: 1, HubThreshold: 100}, map[int64]Target{4: {}})
+	a := recordByID(t, plain, 4)
+	b := recordByID(t, reidx, 4)
+	if fmt.Sprint(nodeIDs(a.SG)) != fmt.Sprint(nodeIDs(b.SG)) || len(a.SG.Edges) != len(b.SG.Edges) {
+		t.Fatal("re-indexing changed a non-hub neighborhood")
+	}
+}
+
+func TestFlattenSurvivesTaskFailures(t *testing.T) {
+	g := chainGraph(t, 6)
+	var injected int32
+	faults := func(kind string, idx, attempt int) error {
+		// Fail the first attempt of every task once, across all rounds.
+		if attempt == 0 && atomic.AddInt32(&injected, 1) < 100 {
+			return errors.New("injected")
+		}
+		return nil
+	}
+	clean := flatten(t, g, FlatConfig{Hops: 2}, map[int64]Target{5: {}})
+	faulty := flatten(t, g, FlatConfig{Hops: 2, Faults: faults, MaxAttempts: 3}, map[int64]Target{5: {}})
+	a := recordByID(t, clean, 5)
+	b := recordByID(t, faulty, 5)
+	if fmt.Sprint(nodeIDs(a.SG)) != fmt.Sprint(nodeIDs(b.SG)) {
+		t.Fatalf("fault injection changed output: %v vs %v", nodeIDs(a.SG), nodeIDs(b.SG))
+	}
+	if atomic.LoadInt32(&injected) == 0 {
+		t.Fatal("faults never injected")
+	}
+}
+
+func TestAssembleBatchMergesOverlap(t *testing.T) {
+	r1 := &wire.TrainRecord{TargetID: 1, Label: 0, SG: &wire.Subgraph{
+		Target: 1,
+		Nodes:  []wire.SGNode{{ID: 1, Feat: []float64{1, 0}}, {ID: 2, Feat: []float64{2, 0}}},
+		Edges:  []wire.SGEdge{{Src: 2, Dst: 1, Weight: 1}},
+	}}
+	r2 := &wire.TrainRecord{TargetID: 3, Label: 1, SG: &wire.Subgraph{
+		Target: 3,
+		Nodes:  []wire.SGNode{{ID: 3, Feat: []float64{3, 0}}, {ID: 2, Feat: []float64{2, 0}}},
+		Edges:  []wire.SGEdge{{Src: 2, Dst: 3, Weight: 1}},
+	}}
+	b, err := AssembleBatch([]*wire.TrainRecord{r1, r2}, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Graph.Adj.NumRows != 3 { // node 2 deduplicated
+		t.Fatalf("rows=%d want 3", b.Graph.Adj.NumRows)
+	}
+	if b.Graph.Adj.NNZ() != 2 {
+		t.Fatalf("nnz=%d want 2", b.Graph.Adj.NNZ())
+	}
+	if len(b.Graph.Targets) != 2 || b.Labels[1] != 1 {
+		t.Fatalf("targets/labels wrong: %+v", b)
+	}
+	// Distances: targets 0, neighbors 1.
+	for i, tgt := range b.Graph.Targets {
+		if b.Graph.Dist[tgt] != 0 {
+			t.Fatalf("target %d dist %d", i, b.Graph.Dist[tgt])
+		}
+	}
+}
+
+func TestAssembleBatchEmptyErrors(t *testing.T) {
+	if _, err := AssembleBatch(nil, 2, false); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// miniCora builds a small learnable dataset plus its flattened records.
+func miniCora(t *testing.T, hops int) (train, test [][]byte, ds *datagen.Dataset) {
+	t.Helper()
+	ds, err := datagen.Cora(datagen.CoraConfig{
+		Nodes: 240, Edges: 700, FeatDim: 48, Classes: 4, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := map[int64]Target{}
+	for _, id := range ds.Train {
+		targets[id] = Target{Label: int64(ds.LabelOf(id))}
+	}
+	cfg := FlatConfig{Hops: hops, Seed: 5, TempDir: t.TempDir()}
+	res, err := Flatten(cfg, mapreduce.MemInput(TableRecords(ds.G)), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testTargets := map[int64]Target{}
+	for _, id := range ds.Test {
+		testTargets[id] = Target{Label: int64(ds.LabelOf(id))}
+	}
+	res2, err := Flatten(cfg, mapreduce.MemInput(TableRecords(ds.G)), testTargets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Records, res2.Records, ds
+}
+
+func TestTrainLearnsMiniCora(t *testing.T) {
+	train, test, _ := miniCora(t, 2)
+	res, err := Train(TrainConfig{
+		Model: gnn.Config{
+			Kind: gnn.KindGCN, InDim: 48, Hidden: 16, Classes: 4, Layers: 2,
+			Act: nn.ActReLU, Seed: 1,
+		},
+		Loss: LossCE, BatchSize: 32, Epochs: 25, LR: 0.02,
+		Eval: test, EvalMetric: MetricAccuracy, Seed: 2,
+	}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.History[0].Loss
+	last := res.History[len(res.History)-1].Loss
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+	final := res.History[len(res.History)-1]
+	if !final.HasMetric || final.Metric < 0.55 {
+		t.Fatalf("test accuracy %v too low (random = 0.25)", final.Metric)
+	}
+}
+
+func TestTrainMultiWorkerModes(t *testing.T) {
+	train, test, _ := miniCora(t, 1)
+	for _, mode := range []ps.Mode{ps.Async, ps.Sync} {
+		res, err := Train(TrainConfig{
+			Model: gnn.Config{
+				Kind: gnn.KindSAGE, InDim: 48, Hidden: 12, Classes: 4, Layers: 1,
+				Act: nn.ActReLU, Seed: 1,
+			},
+			Loss: LossCE, BatchSize: 16, Epochs: 6, LR: 0.02,
+			Workers: 3, PSShards: 2, Mode: mode,
+			Eval: test, EvalMetric: MetricAccuracy, Seed: 3,
+		}, train)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if res.History[len(res.History)-1].Loss >= res.History[0].Loss {
+			t.Fatalf("mode %v: loss did not decrease", mode)
+		}
+		if res.PSBytesOut == 0 || res.PSBytesIn == 0 {
+			t.Fatalf("mode %v: no PS traffic recorded", mode)
+		}
+	}
+}
+
+func TestTrainPipelineDoesNotChangeResults(t *testing.T) {
+	train, test, _ := miniCora(t, 1)
+	var metrics []float64
+	for _, pipeline := range []bool{false, true} {
+		res, err := Train(TrainConfig{
+			Model: gnn.Config{
+				Kind: gnn.KindGCN, InDim: 48, Hidden: 8, Classes: 4, Layers: 1,
+				Act: nn.ActReLU, Seed: 1,
+			},
+			Loss: LossCE, BatchSize: 16, Epochs: 5, LR: 0.02,
+			Pipeline: pipeline, Eval: test, EvalMetric: MetricAccuracy, Seed: 4,
+		}, train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		metrics = append(metrics, res.History[len(res.History)-1].Metric)
+	}
+	if math.Abs(metrics[0]-metrics[1]) > 1e-9 {
+		t.Fatalf("pipeline changed training results: %v vs %v", metrics[0], metrics[1])
+	}
+}
+
+func TestTrainPruningAndPartitioningConsistent(t *testing.T) {
+	train, test, _ := miniCora(t, 2)
+	var accs []float64
+	for _, opt := range []TrainConfig{
+		{},
+		{Pruning: true},
+		{AggThreads: 4},
+		{Pruning: true, AggThreads: 4},
+	} {
+		cfg := TrainConfig{
+			Model: gnn.Config{
+				Kind: gnn.KindGCN, InDim: 48, Hidden: 8, Classes: 4, Layers: 2,
+				Act: nn.ActReLU, Seed: 1,
+			},
+			Loss: LossCE, BatchSize: 32, Epochs: 5, LR: 0.02,
+			Pruning: opt.Pruning, AggThreads: opt.AggThreads,
+			Eval: test, EvalMetric: MetricAccuracy, Seed: 5,
+		}
+		res, err := Train(cfg, train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs = append(accs, res.History[len(res.History)-1].Metric)
+	}
+	for i := 1; i < len(accs); i++ {
+		if math.Abs(accs[i]-accs[0]) > 1e-9 {
+			t.Fatalf("optimization %d changed results: %v vs %v", i, accs[i], accs[0])
+		}
+	}
+}
+
+func TestTrainWithHistoryProducesCurve(t *testing.T) {
+	train, test, _ := miniCora(t, 1)
+	res, err := TrainWithHistory(TrainConfig{
+		Model: gnn.Config{
+			Kind: gnn.KindGCN, InDim: 48, Hidden: 8, Classes: 4, Layers: 1,
+			Act: nn.ActReLU, Seed: 1,
+		},
+		Loss: LossCE, BatchSize: 16, Epochs: 4, LR: 0.02,
+		Workers: 2, Eval: test, EvalMetric: MetricAccuracy, EvalEvery: 1, Seed: 6,
+	}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != 4 {
+		t.Fatalf("history len %d", len(res.History))
+	}
+	for _, st := range res.History {
+		if !st.HasMetric {
+			t.Fatalf("epoch %d missing metric", st.Epoch)
+		}
+	}
+}
+
+// buildInferGraph returns a small weighted digraph for inference tests.
+func buildInferGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	ds, err := datagen.UUG(datagen.UUGConfig{Nodes: 80, FeatDim: 6, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.G
+}
+
+func TestGraphInferMatchesDirectInference(t *testing.T) {
+	g := buildInferGraph(t)
+	for _, kind := range []string{gnn.KindGCN, gnn.KindSAGE, gnn.KindGAT, gnn.KindGIN} {
+		model, err := gnn.NewModel(gnn.Config{
+			Kind: kind, InDim: 6, Hidden: 8, Classes: 1, Layers: 2,
+			Act: nn.ActTanh, Seed: 21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Direct dense inference over the whole graph.
+		adj := g.CSR()
+		x := make([][]float64, g.NumNodes())
+		for i, n := range g.Nodes {
+			x[i] = n.Feat
+		}
+		targets := make([]int, g.NumNodes())
+		for i := range targets {
+			targets[i] = i
+		}
+		xm := tensor.FromRows(x)
+		bg := &gnn.BatchGraph{Adj: adj, X: xm, Targets: targets, Dist: gnn.ComputeDistances(adj, targets)}
+		direct := model.Infer(bg, gnn.RunOptions{})
+
+		// GraphInfer over the tables.
+		res, err := Infer(InferConfig{Seed: 4, TempDir: t.TempDir()},
+			model, mapreduce.MemInput(TableRecords(g)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Scores) != g.NumNodes() {
+			t.Fatalf("%s: scored %d nodes want %d", kind, len(res.Scores), g.NumNodes())
+		}
+		for i, n := range g.Nodes {
+			want := nn.Sigmoid(direct.At(i, 0))
+			got := res.Scores[n.ID][0]
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("%s node %d: GraphInfer %v direct %v", kind, n.ID, got, want)
+			}
+		}
+	}
+}
+
+func TestOriginalInferMatchesGraphInfer(t *testing.T) {
+	g := buildInferGraph(t)
+	model, err := gnn.NewModel(gnn.Config{
+		Kind: gnn.KindGCN, InDim: 6, Hidden: 8, Classes: 1, Layers: 2,
+		Act: nn.ActTanh, Seed: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := mapreduce.MemInput(TableRecords(g))
+	fast, err := Infer(InferConfig{Seed: 4, TempDir: t.TempDir()}, model, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := OriginalInfer(FlatConfig{Hops: 2, Seed: 4, TempDir: t.TempDir()},
+		model, tables, g.IDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow.Scores) != len(fast.Scores) {
+		t.Fatalf("score counts differ: %d vs %d", len(slow.Scores), len(fast.Scores))
+	}
+	for id, want := range fast.Scores {
+		got := slow.Scores[id]
+		if math.Abs(got[0]-want[0]) > 1e-9 {
+			t.Fatalf("node %d: original %v graphinfer %v", id, got[0], want[0])
+		}
+	}
+	// GraphInfer must shuffle less than the original's GraphFlat phase on
+	// overlapping neighborhoods.
+	var flatBytes int64
+	for _, s := range slow.FlatStats {
+		flatBytes += s.BytesShuffled
+	}
+	if fast.TotalShuffledBytes() >= flatBytes {
+		t.Fatalf("GraphInfer shuffled more than baseline: %d vs %d",
+			fast.TotalShuffledBytes(), flatBytes)
+	}
+}
+
+func TestInferWithSamplingIsDeterministic(t *testing.T) {
+	g := buildInferGraph(t)
+	model, err := gnn.NewModel(gnn.Config{
+		Kind: gnn.KindSAGE, InDim: 6, Hidden: 8, Classes: 1, Layers: 2,
+		Act: nn.ActTanh, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := mapreduce.MemInput(TableRecords(g))
+	cfg := InferConfig{Seed: 9, MaxNeighbors: 3, TempDir: t.TempDir()}
+	a, err := Infer(cfg, model, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Infer(cfg, model, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, sa := range a.Scores {
+		if math.Abs(sa[0]-b.Scores[id][0]) > 0 {
+			t.Fatalf("node %d: sampling nondeterministic", id)
+		}
+	}
+}
+
+func TestFlattenSpillRoundsMatchesMemory(t *testing.T) {
+	g := chainGraph(t, 8)
+	targets := map[int64]Target{6: {Label: 1}, 7: {Label: 0}}
+	mem := flatten(t, g, FlatConfig{Hops: 2, Seed: 3}, targets)
+	disk := flatten(t, g, FlatConfig{Hops: 2, Seed: 3, SpillRounds: true}, targets)
+	if len(mem.Records) != len(disk.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(mem.Records), len(disk.Records))
+	}
+	for _, id := range []int64{6, 7} {
+		a := recordByID(t, mem, id)
+		b := recordByID(t, disk, id)
+		if fmt.Sprint(nodeIDs(a.SG)) != fmt.Sprint(nodeIDs(b.SG)) || len(a.SG.Edges) != len(b.SG.Edges) {
+			t.Fatalf("target %d: disk-spooled rounds changed the neighborhood", id)
+		}
+	}
+}
+
+func TestTrainWithHistoryEarlyStopping(t *testing.T) {
+	train, test, _ := miniCora(t, 1)
+	res, err := TrainWithHistory(TrainConfig{
+		Model: gnn.Config{
+			Kind: gnn.KindGCN, InDim: 48, Hidden: 8, Classes: 4, Layers: 1,
+			Act: nn.ActReLU, Seed: 1,
+		},
+		Loss: LossCE, BatchSize: 16, Epochs: 40, LR: 0.05,
+		Eval: test, EvalMetric: MetricAccuracy, EvalEvery: 1, Patience: 3, Seed: 9,
+	}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Skip("model kept improving for all 40 epochs; patience untested on this seed")
+	}
+	if len(res.History) >= 40 {
+		t.Fatal("early stopping did not shorten training")
+	}
+	if res.BestEpoch == 0 || res.BestMetric <= 0 {
+		t.Fatalf("best snapshot not tracked: epoch=%d metric=%v", res.BestEpoch, res.BestMetric)
+	}
+	// The returned model must be the best snapshot, not the last one.
+	acc, err := Evaluate(res.Model, test, EvalConfig{Metric: MetricAccuracy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(acc-res.BestMetric) > 1e-9 {
+		t.Fatalf("returned model scores %v, best was %v", acc, res.BestMetric)
+	}
+}
+
+func TestFlattenCarriesEdgeFeatures(t *testing.T) {
+	nodes := []graph.Node{
+		{ID: 0, Feat: []float64{0}}, {ID: 1, Feat: []float64{1}}, {ID: 2, Feat: []float64{2}},
+	}
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 2, Feat: []float64{0.5, -1}},
+		{Src: 1, Dst: 2, Weight: 3, Feat: []float64{7, 8}},
+	}
+	g, err := graph.Build(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := flatten(t, g, FlatConfig{Hops: 2}, map[int64]Target{2: {}})
+	rec := recordByID(t, res, 2)
+	if len(rec.SG.Edges) != 2 {
+		t.Fatalf("edges=%d", len(rec.SG.Edges))
+	}
+	for _, e := range rec.SG.Edges {
+		switch {
+		case e.Src == 0 && e.Dst == 1:
+			if len(e.Feat) != 2 || e.Feat[1] != -1 {
+				t.Fatalf("edge (0,1) features lost: %v", e.Feat)
+			}
+		case e.Src == 1 && e.Dst == 2:
+			if len(e.Feat) != 2 || e.Feat[0] != 7 {
+				t.Fatalf("edge (1,2) features lost: %v", e.Feat)
+			}
+		default:
+			t.Fatalf("unexpected edge (%d,%d)", e.Src, e.Dst)
+		}
+	}
+	// And they survive batch vectorization into E_B.
+	b, err := AssembleBatch([]*wire.TrainRecord{rec}, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Graph.EdgeFeat == nil {
+		t.Fatal("EdgeFeat not vectorized")
+	}
+	di, si := -1, -1
+	for i, id := range b.NodeIDs {
+		if id == 2 {
+			di = i
+		}
+		if id == 1 {
+			si = i
+		}
+	}
+	ef := b.Graph.EdgeFeat[[2]int{di, si}]
+	if len(ef) != 2 || ef[0] != 7 {
+		t.Fatalf("E_B entry wrong: %v", ef)
+	}
+}
+
+func TestEdgeGATGraphInferMatchesDirect(t *testing.T) {
+	ds, err := datagen.UUG(datagen.UUGConfig{Nodes: 70, FeatDim: 6, EdgeFeatDim: 4, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.G
+	model, err := gnn.NewModel(gnn.Config{
+		Kind: gnn.KindGAT, InDim: 6, Hidden: 8, Classes: 1, Layers: 2,
+		Heads: 2, EdgeDim: 4, Act: nn.ActTanh, Seed: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct whole-graph inference with E_B.
+	adj := g.CSR()
+	x := make([][]float64, g.NumNodes())
+	for i, n := range g.Nodes {
+		x[i] = n.Feat
+	}
+	targets := make([]int, g.NumNodes())
+	for i := range targets {
+		targets[i] = i
+	}
+	edgeFeat := make(map[[2]int][]float64)
+	for _, e := range g.Edges {
+		edgeFeat[[2]int{g.MustIndex(e.Dst), g.MustIndex(e.Src)}] = e.Feat
+	}
+	bg := &gnn.BatchGraph{
+		Adj: adj, X: tensor.FromRows(x), Targets: targets,
+		Dist: gnn.ComputeDistances(adj, targets), EdgeFeat: edgeFeat,
+	}
+	direct := model.Infer(bg, gnn.RunOptions{})
+
+	res, err := Infer(InferConfig{Seed: 4, TempDir: t.TempDir()},
+		model, mapreduce.MemInput(TableRecords(g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range g.Nodes {
+		want := nn.Sigmoid(direct.At(i, 0))
+		got := res.Scores[n.ID][0]
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("node %d: GraphInfer %v direct %v", n.ID, got, want)
+		}
+	}
+}
+
+func TestPredictReturnsAlignedOutputs(t *testing.T) {
+	train, _, _ := miniCora(t, 1)
+	model, err := gnn.NewModel(gnn.Config{
+		Kind: gnn.KindGCN, InDim: 48, Hidden: 8, Classes: 4, Layers: 1,
+		Act: nn.ActReLU, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, logits, labels, _, err := Predict(model, train, 16, gnn.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(train) || logits.Rows != len(train) || len(labels) != len(train) {
+		t.Fatalf("misaligned outputs: %d %d %d vs %d", len(ids), logits.Rows, len(labels), len(train))
+	}
+}

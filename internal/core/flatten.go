@@ -1,0 +1,496 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"agl/internal/dfs"
+	"agl/internal/mapreduce"
+	"agl/internal/sampling"
+	"agl/internal/wire"
+)
+
+// Target marks a node whose k-hop neighborhood GraphFlat must materialize,
+// together with its supervision.
+type Target struct {
+	Label    int64
+	LabelVec []float64
+}
+
+// FlatConfig parameterizes GraphFlat.
+type FlatConfig struct {
+	// Hops is K, the neighborhood radius; must match the model depth.
+	Hops int
+	// MaxNeighbors caps each node's in-edges per round (0 = no sampling).
+	MaxNeighbors int
+	// Strategy picks which in-edges survive sampling (default uniform).
+	Strategy sampling.Strategy
+	// Seed drives deterministic per-(node, round) sampling; GraphInfer must
+	// use the same seed for consistent decisions.
+	Seed int64
+	// HubThreshold enables re-indexing: nodes whose in-degree exceeds the
+	// threshold have their shuffle keys split across suffixed sub-keys
+	// (0 = disabled).
+	HubThreshold int
+
+	NumMappers  int
+	NumReducers int
+	TempDir     string
+	MaxAttempts int
+	Faults      mapreduce.FaultInjector
+
+	// Output, when set, receives the final GraphFeature records as a dfs
+	// dataset in addition to the in-memory result.
+	Output *dfs.Dir
+
+	// SpillRounds routes intermediate round data through dfs part files in
+	// TempDir instead of memory — the industrial-scale mode where a round's
+	// shuffle exceeds RAM. Results are identical to the in-memory mode.
+	SpillRounds bool
+}
+
+func (c FlatConfig) withDefaults() FlatConfig {
+	if c.Hops <= 0 {
+		c.Hops = 2
+	}
+	if c.Strategy == nil {
+		c.Strategy = sampling.Uniform{}
+	}
+	if c.NumReducers <= 0 {
+		c.NumReducers = 4
+	}
+	return c
+}
+
+func (c FlatConfig) mrConfig(name string) mapreduce.Config {
+	return mapreduce.Config{
+		Name:        name,
+		NumMappers:  c.NumMappers,
+		NumReducers: c.NumReducers,
+		TempDir:     c.TempDir,
+		MaxAttempts: c.MaxAttempts,
+		Faults:      c.Faults,
+	}
+}
+
+// FlatResult is GraphFlat's output: one serialized TrainRecord (the triple
+// <TargetedNodeId, Label, GraphFeature>) per target node, plus accounting.
+type FlatResult struct {
+	Records     [][]byte
+	RoundStats  []*mapreduce.Stats
+	InDegrees   map[int64]int
+	WeightedDeg map[int64]float64
+	HubCount    int
+}
+
+// TotalShuffledBytes sums shuffle volume over all rounds.
+func (r *FlatResult) TotalShuffledBytes() int64 {
+	var n int64
+	for _, s := range r.RoundStats {
+		n += s.BytesShuffled
+	}
+	return n
+}
+
+// Flatten runs the GraphFlat pipeline over node/edge table records (see
+// TableRecords) producing the k-hop neighborhood of every target.
+//
+// The pipeline is: one degree-counting job, one join round (round 0, which
+// attaches node features to out-edges — realizing the paper's "in-edge
+// information: feature of the in-edge and the neighbor node"), then K
+// merge/propagate rounds. When re-indexing is enabled, each merge round is
+// preceded by a re-index/sample/invert job for hub keys (paper Figure 3).
+func Flatten(cfg FlatConfig, tables mapreduce.Input, targets map[int64]Target) (*FlatResult, error) {
+	cfg = cfg.withDefaults()
+	res := &FlatResult{}
+
+	weighted, unweighted, err := WeightedInDegrees(tables, cfg.mrConfig("flat-degrees"))
+	if err != nil {
+		return nil, fmt.Errorf("core: GraphFlat degrees: %w", err)
+	}
+	res.InDegrees = unweighted
+	res.WeightedDeg = weighted
+
+	// Hub set for re-indexing: node id -> number of suffix shards.
+	hubs := map[int64]int{}
+	if cfg.HubThreshold > 0 {
+		for id, d := range unweighted {
+			if d > cfg.HubThreshold {
+				hubs[id] = (d + cfg.HubThreshold - 1) / cfg.HubThreshold
+			}
+		}
+	}
+	res.HubCount = len(hubs)
+
+	// Round 0: join node features onto out-edges.
+	cur, collect, stats, err := runRound(cfg, "flat-join", joinMapper(), joinReducer(weighted), tables)
+	if err != nil {
+		return nil, fmt.Errorf("core: GraphFlat join: %w", err)
+	}
+	res.RoundStats = append(res.RoundStats, stats)
+
+	for round := 1; round <= cfg.Hops; round++ {
+		if len(hubs) > 0 {
+			cur, collect, stats, err = runRound(cfg, fmt.Sprintf("flat-reindex-%d", round),
+				reindexMapper(hubs), reindexReducer(cfg, hubs, round), cur)
+			if err != nil {
+				return nil, fmt.Errorf("core: GraphFlat reindex round %d: %w", round, err)
+			}
+			res.RoundStats = append(res.RoundStats, stats)
+		}
+		final := round == cfg.Hops
+		cur, collect, stats, err = runRound(cfg, fmt.Sprintf("flat-merge-%d", round),
+			mapreduce.IdentityMapper, mergeReducer(cfg, targets, round, final), cur)
+		if err != nil {
+			return nil, fmt.Errorf("core: GraphFlat merge round %d: %w", round, err)
+		}
+		res.RoundStats = append(res.RoundStats, stats)
+	}
+	_ = cur
+
+	pairs, err := collect()
+	if err != nil {
+		return nil, fmt.Errorf("core: GraphFlat collect: %w", err)
+	}
+	res.Records = make([][]byte, 0, len(pairs))
+	for _, kv := range pairs {
+		res.Records = append(res.Records, kv.Value)
+	}
+	if cfg.Output != nil {
+		n := cfg.NumReducers
+		if err := cfg.Output.WriteAll(res.Records, n); err != nil {
+			return nil, fmt.Errorf("core: GraphFlat output: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// pairsInput re-frames a previous round's output as the next round's input.
+func pairsInput(pairs []mapreduce.KeyValue) mapreduce.MemInput {
+	recs := make([][]byte, len(pairs))
+	for i, kv := range pairs {
+		recs[i] = mapreduce.EncodeKV(kv)
+	}
+	return recs
+}
+
+// runRound executes one MapReduce round, routing its output either through
+// memory (default) or through dfs part files (SpillRounds). It returns the
+// next round's input and a collector that materializes the round's pairs
+// (used after the final round).
+func runRound(cfg FlatConfig, name string, mapper mapreduce.Mapper, reducer mapreduce.Reducer, input mapreduce.Input) (mapreduce.Input, func() ([]mapreduce.KeyValue, error), *mapreduce.Stats, error) {
+	if cfg.SpillRounds {
+		spillRoot := cfg.TempDir
+		if spillRoot == "" {
+			spillRoot = os.TempDir()
+		}
+		path, err := os.MkdirTemp(spillRoot, "agl-"+name+"-")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		dir, err := dfs.Create(path)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		stats, err := mapreduce.Run(cfg.mrConfig(name), mapper, reducer, input, mapreduce.DFSOutput{Dir: dir})
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		collect := func() ([]mapreduce.KeyValue, error) {
+			recs, err := dir.ReadAll()
+			if err != nil {
+				return nil, err
+			}
+			out := make([]mapreduce.KeyValue, 0, len(recs))
+			for _, r := range recs {
+				kv, err := mapreduce.DecodeKV(r)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, kv)
+			}
+			return out, nil
+		}
+		return mapreduce.DFSInput{Dir: dir}, collect, stats, nil
+	}
+	out := mapreduce.NewMemOutput()
+	stats, err := mapreduce.Run(cfg.mrConfig(name), mapper, reducer, input, out)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	pairs := out.Pairs()
+	collect := func() ([]mapreduce.KeyValue, error) { return pairs, nil }
+	return pairsInput(pairs), collect, stats, nil
+}
+
+func key64(id int64) string { return strconv.FormatInt(id, 10) }
+
+// joinMapper emits node rows keyed by node and edge rows keyed by SOURCE,
+// so the join reducer can attach the source's features to each out-edge.
+func joinMapper() mapreduce.Mapper {
+	return mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) error {
+		row, err := DecodeTableRow(rec)
+		if err != nil {
+			return err
+		}
+		if row.IsNode {
+			m := flatMsg{Tag: tagNodeRow, Feat: row.Node.Feat}
+			return emit(mapreduce.KeyValue{Key: key64(row.Node.ID), Value: m.encode()})
+		}
+		m := flatMsg{Tag: tagOutEdge, Dst: row.Edge.Dst, W: row.Edge.Weight, EFeat: row.Edge.Feat}
+		return emit(mapreduce.KeyValue{Key: key64(row.Edge.Src), Value: m.encode()})
+	})
+}
+
+// joinReducer seeds the message-passing state: each node u emits its
+// 0-hop self info, its out-edge info, and the initial in-edge info
+// (u's id, features, normalization degree and edge weight) to each
+// destination it points at.
+func joinReducer(weightedDeg map[int64]float64) mapreduce.Reducer {
+	return mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+		id, err := strconv.ParseInt(key, 10, 64)
+		if err != nil {
+			return err
+		}
+		var feat []float64
+		var haveNode bool
+		var outs []*flatMsg
+		for _, v := range values {
+			m, err := decodeMsg(v)
+			if err != nil {
+				return err
+			}
+			switch m.Tag {
+			case tagNodeRow:
+				feat = m.Feat
+				haveNode = true
+			case tagOutEdge:
+				outs = append(outs, m)
+			default:
+				return fmt.Errorf("core: join reducer got tag %d", m.Tag)
+			}
+		}
+		if !haveNode {
+			// Edge rows referencing a node absent from the node table:
+			// drop, matching the Build validation upstream.
+			return nil
+		}
+		deg := weightedDeg[id]
+		if deg == 0 {
+			deg = 1
+		}
+		self := &wire.Subgraph{Target: id, Nodes: []wire.SGNode{{ID: id, Feat: feat, Deg: deg}}}
+		sm := flatMsg{Tag: tagSelf, Payload: self}
+		if err := emit(mapreduce.KeyValue{Key: key, Value: sm.encode()}); err != nil {
+			return err
+		}
+		payload := &wire.Subgraph{Target: id, Nodes: []wire.SGNode{{ID: id, Feat: feat, Deg: deg}}}
+		for _, o := range outs {
+			om := flatMsg{Tag: tagOutEdge, Dst: o.Dst, W: o.W, EFeat: o.EFeat}
+			if err := emit(mapreduce.KeyValue{Key: key, Value: om.encode()}); err != nil {
+				return err
+			}
+			im := flatMsg{Tag: tagInEdge, Src: id, W: o.W, EFeat: o.EFeat, Payload: payload}
+			if err := emit(mapreduce.KeyValue{Key: key64(o.Dst), Value: im.encode()}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// sampleInEdges applies the sampling framework to a node's in-edge
+// messages: candidates are sorted (deterministic order shared with
+// GraphInfer), then the strategy picks at most cfg.MaxNeighbors survivors
+// with the per-(node, round) RNG.
+func sampleInEdges(cfg FlatConfig, node int64, round int, ins []*flatMsg) []*flatMsg {
+	return sampleInEdgesWithRNG(cfg.MaxNeighbors, cfg.Strategy,
+		sampling.NodeRNG(cfg.Seed, node, round), ins)
+}
+
+// sampleInEdgesWithRNG is the shared sampling primitive: it sorts
+// candidates into the canonical (src, weight) order and applies the
+// strategy. GraphFlat and GraphInfer both funnel through it, which is what
+// keeps their sampling decisions identical for the same (seed, node,
+// round).
+func sampleInEdgesWithRNG(maxNeighbors int, strategy sampling.Strategy, rng *rand.Rand, ins []*flatMsg) []*flatMsg {
+	sortIns(ins)
+	if maxNeighbors <= 0 || len(ins) <= maxNeighbors {
+		return ins
+	}
+	weights := make([]float64, len(ins))
+	for i, m := range ins {
+		weights[i] = m.W
+	}
+	idx := strategy.Sample(rng, len(ins), weights, maxNeighbors)
+	sort.Ints(idx)
+	out := make([]*flatMsg, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, ins[i])
+	}
+	return out
+}
+
+func sortIns(ins []*flatMsg) {
+	sort.SliceStable(ins, func(a, b int) bool {
+		if ins[a].Src != ins[b].Src {
+			return ins[a].Src < ins[b].Src
+		}
+		return ins[a].W < ins[b].W
+	})
+}
+
+// mergeReducer is one merge/propagate round (paper Figure 2): merge self +
+// in-edge info into the new self info (the node's round-hop neighborhood),
+// then propagate it along out-edges. In the final round it emits the
+// TrainRecord for target nodes instead.
+func mergeReducer(cfg FlatConfig, targets map[int64]Target, round int, final bool) mapreduce.Reducer {
+	return mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+		id, err := strconv.ParseInt(key, 10, 64)
+		if err != nil {
+			return err
+		}
+		var self *wire.Subgraph
+		var outs []*flatMsg
+		var ins []*flatMsg
+		for _, v := range values {
+			m, err := decodeMsg(v)
+			if err != nil {
+				return err
+			}
+			switch m.Tag {
+			case tagSelf:
+				self = m.Payload
+			case tagOutEdge:
+				outs = append(outs, m)
+			case tagInEdge:
+				ins = append(ins, m)
+			default:
+				return fmt.Errorf("core: merge reducer got tag %d", m.Tag)
+			}
+		}
+		if self == nil {
+			// In-edge info addressed to a node that has no self info (not
+			// in the node table): nothing to merge into.
+			return nil
+		}
+		ins = sampleInEdges(cfg, id, round, ins)
+		seenN, seenE := self.NewSeenSets()
+		for _, in := range ins {
+			ek := [2]int64{in.Src, id}
+			if !seenE[ek] {
+				seenE[ek] = true
+				self.Edges = append(self.Edges, wire.SGEdge{
+					Src: in.Src, Dst: id, Weight: in.W, Feat: in.EFeat,
+				})
+			}
+			self.MergeInto(in.Payload, seenN, seenE)
+		}
+		if final {
+			tgt, ok := targets[id]
+			if !ok {
+				return nil
+			}
+			rec := &wire.TrainRecord{TargetID: id, Label: tgt.Label, LabelVec: tgt.LabelVec, SG: self}
+			return emit(mapreduce.KeyValue{Key: key, Value: wire.EncodeTrainRecord(rec)})
+		}
+		sm := flatMsg{Tag: tagSelf, Payload: self}
+		if err := emit(mapreduce.KeyValue{Key: key, Value: sm.encode()}); err != nil {
+			return err
+		}
+		for _, o := range outs {
+			om := flatMsg{Tag: tagOutEdge, Dst: o.Dst, W: o.W, EFeat: o.EFeat}
+			if err := emit(mapreduce.KeyValue{Key: key, Value: om.encode()}); err != nil {
+				return err
+			}
+			im := flatMsg{Tag: tagInEdge, Src: id, W: o.W, EFeat: o.EFeat, Payload: self}
+			if err := emit(mapreduce.KeyValue{Key: key64(o.Dst), Value: im.encode()}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// reindexMapper splits hub destinations' in-edge traffic across suffixed
+// shuffle keys so no single reducer drowns (paper §3.2.2, "re-indexing").
+func reindexMapper(hubs map[int64]int) mapreduce.Mapper {
+	return mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) error {
+		kv, err := mapreduce.DecodeKV(rec)
+		if err != nil {
+			return err
+		}
+		if len(kv.Value) > 0 && (kv.Value[0] == tagInEdge || kv.Value[0] == tagInEmb) {
+			if id, err := strconv.ParseInt(kv.Key, 10, 64); err == nil {
+				if shards, ok := hubs[id]; ok && shards > 1 {
+					m, err := decodeMsg(kv.Value)
+					if err != nil {
+						return err
+					}
+					h := fnv.New32a()
+					fmt.Fprintf(h, "%d", m.Src)
+					suffix := int(h.Sum32() % uint32(shards))
+					kv.Key = fmt.Sprintf("%s#%d", kv.Key, suffix)
+				}
+			}
+		}
+		return emit(kv)
+	})
+}
+
+// reindexReducer pre-samples each suffixed shard of a hub's in-edges, then
+// inverts the key back to the original node id (paper §3.2.2, "sampling"
+// plus "inverted indexing"). Non-suffixed keys pass through untouched.
+func reindexReducer(cfg FlatConfig, hubs map[int64]int, round int) mapreduce.Reducer {
+	return mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+		hash := strings.IndexByte(key, '#')
+		if hash < 0 {
+			for _, v := range values {
+				if err := emit(mapreduce.KeyValue{Key: key, Value: v}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		orig := key[:hash]
+		id, err := strconv.ParseInt(orig, 10, 64)
+		if err != nil {
+			return err
+		}
+		suffix, err := strconv.Atoi(key[hash+1:])
+		if err != nil {
+			return err
+		}
+		shards := hubs[id]
+		budget := cfg.MaxNeighbors
+		if budget <= 0 {
+			budget = cfg.HubThreshold
+		}
+		perShard := (budget + shards - 1) / shards
+		if perShard < 1 {
+			perShard = 1
+		}
+		ins := make([]*flatMsg, 0, len(values))
+		for _, v := range values {
+			m, err := decodeMsg(v)
+			if err != nil {
+				return err
+			}
+			ins = append(ins, m)
+		}
+		// A distinct RNG stream per suffix keeps shards independent.
+		kept := sampleInEdgesWithRNG(perShard, cfg.Strategy,
+			sampling.NodeRNG(cfg.Seed, id, round*1000+suffix), ins)
+		for _, m := range kept {
+			if err := emit(mapreduce.KeyValue{Key: orig, Value: m.encode()}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"agl/internal/graph"
+	"agl/internal/mapreduce"
+)
+
+// kHopGroundTruth computes, by direct BFS on reversed edges, the node and
+// edge sets GraphFlat must materialize for a target: nodes with a directed
+// path of length ≤ k into the target, and every edge (a→b) whose
+// destination b still has ≥ 1 round of propagation budget (d(b) ≤ k−1).
+func kHopGroundTruth(g *graph.Graph, target int64, k int) (map[int64]bool, map[[2]int64]bool) {
+	// dist[u] = length of shortest directed path u -> target.
+	dist := map[int64]int{target: 0}
+	frontier := []int64{target}
+	// reverse adjacency: for node v, who points at v.
+	inOf := map[int64][]int64{}
+	for _, e := range g.Edges {
+		inOf[e.Dst] = append(inOf[e.Dst], e.Src)
+	}
+	for len(frontier) > 0 {
+		v := frontier[0]
+		frontier = frontier[1:]
+		if dist[v] >= k {
+			continue
+		}
+		for _, u := range inOf[v] {
+			if _, seen := dist[u]; !seen {
+				dist[u] = dist[v] + 1
+				frontier = append(frontier, u)
+			}
+		}
+	}
+	nodes := map[int64]bool{}
+	for u, d := range dist {
+		if d <= k {
+			nodes[u] = true
+		}
+	}
+	edges := map[[2]int64]bool{}
+	for _, e := range g.Edges {
+		if d, ok := dist[e.Dst]; ok && d <= k-1 {
+			edges[[2]int64{e.Src, e.Dst}] = true
+		}
+	}
+	return nodes, edges
+}
+
+// TestFlattenMatchesBFSGroundTruthProperty checks GraphFlat against the
+// BFS-derived k-hop definition on random digraphs for k ∈ {1, 2, 3}.
+func TestFlattenMatchesBFSGroundTruthProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		var nodes []graph.Node
+		for i := 0; i < n; i++ {
+			nodes = append(nodes, graph.Node{ID: int64(i), Feat: []float64{float64(i)}})
+		}
+		var edges []graph.Edge
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a != b && rng.Float64() < 0.15 {
+					edges = append(edges, graph.Edge{Src: int64(a), Dst: int64(b), Weight: 1})
+				}
+			}
+		}
+		g, err := graph.Build(nodes, edges)
+		if err != nil {
+			return false
+		}
+		target := int64(rng.Intn(n))
+		k := 1 + rng.Intn(3)
+
+		res, err := Flatten(FlatConfig{Hops: k, TempDir: t.TempDir()},
+			mapreduce.MemInput(TableRecords(g)),
+			map[int64]Target{target: {}})
+		if err != nil {
+			t.Logf("flatten error: %v", err)
+			return false
+		}
+		rec := recordByID(t, res, target)
+		wantNodes, wantEdges := kHopGroundTruth(g, target, k)
+		gotNodes := map[int64]bool{}
+		for _, nd := range rec.SG.Nodes {
+			gotNodes[nd.ID] = true
+		}
+		gotEdges := map[[2]int64]bool{}
+		for _, e := range rec.SG.Edges {
+			gotEdges[[2]int64{e.Src, e.Dst}] = true
+		}
+		if len(gotNodes) != len(wantNodes) || len(gotEdges) != len(wantEdges) {
+			t.Logf("seed=%d k=%d target=%d: nodes %d/%d edges %d/%d",
+				seed, k, target, len(gotNodes), len(wantNodes), len(gotEdges), len(wantEdges))
+			return false
+		}
+		for u := range wantNodes {
+			if !gotNodes[u] {
+				t.Logf("missing node %d", u)
+				return false
+			}
+		}
+		for e := range wantEdges {
+			if !gotEdges[e] {
+				t.Logf("missing edge %v", e)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlattenBatchTargetsShareWork checks the multi-target property of
+// Theorem 1's extension: flattening a batch of targets together produces
+// exactly the union of per-target runs.
+func TestFlattenBatchTargetsShareWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := 14
+	var nodes []graph.Node
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, graph.Node{ID: int64(i), Feat: []float64{float64(i)}})
+	}
+	var edges []graph.Edge
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b && rng.Float64() < 0.2 {
+				edges = append(edges, graph.Edge{Src: int64(a), Dst: int64(b), Weight: 1})
+			}
+		}
+	}
+	g, err := graph.Build(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint := flatten(t, g, FlatConfig{Hops: 2}, map[int64]Target{3: {}, 9: {}})
+	solo3 := flatten(t, g, FlatConfig{Hops: 2}, map[int64]Target{3: {}})
+	solo9 := flatten(t, g, FlatConfig{Hops: 2}, map[int64]Target{9: {}})
+	for _, pair := range []struct {
+		id   int64
+		solo *FlatResult
+	}{{3, solo3}, {9, solo9}} {
+		a := recordByID(t, joint, pair.id)
+		b := recordByID(t, pair.solo, pair.id)
+		if fmt.Sprint(nodeIDs(a.SG)) != fmt.Sprint(nodeIDs(b.SG)) {
+			t.Fatalf("target %d: joint flatten differs from solo", pair.id)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"agl/internal/wire"
+)
+
+// Shuffle message tags. Every reduce value starts with one tag byte; the
+// three kinds of information of paper §3.2.1 (self, in-edge, out-edge) plus
+// the embedding payloads GraphInfer propagates.
+const (
+	tagNodeRow byte = iota + 1 // round-0 join: a node's raw features
+	tagOutEdge                 // out-edge info: destination + weight
+	tagSelf                    // self info: the accumulating k-hop subgraph
+	tagInEdge                  // in-edge info: source, weight, propagated subgraph
+	tagEmbSelf                 // GraphInfer: node's own embedding state
+	tagInEmb                   // GraphInfer: in-edge neighbor's embedding
+	tagScore                   // GraphInfer: final predicted scores
+)
+
+// flatMsg is the decoded form of one GraphFlat/GraphInfer shuffle value.
+type flatMsg struct {
+	Tag byte
+
+	Feat []float64 // tagNodeRow
+
+	Dst   int64     // tagOutEdge
+	W     float64   // tagOutEdge, tagInEdge, tagInEmb
+	EFeat []float64 // edge features: tagOutEdge, tagInEdge, tagInEmb
+
+	Src     int64          // tagInEdge, tagInEmb
+	Payload *wire.Subgraph // tagSelf, tagInEdge
+
+	Emb    *wire.Embedding // tagEmbSelf, tagInEmb
+	Scores []float64       // tagScore
+}
+
+// encode serializes m.
+func (m *flatMsg) encode() []byte {
+	b := []byte{m.Tag}
+	switch m.Tag {
+	case tagNodeRow:
+		b = wire.AppendFloat64s(b, m.Feat)
+	case tagOutEdge:
+		b = wire.AppendVarint(b, m.Dst)
+		b = wire.AppendFloat64(b, m.W)
+		b = wire.AppendFloat64s(b, m.EFeat)
+	case tagSelf:
+		b = wire.EncodeSubgraph(b, m.Payload)
+	case tagInEdge:
+		b = wire.AppendVarint(b, m.Src)
+		b = wire.AppendFloat64(b, m.W)
+		b = wire.AppendFloat64s(b, m.EFeat)
+		b = wire.EncodeSubgraph(b, m.Payload)
+	case tagEmbSelf:
+		b = wire.EncodeEmbedding(b, m.Emb)
+	case tagInEmb:
+		b = wire.AppendVarint(b, m.Src)
+		b = wire.AppendFloat64(b, m.W)
+		b = wire.AppendFloat64s(b, m.EFeat)
+		b = wire.EncodeEmbedding(b, m.Emb)
+	case tagScore:
+		b = wire.AppendFloat64s(b, m.Scores)
+	default:
+		panic(fmt.Sprintf("core: encode of unknown tag %d", m.Tag))
+	}
+	return b
+}
+
+// decodeMsg deserializes one shuffle value.
+func decodeMsg(buf []byte) (*flatMsg, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("core: empty shuffle value")
+	}
+	m := &flatMsg{Tag: buf[0]}
+	r := wire.NewReader(buf[1:])
+	var err error
+	switch m.Tag {
+	case tagNodeRow:
+		m.Feat = r.Float64s()
+	case tagOutEdge:
+		m.Dst = r.Varint()
+		m.W = r.Float64()
+		m.EFeat = r.Float64s()
+	case tagSelf:
+		m.Payload, err = wire.DecodeSubgraph(r)
+	case tagInEdge:
+		m.Src = r.Varint()
+		m.W = r.Float64()
+		m.EFeat = r.Float64s()
+		m.Payload, err = wire.DecodeSubgraph(r)
+	case tagEmbSelf:
+		m.Emb, err = wire.DecodeEmbedding(r)
+	case tagInEmb:
+		m.Src = r.Varint()
+		m.W = r.Float64()
+		m.EFeat = r.Float64s()
+		m.Emb, err = wire.DecodeEmbedding(r)
+	case tagScore:
+		m.Scores = r.Float64s()
+	default:
+		return nil, fmt.Errorf("core: unknown shuffle tag %d", m.Tag)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("core: decode tag %d: %w", m.Tag, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,547 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agl/internal/gnn"
+	"agl/internal/metrics"
+	"agl/internal/nn"
+	"agl/internal/ps"
+	"agl/internal/tensor"
+	"agl/internal/wire"
+)
+
+// LossKind selects the training objective.
+type LossKind int
+
+// Objectives.
+const (
+	// LossCE is softmax cross-entropy over integer class labels (Cora).
+	LossCE LossKind = iota
+	// LossBCE is elementwise sigmoid binary cross-entropy over 0/1 label
+	// vectors (PPI multi-label, UUG binary).
+	LossBCE
+)
+
+// MetricKind selects the evaluation metric (paper Table 3).
+type MetricKind int
+
+// Metrics.
+const (
+	MetricAccuracy MetricKind = iota
+	MetricMicroF1
+	MetricAUC
+)
+
+// String names the metric.
+func (m MetricKind) String() string {
+	switch m {
+	case MetricMicroF1:
+		return "micro-F1"
+	case MetricAUC:
+		return "AUC"
+	}
+	return "accuracy"
+}
+
+// TrainConfig parameterizes GraphTrainer.
+type TrainConfig struct {
+	Model gnn.Config
+	Loss  LossKind
+
+	BatchSize int
+	Epochs    int
+	LR        float64
+
+	// Workers is the number of training workers (paper Figure 4); each
+	// holds a model replica and its own partition of the GraphFeatures.
+	Workers int
+	// PSShards is the number of parameter-server shards.
+	PSShards int
+	// Mode selects sync (BSP gradient averaging) or async consistency.
+	Mode ps.Mode
+
+	// The three optimization strategies of paper §3.3.2:
+	Pipeline   bool // overlap vectorization with model compute
+	Pruning    bool // per-layer pruned adjacency
+	AggThreads int  // edge-partitioned aggregation threads (<=1 serial)
+
+	Seed int64
+
+	// Eval, when non-nil, is scored with EvalMetric (the final model in
+	// Train; every EvalEvery epochs in TrainWithHistory).
+	Eval       [][]byte
+	EvalEvery  int
+	EvalMetric MetricKind
+
+	// Patience enables early stopping in TrainWithHistory: training stops
+	// once the eval metric has not improved for Patience consecutive
+	// evaluations, and the best snapshot is returned (0 disables). This is
+	// the paper's protocol of training "at a maximum of 200 epochs" against
+	// a validation set.
+	Patience int
+
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 10
+	}
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.PSShards <= 0 {
+		c.PSShards = 1
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 1
+	}
+	return c
+}
+
+// EpochStats records one epoch's accounting.
+type EpochStats struct {
+	Epoch    int
+	Loss     float64
+	Duration time.Duration
+	// VecBusy and ComputeBusy are summed across workers: time spent in
+	// subgraph vectorization vs model computation. With the pipeline
+	// enabled they overlap, so wall time approaches max(vec, compute)
+	// instead of their sum — the effect of §3.3.2's training pipeline.
+	VecBusy     time.Duration
+	ComputeBusy time.Duration
+	Metric      float64
+	HasMetric   bool
+}
+
+// TrainResult is GraphTrainer's output.
+type TrainResult struct {
+	Model   *gnn.Model
+	History []EpochStats
+	Total   time.Duration
+	// PSBytesOut/In are the parameter-server traffic totals.
+	PSBytesOut, PSBytesIn int64
+	// BestEpoch/BestMetric identify the best evaluated snapshot
+	// (TrainWithHistory only; zero when no evaluation ran).
+	BestEpoch  int
+	BestMetric float64
+	// Stopped reports whether early stopping fired before Epochs ran out.
+	Stopped bool
+}
+
+// epochAcc accumulates per-epoch loss and phase timings across workers.
+type epochAcc struct {
+	lossSum      float64
+	batches      int64
+	vec, compute int64 // nanoseconds
+}
+
+// Train runs distributed parameter-server training over encoded
+// GraphFeature records (GraphFlat's output).
+func Train(cfg TrainConfig, records [][]byte) (*TrainResult, error) {
+	cfg = cfg.withDefaults()
+	if len(records) == 0 {
+		return nil, fmt.Errorf("core: no training records")
+	}
+	global, err := gnn.NewModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	cluster := ps.NewCluster(cfg.PSShards, global.Params(),
+		func() nn.Optimizer { return nn.NewAdam(cfg.LR) }, cfg.Mode)
+
+	parts := make([][][]byte, cfg.Workers)
+	for i, rec := range records {
+		parts[i%cfg.Workers] = append(parts[i%cfg.Workers], rec)
+	}
+
+	start := time.Now()
+	accs := make([]epochAcc, cfg.Epochs)
+	var accMu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]epochAcc, cfg.Epochs)
+			if err := trainWorkerLoop(cfg, w, parts[w], cluster.Client(), local); err != nil {
+				errCh <- err
+				return
+			}
+			accMu.Lock()
+			for e := range accs {
+				accs[e].lossSum += local[e].lossSum
+				accs[e].batches += local[e].batches
+				accs[e].vec += local[e].vec
+				accs[e].compute += local[e].compute
+			}
+			accMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	result := &TrainResult{Total: time.Since(start)}
+	final, err := gnn.NewModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	cluster.Snapshot(final.Params())
+	result.Model = final
+	result.PSBytesOut, result.PSBytesIn = cluster.Traffic()
+	for e := range accs {
+		st := EpochStats{Epoch: e + 1}
+		if accs[e].batches > 0 {
+			st.Loss = accs[e].lossSum / float64(accs[e].batches)
+		}
+		st.VecBusy = time.Duration(accs[e].vec)
+		st.ComputeBusy = time.Duration(accs[e].compute)
+		result.History = append(result.History, st)
+	}
+	if cfg.Eval != nil {
+		metric, err := Evaluate(final, cfg.Eval, EvalConfig{
+			BatchSize: cfg.BatchSize, Loss: cfg.Loss, Metric: cfg.EvalMetric,
+			Pruning: cfg.Pruning, AggThreads: cfg.AggThreads,
+		})
+		if err != nil {
+			return nil, err
+		}
+		last := &result.History[len(result.History)-1]
+		last.Metric = metric
+		last.HasMetric = true
+		if cfg.Logf != nil {
+			cfg.Logf("final %s = %.4f", cfg.EvalMetric, metric)
+		}
+	}
+	return result, nil
+}
+
+// TrainWithHistory behaves like Train but evaluates a consistent global
+// snapshot after every EvalEvery epochs, producing the convergence curves
+// of the paper's Figure 7. Epochs are globally synchronized (workers are
+// re-joined per epoch), so it is slower than Train.
+func TrainWithHistory(cfg TrainConfig, records [][]byte) (*TrainResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Eval == nil {
+		return Train(cfg, records)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("core: no training records")
+	}
+	global, err := gnn.NewModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	cluster := ps.NewCluster(cfg.PSShards, global.Params(),
+		func() nn.Optimizer { return nn.NewAdam(cfg.LR) }, cfg.Mode)
+	parts := make([][][]byte, cfg.Workers)
+	for i, rec := range records {
+		parts[i%cfg.Workers] = append(parts[i%cfg.Workers], rec)
+	}
+
+	start := time.Now()
+	var history []EpochStats
+	var best *gnn.Model
+	bestMetric, bestEpoch := -1.0, 0
+	sinceBest := 0
+	stopped := false
+	for e := 0; e < cfg.Epochs; e++ {
+		epochStart := time.Now()
+		var acc epochAcc
+		var accMu sync.Mutex
+		var wg sync.WaitGroup
+		errCh := make(chan error, cfg.Workers)
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				sub := cfg
+				sub.Epochs = 1
+				sub.Seed = cfg.Seed + int64(e+1)*104729
+				local := make([]epochAcc, 1)
+				if err := trainWorkerLoop(sub, w, parts[w], cluster.Client(), local); err != nil {
+					errCh <- err
+					return
+				}
+				accMu.Lock()
+				acc.lossSum += local[0].lossSum
+				acc.batches += local[0].batches
+				acc.vec += local[0].vec
+				acc.compute += local[0].compute
+				accMu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return nil, err
+		default:
+		}
+		st := EpochStats{Epoch: e + 1, Duration: time.Since(epochStart)}
+		if acc.batches > 0 {
+			st.Loss = acc.lossSum / float64(acc.batches)
+		}
+		st.VecBusy = time.Duration(acc.vec)
+		st.ComputeBusy = time.Duration(acc.compute)
+		if (e+1)%cfg.EvalEvery == 0 || e == cfg.Epochs-1 {
+			snap, err := gnn.NewModel(cfg.Model)
+			if err != nil {
+				return nil, err
+			}
+			cluster.Snapshot(snap.Params())
+			metric, err := Evaluate(snap, cfg.Eval, EvalConfig{
+				BatchSize: cfg.BatchSize, Loss: cfg.Loss, Metric: cfg.EvalMetric,
+				Pruning: cfg.Pruning, AggThreads: cfg.AggThreads,
+			})
+			if err != nil {
+				return nil, err
+			}
+			st.Metric = metric
+			st.HasMetric = true
+			if cfg.Logf != nil {
+				cfg.Logf("workers=%d epoch=%d loss=%.4f %s=%.4f",
+					cfg.Workers, e+1, st.Loss, cfg.EvalMetric, metric)
+			}
+			if metric > bestMetric {
+				bestMetric, bestEpoch, sinceBest = metric, e+1, 0
+				best = snap
+			} else {
+				sinceBest++
+			}
+		}
+		history = append(history, st)
+		if cfg.Patience > 0 && sinceBest >= cfg.Patience {
+			stopped = true
+			if cfg.Logf != nil {
+				cfg.Logf("early stop at epoch %d (best %s %.4f at epoch %d)",
+					e+1, cfg.EvalMetric, bestMetric, bestEpoch)
+			}
+			break
+		}
+	}
+	final, err := gnn.NewModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	cluster.Snapshot(final.Params())
+	if cfg.Patience > 0 && best != nil {
+		final = best // restore the early-stopping optimum
+	}
+	if bestEpoch == 0 {
+		bestMetric = 0
+	}
+	out, in := cluster.Traffic()
+	return &TrainResult{
+		Model: final, History: history, Total: time.Since(start),
+		PSBytesOut: out, PSBytesIn: in,
+		BestEpoch: bestEpoch, BestMetric: bestMetric, Stopped: stopped,
+	}, nil
+}
+
+// preparedBatch is a vectorized batch ready for model computation.
+type preparedBatch struct {
+	batch *Batch
+	prep  *gnn.Prepared
+	vecNS int64
+}
+
+// trainWorkerLoop is the per-worker training loop: for each batch, pull the
+// latest weights, vectorize (possibly pipelined), run forward/backward, and
+// push gradients.
+func trainWorkerLoop(cfg TrainConfig, workerID int, part [][]byte, client ps.Client, accs []epochAcc) error {
+	if len(part) == 0 {
+		return nil
+	}
+	local, err := gnn.NewModel(cfg.Model)
+	if err != nil {
+		return err
+	}
+	client.Register()
+	defer client.Deregister()
+
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(workerID)*7919))
+	opt := gnn.RunOptions{Pruning: cfg.Pruning, Threads: cfg.AggThreads, Train: true}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		order := rng.Perm(len(part))
+		batches := make([][]int, 0, len(part)/cfg.BatchSize+1)
+		for lo := 0; lo < len(order); lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > len(order) {
+				hi = len(order)
+			}
+			batches = append(batches, order[lo:hi])
+		}
+
+		prepare := func(idx []int) (*preparedBatch, error) {
+			t0 := time.Now()
+			recs := make([]*wire.TrainRecord, 0, len(idx))
+			for _, i := range idx {
+				rec, err := wire.DecodeTrainRecord(part[i])
+				if err != nil {
+					return nil, err
+				}
+				recs = append(recs, rec)
+			}
+			b, err := AssembleBatch(recs, cfg.Model.Classes, cfg.Loss == LossBCE)
+			if err != nil {
+				return nil, err
+			}
+			prep := local.Prepare(b.Graph, opt)
+			return &preparedBatch{batch: b, prep: prep, vecNS: int64(time.Since(t0))}, nil
+		}
+
+		acc := &accs[epoch]
+		var prepErr atomic.Value
+		var feed chan *preparedBatch
+		if cfg.Pipeline {
+			// Preprocessing stage runs ahead of model computation.
+			feed = make(chan *preparedBatch, 2)
+			go func() {
+				defer close(feed)
+				for _, idx := range batches {
+					pb, err := prepare(idx)
+					if err != nil {
+						prepErr.Store(err)
+						return
+					}
+					feed <- pb
+				}
+			}()
+		} else {
+			feed = make(chan *preparedBatch)
+			go func() {
+				defer close(feed)
+				for _, idx := range batches {
+					pb, err := prepare(idx)
+					if err != nil {
+						prepErr.Store(err)
+						return
+					}
+					feed <- pb
+				}
+			}()
+		}
+
+		for pb := range feed {
+			t0 := time.Now()
+			if err := client.PullInto(local.Params()); err != nil {
+				return err
+			}
+			st := local.Forward(pb.batch.Graph, pb.prep, opt)
+			var loss float64
+			var dLogits *tensor.Matrix
+			switch cfg.Loss {
+			case LossCE:
+				loss, dLogits = nn.SoftmaxCrossEntropy(st.Logits, pb.batch.Labels)
+			case LossBCE:
+				loss, dLogits = nn.SigmoidBCE(st.Logits, pb.batch.LabelVecs)
+			default:
+				return fmt.Errorf("core: unknown loss %d", cfg.Loss)
+			}
+			local.Params().ZeroGrads()
+			local.Backward(st, dLogits)
+			if err := client.PushGrads(local.Params()); err != nil {
+				return err
+			}
+			acc.lossSum += loss
+			acc.batches++
+			acc.vec += pb.vecNS
+			acc.compute += int64(time.Since(t0))
+		}
+		if err, ok := prepErr.Load().(error); ok && err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EvalConfig parameterizes Evaluate.
+type EvalConfig struct {
+	BatchSize  int
+	Loss       LossKind
+	Metric     MetricKind
+	Pruning    bool
+	AggThreads int
+}
+
+// Evaluate scores a model over encoded GraphFeature records.
+func Evaluate(model *gnn.Model, records [][]byte, cfg EvalConfig) (float64, error) {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	_, logits, labels, labelVecs, err := Predict(model, records, cfg.BatchSize, gnn.RunOptions{
+		Pruning: cfg.Pruning, Threads: cfg.AggThreads,
+	})
+	if err != nil {
+		return 0, err
+	}
+	switch cfg.Metric {
+	case MetricAccuracy:
+		return metrics.Accuracy(logits.ArgMaxRows(), labels), nil
+	case MetricMicroF1:
+		if labelVecs == nil {
+			return 0, fmt.Errorf("core: micro-F1 needs label vectors")
+		}
+		return metrics.MicroF1(nn.SigmoidMatrix(logits), labelVecs, 0.5), nil
+	case MetricAUC:
+		scores := make([]float64, logits.Rows)
+		for i := 0; i < logits.Rows; i++ {
+			scores[i] = nn.Sigmoid(logits.At(i, 0))
+		}
+		return metrics.AUC(scores, labels), nil
+	}
+	return 0, fmt.Errorf("core: unknown metric %d", cfg.Metric)
+}
+
+// Predict runs batched inference over GraphFeature records, returning the
+// target ids, raw logits, integer labels, and label vectors when present.
+func Predict(model *gnn.Model, records [][]byte, batchSize int, opt gnn.RunOptions) ([]int64, *tensor.Matrix, []int, *tensor.Matrix, error) {
+	var ids []int64
+	var labels []int
+	var logitParts []*tensor.Matrix
+	var vecParts []*tensor.Matrix
+	for lo := 0; lo < len(records); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(records) {
+			hi = len(records)
+		}
+		recs, err := DecodeRecords(records[lo:hi])
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		b, err := AssembleBatch(recs, model.Cfg.Classes, false)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		logits := model.Infer(b.Graph, opt)
+		logitParts = append(logitParts, logits)
+		ids = append(ids, b.TargetIDs...)
+		labels = append(labels, b.Labels...)
+		if b.LabelVecs != nil {
+			vecParts = append(vecParts, b.LabelVecs)
+		}
+	}
+	var vecs *tensor.Matrix
+	if len(vecParts) > 0 {
+		vecs = tensor.Concat(vecParts...)
+	}
+	return ids, tensor.Concat(logitParts...), labels, vecs, nil
+}

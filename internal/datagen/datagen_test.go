@@ -1,0 +1,172 @@
+package datagen
+
+import (
+	"testing"
+)
+
+func TestCoraShape(t *testing.T) {
+	d, err := Cora(CoraConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.G.Stats()
+	if s.Nodes != 2708 {
+		t.Fatalf("nodes=%d", s.Nodes)
+	}
+	// Undirected: 2x the undirected count (minus any mirrored duplicates).
+	if s.Edges < 5429 || s.Edges > 2*5429 {
+		t.Fatalf("edges=%d", s.Edges)
+	}
+	if s.FeatureDim != 1433 || d.NumClasses != 7 {
+		t.Fatalf("feat=%d classes=%d", s.FeatureDim, d.NumClasses)
+	}
+	if len(d.Train) != 140 || len(d.Val) != 500 || len(d.Test) != 1000 {
+		t.Fatalf("split %d/%d/%d", len(d.Train), len(d.Val), len(d.Test))
+	}
+	// Balanced train split: 20 per class.
+	perClass := map[int]int{}
+	for _, id := range d.Train {
+		perClass[d.LabelOf(id)]++
+	}
+	for c := 0; c < 7; c++ {
+		if perClass[c] != 20 {
+			t.Fatalf("class %d has %d train nodes", c, perClass[c])
+		}
+	}
+}
+
+func TestCoraDeterministic(t *testing.T) {
+	a, _ := Cora(CoraConfig{Nodes: 200, Edges: 400, FeatDim: 70, Seed: 5})
+	b, _ := Cora(CoraConfig{Nodes: 200, Edges: 400, FeatDim: 70, Seed: 5})
+	if a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatal("nondeterministic edges")
+	}
+	for i := range a.G.Nodes {
+		for j := range a.G.Nodes[i].Feat {
+			if a.G.Nodes[i].Feat[j] != b.G.Nodes[i].Feat[j] {
+				t.Fatal("nondeterministic features")
+			}
+		}
+	}
+}
+
+func TestCoraHomophily(t *testing.T) {
+	d, _ := Cora(CoraConfig{Seed: 2})
+	intra := 0
+	for _, e := range d.G.Edges {
+		if d.LabelOf(e.Src) == d.LabelOf(e.Dst) {
+			intra++
+		}
+	}
+	frac := float64(intra) / float64(d.G.NumEdges())
+	if frac < 0.6 {
+		t.Fatalf("homophily %v too low — GNNs would not learn", frac)
+	}
+}
+
+func TestPPIShape(t *testing.T) {
+	d, err := PPI(PPIConfig{Scale: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.MultiLabel || d.LabelVecs == nil {
+		t.Fatal("PPI must be multilabel")
+	}
+	if d.LabelVecs.Cols != 121 {
+		t.Fatalf("labels=%d", d.LabelVecs.Cols)
+	}
+	if d.G.FeatureDim() != 50 {
+		t.Fatalf("feat=%d", d.G.FeatureDim())
+	}
+	// 20/2/2 graph split.
+	if len(d.Train) == 0 || len(d.Val) == 0 || len(d.Test) == 0 {
+		t.Fatal("empty split")
+	}
+	ratio := float64(len(d.Train)) / float64(len(d.Val))
+	if ratio < 8 || ratio > 12 {
+		t.Fatalf("train/val ratio %v, want ~10 (20 vs 2 graphs)", ratio)
+	}
+	// Label vectors must be non-trivial: some on, some off.
+	var on, total float64
+	for _, v := range d.LabelVecs.Data {
+		on += v
+		total++
+	}
+	if on == 0 || on == total {
+		t.Fatal("degenerate labels")
+	}
+}
+
+func TestPPISplitsDisjoint(t *testing.T) {
+	d, _ := PPI(PPIConfig{Scale: 0.03, Seed: 4})
+	seen := map[int64]string{}
+	add := func(ids []int64, name string) {
+		for _, id := range ids {
+			if prev, ok := seen[id]; ok {
+				t.Fatalf("node %d in both %s and %s", id, prev, name)
+			}
+			seen[id] = name
+		}
+	}
+	add(d.Train, "train")
+	add(d.Val, "val")
+	add(d.Test, "test")
+}
+
+func TestUUGShapeAndSkew(t *testing.T) {
+	d, err := UUG(UUGConfig{Nodes: 5000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.G.Stats()
+	if s.Nodes != 5000 {
+		t.Fatalf("nodes=%d", s.Nodes)
+	}
+	if d.NumClasses != 2 {
+		t.Fatalf("classes=%d", d.NumClasses)
+	}
+	// Preferential attachment must produce hub nodes: max degree far above
+	// the mean.
+	if float64(s.MaxInDegree) < 8*s.MeanInDegree {
+		t.Fatalf("no degree skew: max=%d mean=%v", s.MaxInDegree, s.MeanInDegree)
+	}
+	// Paper split ratios over the labeled pool: train ≈ 80%, test ≈ 10%.
+	labeled := len(d.Train) + len(d.Val) + len(d.Test)
+	if labeled == 0 {
+		t.Fatal("no labeled nodes")
+	}
+	trainFrac := float64(len(d.Train)) / float64(labeled)
+	if trainFrac < 0.7 || trainFrac > 0.95 {
+		t.Fatalf("train fraction %v", trainFrac)
+	}
+}
+
+func TestUUGWeightsVaried(t *testing.T) {
+	d, _ := UUG(UUGConfig{Nodes: 2000, Seed: 6})
+	weights := map[float64]bool{}
+	for _, e := range d.G.Edges {
+		weights[e.Weight] = true
+	}
+	if len(weights) < 3 {
+		t.Fatalf("edge weights not varied: %v", weights)
+	}
+}
+
+func TestUUGClassBalance(t *testing.T) {
+	d, _ := UUG(UUGConfig{Nodes: 4000, Seed: 7})
+	count := [2]int{}
+	for _, c := range d.Labels {
+		count[c]++
+	}
+	frac := float64(count[0]) / float64(count[0]+count[1])
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("class imbalance: %v", frac)
+	}
+}
+
+func TestSummaryNonEmpty(t *testing.T) {
+	d, _ := UUG(UUGConfig{Nodes: 500, Seed: 8})
+	if d.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,243 @@
+// Package dfs simulates the distributed file system AGL's pipelines write
+// to: a dataset is a directory of numbered part files, each a stream of
+// length-prefixed records. Writers stage to a temp file and commit with an
+// atomic rename, mirroring the commit discipline of real DFS writers so a
+// failed (retried) task never leaves a partial part visible.
+package dfs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Dir is a dataset directory of part files.
+type Dir struct {
+	path string
+}
+
+// Create makes (or reuses) a dataset directory.
+func Create(path string) (*Dir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("dfs: create %s: %w", path, err)
+	}
+	return &Dir{path: path}, nil
+}
+
+// Open opens an existing dataset directory.
+func Open(path string) (*Dir, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: open %s: %w", path, err)
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("dfs: %s is not a directory", path)
+	}
+	return &Dir{path: path}, nil
+}
+
+// Path returns the directory path.
+func (d *Dir) Path() string { return d.path }
+
+// Parts lists committed part files in order.
+func (d *Dir) Parts() ([]string, error) {
+	ents, err := os.ReadDir(d.path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasPrefix(name, "part-") && !strings.HasSuffix(name, ".tmp") {
+			out = append(out, filepath.Join(d.path, name))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Remove deletes the dataset directory and all parts.
+func (d *Dir) Remove() error { return os.RemoveAll(d.path) }
+
+// PartWriter writes length-prefixed records to one part file.
+type PartWriter struct {
+	f       *os.File
+	bw      *bufio.Writer
+	tmp     string
+	final   string
+	lenBuf  [binary.MaxVarintLen64]byte
+	Records int
+	Bytes   int64
+}
+
+// Writer opens a staged writer for part number idx. Commit is atomic on
+// Close; abandoning the writer (process death, task retry) leaves only a
+// .tmp file that readers ignore.
+func (d *Dir) Writer(idx int) (*PartWriter, error) {
+	final := filepath.Join(d.path, fmt.Sprintf("part-%05d", idx))
+	tmp := final + fmt.Sprintf(".%d.tmp", os.Getpid())
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: stage part %d: %w", idx, err)
+	}
+	return &PartWriter{f: f, bw: bufio.NewWriterSize(f, 1<<16), tmp: tmp, final: final}, nil
+}
+
+// Append writes one record.
+func (w *PartWriter) Append(rec []byte) error {
+	n := binary.PutUvarint(w.lenBuf[:], uint64(len(rec)))
+	if _, err := w.bw.Write(w.lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(rec); err != nil {
+		return err
+	}
+	w.Records++
+	w.Bytes += int64(n + len(rec))
+	return nil
+}
+
+// Close flushes and atomically commits the part.
+func (w *PartWriter) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(w.tmp, w.final)
+}
+
+// Abort discards the staged part without committing.
+func (w *PartWriter) Abort() error {
+	w.f.Close()
+	return os.Remove(w.tmp)
+}
+
+// PartReader iterates the records of one part file.
+type PartReader struct {
+	f  *os.File
+	br *bufio.Reader
+}
+
+// OpenPart opens a committed part file for reading.
+func OpenPart(path string) (*PartReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: open part: %w", err)
+	}
+	return &PartReader{f: f, br: bufio.NewReaderSize(f, 1<<16)}, nil
+}
+
+// Next returns the next record, or io.EOF when exhausted.
+func (r *PartReader) Next() ([]byte, error) {
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("dfs: read record length: %w", err)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return nil, fmt.Errorf("dfs: read record body: %w", err)
+	}
+	return buf, nil
+}
+
+// Close releases the underlying file.
+func (r *PartReader) Close() error { return r.f.Close() }
+
+// WriteAll distributes records round-robin over nParts part files.
+func (d *Dir) WriteAll(records [][]byte, nParts int) error {
+	if nParts < 1 {
+		nParts = 1
+	}
+	writers := make([]*PartWriter, nParts)
+	for i := range writers {
+		w, err := d.Writer(i)
+		if err != nil {
+			return err
+		}
+		writers[i] = w
+	}
+	for i, rec := range records {
+		if err := writers[i%nParts].Append(rec); err != nil {
+			return err
+		}
+	}
+	for _, w := range writers {
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAll loads every record from every part, in part order.
+func (d *Dir) ReadAll() ([][]byte, error) {
+	parts, err := d.Parts()
+	if err != nil {
+		return nil, err
+	}
+	var out [][]byte
+	for _, p := range parts {
+		r, err := OpenPart(p)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				r.Close()
+				return nil, err
+			}
+			out = append(out, rec)
+		}
+		if err := r.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Scan streams every record to fn, stopping on the first error.
+func (d *Dir) Scan(fn func(rec []byte) error) error {
+	parts, err := d.Parts()
+	if err != nil {
+		return err
+	}
+	for _, p := range parts {
+		r, err := OpenPart(p)
+		if err != nil {
+			return err
+		}
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				r.Close()
+				return err
+			}
+			if err := fn(rec); err != nil {
+				r.Close()
+				return err
+			}
+		}
+		if err := r.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d, err := Create(filepath.Join(t.TempDir(), "ds"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := d.Writer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := [][]byte{[]byte("alpha"), []byte(""), []byte("gamma")}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Records != 3 {
+		t.Fatalf("Records=%d", w.Records)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || !bytes.Equal(got[0], recs[0]) || len(got[1]) != 0 || !bytes.Equal(got[2], recs[2]) {
+		t.Fatalf("ReadAll: %q", got)
+	}
+}
+
+func TestMultiplePartsOrdered(t *testing.T) {
+	d, _ := Create(filepath.Join(t.TempDir(), "ds"))
+	for i := 2; i >= 0; i-- { // write out of order
+		w, err := d.Writer(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append([]byte(fmt.Sprintf("part%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parts, err := d.Parts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("parts: %v", parts)
+	}
+	got, _ := d.ReadAll()
+	for i := 0; i < 3; i++ {
+		if string(got[i]) != fmt.Sprintf("part%d", i) {
+			t.Fatalf("part order: %q", got)
+		}
+	}
+}
+
+func TestAbortLeavesNothingVisible(t *testing.T) {
+	d, _ := Create(filepath.Join(t.TempDir(), "ds"))
+	w, _ := d.Writer(0)
+	_ = w.Append([]byte("junk"))
+	if err := w.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	parts, _ := d.Parts()
+	if len(parts) != 0 {
+		t.Fatalf("aborted part visible: %v", parts)
+	}
+}
+
+func TestUncommittedTmpIgnored(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	d, _ := Create(dir)
+	// Simulate a crashed task: stage but never close.
+	w, _ := d.Writer(0)
+	_ = w.Append([]byte("half-written"))
+	_ = w.bw.Flush()
+	// Leave the tmp file around.
+	parts, _ := d.Parts()
+	if len(parts) != 0 {
+		t.Fatalf("tmp file listed as part: %v", parts)
+	}
+	recs, err := d.ReadAll()
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("tmp contents leaked: %q err=%v", recs, err)
+	}
+}
+
+func TestWriteAllRoundRobin(t *testing.T) {
+	d, _ := Create(filepath.Join(t.TempDir(), "ds"))
+	var recs [][]byte
+	for i := 0; i < 10; i++ {
+		recs = append(recs, []byte{byte(i)})
+	}
+	if err := d.WriteAll(recs, 3); err != nil {
+		t.Fatal(err)
+	}
+	parts, _ := d.Parts()
+	if len(parts) != 3 {
+		t.Fatalf("parts: %v", parts)
+	}
+	got, _ := d.ReadAll()
+	if len(got) != 10 {
+		t.Fatalf("records: %d", len(got))
+	}
+	seen := map[byte]bool{}
+	for _, r := range got {
+		seen[r[0]] = true
+	}
+	if len(seen) != 10 {
+		t.Fatal("records lost or duplicated")
+	}
+}
+
+func TestScanStopsOnError(t *testing.T) {
+	d, _ := Create(filepath.Join(t.TempDir(), "ds"))
+	_ = d.WriteAll([][]byte{{1}, {2}, {3}}, 1)
+	count := 0
+	err := d.Scan(func(rec []byte) error {
+		count++
+		if rec[0] == 2 {
+			return io.ErrUnexpectedEOF
+		}
+		return nil
+	})
+	if err != io.ErrUnexpectedEOF || count != 2 {
+		t.Fatalf("err=%v count=%d", err, count)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected error for missing dir")
+	}
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(f); err == nil {
+		t.Fatal("expected error for non-directory")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	d, _ := Create(dir)
+	_ = d.WriteAll([][]byte{{1}}, 1)
+	if err := d.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatal("directory still exists")
+	}
+}
+
+func TestLargeRecords(t *testing.T) {
+	d, _ := Create(filepath.Join(t.TempDir(), "ds"))
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	w, _ := d.Writer(0)
+	if err := w.Append(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadAll()
+	if err != nil || len(got) != 1 || !bytes.Equal(got[0], big) {
+		t.Fatal("large record corrupted")
+	}
+}

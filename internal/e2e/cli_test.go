@@ -1,0 +1,151 @@
+// Package e2e drives the built command-line binaries end to end: the
+// GraphFlat → GraphTrainer → GraphInfer workflow of the paper's Figure 6,
+// exercised exactly as an operator would run it.
+package e2e
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"agl/internal/datagen"
+	"agl/internal/graph"
+)
+
+// buildCmds compiles the three CLIs into dir.
+func buildCmds(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	bins := map[string]string{}
+	for _, name := range []string{"graphflat", "graphtrainer", "graphinfer"} {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "agl/cmd/"+name)
+		cmd.Dir = repoRoot(t)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+	return bins
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// internal/e2e -> repo root
+	return filepath.Dir(filepath.Dir(wd))
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestCLIPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bins := buildCmds(t, dir)
+
+	// Materialize a small UUG-like dataset as TSV tables.
+	ds, err := datagen.UUG(datagen.UUGConfig{Nodes: 400, FeatDim: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodePath := filepath.Join(dir, "nodes.tsv")
+	edgePath := filepath.Join(dir, "edges.tsv")
+	nf, err := os.Create(nodePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteNodeTable(nf, ds.G.Nodes); err != nil {
+		t.Fatal(err)
+	}
+	nf.Close()
+	ef, err := os.Create(edgePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeTable(ef, ds.G.Edges); err != nil {
+		t.Fatal(err)
+	}
+	ef.Close()
+
+	var targets strings.Builder
+	for _, id := range ds.Train {
+		fmt.Fprintf(&targets, "%d\t%d\n", id, ds.LabelOf(id))
+	}
+	targetPath := filepath.Join(dir, "targets.tsv")
+	if err := os.WriteFile(targetPath, []byte(targets.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Step 1: GraphFlat.
+	features := filepath.Join(dir, "features")
+	out := run(t, bins["graphflat"],
+		"-n", nodePath, "-e", edgePath, "-t", targetPath,
+		"-hops", "2", "-s", "weighted", "-max-neighbors", "10",
+		"-seed", "3", "-o", features)
+	if !strings.Contains(out, "GraphFeature records") {
+		t.Fatalf("graphflat output: %s", out)
+	}
+
+	// Step 2: GraphTrainer.
+	modelPath := filepath.Join(dir, "model.agl")
+	out = run(t, bins["graphtrainer"],
+		"-m", "gat", "-i", features, "-loss", "bce", "-metric", "auc",
+		"-hidden", "8", "-classes", "1", "-layers", "2",
+		"-epochs", "4", "-batch", "32", "-workers", "2",
+		"-t", "pipeline,pruning,partition", "-o", modelPath)
+	if !strings.Contains(out, "model saved") {
+		t.Fatalf("graphtrainer output: %s", out)
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatal("model file missing")
+	}
+
+	// Step 3: GraphInfer.
+	scoresPath := filepath.Join(dir, "scores.tsv")
+	out = run(t, bins["graphinfer"],
+		"-m", modelPath, "-n", nodePath, "-e", edgePath,
+		"-s", "weighted", "-max-neighbors", "10", "-seed", "3",
+		"-o", scoresPath)
+	if !strings.Contains(out, "scored 400 nodes") {
+		t.Fatalf("graphinfer output: %s", out)
+	}
+
+	// Scores must cover every node with probabilities in [0, 1].
+	data, err := os.ReadFile(scoresPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("scored %d nodes, want 400", len(lines))
+	}
+	for _, line := range lines {
+		parts := strings.Split(line, "\t")
+		if len(parts) != 2 {
+			t.Fatalf("malformed score line %q", line)
+		}
+		s, err := strconv.ParseFloat(strings.Split(parts[1], ",")[0], 64)
+		if err != nil || s < 0 || s > 1 {
+			t.Fatalf("bad score %q: %v", line, err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpts(t *testing.T) Options {
+	t.Helper()
+	return Options{Quick: true, Seed: 1, TempDir: t.TempDir()}
+}
+
+func TestTable1Static(t *testing.T) {
+	out := Table1()
+	if !strings.Contains(out, "AGL") || !strings.Contains(out, "6.23e9") {
+		t.Fatalf("table 1 malformed:\n%s", out)
+	}
+}
+
+func TestTable2GeneratesAllDatasets(t *testing.T) {
+	res, err := Table2(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cora == nil || res.PPI == nil || res.UUG == nil {
+		t.Fatal("missing dataset")
+	}
+	for _, want := range []string{"cora-syn", "ppi-syn", "uug-syn", "paper Cora"} {
+		if !strings.Contains(res.Text, want) {
+			t.Fatalf("table 2 missing %q:\n%s", want, res.Text)
+		}
+	}
+}
+
+func TestTable3Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := Table3(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 9 { // 3 datasets x 3 models
+		t.Fatalf("rows=%d want 9", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.AGL <= 0 || r.AGL > 1 {
+			t.Fatalf("%s/%s AGL metric out of range: %v", r.Dataset, r.Model, r.AGL)
+		}
+		if r.Dataset == "uug" && r.HasBaseline {
+			t.Fatal("UUG should have no full-graph baseline (paper: OOM)")
+		}
+	}
+}
+
+func TestTable4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := Table4(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 36 { // 3 models x 3 depths x 4 configs
+		t.Fatalf("rows=%d want 36", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.PerEpoch <= 0 {
+			t.Fatalf("%s %d-layer %s: no timing", r.Model, r.Layers, r.Config)
+		}
+	}
+}
+
+func TestTable5Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := Table5(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline claim: GraphInfer beats the original module. Wall time
+	// must win outright even at quick scale; the CPU busy-time ratio is
+	// noisy when the whole test suite competes for cores (the full-scale
+	// run in EXPERIMENTS.md shows 2.5x), so it gets slack here.
+	if res.SpeedupTime <= 1 {
+		t.Fatalf("GraphInfer not faster: %vx", res.SpeedupTime)
+	}
+	if res.SpeedupCPU <= 0.9 {
+		t.Fatalf("GraphInfer CPU cost regressed: %vx", res.SpeedupCPU)
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := Fig7(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) < 2 {
+		t.Fatalf("curves=%d", len(res.Curves))
+	}
+	for _, c := range res.Curves {
+		final := c.AUC[len(c.AUC)-1]
+		if final < 0.5 {
+			t.Fatalf("workers=%d final AUC %v below random", c.Workers, final)
+		}
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := Fig8(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slope < 0.5 || res.Slope > 1 {
+		t.Fatalf("slope %v outside plausible range", res.Slope)
+	}
+	// Modeled points rise with workers, modulo the straggler jitter the
+	// paper also reports (small perturbations allowed).
+	prev := 0.0
+	for _, p := range res.Points {
+		if !p.Measured {
+			if p.Speedup < prev*0.93 {
+				t.Fatalf("speedup collapsed at %d workers: %v after %v", p.Workers, p.Speedup, prev)
+			}
+			if p.Speedup > prev {
+				prev = p.Speedup
+			}
+		}
+	}
+}

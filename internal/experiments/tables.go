@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"agl/internal/baseline"
+	"agl/internal/core"
+	"agl/internal/datagen"
+	"agl/internal/gnn"
+	"agl/internal/mapreduce"
+	"agl/internal/nn"
+)
+
+// Table1 renders the paper's Table 1 (graph scales of published systems);
+// it is a literature reference table, not a measurement.
+func Table1() string {
+	rows := PaperTable1
+	return "Table 1: graph scale reported by GML systems (paper reference)\n" +
+		table([]string{"System", "#Nodes", "#Edges"}, rows)
+}
+
+// Table2Result carries the generated datasets alongside their stats so
+// downstream experiments can reuse them.
+type Table2Result struct {
+	Cora, PPI, UUG *datagen.Dataset
+	Text           string
+}
+
+func (r *Table2Result) String() string { return r.Text }
+
+// Table2 generates the three evaluation datasets and summarizes them
+// against the paper's published shapes.
+func Table2(opt Options) (*Table2Result, error) {
+	cora, err := datagen.Cora(opt.coraCfg())
+	if err != nil {
+		return nil, err
+	}
+	ppi, err := datagen.PPI(opt.ppiCfg())
+	if err != nil {
+		return nil, err
+	}
+	uug, err := datagen.UUG(opt.uugCfg())
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for i, d := range []*datagen.Dataset{cora, ppi, uug} {
+		s := d.G.Stats()
+		rows = append(rows, []string{
+			d.Name,
+			fmt.Sprint(s.Nodes), fmt.Sprint(s.Edges), fmt.Sprint(s.FeatureDim),
+			fmt.Sprint(d.NumClasses),
+			fmt.Sprintf("%d/%d/%d", len(d.Train), len(d.Val), len(d.Test)),
+		})
+		p := PaperTable2[i]
+		rows = append(rows, []string{"  (paper " + p[0] + ")", p[1], p[2], p[3], p[4], p[5]})
+	}
+	text := "Table 2: dataset summary (generated vs paper)\n" +
+		table([]string{"Dataset", "#Nodes", "#Edges", "#Feat", "#Classes", "Train/Val/Test"}, rows)
+	return &Table2Result{Cora: cora, PPI: ppi, UUG: uug, Text: text}, nil
+}
+
+// Table3Row is one effectiveness measurement.
+type Table3Row struct {
+	Dataset, Model string
+	Baseline, AGL  float64
+	HasBaseline    bool
+	PaperAGL       float64
+	Metric         core.MetricKind
+}
+
+// Table3Result holds the effectiveness grid.
+type Table3Result struct {
+	Rows []Table3Row
+	Text string
+}
+
+func (r *Table3Result) String() string { return r.Text }
+
+type table3task struct {
+	name    string
+	ds      *datagen.Dataset
+	hops    int
+	hidden  int
+	classes int
+	loss    core.LossKind
+	metric  core.MetricKind
+	epochs  int
+	lr      float64
+	// baselineOK: DGL/PyG stand-in runs (the paper could not run them on
+	// UUG: OOM).
+	baselineOK bool
+}
+
+// Table3 measures model effectiveness (accuracy / micro-F1 / AUC) for GCN,
+// GraphSAGE and GAT trained with the full AGL pipeline versus the
+// full-graph in-memory baseline.
+func Table3(opt Options) (*Table3Result, error) {
+	t2, err := Table2(opt)
+	if err != nil {
+		return nil, err
+	}
+	epochs := 40
+	if opt.Quick {
+		epochs = 8
+	}
+	coraHidden, ppiHidden := 16, 64
+	if opt.Quick {
+		ppiHidden = 16
+	}
+	tasks := []table3task{
+		{name: "cora", ds: t2.Cora, hops: 2, hidden: coraHidden, classes: t2.Cora.NumClasses,
+			loss: core.LossCE, metric: core.MetricAccuracy, epochs: epochs, lr: 0.02, baselineOK: true},
+		{name: "ppi", ds: t2.PPI, hops: 2, hidden: ppiHidden, classes: 121,
+			loss: core.LossBCE, metric: core.MetricMicroF1, epochs: epochs, lr: 0.01, baselineOK: true},
+		{name: "uug", ds: t2.UUG, hops: 2, hidden: 8, classes: 1,
+			loss: core.LossBCE, metric: core.MetricAUC, epochs: epochs, lr: 0.01, baselineOK: false},
+	}
+	res := &Table3Result{}
+	var rows [][]string
+	for _, task := range tasks {
+		train, test, err := flattenSplits(opt, task.ds, task.hops, task.loss)
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range []string{gnn.KindGCN, gnn.KindSAGE, gnn.KindGAT} {
+			opt.logf("table3: %s/%s", task.name, kind)
+			heads := 1
+			if kind == gnn.KindGAT {
+				heads = 2
+			}
+			mcfg := gnn.Config{
+				Kind: kind, InDim: task.ds.G.FeatureDim(), Hidden: task.hidden,
+				Classes: task.classes, Layers: task.hops, Heads: heads,
+				Act: nn.ActReLU, Dropout: 0.1, Seed: opt.Seed + 11,
+			}
+			row := Table3Row{Dataset: task.name, Model: kind, Metric: task.metric,
+				PaperAGL: paperTable3[task.name][kind]}
+			if task.baselineOK {
+				bres, err := baseline.Train(task.ds, baseline.Config{
+					Model: mcfg, Epochs: task.epochs * 2, LR: task.lr,
+					MultiLabel: task.loss == core.LossBCE,
+				})
+				if err != nil {
+					return nil, err
+				}
+				row.Baseline, err = baseline.Evaluate(bres.Model, task.ds, task.ds.Test)
+				if err != nil {
+					return nil, err
+				}
+				row.HasBaseline = true
+			}
+			tres, err := core.Train(core.TrainConfig{
+				Model: mcfg, Loss: task.loss, BatchSize: 64, Epochs: task.epochs,
+				LR: task.lr, Pipeline: true, Pruning: true, AggThreads: 4,
+				Eval: test, EvalMetric: task.metric, Seed: opt.Seed + 13,
+			}, train)
+			if err != nil {
+				return nil, err
+			}
+			row.AGL = tres.History[len(tres.History)-1].Metric
+			res.Rows = append(res.Rows, row)
+			base := "OOM (paper: —)"
+			if row.HasBaseline {
+				base = fmt.Sprintf("%.3f", row.Baseline)
+			}
+			rows = append(rows, []string{
+				task.name, kind, task.metric.String(), base,
+				fmt.Sprintf("%.3f", row.AGL), fmt.Sprintf("%.3f", row.PaperAGL),
+			})
+		}
+	}
+	res.Text = "Table 3: effectiveness of GNNs (full-graph baseline = DGL/PyG stand-in)\n" +
+		table([]string{"Dataset", "Model", "Metric", "FullGraph", "AGL", "Paper(AGL)"}, rows)
+	return res, nil
+}
+
+// flattenSplits runs GraphFlat for a dataset's train and test targets.
+func flattenSplits(opt Options, ds *datagen.Dataset, hops int, loss core.LossKind) (train, test [][]byte, err error) {
+	tables := mapreduce.MemInput(core.TableRecords(ds.G))
+	mk := func(ids []int64) map[int64]core.Target {
+		targets := make(map[int64]core.Target, len(ids))
+		for _, id := range ids {
+			t := core.Target{Label: int64(ds.LabelOf(id))}
+			if loss == core.LossBCE {
+				if ds.MultiLabel {
+					t.LabelVec = append([]float64(nil), ds.LabelVecOf(id)...)
+				} else {
+					t.LabelVec = []float64{float64(ds.LabelOf(id))}
+				}
+			}
+			targets[id] = t
+		}
+		return targets
+	}
+	cfg := core.FlatConfig{
+		Hops: hops, MaxNeighbors: 25, Seed: opt.Seed + 17,
+		HubThreshold: 1000, TempDir: opt.TempDir,
+	}
+	ftr, err := core.Flatten(cfg, tables, mk(ds.Train))
+	if err != nil {
+		return nil, nil, err
+	}
+	fte, err := core.Flatten(cfg, tables, mk(ds.Test))
+	if err != nil {
+		return nil, nil, err
+	}
+	return ftr.Records, fte.Records, nil
+}
+
+// Table4Row is one training-efficiency measurement.
+type Table4Row struct {
+	Model     string
+	Layers    int
+	Config    string
+	PerEpoch  time.Duration
+	PaperSecs float64
+}
+
+// Table4Result holds the efficiency grid.
+type Table4Result struct {
+	Rows     []Table4Row
+	FullRows []Table4Row // full-graph baseline rows
+	Text     string
+}
+
+func (r *Table4Result) String() string { return r.Text }
+
+// Table4 measures time per epoch on the PPI-like dataset for every model ×
+// depth × optimization configuration, plus the full-graph stand-in.
+func Table4(opt Options) (*Table4Result, error) {
+	ppi, err := datagen.PPI(opt.ppiCfg())
+	if err != nil {
+		return nil, err
+	}
+	hidden := 64
+	epochs := 3
+	batch := 256
+	if opt.Quick {
+		hidden = 16
+		epochs = 2
+		batch = 64
+	}
+	// Flatten once per depth: a K-layer model trains on K-hop
+	// GraphFeatures, so (as in the paper) pruning has nothing to remove at
+	// K=1 and increasingly more as depth grows.
+	trainByDepth := make(map[int][][]byte)
+	for layers := 1; layers <= 3; layers++ {
+		tr, _, err := flattenSplits(opt, ppi, layers, core.LossBCE)
+		if err != nil {
+			return nil, err
+		}
+		trainByDepth[layers] = tr
+	}
+	configs := []struct {
+		name       string
+		pruning    bool
+		aggThreads int
+	}{
+		{"base", false, 1},
+		{"pruning", true, 1},
+		{"partition", false, 8},
+		{"prune+part", true, 8},
+	}
+	res := &Table4Result{}
+	var rows [][]string
+	for _, kind := range []string{gnn.KindGCN, gnn.KindSAGE, gnn.KindGAT} {
+		for layers := 1; layers <= 3; layers++ {
+			// Full-graph stand-in, measured once per (model, depth).
+			heads := 1
+			if kind == gnn.KindGAT {
+				heads = 4
+			}
+			mcfg := gnn.Config{
+				Kind: kind, InDim: ppi.G.FeatureDim(), Hidden: hidden, Classes: 121,
+				Layers: layers, Heads: heads, Act: nn.ActReLU, Seed: opt.Seed + 19,
+			}
+			bres, err := baseline.Train(ppi, baseline.Config{
+				Model: mcfg, Epochs: epochs, LR: 0.01, MultiLabel: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.FullRows = append(res.FullRows, Table4Row{
+				Model: kind, Layers: layers, Config: "fullgraph", PerEpoch: bres.EpochTime,
+			})
+			rows = append(rows, []string{kind, fmt.Sprint(layers), "fullgraph (DGL/PyG stand-in)",
+				fmt.Sprintf("%.3fs", bres.EpochTime.Seconds()), "—"})
+			for _, c := range configs {
+				opt.logf("table4: %s %d-layer %s", kind, layers, c.name)
+				tres, err := core.Train(core.TrainConfig{
+					Model: mcfg, Loss: core.LossBCE, BatchSize: batch, Epochs: epochs,
+					LR: 0.01, Pipeline: true, Pruning: c.pruning, AggThreads: c.aggThreads,
+					Seed: opt.Seed + 23,
+				}, trainByDepth[layers])
+				if err != nil {
+					return nil, err
+				}
+				per := tres.Total / time.Duration(epochs)
+				paper := paperTable4[kind][c.name][layers-1]
+				res.Rows = append(res.Rows, Table4Row{
+					Model: kind, Layers: layers, Config: c.name,
+					PerEpoch: per, PaperSecs: paper,
+				})
+				rows = append(rows, []string{kind, fmt.Sprint(layers), "AGL+" + c.name,
+					fmt.Sprintf("%.3fs", per.Seconds()), fmt.Sprintf("%.2fs", paper)})
+			}
+		}
+	}
+	res.Text = "Table 4: time per epoch on PPI (standalone mode)\n" +
+		table([]string{"Model", "Layers", "Config", "Time/epoch", "Paper"}, rows)
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"agl/internal/nn"
+	"agl/internal/sparse"
+	"agl/internal/tensor"
+)
+
+// Per-layer forward/backward ablation benchmarks: the kernels whose
+// relative costs drive the paper's Table 4 shape (GAT's attention math
+// dominating aggregation; partitioning paying off for GCN/SAGE).
+
+func benchBatch(b *testing.B, n int) *BatchGraph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return testBatchB(rng, n, 32, n/8, 6.0/float64(n))
+}
+
+// testBatchB mirrors the test helper without *testing.T.
+func testBatchB(rng *rand.Rand, n, feat, targets int, density float64) *BatchGraph {
+	var es []sparse.Coo
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			if u != v && rng.Float64() < density {
+				es = append(es, sparse.Coo{Row: v, Col: u, Val: 1 + rng.Float64()})
+			}
+		}
+	}
+	b := &BatchGraph{Adj: sparse.NewCSR(n, n, es)}
+	x := tensor.New(n, feat)
+	x.RandFill(rng, 1)
+	b.X = x
+	perm := rng.Perm(n)
+	b.Targets = append([]int(nil), perm[:targets]...)
+	b.Dist = ComputeDistances(b.Adj, b.Targets)
+	return b
+}
+
+func benchModel(b *testing.B, kind string, heads int) *Model {
+	b.Helper()
+	m, err := NewModel(Config{
+		Kind: kind, InDim: 32, Hidden: 32, Classes: 2, Layers: 2,
+		Heads: heads, Act: nn.ActReLU, Seed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchForwardBackward(b *testing.B, m *Model, bg *BatchGraph, opt RunOptions) {
+	b.Helper()
+	labels := make([]int, len(bg.Targets))
+	for i := range labels {
+		labels[i] = i % 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prep := m.Prepare(bg, opt)
+		st := m.Forward(bg, prep, opt)
+		_, dl := nn.SoftmaxCrossEntropy(st.Logits, labels)
+		m.Params().ZeroGrads()
+		m.Backward(st, dl)
+	}
+}
+
+func BenchmarkGCNTrainStepSerial(b *testing.B) {
+	benchForwardBackward(b, benchModel(b, KindGCN, 1), benchBatch(b, 1024), RunOptions{Train: true})
+}
+
+func BenchmarkGCNTrainStepPartitioned(b *testing.B) {
+	benchForwardBackward(b, benchModel(b, KindGCN, 1), benchBatch(b, 1024),
+		RunOptions{Train: true, Threads: 8})
+}
+
+func BenchmarkGCNTrainStepPruned(b *testing.B) {
+	benchForwardBackward(b, benchModel(b, KindGCN, 1), benchBatch(b, 1024),
+		RunOptions{Train: true, Pruning: true})
+}
+
+func BenchmarkSAGETrainStepSerial(b *testing.B) {
+	benchForwardBackward(b, benchModel(b, KindSAGE, 1), benchBatch(b, 1024), RunOptions{Train: true})
+}
+
+func BenchmarkGATTrainStepSerial(b *testing.B) {
+	benchForwardBackward(b, benchModel(b, KindGAT, 4), benchBatch(b, 1024), RunOptions{Train: true})
+}
+
+func BenchmarkGATTrainStepPartitioned(b *testing.B) {
+	benchForwardBackward(b, benchModel(b, KindGAT, 4), benchBatch(b, 1024),
+		RunOptions{Train: true, Threads: 8})
+}
+
+func BenchmarkModelSegment(b *testing.B) {
+	m := benchModel(b, KindGAT, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slices, err := m.Segment()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range slices {
+			if _, err := EncodeSlice(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

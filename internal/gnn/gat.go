@@ -1,0 +1,411 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"agl/internal/nn"
+	"agl/internal/sparse"
+	"agl/internal/tensor"
+)
+
+// GATLayer implements multi-head graph attention (Veličković et al. 2017).
+// For each head with projection W and attention vectors a_src, a_dst:
+//
+//	z_i     = W·h_i
+//	e_vu    = LeakyReLU( a_dst·z_v + a_src·z_u )   for every in-edge (v←u)
+//	α_v·    = softmax over v's in-edges (the adjacency must include self loops)
+//	out_v   = Σ_u α_vu · z_u
+//
+// Head outputs are concatenated, a bias added, and the activation applied.
+// Adjacency edge weights are ignored — attention replaces them.
+//
+// The backward pass runs in two conflict-free parallel sweeps: a
+// destination-partitioned sweep (softmax backward, per-row terms) and a
+// source-partitioned sweep over the transpose using Aggregator.FwdIdx to
+// read forward-pass attention state.
+type GATLayer struct {
+	Heads      int
+	WH         []*nn.Param // per-head projection, in×headDim
+	ASrc, ADst []*nn.Param // per-head attention vectors, headDim×1
+	// AEdge holds per-head edge-feature attention vectors (edgeDim×1),
+	// present only when the layer was built with edgeDim > 0; the
+	// attention logit gains a term a_edge·e_vu (paper Eq. 1).
+	AEdge      []*nn.Param
+	B          *nn.Param // 1×out bias over concatenated heads
+	Act        nn.ActKind
+	LeakySlope float64 // attention LeakyReLU slope (default 0.2)
+
+	in, out, headDim, edgeDim int
+	act                       nn.Activation
+	hIn                       *tensor.Matrix
+	z                         []*tensor.Matrix // per-head projections
+	raw                       [][]float64      // per-head pre-LeakyReLU edge logits
+	alpha                     [][]float64      // per-head attention coefficients
+	draw                      [][]float64      // per-head dL/d(raw), filled in Backward
+}
+
+// NewGAT builds a GAT layer with the given number of heads; out must be
+// divisible by heads. edgeDim > 0 adds an edge-feature attention term.
+func NewGAT(name string, in, out, heads, edgeDim int, act nn.ActKind, rng *rand.Rand) *GATLayer {
+	if heads < 1 || out%heads != 0 {
+		panic(fmt.Sprintf("gnn: GAT out dim %d not divisible by %d heads", out, heads))
+	}
+	hd := out / heads
+	l := &GATLayer{
+		Heads:      heads,
+		B:          nn.NewParam(name+"/b", 1, out),
+		Act:        act,
+		LeakySlope: 0.2,
+		in:         in,
+		out:        out,
+		headDim:    hd,
+		edgeDim:    edgeDim,
+	}
+	for h := 0; h < heads; h++ {
+		l.WH = append(l.WH, nn.GlorotParam(fmt.Sprintf("%s/W%d", name, h), in, hd, rng))
+		l.ASrc = append(l.ASrc, nn.GlorotParam(fmt.Sprintf("%s/asrc%d", name, h), hd, 1, rng))
+		l.ADst = append(l.ADst, nn.GlorotParam(fmt.Sprintf("%s/adst%d", name, h), hd, 1, rng))
+		if edgeDim > 0 {
+			l.AEdge = append(l.AEdge, nn.GlorotParam(fmt.Sprintf("%s/aedge%d", name, h), edgeDim, 1, rng))
+		}
+	}
+	return l
+}
+
+// EdgeDim reports the edge-feature dimensionality (0 = edge features off).
+func (l *GATLayer) EdgeDim() int { return l.edgeDim }
+
+// Kind implements Layer.
+func (l *GATLayer) Kind() string { return "gat" }
+
+// InDim implements Layer.
+func (l *GATLayer) InDim() int { return l.in }
+
+// OutDim implements Layer.
+func (l *GATLayer) OutDim() int { return l.out }
+
+// Params implements Layer.
+func (l *GATLayer) Params() []*nn.Param {
+	ps := []*nn.Param{l.B}
+	for h := 0; h < l.Heads; h++ {
+		ps = append(ps, l.WH[h], l.ASrc[h], l.ADst[h])
+		if l.AEdge != nil {
+			ps = append(ps, l.AEdge[h])
+		}
+	}
+	return ps
+}
+
+// edgeScore computes a_edge·e for one head, treating nil features as zero.
+func (l *GATLayer) edgeScore(head int, ef []float64) float64 {
+	if l.AEdge == nil || ef == nil {
+		return 0
+	}
+	a := l.AEdge[head].W.Data
+	var s float64
+	for i, v := range ef {
+		if i >= len(a) {
+			break
+		}
+		s += a[i] * v
+	}
+	return s
+}
+
+func (l *GATLayer) leaky(x float64) float64 {
+	if x > 0 {
+		return x
+	}
+	return l.LeakySlope * x
+}
+
+func (l *GATLayer) leakyGrad(x float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return l.LeakySlope
+}
+
+// Forward implements Layer.
+func (l *GATLayer) Forward(ag *sparse.Aggregator, h *tensor.Matrix) *tensor.Matrix {
+	a := ag.A
+	n := a.NumRows
+	nnz := a.NNZ()
+	l.hIn = h
+	l.z = make([]*tensor.Matrix, l.Heads)
+	l.raw = make([][]float64, l.Heads)
+	l.alpha = make([][]float64, l.Heads)
+	out := tensor.New(n, l.out)
+
+	for hd := 0; hd < l.Heads; hd++ {
+		z := tensor.MatMulNew(h, l.WH[hd].W)
+		l.z[hd] = z
+		ssrc := matVec(z, l.ASrc[hd].W)
+		sdst := matVec(z, l.ADst[hd].W)
+		raw := make([]float64, nnz)
+		alpha := make([]float64, nnz)
+		off := hd * l.headDim
+		ag.RangeEdgesParallel(func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				elo, ehi := a.RowPtr[v], a.RowPtr[v+1]
+				if elo == ehi {
+					continue
+				}
+				maxv := math.Inf(-1)
+				for e := elo; e < ehi; e++ {
+					u := a.ColIdx[e]
+					r := sdst[v] + ssrc[u]
+					if ag.EFeat != nil {
+						r += l.edgeScore(hd, ag.EFeat[e])
+					}
+					raw[e] = r
+					lr := l.leaky(r)
+					alpha[e] = lr
+					if lr > maxv {
+						maxv = lr
+					}
+				}
+				var sum float64
+				for e := elo; e < ehi; e++ {
+					alpha[e] = math.Exp(alpha[e] - maxv)
+					sum += alpha[e]
+				}
+				orow := out.Row(v)[off : off+l.headDim]
+				for e := elo; e < ehi; e++ {
+					alpha[e] /= sum
+					zu := z.Row(a.ColIdx[e])
+					c := alpha[e]
+					for j, zv := range zu {
+						orow[j] += c * zv
+					}
+				}
+			}
+		})
+		l.raw[hd] = raw
+		l.alpha[hd] = alpha
+	}
+	out.AddRowVector(l.B.W.Row(0))
+	l.act = nn.Activation{Kind: l.Act}
+	return l.act.Forward(out)
+}
+
+// Backward implements Layer.
+func (l *GATLayer) Backward(ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Matrix {
+	a, at := ag.A, ag.AT
+	n := a.NumRows
+	dOut := l.act.Backward(dy)
+	sums := dOut.ColSums()
+	brow := l.B.Grad.Row(0)
+	for j, v := range sums {
+		brow[j] += v
+	}
+	dh := tensor.New(l.hIn.Rows, l.in)
+	l.draw = make([][]float64, l.Heads)
+
+	for hd := 0; hd < l.Heads; hd++ {
+		z := l.z[hd]
+		alpha := l.alpha[hd]
+		raw := l.raw[hd]
+		off := hd * l.headDim
+		draw := make([]float64, a.NNZ())
+		dsdst := make([]float64, n)
+		dZ := tensor.New(n, l.headDim)
+
+		// Sweep 1: destination-partitioned. Softmax backward per row and
+		// the dsdst terms; both write only row-v state.
+		ag.RangeEdgesParallel(func(lo, hi int) {
+			dalpha := make([]float64, 0, 64)
+			for v := lo; v < hi; v++ {
+				elo, ehi := a.RowPtr[v], a.RowPtr[v+1]
+				if elo == ehi {
+					continue
+				}
+				dalpha = dalpha[:0]
+				drow := dOut.Row(v)[off : off+l.headDim]
+				var dot float64
+				for e := elo; e < ehi; e++ {
+					zu := z.Row(a.ColIdx[e])
+					var da float64
+					for j, g := range drow {
+						da += g * zu[j]
+					}
+					dalpha = append(dalpha, da)
+					dot += alpha[e] * da
+				}
+				var ds float64
+				for e := elo; e < ehi; e++ {
+					dl := alpha[e] * (dalpha[e-elo] - dot)
+					dr := dl * l.leakyGrad(raw[e])
+					draw[e] = dr
+					ds += dr
+				}
+				dsdst[v] = ds
+			}
+		})
+
+		// Sweep 2: source-partitioned over the transpose. Accumulates dZ[u]
+		// and dssrc[u]; each u is owned by exactly one partition.
+		dssrc := make([]float64, n)
+		ag.RangeEdgesParallelT(func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				elo, ehi := at.RowPtr[u], at.RowPtr[u+1]
+				if elo == ehi {
+					continue
+				}
+				zrow := dZ.Row(u)
+				var dss float64
+				for te := elo; te < ehi; te++ {
+					v := at.ColIdx[te]
+					e := ag.FwdIdx[te]
+					dss += draw[e]
+					c := alpha[e]
+					drow := dOut.Row(v)[off : off+l.headDim]
+					for j, g := range drow {
+						zrow[j] += c * g
+					}
+				}
+				dssrc[u] = dss
+			}
+		})
+
+		// Edge-feature attention gradients: d a_edge += Σ_e draw[e]·e_vu.
+		if l.AEdge != nil && ag.EFeat != nil {
+			g := l.AEdge[hd].Grad.Data
+			for e, ef := range ag.EFeat {
+				if ef == nil || draw[e] == 0 {
+					continue
+				}
+				d := draw[e]
+				for i, v := range ef {
+					if i >= len(g) {
+						break
+					}
+					g[i] += d * v
+				}
+			}
+		}
+
+		// Score contributions to dZ and attention-vector gradients.
+		asrc := l.ASrc[hd].W.Data
+		adst := l.ADst[hd].W.Data
+		daSrc := make([]float64, l.headDim)
+		daDst := make([]float64, l.headDim)
+		for i := 0; i < n; i++ {
+			zrow := dZ.Row(i)
+			zi := z.Row(i)
+			if d := dsdst[i]; d != 0 {
+				for j := range zrow {
+					zrow[j] += d * adst[j]
+					daDst[j] += d * zi[j]
+				}
+			}
+			if d := dssrc[i]; d != 0 {
+				for j := range zrow {
+					zrow[j] += d * asrc[j]
+					daSrc[j] += d * zi[j]
+				}
+			}
+		}
+		for j := 0; j < l.headDim; j++ {
+			l.ASrc[hd].Grad.Data[j] += daSrc[j]
+			l.ADst[hd].Grad.Data[j] += daDst[j]
+		}
+
+		// dW += Hᵀ·dZ ; dH += dZ·Wᵀ
+		dw := tensor.New(l.in, l.headDim)
+		tensor.MatMulATB(dw, l.hIn, dZ)
+		tensor.AXPY(l.WH[hd].Grad, 1, dw)
+		dhHead := tensor.New(n, l.in)
+		tensor.MatMulABT(dhHead, dZ, l.WH[hd].W)
+		tensor.Add(dh, dh, dhHead)
+		l.draw[hd] = draw
+	}
+	return dh
+}
+
+// InferNode implements Layer. The node attends over its in-edge messages
+// plus itself (the self loop the batch-mode adjacency carries). Graphs must
+// not contain explicit self loops (the graph loader strips them), so the
+// self candidate is never duplicated.
+func (l *GATLayer) InferNode(selfH []float64, selfDeg float64, msgs []NeighborMsg) []float64 {
+	out := make([]float64, l.out)
+	copy(out, l.B.W.Row(0))
+	for hd := 0; hd < l.Heads; hd++ {
+		w := l.WH[hd].W
+		zSelf := vecMat(selfH, w)
+		asrc := l.ASrc[hd].W.Data
+		adst := l.ADst[hd].W.Data
+		sdst := dot(zSelf, adst)
+
+		cands := make([][]float64, 0, len(msgs)+1)
+		logits := make([]float64, 0, len(msgs)+1)
+		cands = append(cands, zSelf)
+		logits = append(logits, l.leaky(sdst+dot(zSelf, asrc)))
+		for _, m := range msgs {
+			zu := vecMat(m.H, w)
+			cands = append(cands, zu)
+			logits = append(logits, l.leaky(sdst+dot(zu, asrc)+l.edgeScore(hd, m.EFeat)))
+		}
+		maxv := math.Inf(-1)
+		for _, lg := range logits {
+			if lg > maxv {
+				maxv = lg
+			}
+		}
+		var sum float64
+		for i := range logits {
+			logits[i] = math.Exp(logits[i] - maxv)
+			sum += logits[i]
+		}
+		off := hd * l.headDim
+		for i, zc := range cands {
+			c := logits[i] / sum
+			for j, zv := range zc {
+				out[off+j] += c * zv
+			}
+		}
+	}
+	applyActVec(l.Act, out)
+	return out
+}
+
+// matVec computes m @ v for a column-vector parameter v (k×1), returning a
+// dense []float64 of length m.Rows.
+func matVec(m *tensor.Matrix, v *tensor.Matrix) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, x := range row {
+			s += x * v.Data[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// vecMat computes x @ m for a row vector x, returning a []float64 of length
+// m.Cols.
+func vecMat(x []float64, m *tensor.Matrix) []float64 {
+	out := make([]float64, m.Cols)
+	for i, v := range x {
+		if v == 0 {
+			continue
+		}
+		row := m.Row(i)
+		for j, w := range row {
+			out[j] += v * w
+		}
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}

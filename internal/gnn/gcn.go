@@ -1,0 +1,122 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+
+	"agl/internal/nn"
+	"agl/internal/sparse"
+	"agl/internal/tensor"
+)
+
+// GCNLayer implements a graph convolution layer (Kipf & Welling 2016):
+//
+//	H' = act( Â · H · W + b )
+//
+// where Â is the symmetrically normalized adjacency with self loops. The
+// aggregator passed to Forward must already hold Â (the model performs the
+// normalization once per batch so per-layer pruned adjacencies stay
+// consistent with the unpruned computation).
+type GCNLayer struct {
+	W, B *nn.Param
+	Act  nn.ActKind
+
+	in, out int
+	act     nn.Activation
+	hAgg    *tensor.Matrix // cached Â·H
+}
+
+// NewGCN builds a GCN layer mapping in-dimensional embeddings to out.
+func NewGCN(name string, in, out int, act nn.ActKind, rng *rand.Rand) *GCNLayer {
+	return &GCNLayer{
+		W:   nn.GlorotParam(name+"/W", in, out, rng),
+		B:   nn.NewParam(name+"/b", 1, out),
+		Act: act,
+		in:  in,
+		out: out,
+	}
+}
+
+// Kind implements Layer.
+func (l *GCNLayer) Kind() string { return "gcn" }
+
+// InDim implements Layer.
+func (l *GCNLayer) InDim() int { return l.in }
+
+// OutDim implements Layer.
+func (l *GCNLayer) OutDim() int { return l.out }
+
+// Params implements Layer.
+func (l *GCNLayer) Params() []*nn.Param { return []*nn.Param{l.W, l.B} }
+
+// Forward implements Layer.
+func (l *GCNLayer) Forward(ag *sparse.Aggregator, h *tensor.Matrix) *tensor.Matrix {
+	l.hAgg = tensor.New(ag.A.NumRows, h.Cols)
+	ag.Forward(l.hAgg, h)
+	z := tensor.MatMulNew(l.hAgg, l.W.W)
+	z.AddRowVector(l.B.W.Row(0))
+	l.act = nn.Activation{Kind: l.Act}
+	return l.act.Forward(z)
+}
+
+// Backward implements Layer.
+func (l *GCNLayer) Backward(ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Matrix {
+	dz := l.act.Backward(dy)
+	// dW += (Â·H)ᵀ · dZ, db += colsum(dZ)
+	dw := tensor.New(l.W.W.Rows, l.W.W.Cols)
+	tensor.MatMulATB(dw, l.hAgg, dz)
+	tensor.AXPY(l.W.Grad, 1, dw)
+	sums := dz.ColSums()
+	brow := l.B.Grad.Row(0)
+	for j, v := range sums {
+		brow[j] += v
+	}
+	// dH = Âᵀ · (dZ · Wᵀ)
+	dhAgg := tensor.New(dz.Rows, l.W.W.Rows)
+	tensor.MatMulABT(dhAgg, dz, l.W.W)
+	dh := tensor.New(ag.A.NumCols, l.W.W.Rows)
+	ag.Backward(dh, dhAgg)
+	return dh
+}
+
+// InferNode implements Layer. For GCN the messages must carry the
+// neighbors' normalization degrees; edge weight msg.W is the raw adjacency
+// weight, and normalization Â_vu = w / (sqrt(d_v)·sqrt(d_u)) is applied
+// here, matching sparse.CSR.SymNormalize.
+func (l *GCNLayer) InferNode(selfH []float64, selfDeg float64, msgs []NeighborMsg) []float64 {
+	acc := make([]float64, l.in)
+	dv := selfDeg
+	if dv <= 0 {
+		dv = 1
+	}
+	// Self loop term: Â_vv = 1/d_v.
+	for j, v := range selfH {
+		acc[j] += v / dv
+	}
+	sdv := math.Sqrt(dv)
+	for _, m := range msgs {
+		du := m.Deg
+		if du <= 0 {
+			du = 1
+		}
+		coef := m.W / (sdv * math.Sqrt(du))
+		for j, v := range m.H {
+			acc[j] += coef * v
+		}
+	}
+	z := make([]float64, l.out)
+	for j := 0; j < l.out; j++ {
+		z[j] = l.B.W.Data[j]
+	}
+	for i, a := range acc {
+		if a == 0 {
+			continue
+		}
+		wrow := l.W.W.Row(i)
+		for j, w := range wrow {
+			z[j] += a * w
+		}
+	}
+	applyActVec(l.Act, z)
+	return z
+}

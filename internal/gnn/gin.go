@@ -1,0 +1,146 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"agl/internal/nn"
+	"agl/internal/sparse"
+	"agl/internal/tensor"
+)
+
+// GINLayer implements the Graph Isomorphism Network layer (Xu et al. 2019):
+//
+//	H' = MLP( (1+ε)·H + Σ_{u∈N⁺} w_vu·H_u )
+//
+// with a two-layer MLP (Dense → act → Dense → act) and a learnable ε
+// (stored as a 1×1 parameter). The aggregator must hold the *raw* weighted
+// adjacency — GIN's expressiveness argument depends on sum aggregation, so
+// no normalization is applied.
+//
+// GIN is not part of the paper's evaluation; it exists to demonstrate that
+// AGL's Layer contract (batch Forward/Backward + per-node InferNode) admits
+// new architectures without touching GraphFlat, GraphTrainer or GraphInfer.
+type GINLayer struct {
+	W1, B1, W2, B2 *nn.Param
+	Eps            *nn.Param
+	Act            nn.ActKind
+
+	in, out  int
+	hidden   int
+	h        *tensor.Matrix
+	agg      *tensor.Matrix
+	combined *tensor.Matrix
+	act1     nn.Activation
+	act2     nn.Activation
+	z1       *tensor.Matrix
+}
+
+// NewGIN builds a GIN layer with an MLP of width out.
+func NewGIN(name string, in, out int, act nn.ActKind, rng *rand.Rand) *GINLayer {
+	return &GINLayer{
+		W1:     nn.GlorotParam(name+"/W1", in, out, rng),
+		B1:     nn.NewParam(name+"/b1", 1, out),
+		W2:     nn.GlorotParam(name+"/W2", out, out, rng),
+		B2:     nn.NewParam(name+"/b2", 1, out),
+		Eps:    nn.NewParam(name+"/eps", 1, 1),
+		Act:    act,
+		in:     in,
+		out:    out,
+		hidden: out,
+	}
+}
+
+// Kind implements Layer.
+func (l *GINLayer) Kind() string { return "gin" }
+
+// InDim implements Layer.
+func (l *GINLayer) InDim() int { return l.in }
+
+// OutDim implements Layer.
+func (l *GINLayer) OutDim() int { return l.out }
+
+// Params implements Layer.
+func (l *GINLayer) Params() []*nn.Param {
+	return []*nn.Param{l.W1, l.B1, l.W2, l.B2, l.Eps}
+}
+
+// Forward implements Layer.
+func (l *GINLayer) Forward(ag *sparse.Aggregator, h *tensor.Matrix) *tensor.Matrix {
+	l.h = h
+	l.agg = tensor.New(ag.A.NumRows, h.Cols)
+	ag.Forward(l.agg, h)
+	eps := l.Eps.W.Data[0]
+	combined := l.agg.Clone()
+	tensor.AXPY(combined, 1+eps, h)
+	l.combined = combined
+	z1 := tensor.MatMulNew(combined, l.W1.W)
+	z1.AddRowVector(l.B1.W.Row(0))
+	l.act1 = nn.Activation{Kind: l.Act}
+	a1 := l.act1.Forward(z1)
+	l.z1 = a1
+	z2 := tensor.MatMulNew(a1, l.W2.W)
+	z2.AddRowVector(l.B2.W.Row(0))
+	l.act2 = nn.Activation{Kind: l.Act}
+	return l.act2.Forward(z2)
+}
+
+// Backward implements Layer.
+func (l *GINLayer) Backward(ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Matrix {
+	dz2 := l.act2.Backward(dy)
+	dw2 := tensor.New(l.W2.W.Rows, l.W2.W.Cols)
+	tensor.MatMulATB(dw2, l.z1, dz2)
+	tensor.AXPY(l.W2.Grad, 1, dw2)
+	for j, v := range dz2.ColSums() {
+		l.B2.Grad.Data[j] += v
+	}
+	da1 := tensor.New(dz2.Rows, l.W2.W.Rows)
+	tensor.MatMulABT(da1, dz2, l.W2.W)
+	dz1 := l.act1.Backward(da1)
+	dw1 := tensor.New(l.W1.W.Rows, l.W1.W.Cols)
+	tensor.MatMulATB(dw1, l.combined, dz1)
+	tensor.AXPY(l.W1.Grad, 1, dw1)
+	for j, v := range dz1.ColSums() {
+		l.B1.Grad.Data[j] += v
+	}
+	// dCombined = dZ1 · W1ᵀ
+	dc := tensor.New(dz1.Rows, l.in)
+	tensor.MatMulABT(dc, dz1, l.W1.W)
+	// dε = Σ dc ⊙ h
+	var deps float64
+	for i, v := range dc.Data {
+		deps += v * l.h.Data[i]
+	}
+	l.Eps.Grad.Data[0] += deps
+	// dH = (1+ε)·dc + Aᵀ·dc
+	eps := l.Eps.W.Data[0]
+	dh := tensor.New(ag.A.NumCols, l.in)
+	ag.Backward(dh, dc)
+	tensor.AXPY(dh, 1+eps, dc)
+	return dh
+}
+
+// InferNode implements Layer: sum-aggregate weighted neighbor embeddings,
+// combine with (1+ε)·self, and run the MLP.
+func (l *GINLayer) InferNode(selfH []float64, _ float64, msgs []NeighborMsg) []float64 {
+	eps := l.Eps.W.Data[0]
+	comb := make([]float64, l.in)
+	for i, v := range selfH {
+		comb[i] = (1 + eps) * v
+	}
+	for _, m := range msgs {
+		for i, v := range m.H {
+			comb[i] += m.W * v
+		}
+	}
+	z1 := vecMat(comb, l.W1.W)
+	for j := range z1 {
+		z1[j] += l.B1.W.Data[j]
+	}
+	applyActVec(l.Act, z1)
+	z2 := vecMat(z1, l.W2.W)
+	for j := range z2 {
+		z2[j] += l.B2.W.Data[j]
+	}
+	applyActVec(l.Act, z2)
+	return z2
+}

@@ -1,0 +1,296 @@
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"agl/internal/nn"
+	"agl/internal/sparse"
+	"agl/internal/tensor"
+)
+
+// Model kinds understood by NewModel.
+const (
+	KindGCN  = "gcn"
+	KindSAGE = "sage"
+	KindGAT  = "gat"
+	KindGIN  = "gin"
+)
+
+// Config describes a K-layer GNN plus its prediction head.
+type Config struct {
+	Kind    string     // "gcn", "sage" or "gat"
+	InDim   int        // raw node feature dimension
+	Hidden  int        // embedding dimension of every GNN layer
+	Classes int        // output dimension of the prediction head
+	Layers  int        // K, the number of GNN layers
+	Heads   int        // attention heads (GAT only; default 1)
+	Act     nn.ActKind // activation between layers
+	Dropout float64    // drop probability during training (0 disables)
+	Seed    int64      // parameter initialization seed
+	// EdgeDim is the edge-feature dimensionality. When > 0, GAT layers add
+	// an edge term to their attention logits (paper Eq. 1's e_vu); GCN and
+	// GraphSAGE ignore edge features.
+	EdgeDim int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Heads == 0 {
+		c.Heads = 1
+	}
+	if c.Layers == 0 {
+		c.Layers = 2
+	}
+	if c.Act == nn.ActIdentity && c.Kind != "" {
+		c.Act = nn.ActReLU
+	}
+	return c
+}
+
+// Model is a K-layer GNN with a dense prediction head. A Model instance is
+// not safe for concurrent use: layers cache forward activations. Distributed
+// workers each hold their own replica and synchronize weights by name
+// through the parameter server.
+type Model struct {
+	Cfg    Config
+	Layers []Layer
+	Head   *nn.Dense
+
+	drops  []*nn.Dropout
+	params *nn.ParamSet
+	rng    *rand.Rand
+}
+
+// NewModel constructs a model from cfg with Glorot-initialized parameters.
+func NewModel(cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if cfg.InDim <= 0 || cfg.Hidden <= 0 || cfg.Classes <= 0 {
+		return nil, fmt.Errorf("gnn: bad dims %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{Cfg: cfg, rng: rng}
+	for i := 0; i < cfg.Layers; i++ {
+		in := cfg.Hidden
+		if i == 0 {
+			in = cfg.InDim
+		}
+		name := fmt.Sprintf("l%d", i)
+		var layer Layer
+		switch cfg.Kind {
+		case KindGCN:
+			layer = NewGCN(name, in, cfg.Hidden, cfg.Act, rng)
+		case KindSAGE:
+			layer = NewSAGE(name, in, cfg.Hidden, cfg.Act, rng)
+		case KindGAT:
+			layer = NewGAT(name, in, cfg.Hidden, cfg.Heads, cfg.EdgeDim, cfg.Act, rng)
+		case KindGIN:
+			layer = NewGIN(name, in, cfg.Hidden, cfg.Act, rng)
+		default:
+			return nil, fmt.Errorf("gnn: unknown model kind %q", cfg.Kind)
+		}
+		m.Layers = append(m.Layers, layer)
+		m.drops = append(m.drops, nn.NewDropout(cfg.Dropout, rng))
+	}
+	m.Head = nn.NewDense("head", cfg.Hidden, cfg.Classes, rng)
+	m.rebuildParams()
+	return m, nil
+}
+
+func (m *Model) rebuildParams() {
+	m.params = nn.NewParamSet()
+	for _, l := range m.Layers {
+		for _, p := range l.Params() {
+			m.params.Add(p)
+		}
+	}
+	for _, p := range m.Head.Params() {
+		m.params.Add(p)
+	}
+}
+
+// Params returns the model's parameter set (shared storage, not a copy).
+func (m *Model) Params() *nn.ParamSet { return m.params }
+
+// BatchGraph is the vectorized form of a merged batch of k-hop
+// neighborhoods: the three matrices of paper §3.3.1 (A_B as CSR, X_B dense;
+// E_B is carried by Adj.Val for weighted graphs) plus the target rows and
+// the BFS distances that drive graph pruning.
+type BatchGraph struct {
+	Adj     *sparse.CSR    // merged adjacency: row=destination, col=source
+	X       *tensor.Matrix // node features, one row per subgraph node
+	Targets []int          // row indices of the labeled target nodes
+	Dist    []int          // d(V_B, u) for every row; -1 if unreachable
+	// Deg optionally carries each node's global normalization degree
+	// (weighted in-degree + 1) from the GraphFeature. When nil, GCN
+	// normalization falls back to degrees computed within the batch
+	// subgraph — correct for whole-graph batches, boundary-lossy for
+	// k-hop fragments.
+	Deg []float64
+	// EdgeFeat optionally maps (dst row, src row) to the edge's feature
+	// vector — the E_B matrix of §3.3.1 in sparse form.
+	EdgeFeat map[[2]int][]float64
+}
+
+// ComputeDistances BFS-computes d(V_B, u): the minimum number of edges on a
+// directed path from u into any target, traversed backwards from the
+// targets along in-edges (CSR rows). Unreachable nodes get -1.
+func ComputeDistances(adj *sparse.CSR, targets []int) []int {
+	dist := make([]int, adj.NumRows)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, len(targets))
+	for _, t := range targets {
+		if dist[t] == -1 {
+			dist[t] = 0
+			queue = append(queue, t)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		cols, _ := adj.Row(v)
+		for _, u := range cols {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// RunOptions toggles the paper's training-time optimization strategies.
+type RunOptions struct {
+	// Pruning enables per-layer adjacency pruning (paper §3.3.2): layer k
+	// keeps only edges that can still influence a target.
+	Pruning bool
+	// Threads > 1 enables edge-partitioned parallel aggregation with that
+	// many partitions.
+	Threads int
+	// Train enables dropout.
+	Train bool
+}
+
+// Prepared holds the per-batch, per-layer aggregation state: the normalized
+// (and optionally pruned) adjacency of every layer. Preparing is part of
+// the subgraph-vectorization phase and is overlapped with model compute by
+// the training pipeline.
+type Prepared struct {
+	Aggs []*sparse.Aggregator
+}
+
+// Prepare normalizes the batch adjacency for the model kind and builds the
+// per-layer aggregators. With pruning enabled, layer k's adjacency A^(k)
+// keeps edge (v,u) only when d(V_B,v) ≤ K−k−1 and d(V_B,u) ≤ K−k (0-based
+// k), so the final layer touches only the targets' in-edges. Normalization
+// happens once on the full batch adjacency before filtering, which keeps
+// pruned and unpruned outputs for target nodes bit-identical.
+func (m *Model) Prepare(b *BatchGraph, opt RunOptions) *Prepared {
+	var norm *sparse.CSR
+	switch m.Cfg.Kind {
+	case KindGCN:
+		if b.Deg != nil {
+			norm = sparse.SymNormalizeWithDeg(b.Adj, b.Deg)
+		} else {
+			norm = b.Adj.SymNormalize()
+		}
+	case KindSAGE:
+		norm = b.Adj.RowNormalize()
+	case KindGAT:
+		norm = b.Adj.AddSelfLoops(1)
+	case KindGIN:
+		norm = b.Adj // GIN sum-aggregates the raw weighted adjacency
+	default:
+		panic("gnn: unknown kind " + m.Cfg.Kind)
+	}
+	k := len(m.Layers)
+	p := &Prepared{}
+	for i := 0; i < k; i++ {
+		adj := norm
+		if opt.Pruning {
+			maxDst := k - i - 1
+			maxSrc := k - i
+			adj = norm.FilterEdges(func(v, u int) bool {
+				dv, du := b.Dist[v], b.Dist[u]
+				return dv >= 0 && dv <= maxDst && du >= 0 && du <= maxSrc
+			})
+		}
+		ag := sparse.NewAggregator(adj, opt.Threads)
+		if m.Cfg.EdgeDim > 0 && b.EdgeFeat != nil {
+			// Materialize E_B aligned with this layer's (possibly pruned,
+			// possibly self-looped) edge array; absent entries (self loops)
+			// stay nil and read as zero vectors.
+			ef := make([][]float64, adj.NNZ())
+			for r := 0; r < adj.NumRows; r++ {
+				lo, hi := adj.RowPtr[r], adj.RowPtr[r+1]
+				for e := lo; e < hi; e++ {
+					ef[e] = b.EdgeFeat[[2]int{r, adj.ColIdx[e]}]
+				}
+			}
+			ag.EFeat = ef
+		}
+		p.Aggs = append(p.Aggs, ag)
+	}
+	return p
+}
+
+// ForwardState carries activations between Forward and Backward.
+type ForwardState struct {
+	Prep   *Prepared
+	H      *tensor.Matrix // final node embeddings (all batch rows)
+	Emb    *tensor.Matrix // target-row embeddings
+	Logits *tensor.Matrix // head outputs for target rows
+	b      *BatchGraph
+}
+
+// Forward runs the full model on a prepared batch and returns the state
+// needed for Backward.
+func (m *Model) Forward(b *BatchGraph, prep *Prepared, opt RunOptions) *ForwardState {
+	h := b.X
+	for i, layer := range m.Layers {
+		m.drops[i].Train = opt.Train
+		h = m.drops[i].Forward(h)
+		h = layer.Forward(prep.Aggs[i], h)
+	}
+	emb := h.RowsSubset(b.Targets)
+	logits := m.Head.Forward(emb)
+	return &ForwardState{Prep: prep, H: h, Emb: emb, Logits: logits, b: b}
+}
+
+// Backward propagates dLogits through the head and all layers, accumulating
+// gradients into the model's parameters.
+func (m *Model) Backward(st *ForwardState, dLogits *tensor.Matrix) {
+	dEmb := m.Head.Backward(dLogits)
+	dh := tensor.New(st.H.Rows, st.H.Cols)
+	tensor.ScatterRowsAdd(dh, dEmb, st.b.Targets)
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		dh = m.Layers[i].Backward(st.Prep.Aggs[i], dh)
+		dh = m.drops[i].Backward(dh)
+	}
+}
+
+// Infer runs a forward pass with dropout disabled and returns the target
+// logits. Used by evaluation.
+func (m *Model) Infer(b *BatchGraph, opt RunOptions) *tensor.Matrix {
+	opt.Train = false
+	prep := m.Prepare(b, opt)
+	return m.Forward(b, prep, opt).Logits
+}
+
+// NormDegrees returns the per-node normalization degrees a GCN slice needs
+// during per-node inference: weighted in-degree + 1 (the self loop), i.e.
+// the diagonal of D in D^{-1/2}(A+I)D^{-1/2}. For other kinds it returns
+// in-degree + 1 as well (unused by their InferNode).
+func NormDegrees(adj *sparse.CSR) []float64 {
+	deg := make([]float64, adj.NumRows)
+	for v := 0; v < adj.NumRows; v++ {
+		_, vals := adj.Row(v)
+		d := 1.0
+		for _, w := range vals {
+			d += w
+		}
+		deg[v] = d
+	}
+	return deg
+}

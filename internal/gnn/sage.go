@@ -1,0 +1,130 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"agl/internal/nn"
+	"agl/internal/sparse"
+	"agl/internal/tensor"
+)
+
+// SAGELayer implements GraphSAGE (Hamilton et al. 2017) with a mean
+// aggregator and the "add" combination the paper notes all three compared
+// systems use:
+//
+//	H' = act( H · W_self + mean_{u∈N⁺}(H_u) · W_neigh + b )
+//
+// The aggregator passed to Forward must hold the row-normalized adjacency
+// (each row sums to 1), which realizes the weighted mean.
+type SAGELayer struct {
+	WSelf, WNeigh, B *nn.Param
+	Act              nn.ActKind
+
+	in, out int
+	act     nn.Activation
+	h       *tensor.Matrix // cached input
+	m       *tensor.Matrix // cached mean-aggregated neighbors
+}
+
+// NewSAGE builds a GraphSAGE layer mapping in-dimensional embeddings to out.
+func NewSAGE(name string, in, out int, act nn.ActKind, rng *rand.Rand) *SAGELayer {
+	return &SAGELayer{
+		WSelf:  nn.GlorotParam(name+"/Wself", in, out, rng),
+		WNeigh: nn.GlorotParam(name+"/Wneigh", in, out, rng),
+		B:      nn.NewParam(name+"/b", 1, out),
+		Act:    act,
+		in:     in,
+		out:    out,
+	}
+}
+
+// Kind implements Layer.
+func (l *SAGELayer) Kind() string { return "sage" }
+
+// InDim implements Layer.
+func (l *SAGELayer) InDim() int { return l.in }
+
+// OutDim implements Layer.
+func (l *SAGELayer) OutDim() int { return l.out }
+
+// Params implements Layer.
+func (l *SAGELayer) Params() []*nn.Param { return []*nn.Param{l.WSelf, l.WNeigh, l.B} }
+
+// Forward implements Layer.
+func (l *SAGELayer) Forward(ag *sparse.Aggregator, h *tensor.Matrix) *tensor.Matrix {
+	l.h = h
+	l.m = tensor.New(ag.A.NumRows, h.Cols)
+	ag.Forward(l.m, h)
+	z := tensor.MatMulNew(h, l.WSelf.W)
+	zn := tensor.MatMulNew(l.m, l.WNeigh.W)
+	tensor.Add(z, z, zn)
+	z.AddRowVector(l.B.W.Row(0))
+	l.act = nn.Activation{Kind: l.Act}
+	return l.act.Forward(z)
+}
+
+// Backward implements Layer.
+func (l *SAGELayer) Backward(ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Matrix {
+	dz := l.act.Backward(dy)
+	// Parameter gradients.
+	dws := tensor.New(l.WSelf.W.Rows, l.WSelf.W.Cols)
+	tensor.MatMulATB(dws, l.h, dz)
+	tensor.AXPY(l.WSelf.Grad, 1, dws)
+	dwn := tensor.New(l.WNeigh.W.Rows, l.WNeigh.W.Cols)
+	tensor.MatMulATB(dwn, l.m, dz)
+	tensor.AXPY(l.WNeigh.Grad, 1, dwn)
+	sums := dz.ColSums()
+	brow := l.B.Grad.Row(0)
+	for j, v := range sums {
+		brow[j] += v
+	}
+	// dH = dZ·W_selfᵀ + Aᵀ·(dZ·W_neighᵀ)
+	dh := tensor.New(dz.Rows, l.in)
+	tensor.MatMulABT(dh, dz, l.WSelf.W)
+	dm := tensor.New(dz.Rows, l.in)
+	tensor.MatMulABT(dm, dz, l.WNeigh.W)
+	dhAgg := tensor.New(ag.A.NumCols, l.in)
+	ag.Backward(dhAgg, dm)
+	tensor.Add(dh, dh, dhAgg)
+	return dh
+}
+
+// InferNode implements Layer. Messages carry raw adjacency weights; the
+// weighted mean is computed here, matching sparse.CSR.RowNormalize.
+func (l *SAGELayer) InferNode(selfH []float64, selfDeg float64, msgs []NeighborMsg) []float64 {
+	mean := make([]float64, l.in)
+	var wsum float64
+	for _, m := range msgs {
+		wsum += m.W
+	}
+	if wsum > 0 {
+		for _, m := range msgs {
+			c := m.W / wsum
+			for j, v := range m.H {
+				mean[j] += c * v
+			}
+		}
+	}
+	z := make([]float64, l.out)
+	copy(z, l.B.W.Row(0))
+	for i, v := range selfH {
+		if v == 0 {
+			continue
+		}
+		wrow := l.WSelf.W.Row(i)
+		for j, w := range wrow {
+			z[j] += v * w
+		}
+	}
+	for i, v := range mean {
+		if v == 0 {
+			continue
+		}
+		wrow := l.WNeigh.W.Row(i)
+		for j, w := range wrow {
+			z[j] += v * w
+		}
+	}
+	applyActVec(l.Act, z)
+	return z
+}

@@ -1,0 +1,250 @@
+package gnn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"agl/internal/nn"
+)
+
+// paramSpec is the serialized form of one parameter.
+type paramSpec struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// layerSpec is the serialized form of one GNN layer or the head.
+type layerSpec struct {
+	Kind    string // "gcn", "sage", "gat", "dense"
+	Name    string
+	In, Out int
+	Heads   int
+	EdgeDim int
+	Act     nn.ActKind
+	Params  []paramSpec
+}
+
+// modelSpec is the on-disk form of a model.
+type modelSpec struct {
+	Cfg    Config
+	Layers []layerSpec
+	Head   layerSpec
+}
+
+func paramsToSpecs(ps []*nn.Param) []paramSpec {
+	out := make([]paramSpec, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, paramSpec{
+			Name: p.Name,
+			Rows: p.W.Rows,
+			Cols: p.W.Cols,
+			Data: append([]float64(nil), p.W.Data...),
+		})
+	}
+	return out
+}
+
+func loadSpecsInto(ps []*nn.Param, specs []paramSpec) error {
+	if len(ps) != len(specs) {
+		return fmt.Errorf("gnn: parameter count mismatch %d vs %d", len(ps), len(specs))
+	}
+	byName := make(map[string]paramSpec, len(specs))
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	for _, p := range ps {
+		s, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("gnn: missing serialized parameter %q", p.Name)
+		}
+		if s.Rows != p.W.Rows || s.Cols != p.W.Cols {
+			return fmt.Errorf("gnn: parameter %q shape mismatch", p.Name)
+		}
+		copy(p.W.Data, s.Data)
+	}
+	return nil
+}
+
+func layerToSpec(name string, l Layer) layerSpec {
+	spec := layerSpec{Kind: l.Kind(), Name: name, In: l.InDim(), Out: l.OutDim(), Params: paramsToSpecs(l.Params())}
+	switch t := l.(type) {
+	case *GCNLayer:
+		spec.Act = t.Act
+	case *SAGELayer:
+		spec.Act = t.Act
+	case *GATLayer:
+		spec.Act = t.Act
+		spec.Heads = t.Heads
+		spec.EdgeDim = t.edgeDim
+	case *GINLayer:
+		spec.Act = t.Act
+	}
+	return spec
+}
+
+func layerFromSpec(s layerSpec) (Layer, error) {
+	rng := rand.New(rand.NewSource(0))
+	var l Layer
+	switch s.Kind {
+	case KindGCN:
+		l = NewGCN(s.Name, s.In, s.Out, s.Act, rng)
+	case KindSAGE:
+		l = NewSAGE(s.Name, s.In, s.Out, s.Act, rng)
+	case KindGAT:
+		l = NewGAT(s.Name, s.In, s.Out, s.Heads, s.EdgeDim, s.Act, rng)
+	case KindGIN:
+		l = NewGIN(s.Name, s.In, s.Out, s.Act, rng)
+	default:
+		return nil, fmt.Errorf("gnn: unknown layer kind %q", s.Kind)
+	}
+	if err := loadSpecsInto(l.Params(), s.Params); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Save serializes the model (config + all weights) to w.
+func (m *Model) Save(w io.Writer) error {
+	spec := modelSpec{Cfg: m.Cfg}
+	for i, l := range m.Layers {
+		spec.Layers = append(spec.Layers, layerToSpec(fmt.Sprintf("l%d", i), l))
+	}
+	spec.Head = layerSpec{
+		Kind:   "dense",
+		Name:   "head",
+		In:     m.Head.W.W.Rows,
+		Out:    m.Head.W.W.Cols,
+		Params: paramsToSpecs(m.Head.Params()),
+	}
+	return gob.NewEncoder(w).Encode(&spec)
+}
+
+// Load deserializes a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var spec modelSpec
+	if err := gob.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("gnn: decode model: %w", err)
+	}
+	m, err := NewModel(spec.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(spec.Layers) != len(m.Layers) {
+		return nil, fmt.Errorf("gnn: layer count mismatch")
+	}
+	for i, ls := range spec.Layers {
+		if err := loadSpecsInto(m.Layers[i].Params(), ls.Params); err != nil {
+			return nil, err
+		}
+	}
+	if err := loadSpecsInto(m.Head.Params(), spec.Head.Params); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MarshalModel serializes a model to bytes.
+func MarshalModel(m *Model) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalModel deserializes a model from bytes.
+func UnmarshalModel(b []byte) (*Model, error) {
+	return Load(bytes.NewReader(b))
+}
+
+// Slice is one segment of a hierarchically segmented model (paper §3.4):
+// slices 1..K hold one GNN layer each; slice K+1 holds the prediction head.
+type Slice struct {
+	Index int   // 1-based; K+1 is the prediction slice
+	Layer Layer // nil for the prediction slice
+	Head  *nn.Dense
+	Cfg   Config
+}
+
+// IsPrediction reports whether this is the final (head) slice.
+func (s *Slice) IsPrediction() bool { return s.Head != nil }
+
+// Segment splits the model into K+1 slices — the paper's hierarchical
+// model segmentation. Slices share no mutable state with the model (weights
+// are copied) so each GraphInfer reduce round can own its slice.
+func (m *Model) Segment() ([]*Slice, error) {
+	var out []*Slice
+	for i, l := range m.Layers {
+		spec := layerToSpec(fmt.Sprintf("l%d", i), l)
+		cp, err := layerFromSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Slice{Index: i + 1, Layer: cp, Cfg: m.Cfg})
+	}
+	head := nn.NewDense("head", m.Head.W.W.Rows, m.Head.W.W.Cols, rand.New(rand.NewSource(0)))
+	head.W.W.CopyFrom(m.Head.W.W)
+	head.B.W.CopyFrom(m.Head.B.W)
+	out = append(out, &Slice{Index: len(m.Layers) + 1, Head: head, Cfg: m.Cfg})
+	return out, nil
+}
+
+// sliceSpec is the wire form of a Slice.
+type sliceSpec struct {
+	Index int
+	Cfg   Config
+	Layer *layerSpec
+	Head  *layerSpec
+}
+
+// EncodeSlice serializes a slice so a reduce task can load exactly the
+// parameters of its round.
+func EncodeSlice(s *Slice) ([]byte, error) {
+	spec := sliceSpec{Index: s.Index, Cfg: s.Cfg}
+	if s.Layer != nil {
+		ls := layerToSpec(fmt.Sprintf("l%d", s.Index-1), s.Layer)
+		spec.Layer = &ls
+	}
+	if s.Head != nil {
+		spec.Head = &layerSpec{
+			Kind:   "dense",
+			Name:   "head",
+			In:     s.Head.W.W.Rows,
+			Out:    s.Head.W.W.Cols,
+			Params: paramsToSpecs(s.Head.Params()),
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&spec); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSlice reverses EncodeSlice.
+func DecodeSlice(b []byte) (*Slice, error) {
+	var spec sliceSpec
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("gnn: decode slice: %w", err)
+	}
+	s := &Slice{Index: spec.Index, Cfg: spec.Cfg}
+	if spec.Layer != nil {
+		l, err := layerFromSpec(*spec.Layer)
+		if err != nil {
+			return nil, err
+		}
+		s.Layer = l
+	}
+	if spec.Head != nil {
+		head := nn.NewDense("head", spec.Head.In, spec.Head.Out, rand.New(rand.NewSource(0)))
+		if err := loadSpecsInto(head.Params(), spec.Head.Params); err != nil {
+			return nil, err
+		}
+		s.Head = head
+	}
+	return s, nil
+}

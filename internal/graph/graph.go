@@ -1,0 +1,206 @@
+// Package graph provides the graph substrate: directed attributed graphs
+// with node/edge tables (the inputs of GraphFlat), CSR adjacency, and TSV
+// table I/O matching the paper's "node table + edge table" contract.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"agl/internal/sparse"
+)
+
+// Node is one row of the node table.
+type Node struct {
+	ID   int64
+	Feat []float64
+}
+
+// Edge is one row of the edge table: a directed edge Src→Dst with a weight
+// and optional edge features.
+type Edge struct {
+	Src, Dst int64
+	Weight   float64
+	Feat     []float64
+}
+
+// Graph is an in-memory directed attributed graph. Node IDs are arbitrary
+// int64s; Index maps them to dense [0,n) indices used by CSR adjacency.
+//
+// Self loops are dropped on construction: the GNN layers (GAT in
+// particular) add their own self-attention term and must not double count.
+type Graph struct {
+	Nodes []Node
+	Edges []Edge
+
+	index map[int64]int
+}
+
+// Build constructs a Graph from node and edge rows. Edges referring to
+// unknown nodes are an error; duplicate node IDs are an error; self loops
+// are silently dropped; duplicate (src, dst) edges are merged by summing
+// their weights so the graph is a simple weighted digraph — the contract
+// every AGL pipeline (CSR adjacency, GraphFlat, GraphInfer) assumes.
+func Build(nodes []Node, edges []Edge) (*Graph, error) {
+	g := &Graph{Nodes: nodes, index: make(map[int64]int, len(nodes))}
+	for i, n := range nodes {
+		if _, dup := g.index[n.ID]; dup {
+			return nil, fmt.Errorf("graph: duplicate node id %d", n.ID)
+		}
+		g.index[n.ID] = i
+	}
+	g.Edges = make([]Edge, 0, len(edges))
+	pos := make(map[[2]int64]int, len(edges))
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			continue
+		}
+		if _, ok := g.index[e.Src]; !ok {
+			return nil, fmt.Errorf("graph: edge source %d not in node table", e.Src)
+		}
+		if _, ok := g.index[e.Dst]; !ok {
+			return nil, fmt.Errorf("graph: edge destination %d not in node table", e.Dst)
+		}
+		if e.Weight == 0 {
+			e.Weight = 1
+		}
+		k := [2]int64{e.Src, e.Dst}
+		if i, dup := pos[k]; dup {
+			g.Edges[i].Weight += e.Weight
+			continue
+		}
+		pos[k] = len(g.Edges)
+		g.Edges = append(g.Edges, e)
+	}
+	return g, nil
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// FeatureDim returns the node feature dimensionality (0 for empty graphs).
+func (g *Graph) FeatureDim() int {
+	if len(g.Nodes) == 0 {
+		return 0
+	}
+	return len(g.Nodes[0].Feat)
+}
+
+// Index returns the dense index of a node ID.
+func (g *Graph) Index(id int64) (int, bool) {
+	i, ok := g.index[id]
+	return i, ok
+}
+
+// MustIndex returns the dense index of id, panicking when absent.
+func (g *Graph) MustIndex(id int64) int {
+	i, ok := g.index[id]
+	if !ok {
+		panic(fmt.Sprintf("graph: unknown node id %d", id))
+	}
+	return i
+}
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id int64) (Node, bool) {
+	if i, ok := g.index[id]; ok {
+		return g.Nodes[i], true
+	}
+	return Node{}, false
+}
+
+// CSR builds the adjacency matrix with rows as destinations and columns as
+// sources (A[v][u] = weight of edge u→v), the orientation used throughout
+// AGL: a row gathers a node's in-edges.
+func (g *Graph) CSR() *sparse.CSR {
+	es := make([]sparse.Coo, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		es = append(es, sparse.Coo{
+			Row: g.index[e.Dst],
+			Col: g.index[e.Src],
+			Val: e.Weight,
+		})
+	}
+	return sparse.NewCSR(len(g.Nodes), len(g.Nodes), es)
+}
+
+// InDegrees returns the (unweighted) in-degree of every node by dense index.
+func (g *Graph) InDegrees() []int {
+	deg := make([]int, len(g.Nodes))
+	for _, e := range g.Edges {
+		deg[g.index[e.Dst]]++
+	}
+	return deg
+}
+
+// OutDegrees returns the (unweighted) out-degree of every node by dense index.
+func (g *Graph) OutDegrees() []int {
+	deg := make([]int, len(g.Nodes))
+	for _, e := range g.Edges {
+		deg[g.index[e.Src]]++
+	}
+	return deg
+}
+
+// AddReverseEdges returns a new graph with every edge mirrored (undirected
+// semantics, paper §2.1: an undirected edge becomes two directed edges with
+// the same features). Existing reverse edges are merged by NewCSR later, so
+// duplicates are harmless but avoided here.
+func (g *Graph) AddReverseEdges() (*Graph, error) {
+	seen := make(map[[2]int64]bool, len(g.Edges)*2)
+	for _, e := range g.Edges {
+		seen[[2]int64{e.Src, e.Dst}] = true
+	}
+	edges := append([]Edge(nil), g.Edges...)
+	for _, e := range g.Edges {
+		if !seen[[2]int64{e.Dst, e.Src}] {
+			edges = append(edges, Edge{Src: e.Dst, Dst: e.Src, Weight: e.Weight, Feat: e.Feat})
+			seen[[2]int64{e.Dst, e.Src}] = true
+		}
+	}
+	return Build(g.Nodes, edges)
+}
+
+// IDs returns all node IDs in table order.
+func (g *Graph) IDs() []int64 {
+	out := make([]int64, len(g.Nodes))
+	for i, n := range g.Nodes {
+		out[i] = n.ID
+	}
+	return out
+}
+
+// SortedIDs returns all node IDs in ascending order.
+func (g *Graph) SortedIDs() []int64 {
+	out := g.IDs()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats summarizes the graph for dataset tables.
+type Stats struct {
+	Nodes, Edges int
+	FeatureDim   int
+	MaxInDegree  int
+	MeanInDegree float64
+}
+
+// Stats computes summary statistics.
+func (g *Graph) Stats() Stats {
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges(), FeatureDim: g.FeatureDim()}
+	deg := g.InDegrees()
+	var sum int
+	for _, d := range deg {
+		sum += d
+		if d > s.MaxInDegree {
+			s.MaxInDegree = d
+		}
+	}
+	if len(deg) > 0 {
+		s.MeanInDegree = float64(sum) / float64(len(deg))
+	}
+	return s
+}

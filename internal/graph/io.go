@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteNodeTable writes the node table as TSV: id<TAB>f1,f2,...
+func WriteNodeTable(w io.Writer, nodes []Node) error {
+	bw := bufio.NewWriter(w)
+	for _, n := range nodes {
+		if _, err := fmt.Fprintf(bw, "%d\t%s\n", n.ID, joinFloats(n.Feat)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNodeTable parses a TSV node table written by WriteNodeTable.
+func ReadNodeTable(r io.Reader) ([]Node, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var out []Node
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.SplitN(text, "\t", 2)
+		id, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: node table line %d: %w", line, err)
+		}
+		var feat []float64
+		if len(parts) == 2 && parts[1] != "" {
+			feat, err = splitFloats(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: node table line %d: %w", line, err)
+			}
+		}
+		out = append(out, Node{ID: id, Feat: feat})
+	}
+	return out, sc.Err()
+}
+
+// WriteEdgeTable writes the edge table as TSV: src<TAB>dst<TAB>weight[<TAB>f1,f2,...]
+func WriteEdgeTable(w io.Writer, edges []Edge) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range edges {
+		if len(e.Feat) > 0 {
+			if _, err := fmt.Fprintf(bw, "%d\t%d\t%s\t%s\n", e.Src, e.Dst,
+				formatFloat(e.Weight), joinFloats(e.Feat)); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%s\n", e.Src, e.Dst, formatFloat(e.Weight)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeTable parses a TSV edge table written by WriteEdgeTable.
+func ReadEdgeTable(r io.Reader) ([]Edge, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var out []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("graph: edge table line %d: need src and dst", line)
+		}
+		src, err := strconv.ParseInt(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge table line %d: %w", line, err)
+		}
+		dst, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: edge table line %d: %w", line, err)
+		}
+		e := Edge{Src: src, Dst: dst, Weight: 1}
+		if len(parts) >= 3 && parts[2] != "" {
+			e.Weight, err = strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: edge table line %d: %w", line, err)
+			}
+		}
+		if len(parts) >= 4 && parts[3] != "" {
+			e.Feat, err = splitFloats(parts[3])
+			if err != nil {
+				return nil, fmt.Errorf("graph: edge table line %d: %w", line, err)
+			}
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func joinFloats(fs []float64) string {
+	var b strings.Builder
+	for i, f := range fs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(formatFloat(f))
+	}
+	return b.String()
+}
+
+func splitFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,353 @@
+package mapreduce
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"agl/internal/dfs"
+)
+
+// RecordIter streams the records of one input split.
+type RecordIter func(yield func(rec []byte) error) error
+
+// Input provides the job's records partitioned into map splits.
+type Input interface {
+	Splits(n int) ([]RecordIter, error)
+}
+
+// MemInput serves in-memory records, chunked into n splits.
+type MemInput [][]byte
+
+// Splits implements Input.
+func (m MemInput) Splits(n int) ([]RecordIter, error) {
+	if n < 1 {
+		n = 1
+	}
+	if len(m) == 0 {
+		return []RecordIter{func(func([]byte) error) error { return nil }}, nil
+	}
+	if n > len(m) {
+		n = len(m)
+	}
+	chunk := (len(m) + n - 1) / n
+	var out []RecordIter
+	for lo := 0; lo < len(m); lo += chunk {
+		hi := lo + chunk
+		if hi > len(m) {
+			hi = len(m)
+		}
+		part := m[lo:hi]
+		out = append(out, func(yield func([]byte) error) error {
+			for _, rec := range part {
+				if err := yield(rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	return out, nil
+}
+
+// DFSInput serves the records of a dfs dataset; each part file is a split
+// (merging small parts when there are more parts than requested splits).
+type DFSInput struct{ Dir *dfs.Dir }
+
+// Splits implements Input.
+func (d DFSInput) Splits(n int) ([]RecordIter, error) {
+	parts, err := d.Dir.Parts()
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) == 0 {
+		return []RecordIter{func(func([]byte) error) error { return nil }}, nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(parts) {
+		n = len(parts)
+	}
+	groups := make([][]string, n)
+	for i, p := range parts {
+		groups[i%n] = append(groups[i%n], p)
+	}
+	var out []RecordIter
+	for _, g := range groups {
+		g := g
+		out = append(out, func(yield func([]byte) error) error {
+			for _, path := range g {
+				r, err := dfs.OpenPart(path)
+				if err != nil {
+					return err
+				}
+				for {
+					rec, err := r.Next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						r.Close()
+						return err
+					}
+					if err := yield(rec); err != nil {
+						r.Close()
+						return err
+					}
+				}
+				if err := r.Close(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	return out, nil
+}
+
+// PartOutput receives one reduce task's emitted pairs. Write order within a
+// task is preserved; Commit publishes atomically, Abort discards.
+type PartOutput interface {
+	Write(kv KeyValue) error
+	Commit() error
+	Abort() error
+}
+
+// Output creates per-reduce-task writers.
+type Output interface {
+	PartWriter(part int) (PartOutput, error)
+}
+
+// MemOutput collects reduce output in memory, grouped by part.
+type MemOutput struct {
+	mu    sync.Mutex
+	parts map[int][]KeyValue
+}
+
+// NewMemOutput builds an empty in-memory output.
+func NewMemOutput() *MemOutput { return &MemOutput{parts: make(map[int][]KeyValue)} }
+
+type memPartWriter struct {
+	out  *MemOutput
+	part int
+	buf  []KeyValue
+}
+
+// PartWriter implements Output.
+func (m *MemOutput) PartWriter(part int) (PartOutput, error) {
+	return &memPartWriter{out: m, part: part}, nil
+}
+
+func (w *memPartWriter) Write(kv KeyValue) error {
+	w.buf = append(w.buf, kv)
+	return nil
+}
+
+func (w *memPartWriter) Commit() error {
+	w.out.mu.Lock()
+	defer w.out.mu.Unlock()
+	w.out.parts[w.part] = w.buf
+	return nil
+}
+
+func (w *memPartWriter) Abort() error {
+	w.buf = nil
+	return nil
+}
+
+// Pairs returns all collected pairs in part order.
+func (m *MemOutput) Pairs() []KeyValue {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var parts []int
+	for p := range m.parts {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	var out []KeyValue
+	for _, p := range parts {
+		out = append(out, m.parts[p]...)
+	}
+	return out
+}
+
+// DFSOutput writes each reduce task's pairs, framed with EncodeKV, to a dfs
+// part file.
+type DFSOutput struct{ Dir *dfs.Dir }
+
+type dfsPartWriter struct{ w *dfs.PartWriter }
+
+// PartWriter implements Output.
+func (d DFSOutput) PartWriter(part int) (PartOutput, error) {
+	w, err := d.Dir.Writer(part)
+	if err != nil {
+		return nil, err
+	}
+	return &dfsPartWriter{w: w}, nil
+}
+
+func (w *dfsPartWriter) Write(kv KeyValue) error { return w.w.Append(EncodeKV(kv)) }
+func (w *dfsPartWriter) Commit() error           { return w.w.Close() }
+func (w *dfsPartWriter) Abort() error            { return w.w.Abort() }
+
+// EncodeKV frames a KeyValue as one record: varint keylen, key, value.
+func EncodeKV(kv KeyValue) []byte {
+	buf := make([]byte, 0, len(kv.Key)+len(kv.Value)+4)
+	buf = binary.AppendUvarint(buf, uint64(len(kv.Key)))
+	buf = append(buf, kv.Key...)
+	buf = append(buf, kv.Value...)
+	return buf
+}
+
+// DecodeKV reverses EncodeKV. The returned value aliases rec.
+func DecodeKV(rec []byte) (KeyValue, error) {
+	klen, n := binary.Uvarint(rec)
+	if n <= 0 || int(klen)+n > len(rec) {
+		return KeyValue{}, fmt.Errorf("mapreduce: malformed kv record")
+	}
+	return KeyValue{
+		Key:   string(rec[n : n+int(klen)]),
+		Value: rec[n+int(klen):],
+	}, nil
+}
+
+// ---- spill files ----
+
+// writeSpill writes sorted pairs to path, returning the byte count.
+func writeSpill(path string, kvs []KeyValue) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var total int64
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, kv := range kvs {
+		n := binary.PutUvarint(lenBuf[:], uint64(len(kv.Key)))
+		bw.Write(lenBuf[:n])
+		bw.WriteString(kv.Key)
+		n2 := binary.PutUvarint(lenBuf[:], uint64(len(kv.Value)))
+		bw.Write(lenBuf[:n2])
+		bw.Write(kv.Value)
+		total += int64(n + len(kv.Key) + n2 + len(kv.Value))
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	return total, f.Close()
+}
+
+// spillReader streams one sorted spill file.
+type spillReader struct {
+	f    *os.File
+	br   *bufio.Reader
+	cur  KeyValue
+	done bool
+}
+
+func openSpill(path string) (*spillReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &spillReader{f: f, br: bufio.NewReaderSize(f, 1<<16)}
+	if err := r.advance(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *spillReader) advance() error {
+	klen, err := binary.ReadUvarint(r.br)
+	if err == io.EOF {
+		r.done = true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	key := make([]byte, klen)
+	if _, err := io.ReadFull(r.br, key); err != nil {
+		return err
+	}
+	vlen, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return err
+	}
+	val := make([]byte, vlen)
+	if _, err := io.ReadFull(r.br, val); err != nil {
+		return err
+	}
+	r.cur = KeyValue{Key: string(key), Value: val}
+	return nil
+}
+
+func (r *spillReader) close() { r.f.Close() }
+
+// merger performs a k-way merge over sorted spills and yields key groups.
+type merger struct {
+	readers []*spillReader
+}
+
+func mergeSpills(files []string) (*merger, error) {
+	m := &merger{}
+	for _, f := range files {
+		r, err := openSpill(f)
+		if err != nil {
+			for _, rr := range m.readers {
+				rr.close()
+			}
+			return nil, err
+		}
+		m.readers = append(m.readers, r)
+	}
+	return m, nil
+}
+
+// forEachGroup calls fn once per distinct key with all of its values, in
+// ascending key order. Value order is deterministic: spill (map task) index
+// first, then emit order within the task.
+func (m *merger) forEachGroup(fn func(key string, values [][]byte) error) error {
+	defer func() {
+		for _, r := range m.readers {
+			r.close()
+		}
+	}()
+	for {
+		// Find the minimum live key. Linear scan is fine: the reader count
+		// equals the map-task count, which is small.
+		minKey := ""
+		found := false
+		for _, r := range m.readers {
+			if r.done {
+				continue
+			}
+			if !found || r.cur.Key < minKey {
+				minKey = r.cur.Key
+				found = true
+			}
+		}
+		if !found {
+			return nil
+		}
+		var values [][]byte
+		for _, r := range m.readers {
+			for !r.done && r.cur.Key == minKey {
+				values = append(values, r.cur.Value)
+				if err := r.advance(); err != nil {
+					return err
+				}
+			}
+		}
+		if err := fn(minKey, values); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,396 @@
+// Package mapreduce is an in-process MapReduce engine with the semantics
+// AGL's pipelines assume from production infrastructure: hash-partitioned
+// shuffle with sorted spills and merged, grouped reduce calls; parallel map
+// and reduce task executors; bounded task retry with atomic (all-or-
+// nothing) task output, so a failed attempt never contaminates the shuffle;
+// and counters plus resource accounting for the cost comparisons in the
+// paper's Table 5.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// KeyValue is the unit of the shuffle.
+type KeyValue struct {
+	Key   string
+	Value []byte
+}
+
+// Emit receives key/value pairs from mappers and reducers.
+type Emit func(kv KeyValue) error
+
+// Mapper transforms one input record into zero or more key/value pairs.
+type Mapper interface {
+	Map(record []byte, emit Emit) error
+}
+
+// Reducer receives every value that shares a key within its partition.
+type Reducer interface {
+	Reduce(key string, values [][]byte, emit Emit) error
+}
+
+// MapperFunc adapts a function to the Mapper interface.
+type MapperFunc func(record []byte, emit Emit) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(record []byte, emit Emit) error { return f(record, emit) }
+
+// ReducerFunc adapts a function to the Reducer interface.
+type ReducerFunc func(key string, values [][]byte, emit Emit) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(key string, values [][]byte, emit Emit) error {
+	return f(key, values, emit)
+}
+
+// FaultInjector lets tests simulate task failures. It is consulted at the
+// start of each task attempt; a non-nil error fails that attempt.
+type FaultInjector func(taskKind string, taskIndex, attempt int) error
+
+// Config controls one job execution.
+type Config struct {
+	Name        string
+	NumMappers  int    // parallel map tasks; default GOMAXPROCS
+	NumReducers int    // shuffle partitions; default 4
+	TempDir     string // spill directory; default os.TempDir()
+	MaxAttempts int    // attempts per task; default 3
+	// Combiner, when set, pre-reduces map-side output per partition before
+	// it is spilled, cutting shuffle volume (classic MapReduce combiner).
+	Combiner Reducer
+	// Faults is the test-only failure hook.
+	Faults FaultInjector
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumMappers <= 0 {
+		c.NumMappers = runtime.GOMAXPROCS(0)
+	}
+	if c.NumReducers <= 0 {
+		c.NumReducers = 4
+	}
+	if c.TempDir == "" {
+		c.TempDir = os.TempDir()
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	return c
+}
+
+// Stats aggregates job-level accounting. Busy durations are summed across
+// tasks (they exceed wall time under parallelism); the cluster cost model
+// converts them to core·min.
+type Stats struct {
+	MapTasks, ReduceTasks int
+	MapRecordsIn          int64
+	MapRecordsOut         int64
+	ReduceKeys            int64
+	ReduceRecordsOut      int64
+	BytesShuffled         int64
+	Retries               int64
+	MapBusy, ReduceBusy   time.Duration
+	Wall                  time.Duration
+	PeakGroupBytes        int64 // largest single reduce group, for OOM analysis
+	counters              sync.Map
+}
+
+// IncCounter adds delta to a named counter.
+func (s *Stats) IncCounter(name string, delta int64) {
+	v, _ := s.counters.LoadOrStore(name, new(int64))
+	atomic.AddInt64(v.(*int64), delta)
+}
+
+// Counter reads a named counter.
+func (s *Stats) Counter(name string) int64 {
+	v, ok := s.counters.Load(name)
+	if !ok {
+		return 0
+	}
+	return atomic.LoadInt64(v.(*int64))
+}
+
+// Run executes a full map/shuffle/reduce cycle.
+func Run(cfg Config, mapper Mapper, reducer Reducer, input Input, output Output) (*Stats, error) {
+	cfg = cfg.withDefaults()
+	stats := &Stats{}
+	start := time.Now()
+
+	splits, err := input.Splits(cfg.NumMappers)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce %s: input: %w", cfg.Name, err)
+	}
+	stats.MapTasks = len(splits)
+	stats.ReduceTasks = cfg.NumReducers
+
+	spillDir, err := os.MkdirTemp(cfg.TempDir, "mr-"+sanitize(cfg.Name)+"-")
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce %s: spill dir: %w", cfg.Name, err)
+	}
+	defer os.RemoveAll(spillDir)
+
+	// ---- Map phase ----
+	// spills[m][r] is the spill file of map task m for reduce partition r.
+	spills := make([][]string, len(splits))
+	var mapErr error
+	var mapErrOnce sync.Once
+	sem := make(chan struct{}, cfg.NumMappers)
+	var wg sync.WaitGroup
+	for m := range splits {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(m int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			files, err := runMapTask(cfg, stats, spillDir, m, splits[m], mapper)
+			if err != nil {
+				mapErrOnce.Do(func() { mapErr = err })
+				return
+			}
+			spills[m] = files
+		}(m)
+	}
+	wg.Wait()
+	if mapErr != nil {
+		return stats, fmt.Errorf("mapreduce %s: map: %w", cfg.Name, mapErr)
+	}
+
+	// ---- Reduce phase ----
+	var redErr error
+	var redErrOnce sync.Once
+	sem2 := make(chan struct{}, cfg.NumMappers)
+	var wg2 sync.WaitGroup
+	for r := 0; r < cfg.NumReducers; r++ {
+		wg2.Add(1)
+		sem2 <- struct{}{}
+		go func(r int) {
+			defer wg2.Done()
+			defer func() { <-sem2 }()
+			var files []string
+			for m := range spills {
+				files = append(files, spills[m][r])
+			}
+			if err := runReduceTask(cfg, stats, r, files, reducer, output); err != nil {
+				redErrOnce.Do(func() { redErr = err })
+			}
+		}(r)
+	}
+	wg2.Wait()
+	if redErr != nil {
+		return stats, fmt.Errorf("mapreduce %s: reduce: %w", cfg.Name, redErr)
+	}
+	stats.Wall = time.Since(start)
+	return stats, nil
+}
+
+// runMapTask executes one map task with retry; on success it returns one
+// committed spill file per reduce partition.
+func runMapTask(cfg Config, stats *Stats, spillDir string, idx int, split RecordIter, mapper Mapper) ([]string, error) {
+	var lastErr error
+	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			atomic.AddInt64(&stats.Retries, 1)
+		}
+		files, err := tryMapTask(cfg, stats, spillDir, idx, attempt, split, mapper)
+		if err == nil {
+			return files, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("map task %d failed after %d attempts: %w", idx, cfg.MaxAttempts, lastErr)
+}
+
+func tryMapTask(cfg Config, stats *Stats, spillDir string, idx, attempt int, split RecordIter, mapper Mapper) (files []string, err error) {
+	begin := time.Now()
+	defer func() { atomic.AddInt64((*int64)(&stats.MapBusy), int64(time.Since(begin))) }()
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("map task %d panicked: %v", idx, p)
+		}
+	}()
+	if cfg.Faults != nil {
+		if err := cfg.Faults("map", idx, attempt); err != nil {
+			return nil, err
+		}
+	}
+	// Buffer per partition, then sort and spill.
+	buckets := make([][]KeyValue, cfg.NumReducers)
+	var recordsIn, recordsOut int64
+	emit := func(kv KeyValue) error {
+		p := partition(kv.Key, cfg.NumReducers)
+		buckets[p] = append(buckets[p], kv)
+		recordsOut++
+		return nil
+	}
+	if err := split(func(rec []byte) error {
+		recordsIn++
+		return mapper.Map(rec, emit)
+	}); err != nil {
+		return nil, err
+	}
+
+	if cfg.Combiner != nil {
+		for p := range buckets {
+			combined, err := combine(cfg.Combiner, buckets[p])
+			if err != nil {
+				return nil, err
+			}
+			buckets[p] = combined
+		}
+	}
+
+	out := make([]string, cfg.NumReducers)
+	var shuffled int64
+	for p, kvs := range buckets {
+		sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+		path := fmt.Sprintf("%s/m%05d-r%05d-a%d", spillDir, idx, p, attempt)
+		n, err := writeSpill(path, kvs)
+		if err != nil {
+			return nil, err
+		}
+		shuffled += n
+		out[p] = path
+	}
+	atomic.AddInt64(&stats.MapRecordsIn, recordsIn)
+	atomic.AddInt64(&stats.MapRecordsOut, recordsOut)
+	atomic.AddInt64(&stats.BytesShuffled, shuffled)
+	return out, nil
+}
+
+// combine groups the bucket by key and runs the combiner, preserving the
+// contract that combiner output replaces its input.
+func combine(c Reducer, kvs []KeyValue) ([]KeyValue, error) {
+	sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+	var out []KeyValue
+	emit := func(kv KeyValue) error {
+		out = append(out, kv)
+		return nil
+	}
+	for i := 0; i < len(kvs); {
+		j := i
+		var vals [][]byte
+		for j < len(kvs) && kvs[j].Key == kvs[i].Key {
+			vals = append(vals, kvs[j].Value)
+			j++
+		}
+		if err := c.Reduce(kvs[i].Key, vals, emit); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	return out, nil
+}
+
+// runReduceTask merges this partition's sorted spills, groups by key, and
+// feeds the reducer, with retry. Output is staged per attempt and committed
+// atomically by the Output implementation.
+func runReduceTask(cfg Config, stats *Stats, idx int, files []string, reducer Reducer, output Output) error {
+	var lastErr error
+	for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			atomic.AddInt64(&stats.Retries, 1)
+		}
+		if err := tryReduceTask(cfg, stats, idx, attempt, files, reducer, output); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("reduce task %d failed after %d attempts: %w", idx, cfg.MaxAttempts, lastErr)
+}
+
+func tryReduceTask(cfg Config, stats *Stats, idx, attempt int, files []string, reducer Reducer, output Output) (err error) {
+	begin := time.Now()
+	defer func() { atomic.AddInt64((*int64)(&stats.ReduceBusy), int64(time.Since(begin))) }()
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("reduce task %d panicked: %v", idx, p)
+		}
+	}()
+	if cfg.Faults != nil {
+		if err := cfg.Faults("reduce", idx, attempt); err != nil {
+			return err
+		}
+	}
+	merged, err := mergeSpills(files)
+	if err != nil {
+		return err
+	}
+	w, err := output.PartWriter(idx)
+	if err != nil {
+		return err
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			w.Abort()
+		}
+	}()
+	var keys, recsOut int64
+	emit := func(kv KeyValue) error {
+		recsOut++
+		return w.Write(kv)
+	}
+	err = merged.forEachGroup(func(key string, values [][]byte) error {
+		keys++
+		var groupBytes int64
+		for _, v := range values {
+			groupBytes += int64(len(v))
+		}
+		for {
+			peak := atomic.LoadInt64(&stats.PeakGroupBytes)
+			if groupBytes <= peak || atomic.CompareAndSwapInt64(&stats.PeakGroupBytes, peak, groupBytes) {
+				break
+			}
+		}
+		return reducer.Reduce(key, values, emit)
+	})
+	if err != nil {
+		return err
+	}
+	if err := w.Commit(); err != nil {
+		return err
+	}
+	committed = true
+	atomic.AddInt64(&stats.ReduceKeys, keys)
+	atomic.AddInt64(&stats.ReduceRecordsOut, recsOut)
+	return nil
+}
+
+func partition(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '/' || c == ' ' {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return "job"
+	}
+	return string(out)
+}
+
+// IdentityMapper emits each record as a value under the key encoded in the
+// record itself by a previous round; records must be EncodeKV-framed.
+var IdentityMapper = MapperFunc(func(rec []byte, emit Emit) error {
+	kv, err := DecodeKV(rec)
+	if err != nil {
+		return err
+	}
+	return emit(kv)
+})

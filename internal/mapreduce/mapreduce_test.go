@@ -1,0 +1,322 @@
+package mapreduce
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"agl/internal/dfs"
+)
+
+// wordCount pieces shared by several tests.
+var wcMapper = MapperFunc(func(rec []byte, emit Emit) error {
+	for _, w := range strings.Fields(string(rec)) {
+		if err := emit(KeyValue{Key: w, Value: []byte("1")}); err != nil {
+			return err
+		}
+	}
+	return nil
+})
+
+var wcReducer = ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(string(v))
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	return emit(KeyValue{Key: key, Value: []byte(strconv.Itoa(total))})
+})
+
+func wcInput() MemInput {
+	return MemInput{
+		[]byte("the quick brown fox"),
+		[]byte("the lazy dog"),
+		[]byte("the quick dog"),
+	}
+}
+
+func countsOf(pairs []KeyValue) map[string]int {
+	out := map[string]int{}
+	for _, kv := range pairs {
+		n, _ := strconv.Atoi(string(kv.Value))
+		out[kv.Key] = n
+	}
+	return out
+}
+
+func TestWordCount(t *testing.T) {
+	out := NewMemOutput()
+	stats, err := Run(Config{Name: "wc", TempDir: t.TempDir(), NumReducers: 3},
+		wcMapper, wcReducer, wcInput(), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := countsOf(out.Pairs())
+	want := map[string]int{"the": 3, "quick": 2, "brown": 1, "fox": 1, "lazy": 1, "dog": 2}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("count[%s]=%d want %d (all: %v)", k, got[k], v, got)
+		}
+	}
+	if stats.MapRecordsIn != 3 || stats.ReduceKeys != 6 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestCombinerReducesShuffleVolume(t *testing.T) {
+	base, err := Run(Config{Name: "nocomb", TempDir: t.TempDir(), NumMappers: 1},
+		wcMapper, wcReducer, wcInput(), NewMemOutput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	outC := NewMemOutput()
+	withComb, err := Run(Config{Name: "comb", TempDir: t.TempDir(), NumMappers: 1, Combiner: wcReducer},
+		wcMapper, wcReducer, wcInput(), outC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withComb.BytesShuffled >= base.BytesShuffled {
+		t.Fatalf("combiner did not reduce shuffle: %d vs %d", withComb.BytesShuffled, base.BytesShuffled)
+	}
+	got := countsOf(outC.Pairs())
+	if got["the"] != 3 || got["dog"] != 2 {
+		t.Fatalf("combiner changed results: %v", got)
+	}
+}
+
+func TestMapTaskRetrySucceeds(t *testing.T) {
+	var failed int32
+	faults := func(kind string, idx, attempt int) error {
+		if kind == "map" && idx == 0 && attempt == 0 && atomic.CompareAndSwapInt32(&failed, 0, 1) {
+			return errors.New("injected map failure")
+		}
+		return nil
+	}
+	out := NewMemOutput()
+	stats, err := Run(Config{Name: "retry", TempDir: t.TempDir(), Faults: faults},
+		wcMapper, wcReducer, wcInput(), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Retries != 1 {
+		t.Fatalf("retries=%d", stats.Retries)
+	}
+	if got := countsOf(out.Pairs()); got["the"] != 3 {
+		t.Fatalf("retry corrupted output: %v", got)
+	}
+}
+
+func TestReduceTaskRetryDoesNotDuplicateOutput(t *testing.T) {
+	// Fail every reduce task once *after* it has written some output; the
+	// abort+retry must not duplicate records.
+	attempts := map[string]*int32{}
+	for i := 0; i < 4; i++ {
+		attempts[fmt.Sprintf("r%d", i)] = new(int32)
+	}
+	faults := func(kind string, idx, attempt int) error {
+		if kind != "reduce" {
+			return nil
+		}
+		if atomic.AddInt32(attempts[fmt.Sprintf("r%d", idx)], 1) == 1 {
+			return errors.New("injected reduce failure")
+		}
+		return nil
+	}
+	out := NewMemOutput()
+	stats, err := Run(Config{Name: "rretry", TempDir: t.TempDir(), Faults: faults},
+		wcMapper, wcReducer, wcInput(), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Retries != 4 {
+		t.Fatalf("retries=%d want 4", stats.Retries)
+	}
+	got := countsOf(out.Pairs())
+	if got["the"] != 3 || len(got) != 6 {
+		t.Fatalf("retry duplicated or lost output: %v", got)
+	}
+}
+
+func TestPermanentFailureSurfaces(t *testing.T) {
+	faults := func(kind string, idx, attempt int) error {
+		if kind == "map" && idx == 0 {
+			return errors.New("hard failure")
+		}
+		return nil
+	}
+	_, err := Run(Config{Name: "fail", TempDir: t.TempDir(), MaxAttempts: 2, Faults: faults},
+		wcMapper, wcReducer, wcInput(), NewMemOutput())
+	if err == nil || !strings.Contains(err.Error(), "hard failure") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestPanicInUserCodeIsARetryableFailure(t *testing.T) {
+	var fired int32
+	panicMapper := MapperFunc(func(rec []byte, emit Emit) error {
+		if atomic.CompareAndSwapInt32(&fired, 0, 1) {
+			panic("mapper bug")
+		}
+		return wcMapper(rec, emit)
+	})
+	out := NewMemOutput()
+	stats, err := Run(Config{Name: "panic", TempDir: t.TempDir(), NumMappers: 1},
+		panicMapper, wcReducer, wcInput(), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Retries == 0 {
+		t.Fatal("panic did not trigger retry")
+	}
+	if got := countsOf(out.Pairs()); got["the"] != 3 {
+		t.Fatalf("output wrong after panic retry: %v", got)
+	}
+}
+
+func TestValuesGroupedAndOrderedDeterministically(t *testing.T) {
+	// Each mapper emits under one key; values must arrive grouped, ordered
+	// by map task then emit order.
+	input := MemInput{[]byte("a:1 a:2"), []byte("a:3 a:4")}
+	mapper := MapperFunc(func(rec []byte, emit Emit) error {
+		for _, tok := range strings.Fields(string(rec)) {
+			parts := strings.Split(tok, ":")
+			if err := emit(KeyValue{Key: parts[0], Value: []byte(parts[1])}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	var got []string
+	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+		for _, v := range values {
+			got = append(got, string(v))
+		}
+		return nil
+	})
+	_, err := Run(Config{Name: "order", TempDir: t.TempDir(), NumMappers: 1, NumReducers: 1},
+		mapper, reducer, input, NewMemOutput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, ",") != "1,2,3,4" {
+		t.Fatalf("value order: %v", got)
+	}
+}
+
+func TestDFSInputOutputRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in, err := dfs.Create(filepath.Join(dir, "in"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.WriteAll([][]byte{
+		[]byte("x y"), []byte("y z"), []byte("z x"), []byte("x x"),
+	}, 3); err != nil {
+		t.Fatal(err)
+	}
+	outDir, err := dfs.Create(filepath.Join(dir, "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(Config{Name: "dfs", TempDir: dir, NumReducers: 2},
+		wcMapper, wcReducer, DFSInput{Dir: in}, DFSOutput{Dir: outDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := outDir.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, rec := range recs {
+		kv, err := DecodeKV(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[kv.Key], _ = strconv.Atoi(string(kv.Value))
+	}
+	if got["x"] != 4 || got["y"] != 2 || got["z"] != 2 {
+		t.Fatalf("dfs round trip: %v", got)
+	}
+}
+
+func TestEncodeDecodeKV(t *testing.T) {
+	kv := KeyValue{Key: "node/42", Value: []byte{0, 1, 2}}
+	got, err := DecodeKV(EncodeKV(kv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != kv.Key || !bytes.Equal(got.Value, kv.Value) {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := DecodeKV([]byte{200}); err == nil {
+		t.Fatal("expected malformed record error")
+	}
+	// Empty value allowed.
+	got2, err := DecodeKV(EncodeKV(KeyValue{Key: "k"}))
+	if err != nil || got2.Key != "k" || len(got2.Value) != 0 {
+		t.Fatalf("empty value: %+v err=%v", got2, err)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out := NewMemOutput()
+	stats, err := Run(Config{Name: "empty", TempDir: t.TempDir()},
+		wcMapper, wcReducer, MemInput{}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Pairs()) != 0 || stats.MapRecordsIn != 0 {
+		t.Fatal("empty input produced output")
+	}
+}
+
+func TestLargeShuffleManyKeys(t *testing.T) {
+	var input MemInput
+	for i := 0; i < 200; i++ {
+		input = append(input, []byte(fmt.Sprintf("k%03d v", i%50)))
+	}
+	mapper := MapperFunc(func(rec []byte, emit Emit) error {
+		k := strings.Fields(string(rec))[0]
+		return emit(KeyValue{Key: k, Value: []byte("1")})
+	})
+	out := NewMemOutput()
+	stats, err := Run(Config{Name: "many", TempDir: t.TempDir(), NumMappers: 8, NumReducers: 7},
+		mapper, wcReducer, input, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReduceKeys != 50 {
+		t.Fatalf("keys=%d want 50", stats.ReduceKeys)
+	}
+	pairs := out.Pairs()
+	keys := make([]string, 0, len(pairs))
+	total := 0
+	for _, kv := range pairs {
+		keys = append(keys, kv.Key)
+		n, _ := strconv.Atoi(string(kv.Value))
+		total += n
+	}
+	sort.Strings(keys)
+	if total != 200 || len(keys) != 50 {
+		t.Fatalf("total=%d keys=%d", total, len(keys))
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := &Stats{}
+	s.IncCounter("foo", 2)
+	s.IncCounter("foo", 3)
+	if s.Counter("foo") != 5 || s.Counter("bar") != 0 {
+		t.Fatal("counters broken")
+	}
+}

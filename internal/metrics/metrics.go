@@ -1,0 +1,93 @@
+// Package metrics implements the evaluation metrics of the paper's Table 3:
+// accuracy (Cora), micro-averaged F1 (PPI, multi-label) and ROC-AUC (UUG).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"agl/internal/tensor"
+)
+
+// Accuracy returns the fraction of predictions equal to labels.
+func Accuracy(pred, labels []int) float64 {
+	if len(pred) != len(labels) {
+		panic(fmt.Sprintf("metrics: accuracy length mismatch %d vs %d", len(pred), len(labels)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+// MicroF1 computes micro-averaged F1 for multi-label prediction: scores are
+// thresholded at the given threshold against 0/1 targets, and precision and
+// recall are pooled over every (example, label) cell.
+func MicroF1(scores, targets *tensor.Matrix, threshold float64) float64 {
+	if scores.Rows != targets.Rows || scores.Cols != targets.Cols {
+		panic("metrics: MicroF1 shape mismatch")
+	}
+	var tp, fp, fn float64
+	for i, s := range scores.Data {
+		pred := s >= threshold
+		actual := targets.Data[i] >= 0.5
+		switch {
+		case pred && actual:
+			tp++
+		case pred && !actual:
+			fp++
+		case !pred && actual:
+			fn++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	prec := tp / (tp + fp)
+	rec := tp / (tp + fn)
+	return 2 * prec * rec / (prec + rec)
+}
+
+// AUC computes the area under the ROC curve for binary labels (0/1) given
+// real-valued scores, via the rank statistic with midrank tie handling.
+func AUC(scores []float64, labels []int) float64 {
+	if len(scores) != len(labels) {
+		panic("metrics: AUC length mismatch")
+	}
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1 // 1-based midrank
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	var pos, sumPos float64
+	for i, l := range labels {
+		if l == 1 {
+			pos++
+			sumPos += ranks[i]
+		}
+	}
+	neg := float64(n) - pos
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	return (sumPos - pos*(pos+1)/2) / (pos * neg)
+}

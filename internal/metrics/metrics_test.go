@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"agl/internal/tensor"
+)
+
+func TestAccuracy(t *testing.T) {
+	if a := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); math.Abs(a-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy %v", a)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestAccuracyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Accuracy([]int{1}, []int{1, 2})
+}
+
+func TestMicroF1PerfectAndWorst(t *testing.T) {
+	target := tensor.FromRows([][]float64{{1, 0}, {0, 1}})
+	perfect := tensor.FromRows([][]float64{{0.9, 0.1}, {0.2, 0.8}})
+	if f := MicroF1(perfect, target, 0.5); f != 1 {
+		t.Fatalf("perfect F1=%v", f)
+	}
+	worst := tensor.FromRows([][]float64{{0.1, 0.9}, {0.8, 0.2}})
+	if f := MicroF1(worst, target, 0.5); f != 0 {
+		t.Fatalf("worst F1=%v", f)
+	}
+}
+
+func TestMicroF1Pooled(t *testing.T) {
+	// tp=1, fp=1, fn=1 -> precision=0.5, recall=0.5, F1=0.5
+	target := tensor.FromRows([][]float64{{1, 1, 0}})
+	scores := tensor.FromRows([][]float64{{0.9, 0.1, 0.9}})
+	if f := MicroF1(scores, target, 0.5); math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("pooled F1=%v", f)
+	}
+}
+
+func TestAUCKnownValues(t *testing.T) {
+	// Perfectly separated.
+	if a := AUC([]float64{0.1, 0.2, 0.8, 0.9}, []int{0, 0, 1, 1}); a != 1 {
+		t.Fatalf("AUC=%v want 1", a)
+	}
+	// Perfectly inverted.
+	if a := AUC([]float64{0.9, 0.8, 0.2, 0.1}, []int{0, 0, 1, 1}); a != 0 {
+		t.Fatalf("AUC=%v want 0", a)
+	}
+	// All scores tied -> 0.5.
+	if a := AUC([]float64{0.5, 0.5, 0.5, 0.5}, []int{0, 1, 0, 1}); math.Abs(a-0.5) > 1e-12 {
+		t.Fatalf("tied AUC=%v", a)
+	}
+	// Degenerate single-class input.
+	if a := AUC([]float64{0.1, 0.9}, []int{1, 1}); a != 0.5 {
+		t.Fatalf("single-class AUC=%v", a)
+	}
+}
+
+func TestAUCMatchesPairwiseDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 60
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Intn(2)
+	}
+	// Brute-force pairwise AUC with 0.5 credit for ties.
+	var wins, pairs float64
+	for i := 0; i < n; i++ {
+		if labels[i] != 1 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if labels[j] != 0 {
+				continue
+			}
+			pairs++
+			switch {
+			case scores[i] > scores[j]:
+				wins++
+			case scores[i] == scores[j]:
+				wins += 0.5
+			}
+		}
+	}
+	want := wins / pairs
+	if got := AUC(scores, labels); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("AUC=%v want %v", got, want)
+	}
+}
+
+func TestRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 5000
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		labels[i] = rng.Intn(2)
+	}
+	if a := AUC(scores, labels); a < 0.45 || a > 0.55 {
+		t.Fatalf("random AUC=%v far from 0.5", a)
+	}
+}

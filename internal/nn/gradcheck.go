@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"fmt"
+
+	"agl/internal/tensor"
+)
+
+// GradCheck verifies an analytically computed gradient against central
+// finite differences. lossFn must recompute the full forward pass and
+// return the scalar loss; it is invoked with perturbed copies of the
+// parameter's weights. The analytic gradient must already be accumulated in
+// p.Grad. Returns the maximum relative error over sampled coordinates.
+//
+// A stride > 1 checks every stride-th coordinate, which keeps the O(n)
+// forward passes affordable on larger parameters.
+func GradCheck(p *Param, lossFn func() float64, eps float64, stride int) (float64, error) {
+	if stride < 1 {
+		stride = 1
+	}
+	var maxRel float64
+	for i := 0; i < len(p.W.Data); i += stride {
+		orig := p.W.Data[i]
+		p.W.Data[i] = orig + eps
+		lp := lossFn()
+		p.W.Data[i] = orig - eps
+		lm := lossFn()
+		p.W.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := p.Grad.Data[i]
+		denom := absf(numeric) + absf(analytic)
+		if denom < 1e-10 {
+			continue
+		}
+		rel := absf(numeric-analytic) / denom
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	return maxRel, nil
+}
+
+// GradCheckInput verifies a gradient w.r.t. an input matrix rather than a
+// parameter. grad must hold the analytic gradient for x.
+func GradCheckInput(x, grad *tensor.Matrix, lossFn func() float64, eps float64, stride int) (float64, error) {
+	if x.Rows != grad.Rows || x.Cols != grad.Cols {
+		return 0, fmt.Errorf("nn: GradCheckInput shape mismatch")
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	var maxRel float64
+	for i := 0; i < len(x.Data); i += stride {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp := lossFn()
+		x.Data[i] = orig - eps
+		lm := lossFn()
+		x.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := grad.Data[i]
+		denom := absf(numeric) + absf(analytic)
+		if denom < 1e-10 {
+			continue
+		}
+		rel := absf(numeric-analytic) / denom
+		if rel > maxRel {
+			maxRel = rel
+		}
+	}
+	return maxRel, nil
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

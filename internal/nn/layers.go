@@ -1,0 +1,217 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"agl/internal/tensor"
+)
+
+// Dense is a fully connected layer Y = X·W + b.
+type Dense struct {
+	W, B *Param
+
+	x *tensor.Matrix // cached input for backward
+}
+
+// NewDense builds an in×out dense layer with Glorot-initialized weights.
+// name prefixes the parameter names ("<name>/W", "<name>/b").
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	return &Dense{
+		W: GlorotParam(name+"/W", in, out, rng),
+		B: NewParam(name+"/b", 1, out),
+	}
+}
+
+// Params returns the layer's trainable parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Forward computes Y = X·W + b and caches X.
+func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	d.x = x
+	y := tensor.MatMulNew(x, d.W.W)
+	y.AddRowVector(d.B.W.Row(0))
+	return y
+}
+
+// Backward accumulates dW, db and returns dX given dY.
+func (d *Dense) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	// dW += Xᵀ·dY
+	dw := tensor.New(d.W.W.Rows, d.W.W.Cols)
+	tensor.MatMulATB(dw, d.x, dy)
+	tensor.AXPY(d.W.Grad, 1, dw)
+	// db += colsum(dY)
+	sums := dy.ColSums()
+	brow := d.B.Grad.Row(0)
+	for j, v := range sums {
+		brow[j] += v
+	}
+	// dX = dY·Wᵀ
+	dx := tensor.New(dy.Rows, d.W.W.Rows)
+	tensor.MatMulABT(dx, dy, d.W.W)
+	return dx
+}
+
+// Activation is an elementwise nonlinearity with a hand-written derivative.
+type Activation struct {
+	Kind ActKind
+	// LeakySlope is the negative-region slope for LeakyReLU (default 0.01 if
+	// zero when Kind == ActLeakyReLU).
+	LeakySlope float64
+
+	x *tensor.Matrix
+	y *tensor.Matrix
+}
+
+// ActKind selects an activation function.
+type ActKind int
+
+// Supported activations.
+const (
+	ActIdentity ActKind = iota
+	ActReLU
+	ActLeakyReLU
+	ActTanh
+	ActSigmoid
+	ActELU
+)
+
+// String names the activation for logs and serialized models.
+func (k ActKind) String() string {
+	switch k {
+	case ActIdentity:
+		return "identity"
+	case ActReLU:
+		return "relu"
+	case ActLeakyReLU:
+		return "leaky_relu"
+	case ActTanh:
+		return "tanh"
+	case ActSigmoid:
+		return "sigmoid"
+	case ActELU:
+		return "elu"
+	}
+	return "unknown"
+}
+
+// Forward applies the activation elementwise, caching what backward needs.
+func (a *Activation) Forward(x *tensor.Matrix) *tensor.Matrix {
+	a.x = x
+	y := tensor.New(x.Rows, x.Cols)
+	slope := a.LeakySlope
+	if slope == 0 {
+		slope = 0.01
+	}
+	for i, v := range x.Data {
+		switch a.Kind {
+		case ActIdentity:
+			y.Data[i] = v
+		case ActReLU:
+			if v > 0 {
+				y.Data[i] = v
+			}
+		case ActLeakyReLU:
+			if v > 0 {
+				y.Data[i] = v
+			} else {
+				y.Data[i] = slope * v
+			}
+		case ActTanh:
+			y.Data[i] = math.Tanh(v)
+		case ActSigmoid:
+			y.Data[i] = 1 / (1 + math.Exp(-v))
+		case ActELU:
+			if v > 0 {
+				y.Data[i] = v
+			} else {
+				y.Data[i] = math.Exp(v) - 1
+			}
+		}
+	}
+	a.y = y
+	return y
+}
+
+// Backward returns dX = dY ⊙ f'(X).
+func (a *Activation) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.New(dy.Rows, dy.Cols)
+	slope := a.LeakySlope
+	if slope == 0 {
+		slope = 0.01
+	}
+	for i, g := range dy.Data {
+		switch a.Kind {
+		case ActIdentity:
+			dx.Data[i] = g
+		case ActReLU:
+			if a.x.Data[i] > 0 {
+				dx.Data[i] = g
+			}
+		case ActLeakyReLU:
+			if a.x.Data[i] > 0 {
+				dx.Data[i] = g
+			} else {
+				dx.Data[i] = slope * g
+			}
+		case ActTanh:
+			t := a.y.Data[i]
+			dx.Data[i] = g * (1 - t*t)
+		case ActSigmoid:
+			s := a.y.Data[i]
+			dx.Data[i] = g * s * (1 - s)
+		case ActELU:
+			if a.x.Data[i] > 0 {
+				dx.Data[i] = g
+			} else {
+				dx.Data[i] = g * (a.y.Data[i] + 1)
+			}
+		}
+	}
+	return dx
+}
+
+// Dropout implements inverted dropout. In evaluation mode it is the
+// identity.
+type Dropout struct {
+	Rate  float64
+	Train bool
+	Rng   *rand.Rand
+
+	mask []float64
+}
+
+// NewDropout builds a dropout layer with the given drop probability.
+func NewDropout(rate float64, rng *rand.Rand) *Dropout {
+	return &Dropout{Rate: rate, Train: true, Rng: rng}
+}
+
+// Forward drops entries with probability Rate and rescales survivors.
+func (d *Dropout) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if !d.Train || d.Rate <= 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.Rate
+	y := tensor.New(x.Rows, x.Cols)
+	d.mask = make([]float64, len(x.Data))
+	for i, v := range x.Data {
+		if d.Rng.Float64() < keep {
+			d.mask[i] = 1 / keep
+			y.Data[i] = v / keep
+		}
+	}
+	return y
+}
+
+// Backward applies the saved mask to the incoming gradient.
+func (d *Dropout) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if d.mask == nil {
+		return dy
+	}
+	dx := tensor.New(dy.Rows, dy.Cols)
+	for i, g := range dy.Data {
+		dx.Data[i] = g * d.mask[i]
+	}
+	return dx
+}

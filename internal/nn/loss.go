@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"math"
+
+	"agl/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy of row-wise softmax
+// over logits against integer class labels, returning the loss and the
+// gradient w.r.t. logits. Rows with label < 0 are ignored (masked).
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	if len(labels) != logits.Rows {
+		panic("nn: SoftmaxCrossEntropy label count mismatch")
+	}
+	grad := tensor.New(logits.Rows, logits.Cols)
+	var loss float64
+	count := 0
+	for i := 0; i < logits.Rows; i++ {
+		if labels[i] < 0 {
+			continue
+		}
+		count++
+	}
+	if count == 0 {
+		return 0, grad
+	}
+	inv := 1 / float64(count)
+	probs := make([]float64, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		y := labels[i]
+		if y < 0 {
+			continue
+		}
+		row := logits.Row(i)
+		maxv := math.Inf(-1)
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			probs[j] = math.Exp(v - maxv)
+			sum += probs[j]
+		}
+		loss += -(row[y] - maxv - math.Log(sum)) * inv
+		grow := grad.Row(i)
+		for j := range probs {
+			grow[j] = probs[j] / sum * inv
+		}
+		grow[y] -= inv
+	}
+	return loss, grad
+}
+
+// Softmax returns the row-wise softmax of logits.
+func Softmax(logits *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		orow := out.Row(i)
+		maxv := math.Inf(-1)
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			orow[j] = math.Exp(v - maxv)
+			sum += orow[j]
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	return out
+}
+
+// SigmoidBCE computes the mean binary cross-entropy between elementwise
+// sigmoid(logits) and 0/1 targets, returning the loss and the gradient
+// w.r.t. logits. It supports multi-label targets (any number of columns)
+// and uses the numerically stable log-sum-exp formulation.
+func SigmoidBCE(logits, targets *tensor.Matrix) (float64, *tensor.Matrix) {
+	if logits.Rows != targets.Rows || logits.Cols != targets.Cols {
+		panic("nn: SigmoidBCE shape mismatch")
+	}
+	n := float64(len(logits.Data))
+	if n == 0 {
+		return 0, tensor.New(0, 0)
+	}
+	grad := tensor.New(logits.Rows, logits.Cols)
+	var loss float64
+	for i, z := range logits.Data {
+		t := targets.Data[i]
+		// loss = max(z,0) - z*t + log(1+exp(-|z|))
+		l := math.Log1p(math.Exp(-math.Abs(z)))
+		if z > 0 {
+			l += z - z*t
+		} else {
+			l += -z * t
+		}
+		loss += l
+		s := Sigmoid(z)
+		grad.Data[i] = (s - t) / n
+	}
+	return loss / n, grad
+}
+
+// Sigmoid is the logistic function.
+func Sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// SigmoidMatrix returns elementwise sigmoid(m).
+func SigmoidMatrix(m *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = Sigmoid(v)
+	}
+	return out
+}

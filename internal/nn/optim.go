@@ -1,0 +1,123 @@
+package nn
+
+import (
+	"math"
+
+	"agl/internal/tensor"
+)
+
+// Optimizer applies accumulated gradients to parameters. Implementations
+// keep per-parameter state keyed by name so the same optimizer instance can
+// live on a parameter-server shard and receive pushed gradients.
+type Optimizer interface {
+	// Step applies p.Grad to p.W and leaves the gradient untouched;
+	// callers decide when to zero gradients.
+	Step(p *Param)
+	// StepAll applies Step to every parameter in the set.
+	StepAll(s *ParamSet)
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight
+// decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[string]*tensor.Matrix
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate.
+func NewSGD(lr float64) *SGD {
+	return &SGD{LR: lr, velocity: make(map[string]*tensor.Matrix)}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(p *Param) {
+	g := p.Grad
+	if o.WeightDecay != 0 {
+		g = g.Clone()
+		tensor.AXPY(g, o.WeightDecay, p.W)
+	}
+	if o.Momentum != 0 {
+		if o.velocity == nil {
+			o.velocity = make(map[string]*tensor.Matrix)
+		}
+		v, ok := o.velocity[p.Name]
+		if !ok {
+			v = tensor.New(p.W.Rows, p.W.Cols)
+			o.velocity[p.Name] = v
+		}
+		v.Scale(o.Momentum)
+		tensor.AXPY(v, 1, g)
+		g = v
+	}
+	tensor.AXPY(p.W, -o.LR, g)
+}
+
+// StepAll implements Optimizer.
+func (o *SGD) StepAll(s *ParamSet) {
+	for _, p := range s.List() {
+		o.Step(p)
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba, 2014), the optimizer used for
+// every experiment in the paper.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+
+	m, v map[string]*tensor.Matrix
+	t    map[string]int
+}
+
+// NewAdam returns Adam with the usual defaults (β₁=0.9, β₂=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[string]*tensor.Matrix),
+		v: make(map[string]*tensor.Matrix),
+		t: make(map[string]int),
+	}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(p *Param) {
+	if o.m == nil {
+		o.m = make(map[string]*tensor.Matrix)
+		o.v = make(map[string]*tensor.Matrix)
+		o.t = make(map[string]int)
+	}
+	g := p.Grad
+	if o.WeightDecay != 0 {
+		g = g.Clone()
+		tensor.AXPY(g, o.WeightDecay, p.W)
+	}
+	m, ok := o.m[p.Name]
+	if !ok {
+		m = tensor.New(p.W.Rows, p.W.Cols)
+		o.m[p.Name] = m
+		o.v[p.Name] = tensor.New(p.W.Rows, p.W.Cols)
+	}
+	v := o.v[p.Name]
+	o.t[p.Name]++
+	t := float64(o.t[p.Name])
+	b1, b2 := o.Beta1, o.Beta2
+	bc1 := 1 - math.Pow(b1, t)
+	bc2 := 1 - math.Pow(b2, t)
+	for i, gi := range g.Data {
+		m.Data[i] = b1*m.Data[i] + (1-b1)*gi
+		v.Data[i] = b2*v.Data[i] + (1-b2)*gi*gi
+		mhat := m.Data[i] / bc1
+		vhat := v.Data[i] / bc2
+		p.W.Data[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+	}
+}
+
+// StepAll implements Optimizer.
+func (o *Adam) StepAll(s *ParamSet) {
+	for _, p := range s.List() {
+		o.Step(p)
+	}
+}

@@ -1,0 +1,206 @@
+package ps
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"agl/internal/nn"
+	"agl/internal/tensor"
+)
+
+// MatrixData is the gob-friendly wire form of a dense matrix.
+type MatrixData struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func toWire(m *tensor.Matrix) MatrixData {
+	return MatrixData{Rows: m.Rows, Cols: m.Cols, Data: m.Data}
+}
+
+func fromWire(d MatrixData) *tensor.Matrix {
+	return tensor.FromSlice(d.Rows, d.Cols, d.Data)
+}
+
+// PullArgs requests parameter values by name.
+type PullArgs struct{ Names []string }
+
+// PullReply carries pulled values.
+type PullReply struct{ Values map[string]MatrixData }
+
+// PushArgs delivers gradients.
+type PushArgs struct{ Grads map[string]MatrixData }
+
+// Empty is a placeholder for bodies the protocol does not need.
+type Empty struct{}
+
+// ShardService is the net/rpc wrapper around one Shard.
+type ShardService struct{ shard *Shard }
+
+// Pull implements the RPC method.
+func (s *ShardService) Pull(args *PullArgs, reply *PullReply) error {
+	vals, err := s.shard.Pull(args.Names)
+	if err != nil {
+		return err
+	}
+	reply.Values = make(map[string]MatrixData, len(vals))
+	for n, m := range vals {
+		reply.Values[n] = toWire(m)
+	}
+	return nil
+}
+
+// Push implements the RPC method.
+func (s *ShardService) Push(args *PushArgs, _ *Empty) error {
+	grads := make(map[string]*tensor.Matrix, len(args.Grads))
+	for n, d := range args.Grads {
+		grads[n] = fromWire(d)
+	}
+	return s.shard.Push(grads)
+}
+
+// Register implements the RPC method.
+func (s *ShardService) Register(_ *Empty, _ *Empty) error {
+	s.shard.Register()
+	return nil
+}
+
+// Deregister implements the RPC method.
+func (s *ShardService) Deregister(_ *Empty, _ *Empty) error {
+	s.shard.Deregister()
+	return nil
+}
+
+// Serve exposes every shard of the cluster over TCP on loopback, returning
+// one address per shard and a stop function.
+func Serve(c *Cluster) (addrs []string, stop func(), err error) {
+	var listeners []net.Listener
+	var wg sync.WaitGroup
+	closeAll := func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+		wg.Wait()
+	}
+	for i := 0; i < c.NumShards(); i++ {
+		srv := rpc.NewServer()
+		if err := srv.RegisterName("Shard", &ShardService{shard: c.Shard(i)}); err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		listeners = append(listeners, l)
+		addrs = append(addrs, l.Addr().String())
+		wg.Add(1)
+		go func(l net.Listener, srv *rpc.Server) {
+			defer wg.Done()
+			for {
+				conn, err := l.Accept()
+				if err != nil {
+					return
+				}
+				go srv.ServeConn(conn)
+			}
+		}(l, srv)
+	}
+	return addrs, closeAll, nil
+}
+
+// remoteClient is a Client speaking net/rpc to a served cluster.
+type remoteClient struct {
+	conns []*rpc.Client
+}
+
+// Dial connects a worker to the shard addresses returned by Serve. The
+// shard order must match the serving cluster's.
+func Dial(addrs []string) (Client, error) {
+	rc := &remoteClient{}
+	for _, a := range addrs {
+		c, err := rpc.Dial("tcp", a)
+		if err != nil {
+			rc.Close()
+			return nil, fmt.Errorf("ps: dial %s: %w", a, err)
+		}
+		rc.conns = append(rc.conns, c)
+	}
+	return rc, nil
+}
+
+// Close tears down the connections.
+func (rc *remoteClient) Close() {
+	for _, c := range rc.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+func (rc *remoteClient) Register() {
+	for _, c := range rc.conns {
+		_ = c.Call("Shard.Register", &Empty{}, &Empty{})
+	}
+}
+
+func (rc *remoteClient) Deregister() {
+	for _, c := range rc.conns {
+		_ = c.Call("Shard.Deregister", &Empty{}, &Empty{})
+	}
+}
+
+func (rc *remoteClient) PullInto(params *nn.ParamSet) error {
+	n := len(rc.conns)
+	names := make([][]string, n)
+	for _, name := range params.Names() {
+		idx := ShardOf(name, n)
+		names[idx] = append(names[idx], name)
+	}
+	for i, ns := range names {
+		if len(ns) == 0 {
+			continue
+		}
+		var reply PullReply
+		if err := rc.conns[i].Call("Shard.Pull", &PullArgs{Names: ns}, &reply); err != nil {
+			return err
+		}
+		for name, d := range reply.Values {
+			params.Get(name).W.CopyFrom(fromWire(d))
+		}
+	}
+	return nil
+}
+
+func (rc *remoteClient) PushGrads(params *nn.ParamSet) error {
+	n := len(rc.conns)
+	groups := make([]map[string]MatrixData, n)
+	for _, p := range params.List() {
+		idx := ShardOf(p.Name, n)
+		if groups[idx] == nil {
+			groups[idx] = make(map[string]MatrixData)
+		}
+		groups[idx][p.Name] = toWire(p.Grad)
+	}
+	errs := make(chan error, n)
+	calls := 0
+	for i, g := range groups {
+		if g == nil {
+			continue
+		}
+		calls++
+		go func(i int, g map[string]MatrixData) {
+			errs <- rc.conns[i].Call("Shard.Push", &PushArgs{Grads: g}, &Empty{})
+		}(i, g)
+	}
+	var first error
+	for i := 0; i < calls; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

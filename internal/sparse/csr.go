@@ -1,0 +1,343 @@
+// Package sparse implements the compressed sparse row (CSR) kernels used by
+// AGL's GNN layers: sparse-dense matrix products, transposes, per-layer edge
+// pruning, and the destination-partitioned parallel aggregation the paper
+// calls "edge partitioning".
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"agl/internal/tensor"
+)
+
+// Coo is one coordinate-format entry: an edge from column (source) Col to
+// row (destination) Row carrying weight Val. The row/column orientation
+// matches the paper's adjacency convention: A[v][u] > 0 means edge u→v, so a
+// row gathers a node's in-edges.
+type Coo struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a compressed sparse row matrix. Rows are destination nodes; the
+// entries of row v are v's in-edges. Edges within a row are sorted by
+// column index so that edge-aligned auxiliary arrays (edge features,
+// attention coefficients) are deterministic.
+type CSR struct {
+	NumRows, NumCols int
+	RowPtr           []int     // len NumRows+1
+	ColIdx           []int     // len NNZ()
+	Val              []float64 // len NNZ(); edge weights
+}
+
+// NewCSR builds a CSR matrix from coordinate entries. Duplicate (row, col)
+// entries have their values summed.
+func NewCSR(numRows, numCols int, entries []Coo) *CSR {
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= numRows || e.Col < 0 || e.Col >= numCols {
+			panic(fmt.Sprintf("sparse: entry (%d,%d) outside %dx%d", e.Row, e.Col, numRows, numCols))
+		}
+	}
+	sorted := make([]Coo, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	// Merge duplicates.
+	out := sorted[:0]
+	for _, e := range sorted {
+		if n := len(out); n > 0 && out[n-1].Row == e.Row && out[n-1].Col == e.Col {
+			out[n-1].Val += e.Val
+			continue
+		}
+		out = append(out, e)
+	}
+	m := &CSR{
+		NumRows: numRows,
+		NumCols: numCols,
+		RowPtr:  make([]int, numRows+1),
+		ColIdx:  make([]int, len(out)),
+		Val:     make([]float64, len(out)),
+	}
+	for i, e := range out {
+		m.RowPtr[e.Row+1]++
+		m.ColIdx[i] = e.Col
+		m.Val[i] = e.Val
+	}
+	for r := 0; r < numRows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m
+}
+
+// NNZ returns the number of stored entries (edges).
+func (m *CSR) NNZ() int { return len(m.ColIdx) }
+
+// Row returns the column indices and values of row r as views.
+func (m *CSR) Row(r int) (cols []int, vals []float64) {
+	lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+	return m.ColIdx[lo:hi], m.Val[lo:hi]
+}
+
+// RowNNZ returns the number of entries in row r.
+func (m *CSR) RowNNZ(r int) int { return m.RowPtr[r+1] - m.RowPtr[r] }
+
+// At returns the value at (r, c), or 0 when absent. O(log nnz(row)).
+func (m *CSR) At(r, c int) float64 {
+	cols, vals := m.Row(r)
+	i := sort.SearchInts(cols, c)
+	if i < len(cols) && cols[i] == c {
+		return vals[i]
+	}
+	return 0
+}
+
+// Entries returns all entries in row-major order.
+func (m *CSR) Entries() []Coo {
+	out := make([]Coo, 0, m.NNZ())
+	for r := 0; r < m.NumRows; r++ {
+		cols, vals := m.Row(r)
+		for i, c := range cols {
+			out = append(out, Coo{Row: r, Col: c, Val: vals[i]})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *CSR) Clone() *CSR {
+	c := &CSR{
+		NumRows: m.NumRows,
+		NumCols: m.NumCols,
+		RowPtr:  append([]int(nil), m.RowPtr...),
+		ColIdx:  append([]int(nil), m.ColIdx...),
+		Val:     append([]float64(nil), m.Val...),
+	}
+	return c
+}
+
+// Transpose returns mᵀ. Used to backpropagate through an aggregation:
+// if Y = A·X then ∂L/∂X = Aᵀ·∂L/∂Y.
+func (m *CSR) Transpose() *CSR {
+	nnz := m.NNZ()
+	t := &CSR{
+		NumRows: m.NumCols,
+		NumCols: m.NumRows,
+		RowPtr:  make([]int, m.NumCols+1),
+		ColIdx:  make([]int, nnz),
+		Val:     make([]float64, nnz),
+	}
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for r := 0; r < t.NumRows; r++ {
+		t.RowPtr[r+1] += t.RowPtr[r]
+	}
+	next := append([]int(nil), t.RowPtr...)
+	for r := 0; r < m.NumRows; r++ {
+		cols, vals := m.Row(r)
+		for i, c := range cols {
+			pos := next[c]
+			next[c]++
+			t.ColIdx[pos] = r
+			t.Val[pos] = vals[i]
+		}
+	}
+	return t
+}
+
+// TransposeWithMap returns mᵀ together with fwd, where fwd[i] is the index
+// into m's edge arrays of the transpose's i-th edge. GAT's backward pass
+// uses the map to read forward-pass attention coefficients while iterating
+// source-partitioned (conflict-free) over the transpose.
+func (m *CSR) TransposeWithMap() (*CSR, []int) {
+	nnz := m.NNZ()
+	t := &CSR{
+		NumRows: m.NumCols,
+		NumCols: m.NumRows,
+		RowPtr:  make([]int, m.NumCols+1),
+		ColIdx:  make([]int, nnz),
+		Val:     make([]float64, nnz),
+	}
+	fwd := make([]int, nnz)
+	for _, c := range m.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for r := 0; r < t.NumRows; r++ {
+		t.RowPtr[r+1] += t.RowPtr[r]
+	}
+	next := append([]int(nil), t.RowPtr...)
+	for r := 0; r < m.NumRows; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		for i := lo; i < hi; i++ {
+			c := m.ColIdx[i]
+			pos := next[c]
+			next[c]++
+			t.ColIdx[pos] = r
+			t.Val[pos] = m.Val[i]
+			fwd[pos] = i
+		}
+	}
+	return t, fwd
+}
+
+// SpMM computes dst = m @ x where x is dense. dst must be m.NumRows×x.Cols.
+func (m *CSR) SpMM(dst, x *tensor.Matrix) {
+	m.checkSpMM(dst, x)
+	m.spmmRows(dst, x, 0, m.NumRows)
+}
+
+func (m *CSR) checkSpMM(dst, x *tensor.Matrix) {
+	if x.Rows != m.NumCols {
+		panic(fmt.Sprintf("sparse: SpMM inner dims %d vs %d", m.NumCols, x.Rows))
+	}
+	if dst.Rows != m.NumRows || dst.Cols != x.Cols {
+		panic(fmt.Sprintf("sparse: SpMM dst %dx%d want %dx%d", dst.Rows, dst.Cols, m.NumRows, x.Cols))
+	}
+}
+
+// spmmRows computes rows [lo, hi) of dst = m @ x.
+func (m *CSR) spmmRows(dst, x *tensor.Matrix, lo, hi int) {
+	n := x.Cols
+	for r := lo; r < hi; r++ {
+		drow := dst.Row(r)
+		for j := range drow {
+			drow[j] = 0
+		}
+		cols, vals := m.Row(r)
+		for i, c := range cols {
+			w := vals[i]
+			xrow := x.Data[c*n : (c+1)*n]
+			for j, xv := range xrow {
+				drow[j] += w * xv
+			}
+		}
+	}
+}
+
+// SpMMNew allocates and returns m @ x.
+func (m *CSR) SpMMNew(x *tensor.Matrix) *tensor.Matrix {
+	dst := tensor.New(m.NumRows, x.Cols)
+	m.SpMM(dst, x)
+	return dst
+}
+
+// FilterEdges builds a new CSR keeping only entries for which keep returns
+// true. The dimensions are unchanged: dropped rows simply become empty.
+// This is the primitive behind the paper's graph-pruning strategy.
+func (m *CSR) FilterEdges(keep func(row, col int) bool) *CSR {
+	rowPtr := make([]int, m.NumRows+1)
+	colIdx := make([]int, 0, m.NNZ())
+	val := make([]float64, 0, m.NNZ())
+	for r := 0; r < m.NumRows; r++ {
+		cols, vals := m.Row(r)
+		for i, c := range cols {
+			if keep(r, c) {
+				colIdx = append(colIdx, c)
+				val = append(val, vals[i])
+			}
+		}
+		rowPtr[r+1] = len(colIdx)
+	}
+	return &CSR{NumRows: m.NumRows, NumCols: m.NumCols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// AddSelfLoops returns a copy of m with weight-w self loops added to every
+// row (existing diagonal entries are incremented).
+func (m *CSR) AddSelfLoops(w float64) *CSR {
+	entries := m.Entries()
+	n := m.NumRows
+	if m.NumCols > n {
+		n = m.NumCols
+	}
+	for i := 0; i < m.NumRows && i < m.NumCols; i++ {
+		entries = append(entries, Coo{Row: i, Col: i, Val: w})
+	}
+	return NewCSR(m.NumRows, m.NumCols, entries)
+}
+
+// RowNormalize returns a copy of m whose rows each sum to 1 (empty rows are
+// left empty). This realizes mean aggregation for GraphSAGE.
+func (m *CSR) RowNormalize() *CSR {
+	c := m.Clone()
+	for r := 0; r < c.NumRows; r++ {
+		lo, hi := c.RowPtr[r], c.RowPtr[r+1]
+		var sum float64
+		for _, v := range c.Val[lo:hi] {
+			sum += v
+		}
+		if sum == 0 {
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			c.Val[i] /= sum
+		}
+	}
+	return c
+}
+
+// SymNormalizeWithDeg returns D^{-1/2}·(m+I)·D^{-1/2} using externally
+// supplied degrees (deg[i] must be node i's weighted in-degree + 1). AGL
+// uses this with the global degrees carried inside GraphFeatures so that
+// k-hop fragments normalize identically to the full graph.
+func SymNormalizeWithDeg(m *CSR, deg []float64) *CSR {
+	if m.NumRows != m.NumCols {
+		panic("sparse: SymNormalizeWithDeg requires a square matrix")
+	}
+	if len(deg) != m.NumRows {
+		panic("sparse: SymNormalizeWithDeg degree length mismatch")
+	}
+	c := m.AddSelfLoops(1)
+	for r := 0; r < c.NumRows; r++ {
+		lo, hi := c.RowPtr[r], c.RowPtr[r+1]
+		dr := deg[r]
+		if dr <= 0 {
+			dr = 1
+		}
+		for i := lo; i < hi; i++ {
+			du := deg[c.ColIdx[i]]
+			if du <= 0 {
+				du = 1
+			}
+			c.Val[i] = c.Val[i] / (math.Sqrt(dr) * math.Sqrt(du))
+		}
+	}
+	return c
+}
+
+// SymNormalize returns D^{-1/2}·(m+I)·D^{-1/2}, the symmetric normalization
+// used by GCN, where D is the degree matrix of m+I. m must be square.
+func (m *CSR) SymNormalize() *CSR {
+	if m.NumRows != m.NumCols {
+		panic("sparse: SymNormalize requires a square matrix")
+	}
+	a := m.AddSelfLoops(1)
+	deg := make([]float64, a.NumRows)
+	for r := 0; r < a.NumRows; r++ {
+		_, vals := a.Row(r)
+		for _, v := range vals {
+			deg[r] += v
+		}
+	}
+	c := a.Clone()
+	for r := 0; r < c.NumRows; r++ {
+		lo, hi := c.RowPtr[r], c.RowPtr[r+1]
+		for i := lo; i < hi; i++ {
+			u := c.ColIdx[i]
+			dr, du := deg[r], deg[u]
+			if dr <= 0 {
+				dr = 1
+			}
+			if du <= 0 {
+				du = 1
+			}
+			c.Val[i] = c.Val[i] / (math.Sqrt(dr) * math.Sqrt(du))
+		}
+	}
+	return c
+}

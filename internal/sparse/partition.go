@@ -1,0 +1,149 @@
+package sparse
+
+import (
+	"sync"
+
+	"agl/internal/tensor"
+)
+
+// Partition describes one edge partition: a contiguous, nnz-balanced range
+// of CSR rows. Because rows are destination nodes, every edge with the same
+// destination lands in the same partition, so concurrent aggregation threads
+// never write the same output row — the paper's edge-partitioning insight.
+type Partition struct {
+	LoRow, HiRow int // row range [LoRow, HiRow)
+	NNZ          int // number of edges covered
+}
+
+// PartitionEdges splits m's rows into at most t partitions with roughly
+// equal edge counts. Fewer than t partitions are returned when m is small.
+func PartitionEdges(m *CSR, t int) []Partition {
+	if t < 1 {
+		t = 1
+	}
+	total := m.NNZ()
+	if total == 0 || m.NumRows == 0 {
+		return []Partition{{LoRow: 0, HiRow: m.NumRows, NNZ: total}}
+	}
+	target := (total + t - 1) / t
+	var parts []Partition
+	lo, acc := 0, 0
+	for r := 0; r < m.NumRows; r++ {
+		acc += m.RowNNZ(r)
+		if acc >= target && len(parts) < t-1 {
+			parts = append(parts, Partition{LoRow: lo, HiRow: r + 1, NNZ: acc})
+			lo, acc = r+1, 0
+		}
+	}
+	parts = append(parts, Partition{LoRow: lo, HiRow: m.NumRows, NNZ: acc})
+	return parts
+}
+
+// SpMMParallel computes dst = m @ x using one goroutine per partition.
+// Each partition owns a disjoint set of destination rows, so the threads
+// are conflict-free by construction.
+func (m *CSR) SpMMParallel(dst, x *tensor.Matrix, parts []Partition) {
+	m.checkSpMM(dst, x)
+	if len(parts) <= 1 {
+		m.SpMM(dst, x)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p Partition) {
+			defer wg.Done()
+			m.spmmRows(dst, x, p.LoRow, p.HiRow)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// Aggregator performs repeated dst = A @ x products over a fixed adjacency,
+// optionally with edge partitioning. It owns precomputed partitions for the
+// matrix and its transpose so forward and backward aggregation both run
+// conflict-free in parallel.
+type Aggregator struct {
+	A  *CSR
+	AT *CSR
+	// FwdIdx maps each edge of AT back to its index in A's edge arrays, so
+	// per-edge state computed during a destination-partitioned forward pass
+	// can be read during a source-partitioned backward pass.
+	FwdIdx []int
+	// EFeat, when non-nil, carries per-edge feature vectors aligned with
+	// A's edge arrays (the E_B matrix of AGL's subgraph vectorization).
+	// Entries may be nil (e.g. self loops), meaning a zero vector.
+	EFeat   [][]float64
+	parts   []Partition
+	tparts  []Partition
+	threads int
+}
+
+// NewAggregator builds an Aggregator over a. threads <= 1 disables
+// partitioned (parallel) aggregation.
+func NewAggregator(a *CSR, threads int) *Aggregator {
+	at, fwd := a.TransposeWithMap()
+	ag := &Aggregator{A: a, AT: at, FwdIdx: fwd, threads: threads}
+	if threads > 1 {
+		ag.parts = PartitionEdges(ag.A, threads)
+		ag.tparts = PartitionEdges(ag.AT, threads)
+	}
+	return ag
+}
+
+// Threads reports the configured aggregation parallelism.
+func (ag *Aggregator) Threads() int { return ag.threads }
+
+// Forward computes dst = A @ x.
+func (ag *Aggregator) Forward(dst, x *tensor.Matrix) {
+	if ag.threads > 1 {
+		ag.A.SpMMParallel(dst, x, ag.parts)
+		return
+	}
+	ag.A.SpMM(dst, x)
+}
+
+// Backward computes dst = Aᵀ @ g (the gradient of Forward w.r.t. x).
+func (ag *Aggregator) Backward(dst, g *tensor.Matrix) {
+	if ag.threads > 1 {
+		ag.AT.SpMMParallel(dst, g, ag.tparts)
+		return
+	}
+	ag.AT.SpMM(dst, g)
+}
+
+// RangeEdgesParallel invokes fn(part, lo, hi) for each partition on its own
+// goroutine, where [lo, hi) is the row range. It is the generic hook GAT
+// uses for per-edge attention computations.
+func (ag *Aggregator) RangeEdgesParallel(fn func(loRow, hiRow int)) {
+	if ag.threads <= 1 || len(ag.parts) <= 1 {
+		fn(0, ag.A.NumRows)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, p := range ag.parts {
+		wg.Add(1)
+		go func(p Partition) {
+			defer wg.Done()
+			fn(p.LoRow, p.HiRow)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// RangeEdgesParallelT is RangeEdgesParallel over the transpose adjacency.
+func (ag *Aggregator) RangeEdgesParallelT(fn func(loRow, hiRow int)) {
+	if ag.threads <= 1 || len(ag.tparts) <= 1 {
+		fn(0, ag.AT.NumRows)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, p := range ag.tparts {
+		wg.Add(1)
+		go func(p Partition) {
+			defer wg.Done()
+			fn(p.LoRow, p.HiRow)
+		}(p)
+	}
+	wg.Wait()
+}

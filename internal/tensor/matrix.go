@@ -1,0 +1,413 @@
+// Package tensor provides the dense linear-algebra kernels that underpin the
+// neural-network substrate of AGL. Matrices are row-major float64; all
+// operations are written against flat slices so the hot loops vectorize well
+// and allocate nothing beyond their destination.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (len rows*cols) as a rows×cols matrix without copying.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice got %d values for %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix by copying each row of rows; all rows must have
+// equal length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("tensor: ragged row %d (%d vs %d)", i, len(r), cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Zero sets every element of m to zero in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v in place.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// CopyFrom copies src into m; shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	m.mustSameShape(src, "CopyFrom")
+	copy(m.Data, src.Data)
+}
+
+func (m *Matrix) mustSameShape(o *Matrix, op string) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	limit := m.Rows
+	if limit > 4 {
+		limit = 4
+	}
+	for i := 0; i < limit; i++ {
+		s += fmt.Sprintf("%v;", m.Row(i))
+	}
+	if limit < m.Rows {
+		s += "..."
+	}
+	return s + "]"
+}
+
+// GlorotFill fills m with Glorot/Xavier-uniform values using rng, suitable
+// for fanIn×fanOut weight matrices.
+func (m *Matrix) GlorotFill(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// RandFill fills m with uniform values in [-scale, scale).
+func (m *Matrix) RandFill(rng *rand.Rand, scale float64) {
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * scale
+	}
+}
+
+// MatMul computes dst = a @ b. dst must be a.Rows×b.Cols and distinct from
+// both operands. It uses an ikj loop order so the inner loop streams rows of
+// b and dst.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	dst.Zero()
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulNew allocates and returns a @ b.
+func MatMulNew(a, b *Matrix) *Matrix {
+	dst := New(a.Rows, b.Cols)
+	MatMul(dst, a, b)
+	return dst
+}
+
+// MatMulATB computes dst = aᵀ @ b without materializing the transpose.
+// a is m×n, b is m×p, dst must be n×p.
+func MatMulATB(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulATB outer dims %d vs %d", a.Rows, b.Rows))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulATB dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	dst.Zero()
+	p := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		brow := b.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[k*p : (k+1)*p]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulABT computes dst = a @ bᵀ without materializing the transpose.
+// a is m×n, b is p×n, dst must be m×p.
+func MatMulABT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulABT inner dims %d vs %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulABT dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var sum float64
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			drow[j] = sum
+		}
+	}
+}
+
+// Transpose returns a newly allocated mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// Add computes dst = a + b elementwise; dst may alias a or b.
+func Add(dst, a, b *Matrix) {
+	a.mustSameShape(b, "Add")
+	a.mustSameShape(dst, "Add")
+	for i, v := range a.Data {
+		dst.Data[i] = v + b.Data[i]
+	}
+}
+
+// Sub computes dst = a - b elementwise; dst may alias a or b.
+func Sub(dst, a, b *Matrix) {
+	a.mustSameShape(b, "Sub")
+	a.mustSameShape(dst, "Sub")
+	for i, v := range a.Data {
+		dst.Data[i] = v - b.Data[i]
+	}
+}
+
+// Mul computes dst = a ⊙ b (Hadamard); dst may alias a or b.
+func Mul(dst, a, b *Matrix) {
+	a.mustSameShape(b, "Mul")
+	a.mustSameShape(dst, "Mul")
+	for i, v := range a.Data {
+		dst.Data[i] = v * b.Data[i]
+	}
+}
+
+// AXPY computes dst += alpha * x.
+func AXPY(dst *Matrix, alpha float64, x *Matrix) {
+	dst.mustSameShape(x, "AXPY")
+	for i, v := range x.Data {
+		dst.Data[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of m by alpha in place.
+func (m *Matrix) Scale(alpha float64) {
+	for i := range m.Data {
+		m.Data[i] *= alpha
+	}
+}
+
+// AddRowVector adds vec to every row of m in place (broadcast add).
+func (m *Matrix) AddRowVector(vec []float64) {
+	if len(vec) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector len %d want %d", len(vec), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range vec {
+			row[j] += v
+		}
+	}
+}
+
+// ColSums returns the per-column sums of m (used for bias gradients).
+func (m *Matrix) ColSums() []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// RowsSubset returns a new matrix containing the given rows of m, in order.
+func (m *Matrix) RowsSubset(idx []int) *Matrix {
+	out := New(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// ScatterRowsAdd adds each row of src into dst at destination row idx[i].
+func ScatterRowsAdd(dst, src *Matrix, idx []int) {
+	if src.Rows != len(idx) || src.Cols != dst.Cols {
+		panic("tensor: ScatterRowsAdd shape mismatch")
+	}
+	for i, r := range idx {
+		drow := dst.Row(r)
+		srow := src.Row(i)
+		for j, v := range srow {
+			drow[j] += v
+		}
+	}
+}
+
+// Norm returns the Frobenius norm of m.
+func (m *Matrix) Norm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns max_ij |a_ij - b_ij|; useful in tests.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	a.mustSameShape(b, "MaxAbsDiff")
+	var d float64
+	for i, v := range a.Data {
+		if x := math.Abs(v - b.Data[i]); x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+// Equalish reports whether every element of a and b differs by at most tol.
+func Equalish(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	return MaxAbsDiff(a, b) <= tol
+}
+
+// ArgMaxRows returns, for each row, the index of its maximum element.
+func (m *Matrix) ArgMaxRows() []int {
+	out := make([]int, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		best, bi := math.Inf(-1), 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// Concat stacks matrices vertically (they must share Cols).
+func Concat(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	cols := ms[0].Cols
+	rows := 0
+	for _, m := range ms {
+		if m.Cols != cols {
+			panic("tensor: Concat column mismatch")
+		}
+		rows += m.Rows
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, m := range ms {
+		copy(out.Data[off:], m.Data)
+		off += len(m.Data)
+	}
+	return out
+}
+
+// ConcatCols stacks matrices horizontally (they must share Rows).
+func ConcatCols(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		return New(0, 0)
+	}
+	rows := ms[0].Rows
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != rows {
+			panic("tensor: ConcatCols row mismatch")
+		}
+		cols += m.Cols
+	}
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		drow := out.Row(i)
+		off := 0
+		for _, m := range ms {
+			copy(drow[off:off+m.Cols], m.Row(i))
+			off += m.Cols
+		}
+	}
+	return out
+}
+
+// SliceCols returns a copy of columns [lo, hi) of m.
+func (m *Matrix) SliceCols(lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Cols || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) of %d", lo, hi, m.Cols))
+	}
+	out := New(m.Rows, hi-lo)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[lo:hi])
+	}
+	return out
+}

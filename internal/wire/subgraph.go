@@ -1,0 +1,160 @@
+package wire
+
+import "fmt"
+
+// SGNode is a node inside a serialized subgraph. Deg carries the node's
+// *global* normalization degree (weighted in-degree + 1): a k-hop
+// neighborhood does not contain its frontier nodes' in-edges, so
+// normalization-dependent layers (GCN) would otherwise mis-normalize at
+// the boundary and disagree with GraphInfer.
+type SGNode struct {
+	ID   int64
+	Feat []float64
+	Deg  float64
+}
+
+// SGEdge is a directed edge Src→Dst inside a serialized subgraph, carrying
+// the edge weight and optional edge features (the e_vu of the paper's
+// Eq. 1 / the E_B matrix of §3.3.1).
+type SGEdge struct {
+	Src, Dst int64
+	Weight   float64
+	Feat     []float64
+}
+
+// Subgraph is the payload of a GraphFeature: the k-hop neighborhood of a
+// target node, flattened to nodes + edges. It is also the unit merged and
+// propagated by GraphFlat's reduce rounds.
+type Subgraph struct {
+	Target int64
+	Nodes  []SGNode
+	Edges  []SGEdge
+}
+
+// EncodeSubgraph appends the wire form of sg to b.
+func EncodeSubgraph(b []byte, sg *Subgraph) []byte {
+	b = AppendVarint(b, sg.Target)
+	b = AppendUvarint(b, uint64(len(sg.Nodes)))
+	for _, n := range sg.Nodes {
+		b = AppendVarint(b, n.ID)
+		b = AppendFloat64(b, n.Deg)
+		b = AppendFloat64s(b, n.Feat)
+	}
+	b = AppendUvarint(b, uint64(len(sg.Edges)))
+	for _, e := range sg.Edges {
+		b = AppendVarint(b, e.Src)
+		b = AppendVarint(b, e.Dst)
+		b = AppendFloat64(b, e.Weight)
+		b = AppendFloat64s(b, e.Feat)
+	}
+	return b
+}
+
+// DecodeSubgraph reads a Subgraph from r.
+func DecodeSubgraph(r *Reader) (*Subgraph, error) {
+	sg := &Subgraph{Target: r.Varint()}
+	nn := r.Uvarint()
+	for i := uint64(0); i < nn && r.Err() == nil; i++ {
+		sg.Nodes = append(sg.Nodes, SGNode{ID: r.Varint(), Deg: r.Float64(), Feat: r.Float64s()})
+	}
+	ne := r.Uvarint()
+	for i := uint64(0); i < ne && r.Err() == nil; i++ {
+		sg.Edges = append(sg.Edges, SGEdge{
+			Src: r.Varint(), Dst: r.Varint(), Weight: r.Float64(), Feat: r.Float64s(),
+		})
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wire: subgraph: %w", err)
+	}
+	return sg, nil
+}
+
+// MergeInto merges other into sg: node and edge sets are unioned (by node
+// ID and by (src,dst) pair). sg's target is preserved. This is the "merge"
+// half of GraphFlat's message passing.
+func (sg *Subgraph) MergeInto(other *Subgraph, seenNodes map[int64]bool, seenEdges map[[2]int64]bool) {
+	for _, n := range other.Nodes {
+		if !seenNodes[n.ID] {
+			seenNodes[n.ID] = true
+			sg.Nodes = append(sg.Nodes, n)
+		}
+	}
+	for _, e := range other.Edges {
+		k := [2]int64{e.Src, e.Dst}
+		if !seenEdges[k] {
+			seenEdges[k] = true
+			sg.Edges = append(sg.Edges, e)
+		}
+	}
+}
+
+// NewSeenSets builds the dedup sets for MergeInto primed with sg's current
+// contents.
+func (sg *Subgraph) NewSeenSets() (map[int64]bool, map[[2]int64]bool) {
+	sn := make(map[int64]bool, len(sg.Nodes))
+	for _, n := range sg.Nodes {
+		sn[n.ID] = true
+	}
+	se := make(map[[2]int64]bool, len(sg.Edges))
+	for _, e := range sg.Edges {
+		se[[2]int64{e.Src, e.Dst}] = true
+	}
+	return sn, se
+}
+
+// TrainRecord is one training example: the paper's triple
+// <TargetedNodeId, Label, GraphFeature>. Label carries a single-class
+// label (-1 when absent); LabelVec carries multi-label or binary targets.
+type TrainRecord struct {
+	TargetID int64
+	Label    int64
+	LabelVec []float64
+	SG       *Subgraph
+}
+
+// EncodeTrainRecord serializes rec.
+func EncodeTrainRecord(rec *TrainRecord) []byte {
+	b := make([]byte, 0, 64+len(rec.SG.Nodes)*16)
+	b = AppendVarint(b, rec.TargetID)
+	b = AppendVarint(b, rec.Label)
+	b = AppendFloat64s(b, rec.LabelVec)
+	b = EncodeSubgraph(b, rec.SG)
+	return b
+}
+
+// DecodeTrainRecord deserializes a TrainRecord.
+func DecodeTrainRecord(buf []byte) (*TrainRecord, error) {
+	r := NewReader(buf)
+	rec := &TrainRecord{TargetID: r.Varint(), Label: r.Varint(), LabelVec: r.Float64s()}
+	sg, err := DecodeSubgraph(r)
+	if err != nil {
+		return nil, err
+	}
+	rec.SG = sg
+	return rec, nil
+}
+
+// Embedding is the per-node payload of GraphInfer's reduce rounds: a node's
+// current-layer embedding plus its normalization degree.
+type Embedding struct {
+	ID  int64
+	H   []float64
+	Deg float64
+}
+
+// EncodeEmbedding serializes e.
+func EncodeEmbedding(b []byte, e *Embedding) []byte {
+	b = AppendVarint(b, e.ID)
+	b = AppendFloat64s(b, e.H)
+	b = AppendFloat64(b, e.Deg)
+	return b
+}
+
+// DecodeEmbedding reads an Embedding from r.
+func DecodeEmbedding(r *Reader) (*Embedding, error) {
+	e := &Embedding{ID: r.Varint(), H: r.Float64s(), Deg: r.Float64()}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wire: embedding: %w", err)
+	}
+	return e, nil
+}
