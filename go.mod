@@ -1,0 +1,3 @@
+module agl
+
+go 1.24

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"agl/internal/datagen"
@@ -178,6 +179,75 @@ func BenchmarkGraphInfer(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Skewed-key shuffle: every record fans into one hub key, the access
+// pattern that motivated the streaming reducer contract. The streaming
+// variant reduces straight off the k-way merge; the collected variant
+// materializes the group via CollectValues, standing in for the old
+// [][]byte contract. Compare allocs/op and peak-group-bytes between them.
+
+func skewedShuffleInput(values, size int) mapreduce.MemInput {
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	in := make(mapreduce.MemInput, values)
+	for i := range in {
+		in[i] = payload
+	}
+	return in
+}
+
+func benchSkewedShuffle(b *testing.B, reducer mapreduce.Reducer) {
+	in := skewedShuffleInput(50_000, 64)
+	mapper := mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) error {
+		return emit(mapreduce.KeyValue{Key: "hub", Value: rec})
+	})
+	cfg := mapreduce.Config{Name: "bench-skew", TempDir: b.TempDir(), NumMappers: 4, NumReducers: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var peak int64
+	for i := 0; i < b.N; i++ {
+		stats, err := mapreduce.Run(cfg, mapper, reducer, in, mapreduce.NewMemOutput())
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = stats.PeakGroupBytes
+	}
+	b.ReportMetric(float64(peak), "peak-group-bytes")
+}
+
+func BenchmarkSkewedShuffleStreaming(b *testing.B) {
+	benchSkewedShuffle(b, mapreduce.ReducerFunc(func(key string, values mapreduce.ValueIter, emit mapreduce.Emit) error {
+		var n, total int64
+		for {
+			v, ok := values.Next()
+			if !ok {
+				break
+			}
+			n++
+			total += int64(len(v))
+		}
+		if err := values.Err(); err != nil {
+			return err
+		}
+		return emit(mapreduce.KeyValue{Key: key, Value: []byte(fmt.Sprintf("%d/%d", n, total))})
+	}))
+}
+
+func BenchmarkSkewedShuffleCollected(b *testing.B) {
+	benchSkewedShuffle(b, mapreduce.ReducerFunc(func(key string, values mapreduce.ValueIter, emit mapreduce.Emit) error {
+		vals, err := mapreduce.CollectValues(values)
+		if err != nil {
+			return err
+		}
+		var total int64
+		for _, v := range vals {
+			total += int64(len(v))
+		}
+		return emit(mapreduce.KeyValue{Key: key, Value: []byte(fmt.Sprintf("%d/%d", len(vals), total))})
+	}))
 }
 
 func BenchmarkOriginalInfer(b *testing.B) {

@@ -250,9 +250,10 @@ func joinMapper() mapreduce.Mapper {
 // joinReducer seeds the message-passing state: each node u emits its
 // 0-hop self info, its out-edge info, and the initial in-edge info
 // (u's id, features, normalization degree and edge weight) to each
-// destination it points at.
+// destination it points at. Values stream off the shuffle one at a time;
+// only the decoded out-edge list (O(out-degree)) is retained.
 func joinReducer(weightedDeg map[int64]float64) mapreduce.Reducer {
-	return mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+	return mapreduce.ReducerFunc(func(key string, values mapreduce.ValueIter, emit mapreduce.Emit) error {
 		id, err := strconv.ParseInt(key, 10, 64)
 		if err != nil {
 			return err
@@ -260,7 +261,11 @@ func joinReducer(weightedDeg map[int64]float64) mapreduce.Reducer {
 		var feat []float64
 		var haveNode bool
 		var outs []*flatMsg
-		for _, v := range values {
+		for {
+			v, ok := values.Next()
+			if !ok {
+				break
+			}
 			m, err := decodeMsg(v)
 			if err != nil {
 				return err
@@ -274,6 +279,9 @@ func joinReducer(weightedDeg map[int64]float64) mapreduce.Reducer {
 			default:
 				return fmt.Errorf("core: join reducer got tag %d", m.Tag)
 			}
+		}
+		if err := values.Err(); err != nil {
+			return err
 		}
 		if !haveNode {
 			// Edge rows referencing a node absent from the node table:
@@ -350,7 +358,7 @@ func sortIns(ins []*flatMsg) {
 // then propagate it along out-edges. In the final round it emits the
 // TrainRecord for target nodes instead.
 func mergeReducer(cfg FlatConfig, targets map[int64]Target, round int, final bool) mapreduce.Reducer {
-	return mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+	return mapreduce.ReducerFunc(func(key string, values mapreduce.ValueIter, emit mapreduce.Emit) error {
 		id, err := strconv.ParseInt(key, 10, 64)
 		if err != nil {
 			return err
@@ -358,7 +366,11 @@ func mergeReducer(cfg FlatConfig, targets map[int64]Target, round int, final boo
 		var self *wire.Subgraph
 		var outs []*flatMsg
 		var ins []*flatMsg
-		for _, v := range values {
+		for {
+			v, ok := values.Next()
+			if !ok {
+				break
+			}
 			m, err := decodeMsg(v)
 			if err != nil {
 				return err
@@ -373,6 +385,9 @@ func mergeReducer(cfg FlatConfig, targets map[int64]Target, round int, final boo
 			default:
 				return fmt.Errorf("core: merge reducer got tag %d", m.Tag)
 			}
+		}
+		if err := values.Err(); err != nil {
+			return err
 		}
 		if self == nil {
 			// In-edge info addressed to a node that has no self info (not
@@ -447,15 +462,20 @@ func reindexMapper(hubs map[int64]int) mapreduce.Mapper {
 // inverts the key back to the original node id (paper §3.2.2, "sampling"
 // plus "inverted indexing"). Non-suffixed keys pass through untouched.
 func reindexReducer(cfg FlatConfig, hubs map[int64]int, round int) mapreduce.Reducer {
-	return mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+	return mapreduce.ReducerFunc(func(key string, values mapreduce.ValueIter, emit mapreduce.Emit) error {
 		hash := strings.IndexByte(key, '#')
 		if hash < 0 {
-			for _, v := range values {
-				if err := emit(mapreduce.KeyValue{Key: key, Value: v}); err != nil {
+			for {
+				v, ok := values.Next()
+				if !ok {
+					return values.Err()
+				}
+				// Copy: v aliases the engine's reusable read buffer, and
+				// emitted values may be retained by the output.
+				if err := emit(mapreduce.KeyValue{Key: key, Value: append([]byte(nil), v...)}); err != nil {
 					return err
 				}
 			}
-			return nil
 		}
 		orig := key[:hash]
 		id, err := strconv.ParseInt(orig, 10, 64)
@@ -475,13 +495,20 @@ func reindexReducer(cfg FlatConfig, hubs map[int64]int, round int) mapreduce.Red
 		if perShard < 1 {
 			perShard = 1
 		}
-		ins := make([]*flatMsg, 0, len(values))
-		for _, v := range values {
+		var ins []*flatMsg
+		for {
+			v, ok := values.Next()
+			if !ok {
+				break
+			}
 			m, err := decodeMsg(v)
 			if err != nil {
 				return err
 			}
 			ins = append(ins, m)
+		}
+		if err := values.Err(); err != nil {
+			return err
 		}
 		// A distinct RNG stream per suffix keeps shards independent.
 		kept := sampleInEdgesWithRNG(perShard, cfg.Strategy,

@@ -258,7 +258,7 @@ func OriginalInfer(cfg FlatConfig, model *gnn.Model, tables mapreduce.Input, ids
 // features) plus its normalization degree, propagated to out-edge
 // destinations.
 func joinEmbReducer(weightedDeg map[int64]float64) mapreduce.Reducer {
-	return mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+	return mapreduce.ReducerFunc(func(key string, values mapreduce.ValueIter, emit mapreduce.Emit) error {
 		id, err := strconv.ParseInt(key, 10, 64)
 		if err != nil {
 			return err
@@ -266,7 +266,11 @@ func joinEmbReducer(weightedDeg map[int64]float64) mapreduce.Reducer {
 		var feat []float64
 		var haveNode bool
 		var outs []*flatMsg
-		for _, v := range values {
+		for {
+			v, ok := values.Next()
+			if !ok {
+				break
+			}
 			m, err := decodeMsg(v)
 			if err != nil {
 				return err
@@ -280,6 +284,9 @@ func joinEmbReducer(weightedDeg map[int64]float64) mapreduce.Reducer {
 			default:
 				return fmt.Errorf("core: infer join reducer got tag %d", m.Tag)
 			}
+		}
+		if err := values.Err(); err != nil {
+			return err
 		}
 		if !haveNode {
 			return nil
@@ -312,7 +319,7 @@ func joinEmbReducer(weightedDeg map[int64]float64) mapreduce.Reducer {
 // k-layer embedding, and propagates it along out-edges. In the final
 // embedding round only the embedding itself is forwarded (paper §3.4).
 func embReducer(cfg FlatConfig, slice *gnn.Slice, round int, final bool) mapreduce.Reducer {
-	return mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+	return mapreduce.ReducerFunc(func(key string, values mapreduce.ValueIter, emit mapreduce.Emit) error {
 		id, err := strconv.ParseInt(key, 10, 64)
 		if err != nil {
 			return err
@@ -320,7 +327,11 @@ func embReducer(cfg FlatConfig, slice *gnn.Slice, round int, final bool) mapredu
 		var self *wire.Embedding
 		var outs []*flatMsg
 		var ins []*flatMsg
-		for _, v := range values {
+		for {
+			v, ok := values.Next()
+			if !ok {
+				break
+			}
 			m, err := decodeMsg(v)
 			if err != nil {
 				return err
@@ -335,6 +346,9 @@ func embReducer(cfg FlatConfig, slice *gnn.Slice, round int, final bool) mapredu
 			default:
 				return fmt.Errorf("core: emb reducer got tag %d", m.Tag)
 			}
+		}
+		if err := values.Err(); err != nil {
+			return err
 		}
 		if self == nil {
 			return nil
@@ -371,8 +385,12 @@ func embReducer(cfg FlatConfig, slice *gnn.Slice, round int, final bool) mapredu
 // embedding and emits the predicted score (paper: "the last Reduce phase is
 // responsible to infer the final predicted score").
 func predictReducer(slice *gnn.Slice) mapreduce.Reducer {
-	return mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
-		for _, v := range values {
+	return mapreduce.ReducerFunc(func(key string, values mapreduce.ValueIter, emit mapreduce.Emit) error {
+		for {
+			v, ok := values.Next()
+			if !ok {
+				return values.Err()
+			}
 			m, err := decodeMsg(v)
 			if err != nil {
 				return err
@@ -387,7 +405,6 @@ func predictReducer(slice *gnn.Slice) mapreduce.Reducer {
 				return err
 			}
 		}
-		return nil
 	})
 }
 

@@ -154,10 +154,14 @@ func WeightedInDegrees(records mapreduce.Input, cfg mapreduce.Config) (map[int64
 			Value: []byte("e," + strconv.FormatFloat(row.Edge.Weight, 'g', -1, 64)),
 		})
 	})
-	reducer := mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+	reducer := mapreduce.ReducerFunc(func(key string, values mapreduce.ValueIter, emit mapreduce.Emit) error {
 		var w float64
 		var count int
-		for _, v := range values {
+		for {
+			v, ok := values.Next()
+			if !ok {
+				break
+			}
 			s := string(v)
 			if s == "n" {
 				continue
@@ -168,6 +172,9 @@ func WeightedInDegrees(records mapreduce.Input, cfg mapreduce.Config) (map[int64
 			}
 			w += wv
 			count++
+		}
+		if err := values.Err(); err != nil {
+			return err
 		}
 		return emit(mapreduce.KeyValue{
 			Key:   key,

@@ -123,5 +123,10 @@ func WriteAll(w io.Writer, opt Options) error {
 		return err
 	}
 	fmt.Fprintln(w, f8)
+	sh, err := Shuffle(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, sh)
 	return nil
 }

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"agl/internal/mapreduce"
+)
+
+// ShuffleResult records the skewed-key shuffle baseline: one hub key whose
+// fan-in dwarfs every other group, reduced once on the streaming iterator
+// contract and once through CollectValues (the materializing escape
+// hatch). It is the perf anchor for the engine's bounded-memory shuffle —
+// re-run it after engine changes to track the trajectory.
+type ShuffleResult struct {
+	HubValues      int
+	ValueBytes     int
+	StreamWall     time.Duration
+	CollectWall    time.Duration
+	StreamAllocs   uint64 // heap objects allocated during the streamed run
+	CollectAllocs  uint64
+	PeakGroupBytes int64
+	BytesShuffled  int64
+	Text           string
+}
+
+func (r *ShuffleResult) String() string { return r.Text }
+
+// Shuffle runs the skewed-key shuffle benchmark: every record lands on one
+// hub key, the pathological fan-in pattern of AGL's industrial graphs
+// (paper §3.2.2). Both passes produce identical reduce output; the
+// comparison is pure engine cost.
+func Shuffle(opt Options) (*ShuffleResult, error) {
+	hubValues, valueBytes := 200_000, 128
+	if opt.Quick {
+		hubValues = 20_000
+	}
+	payload := make([]byte, valueBytes)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	var in mapreduce.MemInput
+	for i := 0; i < hubValues; i++ {
+		in = append(in, payload)
+	}
+	mapper := mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) error {
+		return emit(mapreduce.KeyValue{Key: "hub", Value: rec})
+	})
+	streaming := mapreduce.ReducerFunc(func(key string, values mapreduce.ValueIter, emit mapreduce.Emit) error {
+		var n, total int64
+		for {
+			v, ok := values.Next()
+			if !ok {
+				break
+			}
+			n++
+			total += int64(len(v))
+		}
+		if err := values.Err(); err != nil {
+			return err
+		}
+		return emit(mapreduce.KeyValue{Key: key, Value: []byte(fmt.Sprintf("%d/%d", n, total))})
+	})
+	collected := mapreduce.ReducerFunc(func(key string, values mapreduce.ValueIter, emit mapreduce.Emit) error {
+		vals, err := mapreduce.CollectValues(values)
+		if err != nil {
+			return err
+		}
+		var total int64
+		for _, v := range vals {
+			total += int64(len(v))
+		}
+		return emit(mapreduce.KeyValue{Key: key, Value: []byte(fmt.Sprintf("%d/%d", len(vals), total))})
+	})
+
+	cfg := mapreduce.Config{Name: "shuffle-skew", TempDir: opt.TempDir, NumMappers: 4, NumReducers: 2}
+	run := func(r mapreduce.Reducer) (*mapreduce.Stats, uint64, time.Duration, error) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		stats, err := mapreduce.Run(cfg, mapper, r, in, mapreduce.NewMemOutput())
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return stats, after.Mallocs - before.Mallocs, wall, nil
+	}
+
+	opt.logf("shuffle: streaming reduce of %d-value hub key", hubValues)
+	sStats, sAllocs, sWall, err := run(streaming)
+	if err != nil {
+		return nil, err
+	}
+	opt.logf("shuffle: collected reduce of %d-value hub key", hubValues)
+	_, cAllocs, cWall, err := run(collected)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ShuffleResult{
+		HubValues: hubValues, ValueBytes: valueBytes,
+		StreamWall: sWall, CollectWall: cWall,
+		StreamAllocs: sAllocs, CollectAllocs: cAllocs,
+		PeakGroupBytes: sStats.PeakGroupBytes,
+		BytesShuffled:  sStats.BytesShuffled,
+	}
+	rows := [][]string{
+		{"streamed", fmt.Sprintf("%.3fs", sWall.Seconds()), fmt.Sprintf("%d", sAllocs)},
+		{"collected", fmt.Sprintf("%.3fs", cWall.Seconds()), fmt.Sprintf("%d", cAllocs)},
+	}
+	res.Text = fmt.Sprintf(
+		"Skewed shuffle: one hub key, %d values x %dB (peak group %d bytes, shuffle %d bytes)\n%s",
+		hubValues, valueBytes, res.PeakGroupBytes, res.BytesShuffled,
+		table([]string{"Reduce path", "Wall", "Heap allocs"}, rows))
+	return res, nil
+}

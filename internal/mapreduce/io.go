@@ -2,6 +2,7 @@ package mapreduce
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -218,36 +219,64 @@ func DecodeKV(rec []byte) (KeyValue, error) {
 
 // ---- spill files ----
 
-// writeSpill writes sorted pairs to path, returning the byte count.
-func writeSpill(path string, kvs []KeyValue) (int64, error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return 0, err
-	}
-	bw := bufio.NewWriterSize(f, 1<<16)
-	var total int64
-	var lenBuf [binary.MaxVarintLen64]byte
-	for _, kv := range kvs {
-		n := binary.PutUvarint(lenBuf[:], uint64(len(kv.Key)))
-		bw.Write(lenBuf[:n])
-		bw.WriteString(kv.Key)
-		n2 := binary.PutUvarint(lenBuf[:], uint64(len(kv.Value)))
-		bw.Write(lenBuf[:n2])
-		bw.Write(kv.Value)
-		total += int64(n + len(kv.Key) + n2 + len(kv.Value))
-	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return 0, err
-	}
-	return total, f.Close()
+// spillWriter streams sorted pairs to a spill file. It enforces the sort
+// invariant the k-way merge depends on: appended keys must be
+// non-decreasing (a combiner that emits anything but its group key would
+// otherwise silently corrupt the shuffle).
+type spillWriter struct {
+	f       *os.File
+	bw      *bufio.Writer
+	total   int64
+	lastKey string
+	wrote   bool
 }
 
-// spillReader streams one sorted spill file.
+func newSpillWriter(path string) (*spillWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &spillWriter{f: f, bw: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+func (w *spillWriter) append(kv KeyValue) error {
+	if w.wrote && kv.Key < w.lastKey {
+		return fmt.Errorf("mapreduce: spill keys out of order (%q after %q): combiners must emit non-decreasing keys", kv.Key, w.lastKey)
+	}
+	w.lastKey = kv.Key
+	w.wrote = true
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(kv.Key)))
+	w.bw.Write(lenBuf[:n])
+	w.bw.WriteString(kv.Key)
+	n2 := binary.PutUvarint(lenBuf[:], uint64(len(kv.Value)))
+	w.bw.Write(lenBuf[:n2])
+	if _, err := w.bw.Write(kv.Value); err != nil {
+		return err
+	}
+	w.total += int64(n + len(kv.Key) + n2 + len(kv.Value))
+	return nil
+}
+
+func (w *spillWriter) close() (int64, error) {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return 0, err
+	}
+	return w.total, w.f.Close()
+}
+
+func (w *spillWriter) abort() { w.f.Close() }
+
+// spillReader streams one sorted spill file. Its key and value buffers are
+// reused across advance calls — per-record memory is O(largest record),
+// not O(records) — so cur's contents are only valid until the next
+// advance.
 type spillReader struct {
 	f    *os.File
 	br   *bufio.Reader
-	cur  KeyValue
+	key  []byte // current key, reused buffer
+	val  []byte // current value, reused buffer
 	done bool
 }
 
@@ -264,6 +293,15 @@ func openSpill(path string) (*spillReader, error) {
 	return r, nil
 }
 
+// growBuf returns buf resized to n, reusing its backing array when large
+// enough.
+func growBuf(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
 func (r *spillReader) advance() error {
 	klen, err := binary.ReadUvarint(r.br)
 	if err == io.EOF {
@@ -273,27 +311,33 @@ func (r *spillReader) advance() error {
 	if err != nil {
 		return err
 	}
-	key := make([]byte, klen)
-	if _, err := io.ReadFull(r.br, key); err != nil {
+	r.key = growBuf(r.key, int(klen))
+	if _, err := io.ReadFull(r.br, r.key); err != nil {
 		return err
 	}
 	vlen, err := binary.ReadUvarint(r.br)
 	if err != nil {
 		return err
 	}
-	val := make([]byte, vlen)
-	if _, err := io.ReadFull(r.br, val); err != nil {
+	r.val = growBuf(r.val, int(vlen))
+	if _, err := io.ReadFull(r.br, r.val); err != nil {
 		return err
 	}
-	r.cur = KeyValue{Key: string(key), Value: val}
 	return nil
 }
 
 func (r *spillReader) close() { r.f.Close() }
 
-// merger performs a k-way merge over sorted spills and yields key groups.
+// merger performs a k-way merge over sorted spills and yields key groups
+// as lazy iterators — no group is ever materialized in one slice.
 type merger struct {
-	readers []*spillReader
+	readers  []*spillReader
+	groupKey []byte // reusable copy of the current group's key bytes
+	// maxGroupBytes is forwarded to group iterators for CollectValues.
+	maxGroupBytes int64
+	// onGroupDone, when set, observes each group's total streamed value
+	// bytes (for Stats.PeakGroupBytes).
+	onGroupDone func(groupBytes int64)
 }
 
 func mergeSpills(files []string) (*merger, error) {
@@ -311,10 +355,62 @@ func mergeSpills(files []string) (*merger, error) {
 	return m, nil
 }
 
-// forEachGroup calls fn once per distinct key with all of its values, in
-// ascending key order. Value order is deterministic: spill (map task) index
-// first, then emit order within the task.
-func (m *merger) forEachGroup(fn func(key string, values [][]byte) error) error {
+// groupIter streams one key group straight out of the merge. Values come
+// in deterministic order — spill (map task) index first, then emit order
+// within the task — and each value aliases the owning spillReader's
+// reusable buffer, so it is valid only until the next Next call.
+type groupIter struct {
+	m       *merger
+	idx     int          // reader currently being drained
+	pending *spillReader // reader whose cur value was handed out last Next
+	bytes   int64
+	err     error
+	done    bool
+}
+
+func (g *groupIter) Next() ([]byte, bool) {
+	if g.done || g.err != nil {
+		return nil, false
+	}
+	if g.pending != nil {
+		if err := g.pending.advance(); err != nil {
+			g.err = err
+			return nil, false
+		}
+		g.pending = nil
+	}
+	for g.idx < len(g.m.readers) {
+		r := g.m.readers[g.idx]
+		if !r.done && bytes.Equal(r.key, g.m.groupKey) {
+			// Hand the value out now; advance lazily on the next call so
+			// the buffer stays intact while the caller reads it.
+			g.pending = r
+			g.bytes += int64(len(r.val))
+			return r.val, true
+		}
+		g.idx++
+	}
+	g.done = true
+	return nil, false
+}
+
+func (g *groupIter) Err() error          { return g.err }
+func (g *groupIter) collectLimit() int64 { return g.m.maxGroupBytes }
+
+// drain exhausts whatever the reducer left unconsumed so the merge can
+// move to the next group.
+func (g *groupIter) drain() error {
+	for {
+		if _, ok := g.Next(); !ok {
+			return g.err
+		}
+	}
+}
+
+// forEachGroup calls fn once per distinct key, in ascending key order,
+// with a lazy iterator over that key's values. The iterator is only valid
+// for the duration of fn.
+func (m *merger) forEachGroup(fn func(key string, values ValueIter) error) error {
 	defer func() {
 		for _, r := range m.readers {
 			r.close()
@@ -323,31 +419,32 @@ func (m *merger) forEachGroup(fn func(key string, values [][]byte) error) error 
 	for {
 		// Find the minimum live key. Linear scan is fine: the reader count
 		// equals the map-task count, which is small.
-		minKey := ""
+		var minKey []byte
 		found := false
 		for _, r := range m.readers {
 			if r.done {
 				continue
 			}
-			if !found || r.cur.Key < minKey {
-				minKey = r.cur.Key
+			if !found || bytes.Compare(r.key, minKey) < 0 {
+				minKey = r.key
 				found = true
 			}
 		}
 		if !found {
 			return nil
 		}
-		var values [][]byte
-		for _, r := range m.readers {
-			for !r.done && r.cur.Key == minKey {
-				values = append(values, r.cur.Value)
-				if err := r.advance(); err != nil {
-					return err
-				}
-			}
-		}
-		if err := fn(minKey, values); err != nil {
+		// Copy the key out of the winning reader's buffer: the group
+		// iterator advances that reader while the group is consumed.
+		m.groupKey = append(m.groupKey[:0], minKey...)
+		g := &groupIter{m: m}
+		if err := fn(string(m.groupKey), g); err != nil {
 			return err
+		}
+		if err := g.drain(); err != nil {
+			return err
+		}
+		if m.onGroupDone != nil {
+			m.onGroupDone(g.bytes)
 		}
 	}
 }

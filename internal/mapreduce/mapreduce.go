@@ -5,9 +5,16 @@
 // nothing) task output, so a failed attempt never contaminates the shuffle;
 // and counters plus resource accounting for the cost comparisons in the
 // paper's Table 5.
+//
+// The shuffle is streaming end to end: reducers receive their value groups
+// as pull-based ValueIter iterators fed directly from the k-way merge of
+// sorted spill files, so a single hub key whose fan-in exceeds RAM still
+// reduces in O(buffer) memory, and the combiner pre-reduces map output as
+// it is spilled, before it ever hits disk.
 package mapreduce
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -32,9 +39,26 @@ type Mapper interface {
 	Map(record []byte, emit Emit) error
 }
 
-// Reducer receives every value that shares a key within its partition.
+// ValueIter streams the values of one reduce group in deterministic order
+// (spill/map-task index first, then emit order within the task).
+//
+// Next returns the next value and true, or nil and false once the group is
+// exhausted or an error occurred; Err reports that error. The returned
+// slice aliases a buffer the engine reuses for the following value: it is
+// valid only until the next Next call, so a consumer that retains raw bytes
+// past that point must copy them (decoding into an owned structure, as all
+// AGL reducers do, is naturally safe). Use CollectValues when an algorithm
+// genuinely needs the whole group at once.
+type ValueIter interface {
+	Next() ([]byte, bool)
+	Err() error
+}
+
+// Reducer receives every value that shares a key within its partition as a
+// streaming iterator. A Reducer need not drain the iterator; the engine
+// skips whatever remains of the group.
 type Reducer interface {
-	Reduce(key string, values [][]byte, emit Emit) error
+	Reduce(key string, values ValueIter, emit Emit) error
 }
 
 // MapperFunc adapts a function to the Mapper interface.
@@ -44,12 +68,74 @@ type MapperFunc func(record []byte, emit Emit) error
 func (f MapperFunc) Map(record []byte, emit Emit) error { return f(record, emit) }
 
 // ReducerFunc adapts a function to the Reducer interface.
-type ReducerFunc func(key string, values [][]byte, emit Emit) error
+type ReducerFunc func(key string, values ValueIter, emit Emit) error
 
 // Reduce implements Reducer.
-func (f ReducerFunc) Reduce(key string, values [][]byte, emit Emit) error {
+func (f ReducerFunc) Reduce(key string, values ValueIter, emit Emit) error {
 	return f(key, values, emit)
 }
+
+// groupLimiter is implemented by engine-provided iterators that carry the
+// job's MaxGroupBytes bound for CollectValues to enforce.
+type groupLimiter interface{ collectLimit() int64 }
+
+// ErrGroupTooLarge wraps MaxGroupBytes violations (use errors.Is via the
+// %w chain on the returned error's message prefix).
+var ErrGroupTooLarge = fmt.Errorf("mapreduce: collected group exceeds MaxGroupBytes")
+
+// CollectValues drains a ValueIter into an owned [][]byte slice, copying
+// each value. It is the escape hatch for reducers that truly need random
+// access to the whole group; when the engine was configured with
+// MaxGroupBytes > 0 and the group's total value bytes exceed that bound,
+// it fails fast with an error wrapping ErrGroupTooLarge instead of
+// silently materializing an OOM-sized slice.
+func CollectValues(values ValueIter) ([][]byte, error) {
+	var limit int64
+	if l, ok := values.(groupLimiter); ok {
+		limit = l.collectLimit()
+	}
+	var out [][]byte
+	var total int64
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		total += int64(len(v))
+		if limit > 0 && total > limit {
+			return nil, fmt.Errorf("%w (%d bytes collected, limit %d); stream the group or raise Config.MaxGroupBytes", ErrGroupTooLarge, total, limit)
+		}
+		out = append(out, append([]byte(nil), v...))
+	}
+	if err := values.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ValuesOf wraps an in-memory slice of values as a ValueIter; handy in
+// tests and for adapting collected data back onto the streaming contract.
+func ValuesOf(values [][]byte) ValueIter { return &sliceIter{values: values} }
+
+// sliceIter iterates an in-memory value slice. The engine uses it to feed
+// the combiner from the sorted map-output buffer.
+type sliceIter struct {
+	values [][]byte
+	pos    int
+	limit  int64
+}
+
+func (s *sliceIter) Next() ([]byte, bool) {
+	if s.pos >= len(s.values) {
+		return nil, false
+	}
+	v := s.values[s.pos]
+	s.pos++
+	return v, true
+}
+
+func (s *sliceIter) Err() error          { return nil }
+func (s *sliceIter) collectLimit() int64 { return s.limit }
 
 // FaultInjector lets tests simulate task failures. It is consulted at the
 // start of each task attempt; a non-nil error fails that attempt.
@@ -62,8 +148,20 @@ type Config struct {
 	NumReducers int    // shuffle partitions; default 4
 	TempDir     string // spill directory; default os.TempDir()
 	MaxAttempts int    // attempts per task; default 3
-	// Combiner, when set, pre-reduces map-side output per partition before
-	// it is spilled, cutting shuffle volume (classic MapReduce combiner).
+	// ReduceParallelism caps concurrently running reduce tasks; default
+	// GOMAXPROCS (it is deliberately independent of NumMappers — shuffle
+	// partition count shapes data layout, this knob shapes CPU use).
+	ReduceParallelism int
+	// MaxGroupBytes, when positive, bounds the total value bytes a reducer
+	// may materialize from one group via CollectValues; exceeding it fails
+	// the job with ErrGroupTooLarge. Streaming consumption is never
+	// limited — the bound exists to keep accidental materialization of a
+	// hub key from becoming an OOM.
+	MaxGroupBytes int64
+	// Combiner, when set, pre-reduces map-side output per partition as it
+	// is spilled, cutting shuffle volume (classic MapReduce combiner). It
+	// must emit keys in non-decreasing order — emitting its own group key,
+	// as standard combiners do, always satisfies this.
 	Combiner Reducer
 	// Faults is the test-only failure hook.
 	Faults FaultInjector
@@ -75,6 +173,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.NumReducers <= 0 {
 		c.NumReducers = 4
+	}
+	if c.ReduceParallelism <= 0 {
+		c.ReduceParallelism = runtime.GOMAXPROCS(0)
 	}
 	if c.TempDir == "" {
 		c.TempDir = os.TempDir()
@@ -98,8 +199,11 @@ type Stats struct {
 	Retries               int64
 	MapBusy, ReduceBusy   time.Duration
 	Wall                  time.Duration
-	PeakGroupBytes        int64 // largest single reduce group, for OOM analysis
-	counters              sync.Map
+	// PeakGroupBytes is the largest single reduce group that streamed
+	// through the merge, in value bytes. Groups are never materialized by
+	// the engine, so this measures skew, not resident memory.
+	PeakGroupBytes int64
+	counters       sync.Map
 }
 
 // IncCounter adds delta to a named counter.
@@ -117,7 +221,10 @@ func (s *Stats) Counter(name string) int64 {
 	return atomic.LoadInt64(v.(*int64))
 }
 
-// Run executes a full map/shuffle/reduce cycle.
+// Run executes a full map/shuffle/reduce cycle. Reduce tasks are scheduled
+// up front and begin merging the moment the last map task commits its
+// spills (event-driven handoff rather than a second scheduling phase), so
+// the reduce side's semaphore waits overlap the map tail.
 func Run(cfg Config, mapper Mapper, reducer Reducer, input Input, output Output) (*Stats, error) {
 	cfg = cfg.withDefaults()
 	stats := &Stats{}
@@ -138,11 +245,20 @@ func Run(cfg Config, mapper Mapper, reducer Reducer, input Input, output Output)
 
 	// ---- Map phase ----
 	// spills[m][r] is the spill file of map task m for reduce partition r.
+	// mapsDone closes when every map task has committed, releasing the
+	// already-scheduled reduce tasks; mapFailed closes on the first
+	// permanent map failure so reduce tasks abort instead of waiting.
 	spills := make([][]string, len(splits))
+	mapsDone := make(chan struct{})
+	mapFailed := make(chan struct{})
+	var mapsLeft = int64(len(splits))
 	var mapErr error
 	var mapErrOnce sync.Once
 	sem := make(chan struct{}, cfg.NumMappers)
 	var wg sync.WaitGroup
+	if len(splits) == 0 {
+		close(mapsDone)
+	}
 	for m := range splits {
 		wg.Add(1)
 		sem <- struct{}{}
@@ -151,29 +267,36 @@ func Run(cfg Config, mapper Mapper, reducer Reducer, input Input, output Output)
 			defer func() { <-sem }()
 			files, err := runMapTask(cfg, stats, spillDir, m, splits[m], mapper)
 			if err != nil {
-				mapErrOnce.Do(func() { mapErr = err })
+				mapErrOnce.Do(func() {
+					mapErr = err
+					close(mapFailed)
+				})
 				return
 			}
 			spills[m] = files
+			if atomic.AddInt64(&mapsLeft, -1) == 0 {
+				close(mapsDone)
+			}
 		}(m)
-	}
-	wg.Wait()
-	if mapErr != nil {
-		return stats, fmt.Errorf("mapreduce %s: map: %w", cfg.Name, mapErr)
 	}
 
 	// ---- Reduce phase ----
 	var redErr error
 	var redErrOnce sync.Once
-	sem2 := make(chan struct{}, cfg.NumMappers)
+	sem2 := make(chan struct{}, cfg.ReduceParallelism)
 	var wg2 sync.WaitGroup
 	for r := 0; r < cfg.NumReducers; r++ {
 		wg2.Add(1)
-		sem2 <- struct{}{}
 		go func(r int) {
 			defer wg2.Done()
+			select {
+			case <-mapsDone:
+			case <-mapFailed:
+				return
+			}
+			sem2 <- struct{}{}
 			defer func() { <-sem2 }()
-			var files []string
+			files := make([]string, 0, len(spills))
 			for m := range spills {
 				files = append(files, spills[m][r])
 			}
@@ -182,7 +305,11 @@ func Run(cfg Config, mapper Mapper, reducer Reducer, input Input, output Output)
 			}
 		}(r)
 	}
+	wg.Wait()
 	wg2.Wait()
+	if mapErr != nil {
+		return stats, fmt.Errorf("mapreduce %s: map: %w", cfg.Name, mapErr)
+	}
 	if redErr != nil {
 		return stats, fmt.Errorf("mapreduce %s: reduce: %w", cfg.Name, redErr)
 	}
@@ -202,6 +329,11 @@ func runMapTask(cfg Config, stats *Stats, spillDir string, idx int, split Record
 		if err == nil {
 			return files, nil
 		}
+		if errors.Is(err, ErrGroupTooLarge) {
+			// Deterministic: the group is over the bound on every attempt.
+			// Fail fast instead of re-streaming it MaxAttempts times.
+			return nil, fmt.Errorf("map task %d: %w", idx, err)
+		}
 		lastErr = err
 	}
 	return nil, fmt.Errorf("map task %d failed after %d attempts: %w", idx, cfg.MaxAttempts, lastErr)
@@ -220,7 +352,9 @@ func tryMapTask(cfg Config, stats *Stats, spillDir string, idx, attempt int, spl
 			return nil, err
 		}
 	}
-	// Buffer per partition, then sort and spill.
+	// Buffer per partition, then sort and stream to the spill — through the
+	// combiner when one is configured, so pre-reduced output is what hits
+	// disk.
 	buckets := make([][]KeyValue, cfg.NumReducers)
 	var recordsIn, recordsOut int64
 	emit := func(kv KeyValue) error {
@@ -236,22 +370,12 @@ func tryMapTask(cfg Config, stats *Stats, spillDir string, idx, attempt int, spl
 		return nil, err
 	}
 
-	if cfg.Combiner != nil {
-		for p := range buckets {
-			combined, err := combine(cfg.Combiner, buckets[p])
-			if err != nil {
-				return nil, err
-			}
-			buckets[p] = combined
-		}
-	}
-
 	out := make([]string, cfg.NumReducers)
 	var shuffled int64
 	for p, kvs := range buckets {
 		sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
 		path := fmt.Sprintf("%s/m%05d-r%05d-a%d", spillDir, idx, p, attempt)
-		n, err := writeSpill(path, kvs)
+		n, err := spillPartition(cfg, path, kvs)
 		if err != nil {
 			return nil, err
 		}
@@ -264,28 +388,41 @@ func tryMapTask(cfg Config, stats *Stats, spillDir string, idx, attempt int, spl
 	return out, nil
 }
 
-// combine groups the bucket by key and runs the combiner, preserving the
-// contract that combiner output replaces its input.
-func combine(c Reducer, kvs []KeyValue) ([]KeyValue, error) {
-	sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
-	var out []KeyValue
-	emit := func(kv KeyValue) error {
-		out = append(out, kv)
-		return nil
+// spillPartition writes one partition's sorted pairs to a spill file,
+// applying the combiner group by group as it writes so combined output
+// streams straight to disk.
+func spillPartition(cfg Config, path string, kvs []KeyValue) (int64, error) {
+	w, err := newSpillWriter(path)
+	if err != nil {
+		return 0, err
 	}
+	if cfg.Combiner == nil {
+		for _, kv := range kvs {
+			if err := w.append(kv); err != nil {
+				w.abort()
+				return 0, err
+			}
+		}
+		return w.close()
+	}
+	emit := func(kv KeyValue) error { return w.append(kv) }
 	for i := 0; i < len(kvs); {
 		j := i
-		var vals [][]byte
 		for j < len(kvs) && kvs[j].Key == kvs[i].Key {
-			vals = append(vals, kvs[j].Value)
 			j++
 		}
-		if err := c.Reduce(kvs[i].Key, vals, emit); err != nil {
-			return nil, err
+		group := make([][]byte, 0, j-i)
+		for _, kv := range kvs[i:j] {
+			group = append(group, kv.Value)
+		}
+		it := &sliceIter{values: group, limit: cfg.MaxGroupBytes}
+		if err := cfg.Combiner.Reduce(kvs[i].Key, it, emit); err != nil {
+			w.abort()
+			return 0, err
 		}
 		i = j
 	}
-	return out, nil
+	return w.close()
 }
 
 // runReduceTask merges this partition's sorted spills, groups by key, and
@@ -298,6 +435,11 @@ func runReduceTask(cfg Config, stats *Stats, idx int, files []string, reducer Re
 			atomic.AddInt64(&stats.Retries, 1)
 		}
 		if err := tryReduceTask(cfg, stats, idx, attempt, files, reducer, output); err != nil {
+			if errors.Is(err, ErrGroupTooLarge) {
+				// Deterministic: the group is over the bound on every
+				// attempt. Fail fast instead of re-merging it.
+				return fmt.Errorf("reduce task %d: %w", idx, err)
+			}
 			lastErr = err
 			continue
 		}
@@ -323,6 +465,15 @@ func tryReduceTask(cfg Config, stats *Stats, idx, attempt int, files []string, r
 	if err != nil {
 		return err
 	}
+	merged.maxGroupBytes = cfg.MaxGroupBytes
+	merged.onGroupDone = func(groupBytes int64) {
+		for {
+			peak := atomic.LoadInt64(&stats.PeakGroupBytes)
+			if groupBytes <= peak || atomic.CompareAndSwapInt64(&stats.PeakGroupBytes, peak, groupBytes) {
+				break
+			}
+		}
+	}
 	w, err := output.PartWriter(idx)
 	if err != nil {
 		return err
@@ -338,18 +489,8 @@ func tryReduceTask(cfg Config, stats *Stats, idx, attempt int, files []string, r
 		recsOut++
 		return w.Write(kv)
 	}
-	err = merged.forEachGroup(func(key string, values [][]byte) error {
+	err = merged.forEachGroup(func(key string, values ValueIter) error {
 		keys++
-		var groupBytes int64
-		for _, v := range values {
-			groupBytes += int64(len(v))
-		}
-		for {
-			peak := atomic.LoadInt64(&stats.PeakGroupBytes)
-			if groupBytes <= peak || atomic.CompareAndSwapInt64(&stats.PeakGroupBytes, peak, groupBytes) {
-				break
-			}
-		}
 		return reducer.Reduce(key, values, emit)
 	})
 	if err != nil {

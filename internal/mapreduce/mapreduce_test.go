@@ -24,14 +24,21 @@ var wcMapper = MapperFunc(func(rec []byte, emit Emit) error {
 	return nil
 })
 
-var wcReducer = ReducerFunc(func(key string, values [][]byte, emit Emit) error {
+var wcReducer = ReducerFunc(func(key string, values ValueIter, emit Emit) error {
 	total := 0
-	for _, v := range values {
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
 		n, err := strconv.Atoi(string(v))
 		if err != nil {
 			return err
 		}
 		total += n
+	}
+	if err := values.Err(); err != nil {
+		return err
 	}
 	return emit(KeyValue{Key: key, Value: []byte(strconv.Itoa(total))})
 })
@@ -196,11 +203,14 @@ func TestValuesGroupedAndOrderedDeterministically(t *testing.T) {
 		return nil
 	})
 	var got []string
-	reducer := ReducerFunc(func(key string, values [][]byte, emit Emit) error {
-		for _, v := range values {
+	reducer := ReducerFunc(func(key string, values ValueIter, emit Emit) error {
+		for {
+			v, ok := values.Next()
+			if !ok {
+				return values.Err()
+			}
 			got = append(got, string(v))
 		}
-		return nil
 	})
 	_, err := Run(Config{Name: "order", TempDir: t.TempDir(), NumMappers: 1, NumReducers: 1},
 		mapper, reducer, input, NewMemOutput())
