@@ -40,6 +40,7 @@ import (
 	"agl/internal/nn"
 	"agl/internal/ps"
 	"agl/internal/sampling"
+	"agl/internal/serve"
 )
 
 // Graph-substrate types.
@@ -221,7 +222,45 @@ type (
 )
 
 // Infer runs the GraphInfer pipeline over the whole graph and returns
-// predicted scores for every node.
+// predicted scores for every node (plus final-layer embeddings when
+// cfg.KeepEmbeddings is set).
 func Infer(cfg InferConfig, m *Model, g *Graph) (*InferResult, error) {
 	return core.Infer(cfg, m, mapreduce.MemInput(core.TableRecords(g)))
+}
+
+// Online serving types. The serving tier answers per-node score requests
+// at request latency on top of the offline pipeline's artifacts: an
+// embedding store loaded from GraphInfer output serves "warm" nodes
+// through the model's prediction slice alone, unknown nodes fall back to
+// a micro-batched request-time forward pass, and a bounded LRU cache with
+// single-flight deduplication absorbs hub traffic.
+type (
+	// ServeConfig parameterizes an online inference Server.
+	ServeConfig = serve.Config
+	// Server is the online inference service.
+	Server = serve.Server
+	// ServeStats snapshots a Server's request accounting.
+	ServeStats = serve.Stats
+	// EmbeddingStore is a sharded, read-optimized store of final-layer
+	// node embeddings in a flat, mmap-friendly layout.
+	EmbeddingStore = serve.Store
+)
+
+// NewEmbeddingStore builds a sharded embedding store, typically from
+// InferResult.Embeddings (run Infer with KeepEmbeddings set). numShards
+// <= 0 selects a default.
+func NewEmbeddingStore(numShards int, embeddings map[int64][]float64) (*EmbeddingStore, error) {
+	return serve.NewStore(numShards, embeddings)
+}
+
+// LoadEmbeddingStore reads a store serialized with EmbeddingStore.WriteTo.
+func LoadEmbeddingStore(r io.Reader) (*EmbeddingStore, error) {
+	return serve.ReadStore(r)
+}
+
+// Serve starts an online inference server for m over g. store may be nil,
+// in which case every request takes the cold forward-pass path. Close the
+// returned Server when done.
+func Serve(cfg ServeConfig, m *Model, g *Graph, store *EmbeddingStore) (*Server, error) {
+	return serve.New(cfg, m, g, store)
 }

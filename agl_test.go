@@ -2,6 +2,8 @@ package agl_test
 
 import (
 	"bytes"
+	"context"
+	"math"
 	"testing"
 
 	"agl"
@@ -59,9 +61,10 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Whole-graph inference with the loaded model.
+	// Whole-graph inference with the loaded model; keep embeddings so the
+	// serving tier can build its store from them below.
 	inf, err := agl.Infer(agl.InferConfig{
-		MaxNeighbors: 10, Seed: 2, TempDir: t.TempDir(),
+		MaxNeighbors: 10, Seed: 2, TempDir: t.TempDir(), KeepEmbeddings: true,
 	}, loaded, ds.G)
 	if err != nil {
 		t.Fatal(err)
@@ -73,6 +76,77 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		if len(s) != 1 || s[0] < 0 || s[0] > 1 {
 			t.Fatalf("node %d: bad score %v", id, s)
 		}
+	}
+
+	// Online serving over the offline artifacts: warm requests off the
+	// embedding store must agree with the batch GraphInfer scores.
+	store, err := agl.NewEmbeddingStore(0, inf.Embeddings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var storeBuf bytes.Buffer
+	if _, err := store.WriteTo(&storeBuf); err != nil {
+		t.Fatal(err)
+	}
+	store, err = agl.LoadEmbeddingStore(&storeBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := agl.Serve(agl.ServeConfig{MaxNeighbors: 10, Seed: 2}, loaded, ds.G, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ids := ds.G.IDs()[:20]
+	scores, errs := srv.ScoreMany(context.Background(), ids)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, id := range ids {
+		if math.Abs(scores[i][0]-inf.Scores[id][0]) > 1e-12 {
+			t.Fatalf("node %d: served %v offline %v", id, scores[i][0], inf.Scores[id][0])
+		}
+	}
+	if st := srv.Stats(); st.Warm != int64(len(ids)) {
+		t.Fatalf("expected %d warm scores, got %+v", len(ids), st)
+	}
+}
+
+// TestPublicAPIConfigValidation: negative knobs fail fast with descriptive
+// errors instead of being silently clamped.
+func TestPublicAPIConfigValidation(t *testing.T) {
+	ds, err := agl.NewUUG(agl.UUGConfig{Nodes: 50, FeatDim: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := agl.BinaryTargets(ds, ds.Train)
+	if _, err := agl.Flatten(agl.FlatConfig{Hops: -1}, ds.G, targets); err == nil {
+		t.Fatal("negative Hops accepted")
+	}
+	if _, err := agl.Flatten(agl.FlatConfig{MaxNeighbors: -2}, ds.G, targets); err == nil {
+		t.Fatal("negative MaxNeighbors accepted")
+	}
+	model, err := agl.NewModel(agl.ModelConfig{Kind: agl.GCN, InDim: 4, Hidden: 4, Classes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agl.Infer(agl.InferConfig{NumReducers: -4}, model, ds.G); err == nil {
+		t.Fatal("negative NumReducers accepted")
+	}
+	cfg := agl.TrainConfig{Model: agl.ModelConfig{Kind: agl.GCN, InDim: 4, Hidden: 4, Classes: 1}}
+	cfg.Workers = -1
+	if _, err := agl.Train(cfg, [][]byte{{1}}); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+	cfg.Workers = 0
+	cfg.LR = math.Inf(1)
+	if _, err := agl.Train(cfg, [][]byte{{1}}); err == nil {
+		t.Fatal("infinite LR accepted")
+	}
+	if _, err := agl.Serve(agl.ServeConfig{CacheSize: -1}, model, ds.G, nil); err == nil {
+		t.Fatal("negative CacheSize accepted")
 	}
 }
 

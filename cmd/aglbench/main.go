@@ -20,7 +20,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aglbench: ")
 
-	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|fig7|fig8|shuffle|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|fig7|fig8|shuffle|serve|all")
 	quick := flag.Bool("quick", false, "CI-scale datasets and epochs")
 	seed := flag.Int64("seed", 1, "global seed")
 	verbose := flag.Bool("v", false, "progress logging")
@@ -56,6 +56,8 @@ func main() {
 		run("fig8", func() (fmt.Stringer, error) { return experiments.Fig8(opt) })
 	case "shuffle":
 		run("shuffle", func() (fmt.Stringer, error) { return experiments.Shuffle(opt) })
+	case "serve":
+		run("serve", func() (fmt.Stringer, error) { return experiments.Serve(opt) })
 	case "all":
 		if err := experiments.WriteAll(os.Stdout, opt); err != nil {
 			log.Fatal(err)

@@ -1,0 +1,237 @@
+// Command aglserve is AGL's online inference service: it loads a trained
+// model plus node/edge tables, optionally precomputes (or loads) an
+// embedding store via GraphInfer, and answers per-node score requests
+// over HTTP.
+//
+//	aglserve -m model.agl -n nodes.tsv -e edges.tsv -addr :8080
+//
+// Endpoints:
+//
+//	GET  /score?node=ID          one node  -> {"node":ID,"scores":[...]}
+//	POST /scores {"nodes":[..]}  bulk      -> {"scores":{"ID":[...],...}}
+//	GET  /stats                  request accounting
+//	GET  /healthz                liveness
+//
+// With -precompute (the default) GraphInfer runs once at startup so steady
+// traffic is served from the embedding store + prediction slice; -store
+// loads a previously saved store instead, and -save-store persists the
+// computed one for the next boot.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"time"
+
+	"agl/internal/core"
+	"agl/internal/gnn"
+	"agl/internal/graph"
+	"agl/internal/mapreduce"
+	"agl/internal/sampling"
+	"agl/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("aglserve: ")
+
+	modelPath := flag.String("m", "model.agl", "trained model file")
+	nodePath := flag.String("n", "", "node table TSV")
+	edgePath := flag.String("e", "", "edge table TSV")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	strategy := flag.String("s", "uniform", "sampling strategy (match training)")
+	maxNeighbors := flag.Int("max-neighbors", 0, "per-node in-edge cap (match training)")
+	hubThreshold := flag.Int("hub-threshold", 0, "re-indexing threshold for the precompute run (match training)")
+	seed := flag.Int64("seed", 1, "sampling seed (match training)")
+	precompute := flag.Bool("precompute", true, "run GraphInfer at startup to build the embedding store")
+	storePath := flag.String("store", "", "load the embedding store from this file instead of precomputing")
+	saveStore := flag.String("save-store", "", "write the precomputed embedding store to this file")
+	cacheSize := flag.Int("cache", 4096, "LRU score-cache entries")
+	maxBatch := flag.Int("max-batch", 64, "micro-batch size cap")
+	flag.Parse()
+
+	if *nodePath == "" || *edgePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := gnn.Load(mf)
+	mf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := graph.LoadTables(*nodePath, *edgePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strat, err := sampling.Parse(*strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var store *serve.Store
+	switch {
+	case *storePath != "":
+		f, err := os.Open(*storePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err = serve.ReadStore(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d embeddings (dim %d) from %s", store.Len(), store.Dim(), *storePath)
+	case *precompute:
+		t0 := time.Now()
+		res, err := core.Infer(core.InferConfig{
+			MaxNeighbors: *maxNeighbors, Strategy: strat, Seed: *seed,
+			HubThreshold: *hubThreshold, KeepEmbeddings: true,
+		}, model, mapreduce.MemInput(core.TableRecords(g)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, err = serve.NewStore(0, res.Embeddings)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("precomputed %d embeddings in %s", store.Len(), time.Since(t0).Round(time.Millisecond))
+		if *saveStore != "" {
+			f, err := os.Create(*saveStore)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := store.WriteTo(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("saved embedding store to %s", *saveStore)
+		}
+	}
+
+	srv, err := serve.New(serve.Config{
+		MaxNeighbors: *maxNeighbors, Strategy: strat, Seed: *seed,
+		CacheSize: *cacheSize, MaxBatch: *maxBatch,
+	}, model, g, store)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /score", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseInt(r.URL.Query().Get("node"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad node parameter: %w", err))
+			return
+		}
+		scores, err := srv.Score(r.Context(), id)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, map[string]any{"node": id, "scores": scores})
+	})
+	mux.HandleFunc("POST /scores", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Nodes []int64 `json:"nodes"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		scores, errs := srv.ScoreMany(r.Context(), req.Nodes)
+		out := make(map[string][]float64, len(req.Nodes))
+		failed := map[string]string{}
+		for i, id := range req.Nodes {
+			key := strconv.FormatInt(id, 10)
+			if errs[i] != nil {
+				failed[key] = errs[i].Error()
+				continue
+			}
+			out[key] = scores[i]
+		}
+		// Partial failures still return the scores that computed; the
+		// response is only an error status when nothing succeeded.
+		if len(out) == 0 && len(failed) > 0 {
+			var first error
+			for i := range errs {
+				if errs[i] != nil {
+					first = errs[i]
+					break
+				}
+			}
+			httpError(w, statusFor(first), first)
+			return
+		}
+		resp := map[string]any{"scores": out}
+		if len(failed) > 0 {
+			resp["errors"] = failed
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, srv.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		log.Printf("serving %d nodes on %s (store: %d embeddings)", g.NumNodes(), *addr, store.Len())
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	srv.Close()
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrUnknownNode):
+		return http.StatusNotFound
+	case errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}

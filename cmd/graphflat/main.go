@@ -43,7 +43,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	g, err := loadGraph(*nodePath, *edgePath)
+	g, err := graph.LoadTables(*nodePath, *edgePath)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,28 +76,6 @@ func main() {
 	fmt.Printf("wrote %d GraphFeature records to %s (%d MR rounds, %.2f MB shuffled)\n",
 		len(res.Records), *out, len(res.RoundStats),
 		float64(res.TotalShuffledBytes())/1e6)
-}
-
-func loadGraph(nodePath, edgePath string) (*graph.Graph, error) {
-	nf, err := os.Open(nodePath)
-	if err != nil {
-		return nil, err
-	}
-	defer nf.Close()
-	nodes, err := graph.ReadNodeTable(nf)
-	if err != nil {
-		return nil, err
-	}
-	ef, err := os.Open(edgePath)
-	if err != nil {
-		return nil, err
-	}
-	defer ef.Close()
-	edges, err := graph.ReadEdgeTable(ef)
-	if err != nil {
-		return nil, err
-	}
-	return graph.Build(nodes, edges)
 }
 
 func loadTargets(path string, g *graph.Graph) (map[int64]core.Target, error) {

@@ -52,7 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	g, err := loadGraph(*nodePath, *edgePath)
+	g, err := graph.LoadTables(*nodePath, *edgePath)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,26 +98,4 @@ func main() {
 	fmt.Printf("scored %d nodes in %s (%d MR rounds, %.2f MB shuffled) -> %s\n",
 		len(res.Scores), res.Wall.Round(1e6), len(res.RoundStats),
 		float64(res.TotalShuffledBytes())/1e6, *out)
-}
-
-func loadGraph(nodePath, edgePath string) (*graph.Graph, error) {
-	nf, err := os.Open(nodePath)
-	if err != nil {
-		return nil, err
-	}
-	defer nf.Close()
-	nodes, err := graph.ReadNodeTable(nf)
-	if err != nil {
-		return nil, err
-	}
-	ef, err := os.Open(edgePath)
-	if err != nil {
-		return nil, err
-	}
-	defer ef.Close()
-	edges, err := graph.ReadEdgeTable(ef)
-	if err != nil {
-		return nil, err
-	}
-	return graph.Build(nodes, edges)
 }

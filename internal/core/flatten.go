@@ -106,6 +106,9 @@ func (r *FlatResult) TotalShuffledBytes() int64 {
 // merge/propagate rounds. When re-indexing is enabled, each merge round is
 // preceded by a re-index/sample/invert job for hub keys (paper Figure 3).
 func Flatten(cfg FlatConfig, tables mapreduce.Input, targets map[int64]Target) (*FlatResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	res := &FlatResult{}
 

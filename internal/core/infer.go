@@ -23,6 +23,13 @@ type InferConfig struct {
 	Seed         int64
 	HubThreshold int
 
+	// KeepEmbeddings makes the prediction round carry every node's final
+	// layer-K embedding through to InferResult.Embeddings — the artifact
+	// the online serving tier's store is built from. Off by default:
+	// batch-only scoring runs would otherwise shuffle and retain an extra
+	// hidden-dim vector per node for no benefit.
+	KeepEmbeddings bool
+
 	NumMappers  int
 	NumReducers int
 	TempDir     string
@@ -56,7 +63,13 @@ func (c InferConfig) mrConfig(name string) mapreduce.Config {
 type InferResult struct {
 	// Scores maps node id to its predicted score vector: sigmoid
 	// probability for single-logit models, softmax distribution otherwise.
-	Scores     map[int64][]float64
+	Scores map[int64][]float64
+	// Embeddings maps node id to its final (layer-K) embedding — the
+	// artifact the online serving tier (internal/serve) loads into its
+	// read-optimized store so warm requests skip the K embedding rounds
+	// and only apply the prediction slice. Nil unless
+	// InferConfig.KeepEmbeddings is set.
+	Embeddings map[int64][]float64
 	RoundStats []*mapreduce.Stats
 	Wall       time.Duration
 }
@@ -87,9 +100,15 @@ func (r *InferResult) TotalBusy() time.Duration {
 // prediction slice. Every node's layer-k embedding is computed exactly
 // once.
 func Infer(cfg InferConfig, model *gnn.Model, tables mapreduce.Input) (*InferResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	res := &InferResult{Scores: make(map[int64][]float64)}
+	if cfg.KeepEmbeddings {
+		res.Embeddings = make(map[int64][]float64)
+	}
 
 	slices, err := model.Segment()
 	if err != nil {
@@ -168,7 +187,7 @@ func Infer(cfg InferConfig, model *gnn.Model, tables mapreduce.Input) (*InferRes
 	}
 	predOut := mapreduce.NewMemOutput()
 	stats, err = mapreduce.Run(cfg.mrConfig("infer-predict"),
-		mapreduce.IdentityMapper, predictReducer(predSlice), pairsInput(pairs), predOut)
+		mapreduce.IdentityMapper, predictReducer(predSlice, cfg.KeepEmbeddings), pairsInput(pairs), predOut)
 	if err != nil {
 		return nil, fmt.Errorf("core: GraphInfer predict: %w", err)
 	}
@@ -187,6 +206,9 @@ func Infer(cfg InferConfig, model *gnn.Model, tables mapreduce.Input) (*InferRes
 			return nil, fmt.Errorf("core: prediction round emitted tag %d", m.Tag)
 		}
 		res.Scores[id] = m.Scores
+		if res.Embeddings != nil && m.Emb != nil {
+			res.Embeddings[id] = m.Emb.H
+		}
 	}
 	res.Wall = time.Since(start)
 	return res, nil
@@ -247,7 +269,7 @@ func OriginalInfer(cfg FlatConfig, model *gnn.Model, tables mapreduce.Input, ids
 			return nil, err
 		}
 		logits := model.Infer(b.Graph, gnn.RunOptions{})
-		res.Scores[tr.TargetID] = scoresFromLogits(logits.Row(0))
+		res.Scores[tr.TargetID] = ScoresFromLogits(logits.Row(0))
 	}
 	res.ForwardWall = time.Since(t1)
 	res.ForwardBusy = res.ForwardWall
@@ -383,8 +405,9 @@ func embReducer(cfg FlatConfig, slice *gnn.Slice, round int, final bool) mapredu
 
 // predictReducer applies the prediction slice to each node's final
 // embedding and emits the predicted score (paper: "the last Reduce phase is
-// responsible to infer the final predicted score").
-func predictReducer(slice *gnn.Slice) mapreduce.Reducer {
+// responsible to infer the final predicted score"). With keepEmb the
+// embedding rides along so the serving tier can build its store.
+func predictReducer(slice *gnn.Slice, keepEmb bool) mapreduce.Reducer {
 	return mapreduce.ReducerFunc(func(key string, values mapreduce.ValueIter, emit mapreduce.Emit) error {
 		for {
 			v, ok := values.Next()
@@ -399,8 +422,11 @@ func predictReducer(slice *gnn.Slice) mapreduce.Reducer {
 				return fmt.Errorf("core: predict reducer got tag %d", m.Tag)
 			}
 			logits := gnn.ApplyDense(slice.Head, m.Emb.H)
-			scores := scoresFromLogits(logits)
+			scores := ScoresFromLogits(logits)
 			sm := flatMsg{Tag: tagScore, Scores: scores}
+			if keepEmb {
+				sm.Emb = m.Emb
+			}
 			if err := emit(mapreduce.KeyValue{Key: key, Value: sm.encode()}); err != nil {
 				return err
 			}
@@ -408,9 +434,10 @@ func predictReducer(slice *gnn.Slice) mapreduce.Reducer {
 	})
 }
 
-// scoresFromLogits converts raw logits to predicted scores: sigmoid for a
-// single output, softmax otherwise.
-func scoresFromLogits(logits []float64) []float64 {
+// ScoresFromLogits converts raw logits to predicted scores: sigmoid for a
+// single output, softmax otherwise. GraphInfer's prediction round and the
+// online serving tier share it so offline and online scores agree.
+func ScoresFromLogits(logits []float64) []float64 {
 	if len(logits) == 1 {
 		return []float64{nn.Sigmoid(logits[0])}
 	}

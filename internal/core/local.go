@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"agl/internal/graph"
+	"agl/internal/sampling"
+	"agl/internal/wire"
+)
+
+// ErrNodeNotFound marks a request for a node id absent from the graph;
+// callers can distinguish it (errors.Is) from internal failures.
+var ErrNodeNotFound = errors.New("node not in graph")
+
+// LocalFlattener materializes the k-hop GraphFeature of a single node
+// directly from an in-memory graph — the online counterpart of the batch
+// Flatten pipeline. The serving tier (internal/serve) uses it for "cold"
+// nodes whose embedding is not in the offline store: a request-time BFS
+// along in-edges replaces the K MapReduce merge rounds, producing a
+// TrainRecord a forward pass can consume.
+//
+// With sampling disabled (MaxNeighbors = 0) the extracted subgraph contains
+// exactly the nodes and edges GraphFlat would materialize for the same
+// target: every node on a directed path of length ≤ Hops into the target,
+// and every in-edge of nodes within Hops−1. With sampling enabled, the same
+// Strategy and a deterministic per-(node, depth) RNG keep decisions stable
+// across requests, though they need not coincide with the offline run's
+// per-round choices.
+type LocalFlattener struct {
+	cfg FlatConfig
+	g   *graph.Graph
+	// ins[i] lists node i's in-edges (by dense index); deg[i] is the
+	// node's normalization degree (weighted in-degree + 1), matching
+	// WeightedInDegrees.
+	ins [][]inRef
+	deg []float64
+}
+
+type inRef struct {
+	src   int
+	w     float64
+	efeat []float64
+}
+
+// NewLocalFlattener indexes g's in-edges for request-time extraction.
+func NewLocalFlattener(cfg FlatConfig, g *graph.Graph) *LocalFlattener {
+	cfg = cfg.withDefaults()
+	lf := &LocalFlattener{
+		cfg: cfg,
+		g:   g,
+		ins: make([][]inRef, g.NumNodes()),
+		deg: make([]float64, g.NumNodes()),
+	}
+	for i := range lf.deg {
+		lf.deg[i] = 1 // isolated nodes normalize by 1, as in WeightedInDegrees
+	}
+	for _, e := range g.Edges {
+		si := g.MustIndex(e.Src)
+		di := g.MustIndex(e.Dst)
+		lf.ins[di] = append(lf.ins[di], inRef{src: si, w: e.Weight, efeat: e.Feat})
+		lf.deg[di] += e.Weight
+	}
+	return lf
+}
+
+// GraphFeature extracts the target's k-hop neighborhood as a TrainRecord
+// (Label −1: inference has no supervision). It errors on unknown node ids.
+func (lf *LocalFlattener) GraphFeature(id int64) (*wire.TrainRecord, error) {
+	ti, ok := lf.g.Index(id)
+	if !ok {
+		return nil, fmt.Errorf("core: node %d: %w", id, ErrNodeNotFound)
+	}
+	sg := &wire.Subgraph{Target: id}
+	added := map[int]bool{ti: true}
+	sg.Nodes = append(sg.Nodes, lf.sgNode(ti))
+
+	frontier := []int{ti}
+	for depth := 1; depth <= lf.cfg.Hops && len(frontier) > 0; depth++ {
+		var next []int
+		for _, v := range frontier {
+			for _, in := range lf.sampledIns(v, depth) {
+				sg.Edges = append(sg.Edges, wire.SGEdge{
+					Src:    lf.g.Nodes[in.src].ID,
+					Dst:    lf.g.Nodes[v].ID,
+					Weight: in.w,
+					Feat:   in.efeat,
+				})
+				if !added[in.src] {
+					added[in.src] = true
+					sg.Nodes = append(sg.Nodes, lf.sgNode(in.src))
+					next = append(next, in.src)
+				}
+			}
+		}
+		frontier = next
+	}
+	return &wire.TrainRecord{TargetID: id, Label: -1, SG: sg}, nil
+}
+
+func (lf *LocalFlattener) sgNode(i int) wire.SGNode {
+	n := lf.g.Nodes[i]
+	return wire.SGNode{ID: n.ID, Feat: n.Feat, Deg: lf.deg[i]}
+}
+
+// sampledIns applies the shared sampling framework to node i's in-edges:
+// candidates funnel through the same canonical ordering and Strategy as
+// GraphFlat/GraphInfer, with a per-(node, depth) RNG for determinism.
+func (lf *LocalFlattener) sampledIns(i, depth int) []inRef {
+	ins := lf.ins[i]
+	if lf.cfg.MaxNeighbors <= 0 || len(ins) <= lf.cfg.MaxNeighbors {
+		return ins
+	}
+	msgs := make([]*flatMsg, len(ins))
+	for j, in := range ins {
+		msgs[j] = &flatMsg{Src: lf.g.Nodes[in.src].ID, W: in.w, EFeat: in.efeat}
+	}
+	kept := sampleInEdgesWithRNG(lf.cfg.MaxNeighbors, lf.cfg.Strategy,
+		sampling.NodeRNG(lf.cfg.Seed, lf.g.Nodes[i].ID, depth), msgs)
+	out := make([]inRef, 0, len(kept))
+	for _, m := range kept {
+		out = append(out, inRef{src: lf.g.MustIndex(m.Src), w: m.W, efeat: m.EFeat})
+	}
+	return out
+}

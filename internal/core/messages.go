@@ -32,7 +32,7 @@ type flatMsg struct {
 	Src     int64          // tagInEdge, tagInEmb
 	Payload *wire.Subgraph // tagSelf, tagInEdge
 
-	Emb    *wire.Embedding // tagEmbSelf, tagInEmb
+	Emb    *wire.Embedding // tagEmbSelf, tagInEmb; tagScore optionally (KeepEmbeddings)
 	Scores []float64       // tagScore
 }
 
@@ -62,6 +62,12 @@ func (m *flatMsg) encode() []byte {
 		b = wire.EncodeEmbedding(b, m.Emb)
 	case tagScore:
 		b = wire.AppendFloat64s(b, m.Scores)
+		if m.Emb != nil {
+			b = append(b, 1)
+			b = wire.EncodeEmbedding(b, m.Emb)
+		} else {
+			b = append(b, 0)
+		}
 	default:
 		panic(fmt.Sprintf("core: encode of unknown tag %d", m.Tag))
 	}
@@ -99,6 +105,9 @@ func decodeMsg(buf []byte) (*flatMsg, error) {
 		m.Emb, err = wire.DecodeEmbedding(r)
 	case tagScore:
 		m.Scores = r.Float64s()
+		if r.Uvarint() == 1 {
+			m.Emb, err = wire.DecodeEmbedding(r)
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown shuffle tag %d", m.Tag)
 	}

@@ -151,6 +151,9 @@ type epochAcc struct {
 // Train runs distributed parameter-server training over encoded
 // GraphFeature records (GraphFlat's output).
 func Train(cfg TrainConfig, records [][]byte) (*TrainResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	if len(records) == 0 {
 		return nil, fmt.Errorf("core: no training records")
@@ -238,6 +241,9 @@ func Train(cfg TrainConfig, records [][]byte) (*TrainResult, error) {
 // of the paper's Figure 7. Epochs are globally synchronized (workers are
 // re-joined per epoch), so it is slower than Train.
 func TrainWithHistory(cfg TrainConfig, records [][]byte) (*TrainResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	if cfg.Eval == nil {
 		return Train(cfg, records)

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Validation for the public pipeline configs. Zero values keep their
+// "pick a sensible default" meaning (withDefaults), but explicitly
+// negative or non-finite inputs — which the defaults used to silently
+// clamp or which would quietly misbehave downstream — are rejected with
+// descriptive errors before any MapReduce round runs.
+
+// Validate rejects nonsensical GraphFlat parameters.
+func (c FlatConfig) Validate() error {
+	if c.Hops < 0 {
+		return fmt.Errorf("core: FlatConfig.Hops must be >= 1 (0 selects the default), got %d", c.Hops)
+	}
+	if c.MaxNeighbors < 0 {
+		return fmt.Errorf("core: FlatConfig.MaxNeighbors must be >= 0 (0 disables sampling), got %d", c.MaxNeighbors)
+	}
+	if c.HubThreshold < 0 {
+		return fmt.Errorf("core: FlatConfig.HubThreshold must be >= 0 (0 disables re-indexing), got %d", c.HubThreshold)
+	}
+	return validateMRKnobs("FlatConfig", c.NumMappers, c.NumReducers, c.MaxAttempts)
+}
+
+// Validate rejects nonsensical GraphInfer parameters.
+func (c InferConfig) Validate() error {
+	if c.MaxNeighbors < 0 {
+		return fmt.Errorf("core: InferConfig.MaxNeighbors must be >= 0 (0 disables sampling), got %d", c.MaxNeighbors)
+	}
+	if c.HubThreshold < 0 {
+		return fmt.Errorf("core: InferConfig.HubThreshold must be >= 0 (0 disables re-indexing), got %d", c.HubThreshold)
+	}
+	return validateMRKnobs("InferConfig", c.NumMappers, c.NumReducers, c.MaxAttempts)
+}
+
+// Validate rejects nonsensical GraphTrainer parameters.
+func (c TrainConfig) Validate() error {
+	if c.BatchSize < 0 {
+		return fmt.Errorf("core: TrainConfig.BatchSize must be >= 1 (0 selects the default), got %d", c.BatchSize)
+	}
+	if c.Epochs < 0 {
+		return fmt.Errorf("core: TrainConfig.Epochs must be >= 1 (0 selects the default), got %d", c.Epochs)
+	}
+	if c.LR < 0 || math.IsNaN(c.LR) || math.IsInf(c.LR, 0) {
+		return fmt.Errorf("core: TrainConfig.LR must be a finite value >= 0 (0 selects the default), got %v", c.LR)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: TrainConfig.Workers must be >= 0 (0 selects the default), got %d", c.Workers)
+	}
+	if c.PSShards < 0 {
+		return fmt.Errorf("core: TrainConfig.PSShards must be >= 0 (0 selects the default), got %d", c.PSShards)
+	}
+	if c.AggThreads < 0 {
+		return fmt.Errorf("core: TrainConfig.AggThreads must be >= 0 (<= 1 aggregates serially), got %d", c.AggThreads)
+	}
+	if c.EvalEvery < 0 {
+		return fmt.Errorf("core: TrainConfig.EvalEvery must be >= 0 (0 selects the default), got %d", c.EvalEvery)
+	}
+	if c.Patience < 0 {
+		return fmt.Errorf("core: TrainConfig.Patience must be >= 0 (0 disables early stopping), got %d", c.Patience)
+	}
+	if c.Model.Dropout < 0 || c.Model.Dropout >= 1 {
+		return fmt.Errorf("core: TrainConfig.Model.Dropout must be in [0, 1), got %v", c.Model.Dropout)
+	}
+	if c.Model.Layers < 0 {
+		return fmt.Errorf("core: TrainConfig.Model.Layers must be >= 1 (0 selects the default), got %d", c.Model.Layers)
+	}
+	return nil
+}
+
+func validateMRKnobs(cfg string, mappers, reducers, attempts int) error {
+	if mappers < 0 {
+		return fmt.Errorf("core: %s.NumMappers must be >= 0 (0 selects the default), got %d", cfg, mappers)
+	}
+	if reducers < 0 {
+		return fmt.Errorf("core: %s.NumReducers must be >= 0 (0 selects the default), got %d", cfg, reducers)
+	}
+	if attempts < 0 {
+		return fmt.Errorf("core: %s.MaxAttempts must be >= 0 (0 selects the default), got %d", cfg, attempts)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFlatConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  FlatConfig
+		want string // substring of the error, "" for valid
+	}{
+		{"zero value ok", FlatConfig{}, ""},
+		{"sane ok", FlatConfig{Hops: 3, MaxNeighbors: 10, HubThreshold: 50, NumReducers: 4}, ""},
+		{"negative hops", FlatConfig{Hops: -1}, "Hops"},
+		{"negative max neighbors", FlatConfig{MaxNeighbors: -2}, "MaxNeighbors"},
+		{"negative hub threshold", FlatConfig{HubThreshold: -1}, "HubThreshold"},
+		{"negative mappers", FlatConfig{NumMappers: -1}, "NumMappers"},
+		{"negative reducers", FlatConfig{NumReducers: -4}, "NumReducers"},
+		{"negative attempts", FlatConfig{MaxAttempts: -1}, "MaxAttempts"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error mentioning %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestInferConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  InferConfig
+		want string
+	}{
+		{"zero value ok", InferConfig{}, ""},
+		{"negative max neighbors", InferConfig{MaxNeighbors: -1}, "MaxNeighbors"},
+		{"negative hub threshold", InferConfig{HubThreshold: -9}, "HubThreshold"},
+		{"negative mappers", InferConfig{NumMappers: -2}, "NumMappers"},
+		{"negative reducers", InferConfig{NumReducers: -1}, "NumReducers"},
+		{"negative attempts", InferConfig{MaxAttempts: -3}, "MaxAttempts"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error mentioning %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestTrainConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  TrainConfig
+		want string
+	}{
+		{"zero value ok", TrainConfig{}, ""},
+		{"negative batch", TrainConfig{BatchSize: -1}, "BatchSize"},
+		{"negative epochs", TrainConfig{Epochs: -5}, "Epochs"},
+		{"negative lr", TrainConfig{LR: -0.1}, "LR"},
+		{"nan lr", TrainConfig{LR: math.NaN()}, "LR"},
+		{"inf lr", TrainConfig{LR: math.Inf(1)}, "LR"},
+		{"negative workers", TrainConfig{Workers: -2}, "Workers"},
+		{"negative shards", TrainConfig{PSShards: -1}, "PSShards"},
+		{"negative agg threads", TrainConfig{AggThreads: -1}, "AggThreads"},
+		{"negative eval every", TrainConfig{EvalEvery: -1}, "EvalEvery"},
+		{"negative patience", TrainConfig{Patience: -1}, "Patience"},
+		{"dropout too high", trainCfgDropout(1.0), "Dropout"},
+		{"dropout negative", trainCfgDropout(-0.2), "Dropout"},
+		{"negative layers", trainCfgLayers(-1), "Layers"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error mentioning %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func trainCfgDropout(d float64) TrainConfig {
+	c := TrainConfig{}
+	c.Model.Dropout = d
+	return c
+}
+
+func trainCfgLayers(l int) TrainConfig {
+	c := TrainConfig{}
+	c.Model.Layers = l
+	return c
+}
+
+// TestValidationRejectsBeforeRunning: the pipeline entry points surface
+// validation errors instead of clamping.
+func TestValidationRejectsBeforeRunning(t *testing.T) {
+	if _, err := Flatten(FlatConfig{Hops: -3}, nil, nil); err == nil {
+		t.Fatal("Flatten accepted negative Hops")
+	}
+	if _, err := Infer(InferConfig{NumReducers: -1}, nil, nil); err == nil {
+		t.Fatal("Infer accepted negative NumReducers")
+	}
+	if _, err := Train(TrainConfig{Workers: -1}, nil); err == nil {
+		t.Fatal("Train accepted negative Workers")
+	}
+	if _, err := TrainWithHistory(TrainConfig{Epochs: -1}, nil); err == nil {
+		t.Fatal("TrainWithHistory accepted negative Epochs")
+	}
+}

@@ -1,27 +1,32 @@
 // Package e2e drives the built command-line binaries end to end: the
-// GraphFlat → GraphTrainer → GraphInfer workflow of the paper's Figure 6,
-// exercised exactly as an operator would run it.
+// GraphFlat → GraphTrainer → GraphInfer workflow of the paper's Figure 6
+// plus the aglserve online tier, exercised exactly as an operator would
+// run them.
 package e2e
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"agl/internal/datagen"
 	"agl/internal/graph"
 )
 
-// buildCmds compiles the three CLIs into dir.
+// buildCmds compiles the CLIs into dir.
 func buildCmds(t *testing.T, dir string) map[string]string {
 	t.Helper()
 	bins := map[string]string{}
-	for _, name := range []string{"graphflat", "graphtrainer", "graphinfer"} {
+	for _, name := range []string{"graphflat", "graphtrainer", "graphinfer", "aglserve"} {
 		bin := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", bin, "agl/cmd/"+name)
 		cmd.Dir = repoRoot(t)
@@ -148,4 +153,146 @@ func TestCLIPipelineEndToEnd(t *testing.T) {
 			t.Fatalf("bad score %q: %v", line, err)
 		}
 	}
+
+	// Step 4: aglserve — the online tier over the same artifacts. Scores
+	// served over HTTP must match GraphInfer's TSV output.
+	wantScores := map[string]float64{}
+	for _, line := range lines {
+		parts := strings.Split(line, "\t")
+		v, _ := strconv.ParseFloat(strings.Split(parts[1], ",")[0], 64)
+		wantScores[parts[0]] = v
+	}
+	addr := freeAddr(t)
+	serveCmd := exec.Command(bins["aglserve"],
+		"-m", modelPath, "-n", nodePath, "-e", edgePath,
+		"-s", "weighted", "-max-neighbors", "10", "-seed", "3",
+		"-addr", addr)
+	var serveOut bytes.Buffer
+	serveCmd.Stdout = &serveOut
+	serveCmd.Stderr = &serveOut
+	if err := serveCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		serveCmd.Process.Kill()
+		serveCmd.Wait()
+	}()
+	waitHealthy(t, addr, &serveOut)
+
+	var single struct {
+		Node   int64     `json:"node"`
+		Scores []float64 `json:"scores"`
+	}
+	getJSON(t, "http://"+addr+"/score?node="+strconv.FormatInt(ds.G.Nodes[0].ID, 10), &single)
+	want := wantScores[strconv.FormatInt(ds.G.Nodes[0].ID, 10)]
+	if len(single.Scores) != 1 || abs(single.Scores[0]-want) > 1e-6 {
+		t.Fatalf("served score %v, GraphInfer TSV has %v", single.Scores, want)
+	}
+
+	ids := []int64{ds.G.Nodes[1].ID, ds.G.Nodes[2].ID, ds.G.Nodes[3].ID}
+	body, _ := json.Marshal(map[string][]int64{"nodes": ids})
+	resp, err := http.Post("http://"+addr+"/scores", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := bodyText(resp)
+		t.Fatalf("POST /scores: status %d: %s", resp.StatusCode, msg)
+	}
+	var bulk struct {
+		Scores map[string][]float64 `json:"scores"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&bulk); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(bulk.Scores) != len(ids) {
+		t.Fatalf("bulk returned %d scores, want %d", len(bulk.Scores), len(ids))
+	}
+	for _, id := range ids {
+		key := strconv.FormatInt(id, 10)
+		if abs(bulk.Scores[key][0]-wantScores[key]) > 1e-6 {
+			t.Fatalf("node %s: served %v, GraphInfer TSV has %v", key, bulk.Scores[key][0], wantScores[key])
+		}
+	}
+
+	var stats struct {
+		Requests int64
+		Warm     int64
+	}
+	getJSON(t, "http://"+addr+"/stats", &stats)
+	if stats.Requests != 4 || stats.Warm != 4 {
+		t.Fatalf("stats after 4 precomputed-node requests: %+v\nserver log:\n%s", stats, serveOut.String())
+	}
+
+	// Unknown node -> client error, not a crash.
+	r, err := http.Get("http://" + addr + "/score?node=999999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown node returned %d", r.StatusCode)
+	}
+}
+
+// bodyText drains a response body for an error message.
+func bodyText(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.String(), err
+}
+
+// getJSON fetches url and decodes the JSON response into v.
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// freeAddr grabs an ephemeral localhost port for the server to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// waitHealthy polls /healthz until the server is up (it precomputes the
+// embedding store via GraphInfer at boot).
+func waitHealthy(t *testing.T, addr string, log *bytes.Buffer) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("aglserve never became healthy; log:\n%s", log.String())
 }

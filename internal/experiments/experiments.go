@@ -128,5 +128,10 @@ func WriteAll(w io.Writer, opt Options) error {
 		return err
 	}
 	fmt.Fprintln(w, sh)
+	sv, err := Serve(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, sv)
 	return nil
 }

@@ -135,3 +135,29 @@ func TestFig8Quick(t *testing.T) {
 		}
 	}
 }
+
+func TestServeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := Serve(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 3 {
+		t.Fatalf("phases=%d want 3", len(res.Phases))
+	}
+	// The acceptance bar for the serving tier: answering from the score
+	// cache must beat the request-time forward pass by at least 10x.
+	if res.HitColdSpeedup < 10 {
+		t.Fatalf("cache hit only %.1fx faster than cold path", res.HitColdSpeedup)
+	}
+	if res.HubForwardPasses != 1 {
+		t.Fatalf("hub burst ran %d forward passes, want 1", res.HubForwardPasses)
+	}
+	for _, p := range res.Phases {
+		if p.Throughput <= 0 || p.P99 < p.P50 {
+			t.Fatalf("malformed phase %+v", p)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agl/internal/core"
+	"agl/internal/datagen"
+	"agl/internal/gnn"
+	"agl/internal/mapreduce"
+	"agl/internal/nn"
+	"agl/internal/serve"
+)
+
+// ServePhase is one load-test phase: a traffic shape against the online
+// server with its latency distribution.
+type ServePhase struct {
+	Name       string
+	Requests   int
+	Wall       time.Duration
+	P50, P99   time.Duration
+	Throughput float64 // requests/second
+}
+
+// ServeResult records the online-serving load test: the same request
+// volume pushed through the three serving tiers (cold forward passes,
+// warm store lookups, hot cache hits) plus the single-flight hub-collapse
+// measurement. It is the perf anchor for the serving tier — re-run it
+// after serve/ changes.
+type ServeResult struct {
+	Nodes   int
+	Clients int
+	Phases  []ServePhase
+	// HitColdSpeedup is p50(cold) / p50(hot): how much faster a cache hit
+	// answers than a request-time forward pass.
+	HitColdSpeedup float64
+	// HubRequests concurrent requests for one cold node collapsed into
+	// HubForwardPasses computations (single-flight).
+	HubRequests      int
+	HubForwardPasses int64
+	Text             string
+}
+
+func (r *ServeResult) String() string { return r.Text }
+
+// Serve runs the online-serving load test: an in-process Server hammered
+// by concurrent clients, one phase per serving tier.
+func Serve(opt Options) (*ServeResult, error) {
+	nodes, requests, clients, hubBurst := 6000, 4000, 16, 2000
+	if opt.Quick {
+		nodes, requests, clients, hubBurst = 1200, 800, 8, 400
+	}
+	ds, err := datagen.UUG(datagen.UUGConfig{Nodes: nodes, FeatDim: 16, Seed: opt.Seed + 11})
+	if err != nil {
+		return nil, err
+	}
+	model, err := gnn.NewModel(gnn.Config{
+		Kind: gnn.KindGCN, InDim: ds.G.FeatureDim(), Hidden: 16, Classes: 1,
+		Layers: 2, Act: nn.ActTanh, Seed: opt.Seed + 12,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opt.logf("serve: GraphInfer precompute over %d nodes", nodes)
+	inf, err := core.Infer(core.InferConfig{Seed: opt.Seed, TempDir: opt.TempDir, NumReducers: 8, KeepEmbeddings: true},
+		model, mapreduce.MemInput(core.TableRecords(ds.G)))
+	if err != nil {
+		return nil, err
+	}
+	store, err := serve.NewStore(0, inf.Embeddings)
+	if err != nil {
+		return nil, err
+	}
+	ids := ds.G.IDs()
+
+	res := &ServeResult{Nodes: nodes, Clients: clients, HubRequests: hubBurst}
+
+	// Phase 1 — cold: no embedding store, every node requested once, so
+	// every score is a request-time k-hop extraction + forward pass
+	// (micro-batched across clients).
+	coldSrv, err := serve.New(serve.Config{Seed: opt.Seed}, model, ds.G, nil)
+	if err != nil {
+		return nil, err
+	}
+	opt.logf("serve: cold phase, %d requests", min(requests, len(ids)))
+	cold, err := loadPhase("cold (forward pass)", coldSrv, uniqueIDs(ids, requests), clients)
+	coldSrv.Close()
+	if err != nil {
+		return nil, err
+	}
+	res.Phases = append(res.Phases, cold)
+
+	// Phase 2 — warm: embedding store loaded, fresh cache, every node
+	// requested once: store lookup + prediction slice only.
+	warmSrv, err := serve.New(serve.Config{Seed: opt.Seed}, model, ds.G, store)
+	if err != nil {
+		return nil, err
+	}
+	opt.logf("serve: warm phase, %d requests", min(requests, len(ids)))
+	warm, err := loadPhase("warm (store)", warmSrv, uniqueIDs(ids, requests), clients)
+	if err != nil {
+		warmSrv.Close()
+		return nil, err
+	}
+	res.Phases = append(res.Phases, warm)
+
+	// Phase 3 — hot: the same server, traffic concentrated on a small
+	// working set that fits the LRU: cache hits.
+	hot := make([]int64, requests)
+	for i := range hot {
+		hot[i] = ids[i%256]
+	}
+	opt.logf("serve: hot phase, %d requests", len(hot))
+	hotPhase, err := loadPhase("hot (cache hit)", warmSrv, hot, clients)
+	warmSrv.Close()
+	if err != nil {
+		return nil, err
+	}
+	res.Phases = append(res.Phases, hotPhase)
+	res.HitColdSpeedup = float64(cold.P50) / float64(hotPhase.P50)
+
+	// Hub collapse: a burst of concurrent requests for one cold node must
+	// compute exactly one forward pass.
+	hubSrv, err := serve.New(serve.Config{Seed: opt.Seed}, model, ds.G, nil)
+	if err != nil {
+		return nil, err
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	hubErr := atomic.Value{}
+	for i := 0; i < hubBurst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, err := hubSrv.Score(context.Background(), ids[0]); err != nil {
+				hubErr.Store(err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	res.HubForwardPasses = hubSrv.Stats().Cold
+	hubSrv.Close()
+	if err, ok := hubErr.Load().(error); ok {
+		return nil, err
+	}
+
+	rows := make([][]string, 0, len(res.Phases))
+	for _, p := range res.Phases {
+		rows = append(rows, []string{
+			p.Name,
+			fmt.Sprintf("%d", p.Requests),
+			fmt.Sprintf("%.0f", p.Throughput),
+			fmtLatency(p.P50),
+			fmtLatency(p.P99),
+		})
+	}
+	res.Text = fmt.Sprintf(
+		"Online serving: %d-node graph, %d concurrent clients (GCN, hidden 16, 2 hops)\n%s"+
+			"cache hit vs cold forward pass: %.0fx faster (p50)\n"+
+			"single-flight: %d concurrent requests for one cold node -> %d forward pass(es)\n",
+		nodes, clients,
+		table([]string{"Phase", "Requests", "Req/s", "p50", "p99"}, rows),
+		res.HitColdSpeedup, res.HubRequests, res.HubForwardPasses)
+	return res, nil
+}
+
+// uniqueIDs returns up to n distinct ids (every request a cache miss).
+func uniqueIDs(ids []int64, n int) []int64 {
+	if n > len(ids) {
+		n = len(ids)
+	}
+	return ids[:n]
+}
+
+// loadPhase drives one traffic shape: clients pull the next request index
+// off a shared counter and record per-request latency.
+func loadPhase(name string, srv *serve.Server, reqIDs []int64, clients int) (ServePhase, error) {
+	lats := make([]time.Duration, len(reqIDs))
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqIDs) {
+					return
+				}
+				s := time.Now()
+				if _, err := srv.Score(context.Background(), reqIDs[i]); err != nil {
+					firstErr.Store(err)
+					return
+				}
+				lats[i] = time.Since(s)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	if err, ok := firstErr.Load().(error); ok {
+		return ServePhase{}, fmt.Errorf("%s: %w", name, err)
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	return ServePhase{
+		Name:       name,
+		Requests:   len(reqIDs),
+		Wall:       wall,
+		P50:        lats[len(lats)/2],
+		P99:        lats[len(lats)*99/100],
+		Throughput: float64(len(reqIDs)) / wall.Seconds(),
+	}, nil
+}
+
+func fmtLatency(d time.Duration) string {
+	switch {
+	case d < 10*time.Microsecond:
+		return fmt.Sprintf("%.2fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d.Nanoseconds())/1e3)
+	default:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 )
@@ -134,4 +135,28 @@ func splitFloats(s string) ([]float64, error) {
 		out[i] = v
 	}
 	return out, nil
+}
+
+// LoadTables opens and parses node/edge table TSVs and builds the graph —
+// the shared loader for every CLI binary.
+func LoadTables(nodePath, edgePath string) (*Graph, error) {
+	nf, err := os.Open(nodePath)
+	if err != nil {
+		return nil, err
+	}
+	defer nf.Close()
+	nodes, err := ReadNodeTable(nf)
+	if err != nil {
+		return nil, fmt.Errorf("graph: node table %s: %w", nodePath, err)
+	}
+	ef, err := os.Open(edgePath)
+	if err != nil {
+		return nil, err
+	}
+	defer ef.Close()
+	edges, err := ReadEdgeTable(ef)
+	if err != nil {
+		return nil, fmt.Errorf("graph: edge table %s: %w", edgePath, err)
+	}
+	return Build(nodes, edges)
 }

@@ -233,7 +233,10 @@ func TestDistributedConvergence(t *testing.T) {
 			defer client.Deregister()
 			lo := w * nSamples / workers
 			hi := (w + 1) * nSamples / workers
-			for step := 0; step < 150; step++ {
+			// Enough steps that convergence is robust to scheduling: async
+			// staleness varies run to run (markedly so under -race), and
+			// 150 steps left the final error straddling the threshold.
+			for step := 0; step < 400; step++ {
 				if err := client.PullInto(local); err != nil {
 					t.Error(err)
 					return

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"agl/internal/core"
+	"agl/internal/datagen"
+	"agl/internal/gnn"
+	"agl/internal/graph"
+	"agl/internal/mapreduce"
+	"agl/internal/nn"
+)
+
+func benchServer(b *testing.B, withStore bool, cacheSize int) (*Server, *graph.Graph) {
+	b.Helper()
+	ds, err := datagen.UUG(datagen.UUGConfig{Nodes: 2000, FeatDim: 16, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := gnn.NewModel(gnn.Config{
+		Kind: gnn.KindGCN, InDim: ds.G.FeatureDim(), Hidden: 16, Classes: 1,
+		Layers: 2, Act: nn.ActTanh, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var store *Store
+	if withStore {
+		res, err := core.Infer(core.InferConfig{Seed: 4, TempDir: b.TempDir(), KeepEmbeddings: true},
+			model, mapreduce.MemInput(core.TableRecords(ds.G)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		store, err = NewStore(16, res.Embeddings)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv, err := New(Config{Seed: 4, CacheSize: cacheSize}, model, ds.G, store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return srv, ds.G
+}
+
+// BenchmarkScoreCacheHit measures the fully cached fast path.
+func BenchmarkScoreCacheHit(b *testing.B) {
+	srv, g := benchServer(b, true, 4096)
+	id := g.Nodes[0].ID
+	if _, err := srv.Score(context.Background(), id); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Score(context.Background(), id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScoreWarmStore measures the store-lookup + prediction-slice
+// path; a 1-entry cache keeps every request a cache miss.
+func BenchmarkScoreWarmStore(b *testing.B) {
+	srv, g := benchServer(b, true, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := g.Nodes[i%len(g.Nodes)].ID
+		if _, err := srv.Score(context.Background(), id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScoreColdForward measures the request-time k-hop extraction +
+// forward-pass path (no store, 1-entry cache).
+func BenchmarkScoreColdForward(b *testing.B) {
+	srv, g := benchServer(b, false, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := g.Nodes[i%len(g.Nodes)].ID
+		if _, err := srv.Score(context.Background(), id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScoreParallelHot measures contended throughput on a small hot
+// working set — the hub-traffic shape single-flight and the LRU exist for.
+func BenchmarkScoreParallelHot(b *testing.B) {
+	srv, g := benchServer(b, true, 4096)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			id := g.Nodes[i%64].ID
+			if _, err := srv.Score(context.Background(), id); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}

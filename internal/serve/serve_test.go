@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"agl/internal/core"
+	"agl/internal/datagen"
+	"agl/internal/gnn"
+	"agl/internal/graph"
+	"agl/internal/mapreduce"
+	"agl/internal/nn"
+)
+
+// testGraph builds a small power-law graph plus a trained-shape model and
+// its GraphInfer result — the offline artifacts a server is loaded from.
+func testGraph(t *testing.T) (*graph.Graph, *gnn.Model, *core.InferResult) {
+	t.Helper()
+	ds, err := datagen.UUG(datagen.UUGConfig{Nodes: 250, FeatDim: 6, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := gnn.NewModel(gnn.Config{
+		Kind: gnn.KindGCN, InDim: ds.G.FeatureDim(), Hidden: 8, Classes: 1,
+		Layers: 2, Act: nn.ActTanh, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Infer(core.InferConfig{Seed: 4, TempDir: t.TempDir(), KeepEmbeddings: true},
+		model, mapreduce.MemInput(core.TableRecords(ds.G)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.G, model, res
+}
+
+func TestStoreLookupAndRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	embs := make(map[int64][]float64)
+	for i := 0; i < 500; i++ {
+		h := make([]float64, 8)
+		for j := range h {
+			h[j] = rng.NormFloat64()
+		}
+		embs[int64(i*7-100)] = h // mixed negative/positive ids
+	}
+	store, err := NewStore(5, embs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != len(embs) || store.Dim() != 8 {
+		t.Fatalf("store len=%d dim=%d, want %d/8", store.Len(), store.Dim(), len(embs))
+	}
+	for id, want := range embs {
+		got, ok := store.Lookup(id)
+		if !ok {
+			t.Fatalf("node %d missing from store", id)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("node %d dim %d: got %v want %v", id, j, got[j], want[j])
+			}
+		}
+	}
+	if _, ok := store.Lookup(99999); ok {
+		t.Fatal("lookup of absent id succeeded")
+	}
+
+	var buf bytes.Buffer
+	if _, err := store.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != store.Len() || loaded.Dim() != store.Dim() {
+		t.Fatalf("roundtrip len=%d dim=%d, want %d/%d",
+			loaded.Len(), loaded.Dim(), store.Len(), store.Dim())
+	}
+	for id, want := range embs {
+		got, ok := loaded.Lookup(id)
+		if !ok {
+			t.Fatalf("node %d missing after roundtrip", id)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("roundtrip node %d dim %d: got %v want %v", id, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestReadStoreRejectsGarbage(t *testing.T) {
+	if _, err := ReadStore(bytes.NewReader([]byte("not a store at all"))); err == nil {
+		t.Fatal("garbage store accepted")
+	}
+}
+
+// TestWarmPathMatchesGraphInfer: scores served off the embedding store must
+// equal the offline GraphInfer scores — both apply the same prediction
+// slice to the same layer-K embedding.
+func TestWarmPathMatchesGraphInfer(t *testing.T) {
+	g, model, res := testGraph(t)
+	store, err := NewStore(8, res.Embeddings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Seed: 4}, model, g, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, n := range g.Nodes[:50] {
+		got, err := srv.Score(context.Background(), n.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := res.Scores[n.ID]
+		if math.Abs(got[0]-want[0]) > 1e-12 {
+			t.Fatalf("node %d: serve %v offline %v", n.ID, got[0], want[0])
+		}
+	}
+	st := srv.Stats()
+	if st.Warm == 0 || st.Cold != 0 {
+		t.Fatalf("expected all-warm serving, got %+v", st)
+	}
+}
+
+// TestColdPathMatchesGraphInfer: with no store, the request-time k-hop
+// extraction plus one forward pass must reproduce the offline scores
+// (sampling disabled, so the neighborhoods are information-complete).
+func TestColdPathMatchesGraphInfer(t *testing.T) {
+	g, model, res := testGraph(t)
+	srv, err := New(Config{Seed: 4, MaxBatch: 16}, model, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ids := make([]int64, 0, 40)
+	for _, n := range g.Nodes[:40] {
+		ids = append(ids, n.ID)
+	}
+	scores, errs := srv.ScoreMany(context.Background(), ids)
+	if err := errors.Join(errs...); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		want := res.Scores[id]
+		if math.Abs(scores[i][0]-want[0]) > 1e-9 {
+			t.Fatalf("node %d: cold serve %v offline %v", id, scores[i][0], want[0])
+		}
+	}
+	st := srv.Stats()
+	if st.Cold == 0 || st.Warm != 0 {
+		t.Fatalf("expected all-cold serving, got %+v", st)
+	}
+}
+
+func TestCacheHitsSkipRecomputation(t *testing.T) {
+	g, model, res := testGraph(t)
+	store, err := NewStore(8, res.Embeddings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Seed: 4}, model, g, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	id := g.Nodes[0].ID
+	first, err := srv.Score(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := srv.Score(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again[0] != first[0] {
+			t.Fatalf("cached score changed: %v vs %v", again[0], first[0])
+		}
+	}
+	st := srv.Stats()
+	if st.CacheHits != 10 || st.Warm != 1 {
+		t.Fatalf("expected 10 hits over 1 computation, got %+v", st)
+	}
+}
+
+func TestLRUCacheEvicts(t *testing.T) {
+	l := newLRU(2)
+	l.add(1, []float64{1})
+	l.add(2, []float64{2})
+	if _, ok := l.get(1); !ok { // 1 is now most recent
+		t.Fatal("entry 1 missing")
+	}
+	l.add(3, []float64{3}) // evicts 2
+	if _, ok := l.get(2); ok {
+		t.Fatal("entry 2 should have been evicted")
+	}
+	if _, ok := l.get(1); !ok {
+		t.Fatal("entry 1 evicted out of LRU order")
+	}
+	if _, ok := l.get(3); !ok {
+		t.Fatal("entry 3 missing")
+	}
+}
+
+func TestUnknownNodeErrors(t *testing.T) {
+	g, model, _ := testGraph(t)
+	srv, err := New(Config{Seed: 4}, model, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := srv.Score(context.Background(), 1<<40); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("scoring an unknown node: got %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestScoreAfterCloseFails(t *testing.T) {
+	g, model, _ := testGraph(t)
+	srv, err := New(Config{Seed: 4}, model, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := srv.Score(context.Background(), g.Nodes[0].ID); err == nil {
+		t.Fatal("score after close succeeded")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g, model, _ := testGraph(t)
+	bad := []Config{
+		{Hops: -1},
+		{MaxNeighbors: -3},
+		{CacheSize: -1},
+		{MaxBatch: -2},
+		{MaxWait: -1},
+		{QueueDepth: -5},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg, model, g, nil); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := New(Config{}, nil, g, nil); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := New(Config{}, model, nil, nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestStoreDimMismatchRejected(t *testing.T) {
+	g, model, _ := testGraph(t)
+	store, err := NewStore(2, map[int64][]float64{1: {1, 2, 3}}) // dim 3 != hidden 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{}, model, g, store); err == nil {
+		t.Fatal("mismatched store dim accepted")
+	}
+}

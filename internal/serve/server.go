@@ -1,0 +1,470 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agl/internal/core"
+	"agl/internal/gnn"
+	"agl/internal/graph"
+	"agl/internal/sampling"
+	"agl/internal/wire"
+)
+
+// ErrClosed is returned by Score once the server has shut down.
+var ErrClosed = errors.New("serve: server closed")
+
+// ErrUnknownNode marks a request for a node absent from both the store
+// and the graph (a client error, unlike internal scoring failures).
+var ErrUnknownNode = core.ErrNodeNotFound
+
+// Config parameterizes a Server.
+type Config struct {
+	// Hops, MaxNeighbors, Strategy and Seed mirror FlatConfig for the cold
+	// path's request-time neighborhood extraction; use the training run's
+	// values. Hops defaults to the model's layer count.
+	Hops         int
+	MaxNeighbors int
+	Strategy     sampling.Strategy
+	Seed         int64
+
+	// CacheSize bounds the LRU score cache in entries (0 selects 4096).
+	CacheSize int
+	// MaxBatch caps how many pending requests one forward pass serves
+	// (0 selects 64).
+	MaxBatch int
+	// MaxWait is an optional micro-batching linger: after the first queued
+	// request the batcher waits up to this long for companions before
+	// flushing, trading latency for batch size. 0 (the default) flushes
+	// greedily as soon as the queue is momentarily empty — concurrent
+	// traffic still coalesces because requests queue up while the previous
+	// batch computes.
+	MaxWait time.Duration
+	// QueueDepth bounds the pending-request channel (0 selects 4*MaxBatch).
+	// Enqueues beyond it block, providing backpressure.
+	QueueDepth int
+}
+
+// Validate rejects nonsensical serving parameters.
+func (c Config) Validate() error {
+	if c.Hops < 0 {
+		return fmt.Errorf("serve: Config.Hops must be >= 1 (0 selects the model depth), got %d", c.Hops)
+	}
+	if c.MaxNeighbors < 0 {
+		return fmt.Errorf("serve: Config.MaxNeighbors must be >= 0 (0 disables sampling), got %d", c.MaxNeighbors)
+	}
+	if c.CacheSize < 0 {
+		return fmt.Errorf("serve: Config.CacheSize must be >= 0 (0 selects the default), got %d", c.CacheSize)
+	}
+	if c.MaxBatch < 0 {
+		return fmt.Errorf("serve: Config.MaxBatch must be >= 0 (0 selects the default), got %d", c.MaxBatch)
+	}
+	if c.MaxWait < 0 {
+		return fmt.Errorf("serve: Config.MaxWait must be >= 0 (0 selects the default), got %v", c.MaxWait)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("serve: Config.QueueDepth must be >= 0 (0 selects the default), got %d", c.QueueDepth)
+	}
+	return nil
+}
+
+func (c Config) withDefaults(modelLayers int) Config {
+	if c.Hops == 0 {
+		c.Hops = modelLayers
+	}
+	if c.Strategy == nil {
+		c.Strategy = sampling.Uniform{}
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	return c
+}
+
+// Stats is a snapshot of the server's request accounting.
+type Stats struct {
+	Requests  int64 // Score calls
+	CacheHits int64 // served straight from the LRU
+	Collapsed int64 // joined an already-in-flight computation (single-flight)
+	Warm      int64 // scored from the embedding store + prediction slice
+	Cold      int64 // scored by a full forward pass over a k-hop extraction
+	Batches   int64 // micro-batches flushed
+	Errors    int64 // requests that failed (unknown node, shutdown, ...)
+}
+
+// Server answers per-node score requests on top of the offline pipeline's
+// artifacts. Three tiers, fastest first:
+//
+//  1. an LRU cache over final score vectors;
+//  2. a "warm" path for nodes whose layer-K embedding is in the Store:
+//     only the model's prediction slice (hierarchical segmentation,
+//     paper §3.4) runs;
+//  3. a "cold" path for unknown-to-the-store nodes: the request-time
+//     LocalFlattener extracts the node's k-hop GraphFeature and a single
+//     vectorized forward pass scores the whole micro-batch.
+//
+// Concurrent requests for one node collapse into a single computation
+// (single-flight), and all model execution is confined to the batcher
+// goroutine — Model instances cache activations and are not safe for
+// concurrent use. The Server owns its model; don't share it.
+type Server struct {
+	cfg   Config
+	model *gnn.Model
+	head  *gnn.Slice
+	store *Store
+	flat  *core.LocalFlattener
+
+	mu       sync.Mutex
+	closed   bool
+	cache    *lruCache
+	inflight map[int64]*call
+
+	reqs chan *call
+	stop chan struct{}
+	done chan struct{}
+
+	requests, hits, collapsed atomic.Int64
+	warm, cold                atomic.Int64
+	batches, errors           atomic.Int64
+}
+
+// call is one de-duplicated score computation; waiters block on done.
+type call struct {
+	id     int64
+	scores []float64
+	err    error
+	done   chan struct{}
+}
+
+// New starts a Server for model over g, optionally backed by an embedding
+// store built from GraphInfer output (nil serves everything cold). The
+// model's prediction slice is segmented out once at startup.
+func New(cfg Config, model *gnn.Model, g *graph.Graph, store *Store) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, errors.New("serve: nil model")
+	}
+	if g == nil {
+		return nil, errors.New("serve: nil graph")
+	}
+	cfg = cfg.withDefaults(len(model.Layers))
+	if store.Len() > 0 && store.Dim() != model.Cfg.Hidden {
+		return nil, fmt.Errorf("serve: store dim %d does not match model hidden dim %d",
+			store.Dim(), model.Cfg.Hidden)
+	}
+	slices, err := model.Segment()
+	if err != nil {
+		return nil, fmt.Errorf("serve: model segmentation: %w", err)
+	}
+	head := slices[len(slices)-1]
+	if !head.IsPrediction() {
+		return nil, errors.New("serve: segmentation produced no prediction slice")
+	}
+	s := &Server{
+		cfg:   cfg,
+		model: model,
+		head:  head,
+		store: store,
+		flat: core.NewLocalFlattener(core.FlatConfig{
+			Hops:         cfg.Hops,
+			MaxNeighbors: cfg.MaxNeighbors,
+			Strategy:     cfg.Strategy,
+			Seed:         cfg.Seed,
+		}, g),
+		cache:    newLRU(cfg.CacheSize),
+		inflight: make(map[int64]*call),
+		reqs:     make(chan *call, cfg.QueueDepth),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.batcher()
+	return s, nil
+}
+
+// Score returns the predicted score vector for one node, computing it at
+// most once no matter how many goroutines ask concurrently. The returned
+// slice is shared with the score cache and other waiters and must not be
+// modified.
+func (s *Server) Score(ctx context.Context, node int64) ([]float64, error) {
+	s.requests.Add(1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.errors.Add(1)
+		return nil, ErrClosed
+	}
+	if v, ok := s.cache.get(node); ok {
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return v, nil
+	}
+	if c, ok := s.inflight[node]; ok {
+		s.mu.Unlock()
+		s.collapsed.Add(1)
+		return s.wait(ctx, c)
+	}
+	c := &call{id: node, done: make(chan struct{})}
+	s.inflight[node] = c
+	s.mu.Unlock()
+
+	// Plain blocking send, deliberately NOT select-ing on ctx: other
+	// requests may already have collapsed onto this call, and abandoning
+	// it here would fail them all with this caller's cancellation. The
+	// send cannot wedge — a call registered before close is always
+	// consumed by the batcher (or by its shutdown drain, which keeps
+	// receiving until the in-flight table empties) — and this caller's
+	// own ctx is still honored below in wait.
+	s.reqs <- c
+	return s.wait(ctx, c)
+}
+
+// ScoreMany scores a set of nodes, coalescing them through the same
+// micro-batching queue (at most 4*MaxBatch concurrently, so an
+// arbitrarily large bulk request cannot spawn unbounded goroutines).
+// Scores and errors are positional: one failed node does not discard the
+// others' results. Returned score slices are shared, same contract as
+// Score. errors.Join the second return value for a single verdict.
+func (s *Server) ScoreMany(ctx context.Context, nodes []int64) ([][]float64, []error) {
+	out := make([][]float64, len(nodes))
+	errs := make([]error, len(nodes))
+	sem := make(chan struct{}, 4*s.cfg.MaxBatch)
+	var wg sync.WaitGroup
+	for i, id := range nodes {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, id int64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = s.Score(ctx, id)
+		}(i, id)
+	}
+	wg.Wait()
+	return out, errs
+}
+
+// Stats snapshots the request counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:  s.requests.Load(),
+		CacheHits: s.hits.Load(),
+		Collapsed: s.collapsed.Load(),
+		Warm:      s.warm.Load(),
+		Cold:      s.cold.Load(),
+		Batches:   s.batches.Load(),
+		Errors:    s.errors.Load(),
+	}
+}
+
+// Close shuts the batcher down. In-flight requests fail with ErrClosed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.stop)
+	}
+	<-s.done
+	return nil
+}
+
+func (s *Server) wait(ctx context.Context, c *call) ([]float64, error) {
+	select {
+	case <-c.done:
+		if c.err != nil {
+			s.errors.Add(1)
+		}
+		return c.scores, c.err
+	case <-ctx.Done():
+		s.errors.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// fail resolves a call without scoring it (shutdown drain).
+func (s *Server) fail(c *call, err error) {
+	s.mu.Lock()
+	if s.inflight[c.id] == c {
+		delete(s.inflight, c.id)
+	}
+	s.mu.Unlock()
+	c.err = err
+	close(c.done)
+}
+
+// batcher is the single consumer of the request queue. After the first
+// request it greedily drains whatever else is already queued (optionally
+// lingering MaxWait for stragglers), then scores the whole batch in one
+// go; requests arriving mid-computation form the next batch.
+func (s *Server) batcher() {
+	defer close(s.done)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-s.stop:
+			s.drain()
+			return
+		case c := <-s.reqs:
+			batch := []*call{c}
+			if s.cfg.MaxWait > 0 {
+				timer.Reset(s.cfg.MaxWait)
+			linger:
+				for len(batch) < s.cfg.MaxBatch {
+					select {
+					case c2 := <-s.reqs:
+						batch = append(batch, c2)
+					case <-timer.C:
+						break linger
+					case <-s.stop:
+						break linger
+					}
+				}
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+			}
+		greedy:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case c2 := <-s.reqs:
+					batch = append(batch, c2)
+				default:
+					break greedy
+				}
+			}
+			s.process(batch)
+		}
+	}
+}
+
+// drain resolves every outstanding call at shutdown. Calls registered
+// before the closed flag flipped may still be on their way into the
+// queue, so it keeps consuming until the in-flight table is empty.
+func (s *Server) drain() {
+	for {
+		select {
+		case c := <-s.reqs:
+			s.fail(c, ErrClosed)
+			continue
+		default:
+		}
+		s.mu.Lock()
+		n := len(s.inflight)
+		s.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		select {
+		case c := <-s.reqs:
+			s.fail(c, ErrClosed)
+		case <-time.After(100 * time.Microsecond):
+		}
+	}
+}
+
+// process scores one micro-batch: store-backed nodes through the
+// prediction slice, the rest through one merged forward pass.
+func (s *Server) process(batch []*call) {
+	s.batches.Add(1)
+	var coldCalls []*call
+	var coldRecs []*wire.TrainRecord
+	for _, c := range batch {
+		if emb, ok := s.store.Lookup(c.id); ok {
+			c.scores = core.ScoresFromLogits(gnn.ApplyDense(s.head.Head, emb))
+			s.warm.Add(1)
+			continue
+		}
+		rec, err := s.flat.GraphFeature(c.id)
+		if err != nil {
+			c.err = err
+			continue
+		}
+		coldCalls = append(coldCalls, c)
+		coldRecs = append(coldRecs, rec)
+	}
+	if len(coldRecs) > 0 {
+		b, err := core.AssembleBatch(coldRecs, s.model.Cfg.Classes, false)
+		if err != nil {
+			for _, c := range coldCalls {
+				c.err = fmt.Errorf("serve: batch assembly: %w", err)
+			}
+		} else {
+			logits := s.model.Infer(b.Graph, gnn.RunOptions{})
+			for i, c := range coldCalls {
+				c.scores = core.ScoresFromLogits(logits.Row(i))
+				s.cold.Add(1)
+			}
+		}
+	}
+	s.mu.Lock()
+	for _, c := range batch {
+		if c.err == nil {
+			s.cache.add(c.id, c.scores)
+		}
+		if s.inflight[c.id] == c {
+			delete(s.inflight, c.id)
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range batch {
+		close(c.done)
+	}
+}
+
+// lruCache is a minimal bounded LRU over score vectors. Callers hold the
+// server mutex.
+type lruCache struct {
+	cap int
+	ll  *list.List
+	m   map[int64]*list.Element
+}
+
+type lruEntry struct {
+	id     int64
+	scores []float64
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), m: make(map[int64]*list.Element)}
+}
+
+func (l *lruCache) get(id int64) ([]float64, bool) {
+	if e, ok := l.m[id]; ok {
+		l.ll.MoveToFront(e)
+		return e.Value.(*lruEntry).scores, true
+	}
+	return nil, false
+}
+
+func (l *lruCache) add(id int64, scores []float64) {
+	if e, ok := l.m[id]; ok {
+		e.Value.(*lruEntry).scores = scores
+		l.ll.MoveToFront(e)
+		return
+	}
+	l.m[id] = l.ll.PushFront(&lruEntry{id: id, scores: scores})
+	if l.ll.Len() > l.cap {
+		last := l.ll.Back()
+		l.ll.Remove(last)
+		delete(l.m, last.Value.(*lruEntry).id)
+	}
+}

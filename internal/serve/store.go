@@ -1,0 +1,191 @@
+// Package serve is AGL's online inference tier: a read-optimized embedding
+// store loaded from GraphInfer's K-round outputs, a micro-batching request
+// queue that coalesces concurrent cold lookups into single forward passes,
+// and a bounded LRU score cache with single-flight deduplication. The batch
+// pipelines (GraphFlat/GraphTrainer/GraphInfer) produce artifacts offline;
+// this package answers per-node score requests at request latency.
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// storeMagic identifies the flat store layout; bump the trailing digits on
+// incompatible changes.
+var storeMagic = [8]byte{'A', 'G', 'L', 'E', 'M', 'B', '0', '1'}
+
+// Store is a sharded, read-only embedding store: node ids hash across
+// shards, and each shard keeps a sorted id array plus one flat float64
+// slab holding the embeddings back to back. The layout is deliberately
+// mmap-friendly — fixed-width little-endian arrays with no per-entry
+// framing — so a serialized store can be paged in lazily; lookups are a
+// shard hash plus a binary search, no allocation.
+//
+// A Store is immutable after construction and safe for concurrent readers.
+type Store struct {
+	dim    int
+	count  int
+	shards []storeShard
+}
+
+type storeShard struct {
+	ids  []int64   // sorted ascending
+	data []float64 // len(ids)*dim, embedding i at [i*dim, (i+1)*dim)
+}
+
+// NewStore builds a store over GraphInfer's final-layer embeddings
+// (InferResult.Embeddings). numShards <= 0 selects a default; every
+// embedding must share one dimensionality.
+func NewStore(numShards int, embeddings map[int64][]float64) (*Store, error) {
+	if numShards <= 0 {
+		numShards = 16
+	}
+	s := &Store{shards: make([]storeShard, numShards)}
+	for id, h := range embeddings {
+		if s.dim == 0 {
+			s.dim = len(h)
+		}
+		if len(h) != s.dim || len(h) == 0 {
+			return nil, fmt.Errorf("serve: embedding for node %d has dim %d, want %d", id, len(h), s.dim)
+		}
+		sh := &s.shards[shardOf(id, numShards)]
+		sh.ids = append(sh.ids, id)
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sort.Slice(sh.ids, func(a, b int) bool { return sh.ids[a] < sh.ids[b] })
+		sh.data = make([]float64, 0, len(sh.ids)*s.dim)
+		for _, id := range sh.ids {
+			sh.data = append(sh.data, embeddings[id]...)
+		}
+		s.count += len(sh.ids)
+	}
+	return s, nil
+}
+
+// shardOf maps a node id to its shard (Fibonacci hashing: cheap and
+// well-mixed even for sequential ids).
+func shardOf(id int64, shards int) int {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return int(h % uint64(shards))
+}
+
+// Lookup returns the stored embedding for id. The returned slice aliases
+// the store's slab and must not be modified.
+func (s *Store) Lookup(id int64) ([]float64, bool) {
+	if s == nil || s.count == 0 {
+		return nil, false
+	}
+	sh := &s.shards[shardOf(id, len(s.shards))]
+	i := sort.Search(len(sh.ids), func(j int) bool { return sh.ids[j] >= id })
+	if i == len(sh.ids) || sh.ids[i] != id {
+		return nil, false
+	}
+	return sh.data[i*s.dim : (i+1)*s.dim : (i+1)*s.dim], true
+}
+
+// Len returns the number of stored embeddings.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.count
+}
+
+// Dim returns the embedding dimensionality (0 for an empty store).
+func (s *Store) Dim() int {
+	if s == nil {
+		return 0
+	}
+	return s.dim
+}
+
+// WriteTo serializes the store in its flat layout: magic, shard count and
+// dim, then per shard a count followed by the raw id and float arrays.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	write := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
+	if err := write(storeMagic); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(len(s.shards))); err != nil {
+		return cw.n, err
+	}
+	if err := write(uint32(s.dim)); err != nil {
+		return cw.n, err
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if err := write(uint64(len(sh.ids))); err != nil {
+			return cw.n, err
+		}
+		if err := write(sh.ids); err != nil {
+			return cw.n, err
+		}
+		if err := write(sh.data); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// ReadStore deserializes a store written by WriteTo.
+func ReadStore(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	var magic [8]byte
+	if err := read(&magic); err != nil {
+		return nil, fmt.Errorf("serve: store header: %w", err)
+	}
+	if magic != storeMagic {
+		return nil, fmt.Errorf("serve: bad store magic %q", magic[:])
+	}
+	var shards, dim uint32
+	if err := read(&shards); err != nil {
+		return nil, err
+	}
+	if err := read(&dim); err != nil {
+		return nil, err
+	}
+	if shards == 0 || shards > 1<<20 || dim > 1<<20 {
+		return nil, fmt.Errorf("serve: implausible store header (shards=%d dim=%d)", shards, dim)
+	}
+	s := &Store{dim: int(dim), shards: make([]storeShard, shards)}
+	for i := range s.shards {
+		var n uint64
+		if err := read(&n); err != nil {
+			return nil, err
+		}
+		// Bound the allocation a corrupt/truncated header can trigger:
+		// 2^28 embeddings per shard and 2^31 floats (16 GiB) of payload.
+		if n > 1<<28 || n*uint64(s.dim) > 1<<31 {
+			return nil, fmt.Errorf("serve: implausible shard size %d (dim %d)", n, s.dim)
+		}
+		sh := &s.shards[i]
+		sh.ids = make([]int64, n)
+		if err := read(sh.ids); err != nil {
+			return nil, err
+		}
+		sh.data = make([]float64, int(n)*s.dim)
+		if err := read(sh.data); err != nil {
+			return nil, err
+		}
+		s.count += int(n)
+	}
+	return s, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

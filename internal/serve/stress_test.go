@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestStressConcurrentMixedTraffic hammers one server from many goroutines
+// with a mix of cache hits, warm store lookups and cold forward passes —
+// the -race tripwire for the serving hot path. Every response must agree
+// with the offline GraphInfer score for its node.
+func TestStressConcurrentMixedTraffic(t *testing.T) {
+	g, model, res := testGraph(t)
+	// Half the nodes in the store (warm), half absent (cold); a tiny cache
+	// forces constant eviction churn.
+	embs := make(map[int64][]float64)
+	for i, n := range g.Nodes {
+		if i%2 == 0 {
+			embs[n.ID] = res.Embeddings[n.ID]
+		}
+	}
+	store, err := NewStore(4, embs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Seed: 4, CacheSize: 16, MaxBatch: 8}, model, g, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const goroutines = 32
+	const perG = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Skewed access: low indices repeat often (hits), the rest
+				// spread across the graph (misses, both warm and cold).
+				idx := (w*perG + i*i) % len(g.Nodes)
+				id := g.Nodes[idx].ID
+				got, err := srv.Score(context.Background(), id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if math.Abs(got[0]-res.Scores[id][0]) > 1e-9 {
+					t.Errorf("node %d: served %v offline %v", id, got[0], res.Scores[id][0])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Requests != goroutines*perG {
+		t.Fatalf("requests %d, want %d", st.Requests, goroutines*perG)
+	}
+	if st.Warm == 0 || st.Cold == 0 || st.CacheHits == 0 {
+		t.Fatalf("expected all three tiers exercised, got %+v", st)
+	}
+}
+
+// TestSingleFlightCollapsesHubNode: a burst of concurrent requests for one
+// cold hub node must compute exactly one forward pass; everyone else waits
+// on the in-flight call or hits the cache.
+func TestSingleFlightCollapsesHubNode(t *testing.T) {
+	g, model, res := testGraph(t)
+	srv, err := New(Config{Seed: 4}, model, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	hub := g.Nodes[0].ID
+	const burst = 200
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	scores := make([][]float64, burst)
+	errs := make([]error, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			scores[i], errs[i] = srv.Score(context.Background(), hub)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < burst; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if scores[i][0] != scores[0][0] {
+			t.Fatalf("request %d got %v, request 0 got %v", i, scores[i][0], scores[0][0])
+		}
+	}
+	if math.Abs(scores[0][0]-res.Scores[hub][0]) > 1e-9 {
+		t.Fatalf("hub score %v, offline %v", scores[0][0], res.Scores[hub][0])
+	}
+	st := srv.Stats()
+	if st.Cold != 1 {
+		t.Fatalf("hub burst ran %d forward computations, want exactly 1 (stats %+v)", st.Cold, st)
+	}
+	if st.Collapsed+st.CacheHits != burst-1 {
+		t.Fatalf("collapse accounting off: %+v", st)
+	}
+}
+
+// TestConcurrentCloseDuringTraffic races shutdown against live requests:
+// every Score must resolve (result or ErrClosed), never hang.
+func TestConcurrentCloseDuringTraffic(t *testing.T) {
+	g, model, _ := testGraph(t)
+	srv, err := New(Config{Seed: 4, MaxBatch: 4}, model, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				id := g.Nodes[(w*20+i)%len(g.Nodes)].ID
+				_, _ = srv.Score(context.Background(), id) // ErrClosed is fine
+			}
+		}(w)
+	}
+	srv.Close()
+	wg.Wait()
+}
