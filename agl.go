@@ -59,6 +59,29 @@ func NewGraph(nodes []Node, edges []Edge) (*Graph, error) {
 	return graph.Build(nodes, edges)
 }
 
+// Mutation is one streamed graph change; Server.Apply commits batches of
+// them onto copy-on-write graph versions and incrementally invalidates
+// the serving tier's caches (see ApplyResult).
+type Mutation = graph.Mutation
+
+// LogEntry is one committed mutation batch in a Server's bounded catch-up
+// log (see Server.MutationsSince): the applied mutations plus the graph
+// version they produced.
+type LogEntry = graph.LogEntry
+
+// Mutation constructors.
+var (
+	// AddNode inserts a new isolated node.
+	AddNode = graph.AddNode
+	// AddEdge inserts a directed edge (an existing (src, dst) pair merges
+	// weights, the same contract as NewGraph).
+	AddEdge = graph.AddEdge
+	// RemoveEdge deletes the directed edge (src, dst).
+	RemoveEdge = graph.RemoveEdge
+	// UpdateNodeFeat replaces a node's feature vector.
+	UpdateNodeFeat = graph.UpdateNodeFeat
+)
+
 // Dataset types and generators (synthetic stand-ins for the paper's
 // evaluation data; see DESIGN.md).
 type (
@@ -239,11 +262,16 @@ type (
 	ServeConfig = serve.Config
 	// Server is the online inference service.
 	Server = serve.Server
-	// ServeStats snapshots a Server's request accounting.
+	// ServeStats snapshots a Server's request and mutation accounting.
 	ServeStats = serve.Stats
 	// EmbeddingStore is a sharded, read-optimized store of final-layer
 	// node embeddings in a flat, mmap-friendly layout.
 	EmbeddingStore = serve.Store
+	// ApplyResult summarizes one mutation batch committed with
+	// Server.Apply: the new graph version, which mutations applied
+	// (positional errors, partial-failure semantics), and how many cache
+	// entries and store rows were invalidated.
+	ApplyResult = serve.ApplyResult
 )
 
 // NewEmbeddingStore builds a sharded embedding store, typically from
@@ -261,6 +289,17 @@ func LoadEmbeddingStore(r io.Reader) (*EmbeddingStore, error) {
 // Serve starts an online inference server for m over g. store may be nil,
 // in which case every request takes the cold forward-pass path. Close the
 // returned Server when done.
+//
+// The served graph is dynamic: srv.Apply commits mutation batches (built
+// with AddNode/AddEdge/RemoveEdge/UpdateNodeFeat) and invalidates exactly
+// the affected cached scores and store rows, so every request after Apply
+// returns reflects the mutated graph:
+//
+//	res, _ := srv.Apply([]agl.Mutation{
+//		agl.AddEdge(42, 7, 1.0),
+//		agl.UpdateNodeFeat(7, newFeat),
+//	})
+//	// res.Version advanced; res.Errs reports per-mutation failures.
 func Serve(cfg ServeConfig, m *Model, g *Graph, store *EmbeddingStore) (*Server, error) {
 	return serve.New(cfg, m, g, store)
 }

@@ -112,6 +112,23 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if st := srv.Stats(); st.Warm != int64(len(ids)) {
 		t.Fatalf("expected %d warm scores, got %+v", len(ids), st)
 	}
+
+	// Stream a mutation through the public API: the affected node must be
+	// invalidated and rescored, the version must advance.
+	feat := make([]float64, ds.G.FeatureDim())
+	res2, err := srv.Apply([]agl.Mutation{agl.UpdateNodeFeat(ids[0], feat)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Applied != 1 || res2.Version != 1 || res2.Invalidated == 0 {
+		t.Fatalf("mutation did not invalidate: %+v", res2)
+	}
+	if _, err := srv.Score(context.Background(), ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.Cold == 0 || st.Version != 1 {
+		t.Fatalf("mutated node did not recompute cold: %+v", st)
+	}
 }
 
 // TestPublicAPIConfigValidation: negative knobs fail fast with descriptive

@@ -1,10 +1,18 @@
-// Command aglbench regenerates the paper's evaluation tables and figures.
+// Command aglbench regenerates the paper's evaluation tables and figures
+// plus the engine's perf baselines, and doubles as the CI bench-regression
+// guard and dataset generator.
 //
-//	aglbench -exp all            # every experiment, moderate scale
-//	aglbench -exp table4 -quick  # one experiment, CI scale
+//	aglbench -exp all                     # every experiment, moderate scale
+//	aglbench -exp table4 -quick           # one experiment, CI scale
+//	aglbench -exp shuffle,serve,update -quick -json results.json
+//	aglbench -check results.json -baseline bench-baseline.json -tolerance 10
+//	aglbench -gen data -gen-nodes 400     # write nodes/edges/targets TSVs
 //
 // Output juxtaposes measured values with the paper's reported numbers;
-// EXPERIMENTS.md records a reference run.
+// EXPERIMENTS.md records a reference run. -json writes the experiments'
+// machine-readable metrics (flat {"exp.metric": value}, all
+// lower-is-better); -check compares such a results file against a
+// committed baseline and exits non-zero past the tolerance multiplier.
 package main
 
 import (
@@ -12,23 +20,58 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"strings"
 
+	"agl/internal/datagen"
 	"agl/internal/experiments"
+	"agl/internal/graph"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aglbench: ")
 
-	exp := flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|fig7|fig8|shuffle|serve|all")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1|table2|table3|table4|table5|fig7|fig8|shuffle|serve|update|all")
 	quick := flag.Bool("quick", false, "CI-scale datasets and epochs")
 	seed := flag.Int64("seed", 1, "global seed")
 	verbose := flag.Bool("v", false, "progress logging")
+	jsonOut := flag.String("json", "", "write machine-readable metrics of the run experiments to this file")
+
+	check := flag.String("check", "", "compare this metrics file against -baseline and exit (no experiments run)")
+	baseline := flag.String("baseline", "bench-baseline.json", "baseline metrics file for -check")
+	tolerance := flag.Float64("tolerance", 10, "allowed multiplier over baseline for -check (lower-is-better metrics)")
+
+	gen := flag.String("gen", "", "write a generated UUG dataset (nodes.tsv/edges.tsv/targets.tsv) to this directory and exit")
+	genNodes := flag.Int("gen-nodes", 400, "node count for -gen")
+	genDim := flag.Int("gen-dim", 8, "feature dimension for -gen")
 	flag.Parse()
+
+	switch {
+	case *check != "":
+		if err := runCheck(*check, *baseline, *tolerance); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case *gen != "":
+		if err := runGen(*gen, *genNodes, *genDim, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	opt := experiments.Options{Quick: *quick, Seed: *seed}
 	if *verbose {
 		opt.Logf = log.Printf
+	}
+
+	metrics := map[string]float64{}
+	collect := func(name string, res any) {
+		if p, ok := res.(experiments.MetricsProvider); ok {
+			for k, v := range p.Metrics() {
+				metrics[name+"."+k] = v
+			}
+		}
 	}
 
 	run := func(name string, f func() (fmt.Stringer, error)) {
@@ -37,32 +80,118 @@ func main() {
 			log.Fatalf("%s: %v", name, err)
 		}
 		fmt.Println(res)
+		collect(name, res)
 	}
 
-	switch *exp {
-	case "table1":
-		fmt.Println(experiments.Table1())
-	case "table2":
-		run("table2", func() (fmt.Stringer, error) { return experiments.Table2(opt) })
-	case "table3":
-		run("table3", func() (fmt.Stringer, error) { return experiments.Table3(opt) })
-	case "table4":
-		run("table4", func() (fmt.Stringer, error) { return experiments.Table4(opt) })
-	case "table5":
-		run("table5", func() (fmt.Stringer, error) { return experiments.Table5(opt) })
-	case "fig7":
-		run("fig7", func() (fmt.Stringer, error) { return experiments.Fig7(opt) })
-	case "fig8":
-		run("fig8", func() (fmt.Stringer, error) { return experiments.Fig8(opt) })
-	case "shuffle":
-		run("shuffle", func() (fmt.Stringer, error) { return experiments.Shuffle(opt) })
-	case "serve":
-		run("serve", func() (fmt.Stringer, error) { return experiments.Serve(opt) })
-	case "all":
-		if err := experiments.WriteAll(os.Stdout, opt); err != nil {
+	// Expand "all" so every experiment flows through the metric-collecting
+	// dispatcher (-exp all -json regenerates the full baseline).
+	var names []string
+	for _, name := range strings.Split(*exp, ",") {
+		if name = strings.TrimSpace(name); name == "all" {
+			names = append(names, experiments.AllExperiments...)
+		} else {
+			names = append(names, name)
+		}
+	}
+	for _, name := range names {
+		switch name {
+		case "table1":
+			fmt.Println(experiments.Table1())
+		case "table2":
+			run("table2", func() (fmt.Stringer, error) { return experiments.Table2(opt) })
+		case "table3":
+			run("table3", func() (fmt.Stringer, error) { return experiments.Table3(opt) })
+		case "table4":
+			run("table4", func() (fmt.Stringer, error) { return experiments.Table4(opt) })
+		case "table5":
+			run("table5", func() (fmt.Stringer, error) { return experiments.Table5(opt) })
+		case "fig7":
+			run("fig7", func() (fmt.Stringer, error) { return experiments.Fig7(opt) })
+		case "fig8":
+			run("fig8", func() (fmt.Stringer, error) { return experiments.Fig8(opt) })
+		case "shuffle":
+			run("shuffle", func() (fmt.Stringer, error) { return experiments.Shuffle(opt) })
+		case "serve":
+			run("serve", func() (fmt.Stringer, error) { return experiments.Serve(opt) })
+		case "update":
+			run("update", func() (fmt.Stringer, error) { return experiments.Update(opt) })
+		default:
+			log.Fatalf("unknown experiment %q", name)
+		}
+	}
+
+	if *jsonOut != "" {
+		if len(metrics) == 0 {
+			log.Fatalf("-json: no metrics collected (experiments %q export none; try shuffle,serve,update)", *exp)
+		}
+		if err := experiments.WriteMetricsFile(*jsonOut, metrics); err != nil {
 			log.Fatal(err)
 		}
-	default:
-		log.Fatalf("unknown experiment %q", *exp)
+		log.Printf("wrote %d metrics to %s", len(metrics), *jsonOut)
 	}
+}
+
+// runCheck is the bench-regression guard: measured vs committed baseline.
+func runCheck(resultsPath, baselinePath string, tolerance float64) error {
+	base, err := experiments.ReadMetricsFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	got, err := experiments.ReadMetricsFile(resultsPath)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatMetricsComparison(base, got, tolerance))
+	if violations := experiments.CompareMetrics(base, got, tolerance); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", v)
+		}
+		return fmt.Errorf("%d metric(s) regressed past %gx of baseline", len(violations), tolerance)
+	}
+	fmt.Printf("all %d baseline metrics within %gx\n", len(base), tolerance)
+	return nil
+}
+
+// runGen materializes a small UUG dataset as the TSV tables the CLI
+// pipeline (graphflat -> graphtrainer -> graphinfer -> aglserve) consumes.
+func runGen(dir string, nodes, dim int, seed int64) error {
+	ds, err := datagen.UUG(datagen.UUGConfig{Nodes: nodes, FeatDim: dim, Seed: seed})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	nf, err := os.Create(filepath.Join(dir, "nodes.tsv"))
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteNodeTable(nf, ds.G.Nodes); err != nil {
+		nf.Close()
+		return err
+	}
+	if err := nf.Close(); err != nil {
+		return err
+	}
+	ef, err := os.Create(filepath.Join(dir, "edges.tsv"))
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteEdgeTable(ef, ds.G.Edges); err != nil {
+		ef.Close()
+		return err
+	}
+	if err := ef.Close(); err != nil {
+		return err
+	}
+	var targets strings.Builder
+	for _, id := range ds.Train {
+		fmt.Fprintf(&targets, "%d\t%d\n", id, ds.LabelOf(id))
+	}
+	if err := os.WriteFile(filepath.Join(dir, "targets.tsv"), []byte(targets.String()), 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %d nodes, %d edges, %d targets to %s",
+		ds.G.NumNodes(), ds.G.NumEdges(), len(ds.Train), dir)
+	return nil
 }

@@ -9,8 +9,24 @@
 //
 //	GET  /score?node=ID          one node  -> {"node":ID,"scores":[...]}
 //	POST /scores {"nodes":[..]}  bulk      -> {"scores":{"ID":[...],...}}
-//	GET  /stats                  request accounting
+//	POST /update                 stream graph mutations (single or batch)
+//	GET  /mutations?since=V      catch-up feed of applied batches (410 when trimmed)
+//	GET  /stats                  request + mutation accounting
 //	GET  /healthz                liveness
+//
+// /update accepts one mutation object or a batch:
+//
+//	{"op":"add_edge","src":1,"dst":2,"weight":1.5}
+//	{"mutations":[{"op":"add_node","id":9,"feat":[0,1]},
+//	              {"op":"add_edge","src":9,"dst":2},
+//	              {"op":"remove_edge","src":1,"dst":2},
+//	              {"op":"update_feat","id":2,"feat":[3,4]}]}
+//
+// and answers {"version":V,"applied":N} plus per-index "errors" on partial
+// failure — invalid mutations are skipped, valid ones land, matching
+// /scores semantics. Each applied batch advances the graph version and
+// invalidates exactly the affected cached scores and embedding rows; the
+// next request for an affected node recomputes on the new graph.
 //
 // With -precompute (the default) GraphInfer runs once at startup so steady
 // traffic is served from the embedding store + prediction slice; -store
@@ -24,6 +40,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -182,6 +199,77 @@ func main() {
 		}
 		writeJSON(w, resp)
 	})
+	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
+		muts, decodeErrs, err := decodeMutations(r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := srv.Apply(muts)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		failed := map[string]string{}
+		var first error
+		for i, e := range res.Errs {
+			if de := decodeErrs[i]; de != nil {
+				e = de // report the parse failure, not the placeholder's rejection
+			}
+			if e != nil {
+				failed[strconv.Itoa(i)] = e.Error()
+				if first == nil {
+					first = e
+				}
+			}
+		}
+		// Partial failures still commit the valid mutations; the response
+		// is only an error status when nothing applied (same contract as
+		// POST /scores).
+		if res.Applied == 0 && len(failed) > 0 {
+			httpError(w, statusFor(first), first)
+			return
+		}
+		resp := map[string]any{
+			"version":     res.Version,
+			"applied":     res.Applied,
+			"invalidated": res.Invalidated,
+		}
+		if len(failed) > 0 {
+			resp["errors"] = failed
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("GET /mutations", func(w http.ResponseWriter, r *http.Request) {
+		var since uint64
+		if q := r.URL.Query().Get("since"); q != "" {
+			v, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("bad since parameter: %w", err))
+				return
+			}
+			since = v
+		}
+		entries, ok := srv.MutationsSince(since)
+		if !ok {
+			httpError(w, http.StatusGone,
+				fmt.Errorf("mutation log trimmed past version %d; resync from a fresh snapshot", since))
+			return
+		}
+		if entries == nil {
+			entries = []graph.LogEntry{}
+		}
+		// "version" is the version the feed has delivered through — the
+		// exact checkpoint for the next ?since= poll. Deriving it from the
+		// last entry (not the server's live version, which a concurrent
+		// Apply may already have advanced past these entries) means a
+		// replica can neither skip a batch nor replay one.
+		version := since
+		if len(entries) > 0 {
+			version = entries[len(entries)-1].Version
+		}
+		writeJSON(w, map[string]any{"version": version, "entries": entries})
+	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, srv.Stats())
 	})
@@ -210,10 +298,50 @@ func main() {
 	srv.Close()
 }
 
+// decodeMutations parses a /update body: either one mutation object or
+// {"mutations":[...]}. Batch elements decode individually so one
+// malformed mutation cannot reject its valid siblings — an unparseable
+// element becomes a zero Mutation (which Apply rejects positionally) with
+// its parse error recorded at the same index in decodeErrs.
+func decodeMutations(r *http.Request) ([]graph.Mutation, []error, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 64<<20))
+	if err != nil {
+		return nil, nil, fmt.Errorf("read request body: %w", err)
+	}
+	var batch struct {
+		Mutations []json.RawMessage `json:"mutations"`
+	}
+	if err := json.Unmarshal(body, &batch); err != nil {
+		return nil, nil, fmt.Errorf("bad request body: %w", err)
+	}
+	if len(batch.Mutations) > 0 {
+		muts := make([]graph.Mutation, len(batch.Mutations))
+		decodeErrs := make([]error, len(batch.Mutations))
+		for i, raw := range batch.Mutations {
+			if err := json.Unmarshal(raw, &muts[i]); err != nil {
+				muts[i] = graph.Mutation{} // op 0: rejected by Apply
+				if !errors.Is(err, graph.ErrBadMutation) {
+					err = fmt.Errorf("%w: %v", graph.ErrBadMutation, err)
+				}
+				decodeErrs[i] = err
+			}
+		}
+		return muts, decodeErrs, nil
+	}
+	var single graph.Mutation
+	if err := json.Unmarshal(body, &single); err != nil {
+		return nil, nil, fmt.Errorf("bad mutation: %w", err)
+	}
+	return []graph.Mutation{single}, make([]error, 1), nil
+}
+
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, serve.ErrUnknownNode):
+	case errors.Is(err, serve.ErrUnknownNode), errors.Is(err, graph.ErrUnknownNode),
+		errors.Is(err, graph.ErrUnknownEdge):
 		return http.StatusNotFound
+	case errors.Is(err, graph.ErrBadMutation), errors.Is(err, graph.ErrDuplicateNode):
+		return http.StatusBadRequest
 	case errors.Is(err, serve.ErrClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):

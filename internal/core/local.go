@@ -64,6 +64,60 @@ func NewLocalFlattener(cfg FlatConfig, g *graph.Graph) *LocalFlattener {
 	return lf
 }
 
+// Graph returns the graph version this flattener extracts from.
+func (lf *LocalFlattener) Graph() *graph.Graph { return lf.g }
+
+// Hops returns the neighborhood radius K the flattener extracts.
+func (lf *LocalFlattener) Hops() int { return lf.cfg.Hops }
+
+// Rebind returns a flattener over next, the graph produced by applying
+// muts to lf's graph (see graph.Graph.Apply). Per-node in-edge rows are
+// copy-on-write: only nodes whose in-edge set the batch touched are
+// re-indexed, every other row is shared with lf. Rebound rows are rebuilt
+// from next's edge table in table order — exactly what NewLocalFlattener
+// would produce — so a rebound flattener's extractions (including sampled
+// ones, which canonicalize candidate order) are indistinguishable from a
+// freshly constructed flattener's.
+//
+// lf itself is never modified: extractions in flight on the old version
+// keep their consistent view.
+func (lf *LocalFlattener) Rebind(next *graph.Graph, muts []graph.Mutation) *LocalFlattener {
+	nn := next.NumNodes()
+	ins := make([][]inRef, nn)
+	copy(ins, lf.ins)
+	deg := make([]float64, nn)
+	copy(deg, lf.deg)
+	for i := len(lf.deg); i < nn; i++ {
+		deg[i] = 1 // new nodes start isolated, normalized by 1
+	}
+
+	touched := make(map[int]bool)
+	for _, m := range muts {
+		switch m.Op {
+		case graph.OpAddEdge, graph.OpRemoveEdge:
+			if di, ok := next.Index(m.Dst); ok {
+				touched[di] = true
+			}
+		}
+	}
+	if len(touched) == 0 {
+		return &LocalFlattener{cfg: lf.cfg, g: next, ins: ins, deg: deg}
+	}
+	for di := range touched {
+		ins[di] = nil
+		deg[di] = 1
+	}
+	for _, e := range next.Edges {
+		di := next.MustIndex(e.Dst)
+		if !touched[di] {
+			continue
+		}
+		ins[di] = append(ins[di], inRef{src: next.MustIndex(e.Src), w: e.Weight, efeat: e.Feat})
+		deg[di] += e.Weight
+	}
+	return &LocalFlattener{cfg: lf.cfg, g: next, ins: ins, deg: deg}
+}
+
 // GraphFeature extracts the target's k-hop neighborhood as a TrainRecord
 // (Label −1: inference has no supervision). It errors on unknown node ids.
 func (lf *LocalFlattener) GraphFeature(id int64) (*wire.TrainRecord, error) {

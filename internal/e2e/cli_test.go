@@ -234,6 +234,118 @@ func TestCLIPipelineEndToEnd(t *testing.T) {
 	if r.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown node returned %d", r.StatusCode)
 	}
+
+	// Step 5: POST /update — stream mutations into the serving graph.
+	// Single-mutation form: a feature update must invalidate the node.
+	target := ds.G.Nodes[0].ID
+	feat := make([]string, ds.G.FeatureDim())
+	for i := range feat {
+		feat[i] = "0.5"
+	}
+	updBody := fmt.Sprintf(`{"op":"update_feat","id":%d,"feat":[%s]}`,
+		target, strings.Join(feat, ","))
+	var upd struct {
+		Version     uint64            `json:"version"`
+		Applied     int               `json:"applied"`
+		Invalidated int               `json:"invalidated"`
+		Errors      map[string]string `json:"errors"`
+	}
+	postJSON(t, "http://"+addr+"/update", updBody, http.StatusOK, &upd)
+	if upd.Version != 1 || upd.Applied != 1 || upd.Invalidated == 0 || len(upd.Errors) != 0 {
+		t.Fatalf("single update response %+v", upd)
+	}
+
+	// The mutated node must rescore (different features -> different
+	// score) while an untouched far-away node stays bit-identical.
+	var rescored struct {
+		Scores []float64 `json:"scores"`
+	}
+	getJSON(t, "http://"+addr+"/score?node="+strconv.FormatInt(target, 10), &rescored)
+	if abs(rescored.Scores[0]-wantScores[strconv.FormatInt(target, 10)]) < 1e-12 {
+		t.Fatalf("score unchanged after feature update: %v", rescored.Scores)
+	}
+
+	// Batch form with partial failure: valid mutations land, invalid ones
+	// report positionally, the response is still 200.
+	a, b := ds.G.Nodes[4].ID, ds.G.Nodes[5].ID
+	batchBody := fmt.Sprintf(`{"mutations":[
+		{"op":"add_edge","src":%d,"dst":%d,"weight":2},
+		{"op":"add_edge","src":%d,"dst":999999999}
+	]}`, a, b, a)
+	postJSON(t, "http://"+addr+"/update", batchBody, http.StatusOK, &upd)
+	if upd.Version != 2 || upd.Applied != 1 || upd.Errors["1"] == "" {
+		t.Fatalf("partial-failure update response %+v", upd)
+	}
+
+	// All-failed batch -> error status, version frozen.
+	resp, err = http.Post("http://"+addr+"/update", "application/json",
+		strings.NewReader(`{"op":"add_edge","src":999999998,"dst":999999999}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("all-failed update returned %d", resp.StatusCode)
+	}
+
+	var mstats struct {
+		Version   uint64
+		Mutations int64
+		DirtyRows int64
+	}
+	getJSON(t, "http://"+addr+"/stats", &mstats)
+	if mstats.Version != 2 || mstats.Mutations != 2 {
+		t.Fatalf("mutation accounting after updates: %+v", mstats)
+	}
+
+	// A structurally malformed batch element (unknown op) must not reject
+	// its valid sibling: per-element decoding reports it positionally.
+	batchBody = fmt.Sprintf(`{"mutations":[
+		{"op":"add_edge","src":%d,"dst":%d,"weight":1},
+		{"op":"no_such_op"}
+	]}`, b, a)
+	postJSON(t, "http://"+addr+"/update", batchBody, http.StatusOK, &upd)
+	if upd.Version != 3 || upd.Applied != 1 || upd.Errors["1"] == "" {
+		t.Fatalf("malformed-element batch response %+v", upd)
+	}
+
+	// The catch-up feed replays every applied batch by version.
+	var feed struct {
+		Version uint64 `json:"version"`
+		Entries []struct {
+			Version uint64           `json:"version"`
+			Muts    []map[string]any `json:"muts"`
+		} `json:"entries"`
+	}
+	getJSON(t, "http://"+addr+"/mutations?since=0", &feed)
+	if feed.Version != 3 || len(feed.Entries) != 3 {
+		t.Fatalf("mutation feed %+v", feed)
+	}
+	if feed.Entries[2].Version != 3 || len(feed.Entries[2].Muts) != 1 ||
+		feed.Entries[2].Muts[0]["op"] != "add_edge" {
+		t.Fatalf("feed entry 3: %+v", feed.Entries[2])
+	}
+	getJSON(t, "http://"+addr+"/mutations?since=3", &feed)
+	if len(feed.Entries) != 0 {
+		t.Fatalf("caught-up feed should be empty: %+v", feed)
+	}
+}
+
+// postJSON posts a JSON body, asserts the status, and decodes the response.
+func postJSON(t *testing.T, url, body string, wantStatus int, v any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		msg, _ := bodyText(resp)
+		t.Fatalf("POST %s: status %d (want %d): %s", url, resp.StatusCode, wantStatus, msg)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("POST %s: decode: %v", url, err)
+	}
 }
 
 // bodyText drains a response body for an error message.

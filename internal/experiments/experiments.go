@@ -7,7 +7,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 	"strings"
 	"text/tabwriter"
 
@@ -90,48 +89,9 @@ func table(header []string, rows [][]string) string {
 	return b.String()
 }
 
-// WriteAll runs every experiment and streams the formatted outputs to w.
-func WriteAll(w io.Writer, opt Options) error {
-	fmt.Fprintln(w, Table1())
-	t2, err := Table2(opt)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, t2)
-	t3, err := Table3(opt)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, t3)
-	t4, err := Table4(opt)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, t4)
-	t5, err := Table5(opt)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, t5)
-	f7, err := Fig7(opt)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, f7)
-	f8, err := Fig8(opt)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, f8)
-	sh, err := Shuffle(opt)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, sh)
-	sv, err := Serve(opt)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, sv)
-	return nil
+// AllExperiments lists every experiment name in canonical run order —
+// what "-exp all" expands to in cmd/aglbench.
+var AllExperiments = []string{
+	"table1", "table2", "table3", "table4", "table5",
+	"fig7", "fig8", "shuffle", "serve", "update",
 }

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// MetricsProvider is implemented by experiment results that export
+// machine-readable regression metrics. Every metric is lower-is-better
+// (latencies in nanoseconds, allocation counts, inverse throughputs) so
+// the regression guard needs a single comparison rule.
+type MetricsProvider interface {
+	Metrics() map[string]float64
+}
+
+// Metrics implements MetricsProvider for the shuffle baseline.
+func (r *ShuffleResult) Metrics() map[string]float64 {
+	return map[string]float64{
+		"stream_allocs":    float64(r.StreamAllocs),
+		"collect_allocs":   float64(r.CollectAllocs),
+		"stream_wall_ns":   float64(r.StreamWall),
+		"peak_group_bytes": float64(r.PeakGroupBytes),
+	}
+}
+
+// Metrics implements MetricsProvider for the serving-tier load test.
+func (r *ServeResult) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"hub_forward_passes": float64(r.HubForwardPasses),
+	}
+	for _, p := range r.Phases {
+		var key string
+		switch p.Name {
+		case "cold (forward pass)":
+			key = "cold"
+		case "warm (store)":
+			key = "warm"
+		case "hot (cache hit)":
+			key = "hot"
+		default:
+			continue
+		}
+		m[key+"_p50_ns"] = float64(p.P50)
+		m[key+"_p99_ns"] = float64(p.P99)
+	}
+	return m
+}
+
+// WriteMetricsFile writes a flat {"exp.metric": value} JSON file, keys
+// sorted for stable diffs.
+func WriteMetricsFile(path string, metrics map[string]float64) error {
+	b, err := json.MarshalIndent(metrics, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadMetricsFile reads a file written by WriteMetricsFile.
+func ReadMetricsFile(path string) (map[string]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// CompareMetrics checks measured results against a committed baseline:
+// every baseline metric must be present and must not exceed
+// baseline*tolerance (metrics are lower-is-better by construction; a
+// zero baseline allows up to the bare tolerance). It returns one
+// violation string per failure, empty on success.
+//
+// The tolerance is deliberately generous — shared CI runners jitter
+// wildly — so only order-of-magnitude regressions (an accidental
+// O(fan-in) materialization, a cache that stopped hitting) trip it.
+func CompareMetrics(baseline, measured map[string]float64, tolerance float64) []string {
+	var violations []string
+	keys := make([]string, 0, len(baseline))
+	for k := range baseline {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		base := baseline[k]
+		got, ok := measured[k]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: present in baseline but missing from results (benchmark rotted?)", k))
+			continue
+		}
+		allowed := base * tolerance
+		if base == 0 {
+			allowed = tolerance
+		}
+		if got > allowed {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.6g exceeds %.6g (baseline %.6g x tolerance %g)",
+					k, got, allowed, base, tolerance))
+		}
+	}
+	return violations
+}
+
+// FormatMetricsComparison renders a baseline-vs-measured table for the CI
+// log, flagging violations.
+func FormatMetricsComparison(baseline, measured map[string]float64, tolerance float64) string {
+	keys := make([]string, 0, len(baseline))
+	for k := range baseline {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([][]string, 0, len(keys))
+	bad := map[string]bool{}
+	for _, v := range CompareMetrics(baseline, measured, tolerance) {
+		for _, k := range keys {
+			if len(v) > len(k)+1 && v[:len(k)+1] == k+":" {
+				bad[k] = true
+			}
+		}
+	}
+	for _, k := range keys {
+		status := "ok"
+		if bad[k] {
+			status = "FAIL"
+		}
+		got := "(missing)"
+		if v, ok := measured[k]; ok {
+			got = fmt.Sprintf("%.6g", v)
+		}
+		rows = append(rows, []string{k, fmt.Sprintf("%.6g", baseline[k]), got, status})
+	}
+	return table([]string{"Metric", "Baseline", "Measured", fmt.Sprintf("Status (tol %gx)", tolerance)}, rows)
+}

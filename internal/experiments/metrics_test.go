@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCompareMetrics(t *testing.T) {
+	baseline := map[string]float64{
+		"shuffle.stream_allocs": 1000,
+		"serve.warm_p50_ns":     2000,
+		"update.max_dirty_rows": 0,
+	}
+	// Within tolerance: 10x over baseline passes at tol 10.
+	ok := map[string]float64{
+		"shuffle.stream_allocs": 9999,
+		"serve.warm_p50_ns":     500,
+		"update.max_dirty_rows": 5,
+		"extra.metric":          123, // extra keys are not compared
+	}
+	if v := CompareMetrics(baseline, ok, 10); len(v) != 0 {
+		t.Fatalf("expected pass, got violations %v", v)
+	}
+	// Regression: one metric blows past tolerance, one disappears.
+	bad := map[string]float64{
+		"shuffle.stream_allocs": 20000,
+		"update.max_dirty_rows": 3,
+	}
+	v := CompareMetrics(baseline, bad, 10)
+	if len(v) != 2 {
+		t.Fatalf("expected 2 violations, got %v", v)
+	}
+	joined := strings.Join(v, "\n")
+	if !strings.Contains(joined, "stream_allocs") || !strings.Contains(joined, "warm_p50_ns") {
+		t.Fatalf("violations missing expected keys: %v", v)
+	}
+	// Zero baseline: measured above the bare tolerance fails.
+	if v := CompareMetrics(map[string]float64{"x": 0}, map[string]float64{"x": 11}, 10); len(v) != 1 {
+		t.Fatalf("zero-baseline tolerance not enforced: %v", v)
+	}
+
+	out := FormatMetricsComparison(baseline, bad, 10)
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "ok") {
+		t.Fatalf("comparison table lacks statuses:\n%s", out)
+	}
+}
+
+func TestMetricsFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	in := map[string]float64{"a.b": 1.5, "c.d": 2}
+	if err := WriteMetricsFile(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMetricsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out["a.b"] != 1.5 || out["c.d"] != 2 {
+		t.Fatalf("roundtrip %v", out)
+	}
+	if _, err := ReadMetricsFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+}
+
+// TestResultMetricsKeysStable pins the metric names the committed
+// bench-baseline.json and CI regression guard depend on.
+func TestResultMetricsKeysStable(t *testing.T) {
+	sh := (&ShuffleResult{StreamWall: time.Second}).Metrics()
+	for _, k := range []string{"stream_allocs", "collect_allocs", "stream_wall_ns", "peak_group_bytes"} {
+		if _, ok := sh[k]; !ok {
+			t.Fatalf("shuffle metrics missing %q: %v", k, sh)
+		}
+	}
+	sv := (&ServeResult{Phases: []ServePhase{
+		{Name: "cold (forward pass)", P50: 1, P99: 2},
+		{Name: "warm (store)", P50: 1, P99: 2},
+		{Name: "hot (cache hit)", P50: 1, P99: 2},
+	}}).Metrics()
+	for _, k := range []string{"cold_p50_ns", "warm_p50_ns", "hot_p50_ns", "hub_forward_passes"} {
+		if _, ok := sv[k]; !ok {
+			t.Fatalf("serve metrics missing %q: %v", k, sv)
+		}
+	}
+	up := (&UpdateResult{MutationThroughput: 100}).Metrics()
+	for _, k := range []string{"baseline_p50_ns", "churn_score_p50_ns", "apply_p50_ns", "ns_per_mutation", "max_dirty_rows"} {
+		if _, ok := up[k]; !ok {
+			t.Fatalf("update metrics missing %q: %v", k, up)
+		}
+	}
+}
+
+// TestUpdateExperimentQuick smoke-runs the dynamic-graph experiment at CI
+// scale; its internal consistency audit is the real assertion.
+func TestUpdateExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full churn phase")
+	}
+	res, err := Update(Options{Quick: true, Seed: 1, TempDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MutationsApplied == 0 || res.ConsistencyNodes == 0 {
+		t.Fatalf("degenerate run: %+v", res)
+	}
+	if res.ChurnRequests == 0 || res.ChurnP50 == 0 {
+		t.Fatalf("no churn traffic recorded: %+v", res)
+	}
+	if !strings.Contains(res.Text, "consistency") {
+		t.Fatalf("report text: %s", res.Text)
+	}
+}

@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agl/internal/core"
+	"agl/internal/datagen"
+	"agl/internal/gnn"
+	"agl/internal/graph"
+	"agl/internal/mapreduce"
+	"agl/internal/nn"
+	"agl/internal/serve"
+)
+
+// UpdateResult records the dynamic-graph load test: a store-backed server
+// under sustained mutation traffic, measuring mutation throughput, score
+// latency during churn (vs. a no-churn warm baseline), the staleness
+// window (dirty-row gauge after each Apply), and a final consistency
+// audit against a from-scratch recompute on the mutated graph. It is the
+// perf anchor for the incremental-invalidation path — re-run it after
+// serve/ or graph-mutation changes.
+type UpdateResult struct {
+	Nodes, Clients, Writers int
+	BatchSize               int
+
+	// Warm-store baseline with no mutation traffic.
+	BaselineP50, BaselineP99 time.Duration
+	// Score latency while mutation batches commit concurrently.
+	ChurnP50, ChurnP99 time.Duration
+	ChurnRequests      int
+
+	// Mutation side: applied mutations, sustained throughput, and Apply
+	// call latency (graph COW + k-hop BFS + eviction).
+	MutationsApplied   int64
+	MutationThroughput float64 // mutations/second
+	ApplyP50, ApplyP99 time.Duration
+
+	// Staleness window: dirty store rows sampled after every Apply. A
+	// dirty row serves stale at most until its next request.
+	MaxDirty  int64
+	MeanDirty float64
+
+	Invalidated, Readmitted int64
+
+	// ConsistencyNodes scores audited post-churn against a cold recompute
+	// on the final graph; the run fails unless all match.
+	ConsistencyNodes int
+
+	Text string
+}
+
+func (r *UpdateResult) String() string { return r.Text }
+
+// Metrics implements the bench-regression contract (lower is better).
+func (r *UpdateResult) Metrics() map[string]float64 {
+	return map[string]float64{
+		"baseline_p50_ns":    float64(r.BaselineP50),
+		"churn_score_p50_ns": float64(r.ChurnP50),
+		"churn_score_p99_ns": float64(r.ChurnP99),
+		"apply_p50_ns":       float64(r.ApplyP50),
+		"ns_per_mutation":    1e9 / math.Max(r.MutationThroughput, 1e-9),
+		"max_dirty_rows":     float64(r.MaxDirty),
+	}
+}
+
+// Update runs the dynamic-graph experiment: an in-process store-backed
+// server serving concurrent score traffic while writers stream mutation
+// batches through Server.Apply.
+func Update(opt Options) (*UpdateResult, error) {
+	nodes, requests, clients, writers, batches, batchSize := 4000, 3000, 12, 2, 150, 16
+	if opt.Quick {
+		nodes, requests, clients, writers, batches, batchSize = 1000, 600, 6, 1, 40, 16
+	}
+	ds, err := datagen.UUG(datagen.UUGConfig{Nodes: nodes, FeatDim: 16, Seed: opt.Seed + 21})
+	if err != nil {
+		return nil, err
+	}
+	model, err := gnn.NewModel(gnn.Config{
+		Kind: gnn.KindGCN, InDim: ds.G.FeatureDim(), Hidden: 16, Classes: 1,
+		Layers: 2, Act: nn.ActTanh, Seed: opt.Seed + 22,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opt.logf("update: GraphInfer precompute over %d nodes", nodes)
+	inf, err := core.Infer(core.InferConfig{Seed: opt.Seed, TempDir: opt.TempDir, NumReducers: 8, KeepEmbeddings: true},
+		model, mapreduce.MemInput(core.TableRecords(ds.G)))
+	if err != nil {
+		return nil, err
+	}
+	store, err := serve.NewStore(0, inf.Embeddings)
+	if err != nil {
+		return nil, err
+	}
+	// A second model instance for the post-churn audit: Server owns its
+	// model and model instances are not safe to share.
+	modelBytes, err := gnn.MarshalModel(model)
+	if err != nil {
+		return nil, err
+	}
+	cfg := serve.Config{Seed: opt.Seed}
+	srv, err := serve.New(cfg, model, ds.G, store)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ids := ds.G.IDs()
+
+	res := &UpdateResult{
+		Nodes: nodes, Clients: clients, Writers: writers, BatchSize: batchSize,
+	}
+
+	// Phase 1 — no-churn baseline: warm store, fresh cache.
+	opt.logf("update: warm baseline, %d requests", min(requests, len(ids)))
+	base, err := loadPhase("baseline", srv, uniqueIDs(ids, requests), clients)
+	if err != nil {
+		return nil, err
+	}
+	res.BaselineP50, res.BaselineP99 = base.P50, base.P99
+
+	// Phase 2 — churn: writers stream mutation batches while clients keep
+	// scoring random nodes until the writers drain.
+	opt.logf("update: churn phase, %d writers x %d batches x %d mutations", writers, batches, batchSize)
+	var (
+		stop       atomic.Bool
+		latMu      sync.Mutex
+		scoreLats  []time.Duration
+		applyLats  []time.Duration
+		dirtySum   int64
+		dirtyMax   int64
+		dirtyObs   int64
+		writersErr atomic.Value
+		wg         sync.WaitGroup
+	)
+	mutStart := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed + int64(100+w)))
+			nextID := int64(1<<40) + int64(w)<<20
+			var ownEdges [][2]int64
+			for b := 0; b < batches; b++ {
+				muts := make([]graph.Mutation, 0, batchSize)
+				for k := 0; k < batchSize; k++ {
+					switch rng.Intn(6) {
+					case 0: // grow the graph
+						feat := make([]float64, 16)
+						feat[0] = rng.NormFloat64()
+						muts = append(muts, graph.AddNode(nextID, feat))
+						nextID++
+					case 1, 2: // wire random nodes together
+						s, d := ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]
+						if s != d {
+							muts = append(muts, graph.AddEdge(s, d, 1+rng.Float64()))
+							ownEdges = append(ownEdges, [2]int64{s, d})
+						}
+					case 3: // unwire one of our own edges
+						if len(ownEdges) > 0 {
+							i := rng.Intn(len(ownEdges))
+							e := ownEdges[i]
+							ownEdges[i] = ownEdges[len(ownEdges)-1]
+							ownEdges = ownEdges[:len(ownEdges)-1]
+							muts = append(muts, graph.RemoveEdge(e[0], e[1]))
+						}
+					default: // drift node features
+						feat := make([]float64, 16)
+						for j := range feat {
+							feat[j] = rng.NormFloat64()
+						}
+						muts = append(muts, graph.UpdateNodeFeat(ids[rng.Intn(len(ids))], feat))
+					}
+				}
+				t0 := time.Now()
+				ar, err := srv.Apply(muts)
+				d := time.Since(t0)
+				if err != nil {
+					writersErr.Store(err)
+					return
+				}
+				dirty := srv.Stats().DirtyRows
+				latMu.Lock()
+				applyLats = append(applyLats, d)
+				res.MutationsApplied += int64(ar.Applied)
+				dirtySum += dirty
+				dirtyObs++
+				if dirty > dirtyMax {
+					dirtyMax = dirty
+				}
+				latMu.Unlock()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var cwg sync.WaitGroup
+	clientErr := atomic.Value{}
+	for c := 0; c < clients; c++ {
+		cwg.Add(1)
+		go func(c int) {
+			defer cwg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed + int64(500+c)))
+			var lats []time.Duration
+			for !stop.Load() {
+				id := ids[rng.Intn(len(ids))]
+				t0 := time.Now()
+				if _, err := srv.Score(context.Background(), id); err != nil {
+					clientErr.Store(err)
+					return
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			latMu.Lock()
+			scoreLats = append(scoreLats, lats...)
+			latMu.Unlock()
+		}(c)
+	}
+	<-done
+	mutWall := time.Since(mutStart)
+	stop.Store(true)
+	cwg.Wait()
+	if err, ok := writersErr.Load().(error); ok {
+		return nil, err
+	}
+	if err, ok := clientErr.Load().(error); ok {
+		return nil, err
+	}
+
+	sort.Slice(scoreLats, func(a, b int) bool { return scoreLats[a] < scoreLats[b] })
+	sort.Slice(applyLats, func(a, b int) bool { return applyLats[a] < applyLats[b] })
+	if len(scoreLats) == 0 || len(applyLats) == 0 {
+		return nil, fmt.Errorf("update: churn phase recorded no traffic (%d scores, %d applies)",
+			len(scoreLats), len(applyLats))
+	}
+	res.ChurnRequests = len(scoreLats)
+	res.ChurnP50 = scoreLats[len(scoreLats)/2]
+	res.ChurnP99 = scoreLats[len(scoreLats)*99/100]
+	res.ApplyP50 = applyLats[len(applyLats)/2]
+	res.ApplyP99 = applyLats[len(applyLats)*99/100]
+	res.MutationThroughput = float64(res.MutationsApplied) / mutWall.Seconds()
+	res.MaxDirty = dirtyMax
+	if dirtyObs > 0 {
+		res.MeanDirty = float64(dirtySum) / float64(dirtyObs)
+	}
+	st := srv.Stats()
+	res.Invalidated, res.Readmitted = st.Invalidated, st.Readmitted
+
+	// Phase 3 — consistency audit: sampled nodes must match a cold
+	// recompute on the final mutated graph (sampling is disabled, so the
+	// comparison is exact).
+	audit := 64
+	if audit > len(ids) {
+		audit = len(ids)
+	}
+	opt.logf("update: consistency audit over %d nodes", audit)
+	refModel, err := gnn.UnmarshalModel(modelBytes)
+	if err != nil {
+		return nil, err
+	}
+	finalG, _ := srv.Graph()
+	ref, err := serve.New(cfg, refModel, finalG, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer ref.Close()
+	rng := rand.New(rand.NewSource(opt.Seed + 7))
+	for i := 0; i < audit; i++ {
+		id := ids[rng.Intn(len(ids))]
+		got, err := srv.Score(context.Background(), id)
+		if err != nil {
+			return nil, err
+		}
+		want, err := ref.Score(context.Background(), id)
+		if err != nil {
+			return nil, err
+		}
+		if math.Abs(got[0]-want[0]) > 1e-9 {
+			return nil, fmt.Errorf("update: node %d inconsistent after churn: served %v, recompute %v",
+				id, got[0], want[0])
+		}
+	}
+	res.ConsistencyNodes = audit
+
+	rows := [][]string{
+		{"baseline (no churn)", fmt.Sprintf("%d", base.Requests), fmtLatency(res.BaselineP50), fmtLatency(res.BaselineP99)},
+		{"under churn", fmt.Sprintf("%d", res.ChurnRequests), fmtLatency(res.ChurnP50), fmtLatency(res.ChurnP99)},
+	}
+	res.Text = fmt.Sprintf(
+		"Dynamic graph: %d-node graph, %d score clients vs %d mutation writers (batch %d)\n%s"+
+			"mutations: %d applied, %.0f/s sustained; Apply p50 %s p99 %s\n"+
+			"staleness window: max %d dirty rows, mean %.1f (invalidated %d, re-admitted warm %d)\n"+
+			"consistency: %d/%d audited nodes equal a cold recompute on the mutated graph\n",
+		nodes, clients, writers, batchSize,
+		table([]string{"Score phase", "Requests", "p50", "p99"}, rows),
+		res.MutationsApplied, res.MutationThroughput, fmtLatency(res.ApplyP50), fmtLatency(res.ApplyP99),
+		res.MaxDirty, res.MeanDirty, res.Invalidated, res.Readmitted,
+		res.ConsistencyNodes, audit)
+	return res, nil
+}

@@ -1,0 +1,277 @@
+package graph
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for mutation application. Callers distinguish client
+// mistakes (unknown ids, duplicates) from internal failures with errors.Is.
+var (
+	// ErrUnknownNode marks a mutation referencing a node absent from the graph.
+	ErrUnknownNode = errors.New("graph: unknown node")
+	// ErrUnknownEdge marks a RemoveEdge for an edge that does not exist.
+	ErrUnknownEdge = errors.New("graph: unknown edge")
+	// ErrDuplicateNode marks an AddNode whose id already exists.
+	ErrDuplicateNode = errors.New("graph: duplicate node")
+	// ErrBadMutation marks a structurally invalid mutation (self loop,
+	// feature-dimension mismatch, unknown op).
+	ErrBadMutation = errors.New("graph: bad mutation")
+)
+
+// MutOp enumerates the graph mutation operations.
+type MutOp uint8
+
+// Mutation operations. RemoveNode is deliberately absent: dense node
+// indices stay stable across every mutation, which is what lets derived
+// structures (LocalFlattener rows, dependency indexes) update
+// copy-on-write instead of rebuilding.
+const (
+	OpAddNode MutOp = iota + 1
+	OpAddEdge
+	OpRemoveEdge
+	OpUpdateNodeFeat
+)
+
+// String returns the wire name of the operation.
+func (op MutOp) String() string {
+	switch op {
+	case OpAddNode:
+		return "add_node"
+	case OpAddEdge:
+		return "add_edge"
+	case OpRemoveEdge:
+		return "remove_edge"
+	case OpUpdateNodeFeat:
+		return "update_feat"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// ParseMutOp parses the wire name of a mutation operation.
+func ParseMutOp(s string) (MutOp, error) {
+	switch s {
+	case "add_node":
+		return OpAddNode, nil
+	case "add_edge":
+		return OpAddEdge, nil
+	case "remove_edge":
+		return OpRemoveEdge, nil
+	case "update_feat":
+		return OpUpdateNodeFeat, nil
+	}
+	return 0, fmt.Errorf("%w: unknown op %q", ErrBadMutation, s)
+}
+
+// Mutation is one streamed graph change. AddNode and UpdateNodeFeat use
+// ID + Feat; AddEdge uses Src/Dst/Weight/Feat; RemoveEdge uses Src/Dst.
+type Mutation struct {
+	Op MutOp
+
+	ID   int64     // AddNode, UpdateNodeFeat
+	Feat []float64 // AddNode, UpdateNodeFeat (node features); AddEdge (edge features)
+
+	Src, Dst int64   // AddEdge, RemoveEdge
+	Weight   float64 // AddEdge (0 means 1, matching Build)
+}
+
+// Convenience constructors.
+
+// AddNode inserts a new isolated node.
+func AddNode(id int64, feat []float64) Mutation {
+	return Mutation{Op: OpAddNode, ID: id, Feat: feat}
+}
+
+// AddEdge inserts a directed edge; inserting an existing (src, dst) pair
+// merges weights, the same contract as Build.
+func AddEdge(src, dst int64, weight float64) Mutation {
+	return Mutation{Op: OpAddEdge, Src: src, Dst: dst, Weight: weight}
+}
+
+// RemoveEdge deletes the directed edge (src, dst).
+func RemoveEdge(src, dst int64) Mutation {
+	return Mutation{Op: OpRemoveEdge, Src: src, Dst: dst}
+}
+
+// UpdateNodeFeat replaces a node's feature vector.
+func UpdateNodeFeat(id int64, feat []float64) Mutation {
+	return Mutation{Op: OpUpdateNodeFeat, ID: id, Feat: feat}
+}
+
+// mutationJSON is the wire form of a Mutation (POST /update and the
+// mutation log's serialized shape).
+type mutationJSON struct {
+	Op string `json:"op"`
+	// Identity fields carry no omitempty: 0 is a legitimate node id and
+	// must stay visible on the wire (the catch-up feed in particular).
+	ID     int64     `json:"id"`
+	Feat   []float64 `json:"feat,omitempty"`
+	Src    int64     `json:"src"`
+	Dst    int64     `json:"dst"`
+	Weight float64   `json:"weight,omitempty"`
+}
+
+// MarshalJSON encodes the mutation with a string op name.
+func (m Mutation) MarshalJSON() ([]byte, error) {
+	return json.Marshal(mutationJSON{
+		Op: m.Op.String(), ID: m.ID, Feat: m.Feat,
+		Src: m.Src, Dst: m.Dst, Weight: m.Weight,
+	})
+}
+
+// UnmarshalJSON decodes a mutation encoded by MarshalJSON.
+func (m *Mutation) UnmarshalJSON(b []byte) error {
+	var w mutationJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	op, err := ParseMutOp(w.Op)
+	if err != nil {
+		return err
+	}
+	*m = Mutation{Op: op, ID: w.ID, Feat: w.Feat, Src: w.Src, Dst: w.Dst, Weight: w.Weight}
+	return nil
+}
+
+// Apply returns a new graph with the batch's valid mutations applied and a
+// positional error slice (nil entry = applied). Invalid mutations are
+// skipped; the rest apply in order, so an AddNode can be referenced by a
+// later AddEdge in the same batch. When nothing applies, the receiver is
+// returned unchanged.
+//
+// Apply is copy-on-write: the receiver is never modified, and a snapshot
+// held by an in-flight reader (a LocalFlattener extraction, a CSR build)
+// stays internally consistent forever. Node and edge slices are copied
+// once per batch (O(N+E)); the id index is shared unless the batch adds
+// nodes. Dense node indices are stable: new nodes append, existing nodes
+// never move.
+func (g *Graph) Apply(muts []Mutation) (*Graph, []error) {
+	errs := make([]error, len(muts))
+	if len(muts) == 0 {
+		return g, errs
+	}
+
+	nodes := append([]Node(nil), g.Nodes...)
+	index := g.index // shared until the first AddNode copies it
+	indexCopied := false
+	edges := append([]Edge(nil), g.Edges...)
+	// epos maps (src, dst) to its index in edges; removed marks tombstones
+	// compacted away at the end. Both are built lazily on the first edge op.
+	var epos map[[2]int64]int
+	var removed map[int]bool
+	edgeIndex := func() {
+		if epos != nil {
+			return
+		}
+		epos = make(map[[2]int64]int, len(edges))
+		for i, e := range edges {
+			epos[[2]int64{e.Src, e.Dst}] = i
+		}
+		removed = make(map[int]bool)
+	}
+	featDim := g.FeatureDim()
+	applied := 0
+
+	for i, m := range muts {
+		switch m.Op {
+		case OpAddNode:
+			if _, dup := index[m.ID]; dup {
+				errs[i] = fmt.Errorf("add_node %d: %w", m.ID, ErrDuplicateNode)
+				continue
+			}
+			if len(nodes) > 0 && len(m.Feat) != featDim {
+				errs[i] = fmt.Errorf("add_node %d: feat dim %d, graph has %d: %w",
+					m.ID, len(m.Feat), featDim, ErrBadMutation)
+				continue
+			}
+			if !indexCopied {
+				// Copy the id index once, on the first AddNode of the batch;
+				// edge-only batches keep sharing the receiver's read-only map.
+				cp := make(map[int64]int, len(index)+4)
+				for id, j := range index {
+					cp[id] = j
+				}
+				index = cp
+				indexCopied = true
+			}
+			index[m.ID] = len(nodes)
+			nodes = append(nodes, Node{ID: m.ID, Feat: append([]float64(nil), m.Feat...)})
+			if len(nodes) == 1 {
+				featDim = len(m.Feat)
+			}
+		case OpUpdateNodeFeat:
+			j, ok := index[m.ID]
+			if !ok {
+				errs[i] = fmt.Errorf("update_feat %d: %w", m.ID, ErrUnknownNode)
+				continue
+			}
+			if len(m.Feat) != featDim {
+				errs[i] = fmt.Errorf("update_feat %d: feat dim %d, graph has %d: %w",
+					m.ID, len(m.Feat), featDim, ErrBadMutation)
+				continue
+			}
+			// Replace the Feat pointer; the old snapshot keeps the old slice.
+			nodes[j].Feat = append([]float64(nil), m.Feat...)
+		case OpAddEdge:
+			if m.Src == m.Dst {
+				errs[i] = fmt.Errorf("add_edge %d->%d: self loop: %w", m.Src, m.Dst, ErrBadMutation)
+				continue
+			}
+			if _, ok := index[m.Src]; !ok {
+				errs[i] = fmt.Errorf("add_edge %d->%d: source: %w", m.Src, m.Dst, ErrUnknownNode)
+				continue
+			}
+			if _, ok := index[m.Dst]; !ok {
+				errs[i] = fmt.Errorf("add_edge %d->%d: destination: %w", m.Src, m.Dst, ErrUnknownNode)
+				continue
+			}
+			edgeIndex()
+			w := m.Weight
+			if w == 0 {
+				w = 1
+			}
+			k := [2]int64{m.Src, m.Dst}
+			if j, ok := epos[k]; ok {
+				if removed[j] {
+					// Re-adding an edge removed earlier in the batch: fresh
+					// weight, not a merge with the dead entry.
+					removed[j] = false
+					edges[j] = Edge{Src: m.Src, Dst: m.Dst, Weight: w, Feat: m.Feat}
+				} else {
+					edges[j].Weight += w // duplicate (src, dst): merge, as Build does
+				}
+			} else {
+				epos[k] = len(edges)
+				edges = append(edges, Edge{Src: m.Src, Dst: m.Dst, Weight: w, Feat: m.Feat})
+			}
+		case OpRemoveEdge:
+			edgeIndex()
+			k := [2]int64{m.Src, m.Dst}
+			j, ok := epos[k]
+			if !ok || removed[j] {
+				errs[i] = fmt.Errorf("remove_edge %d->%d: %w", m.Src, m.Dst, ErrUnknownEdge)
+				continue
+			}
+			removed[j] = true
+		default:
+			errs[i] = fmt.Errorf("op %d: %w", m.Op, ErrBadMutation)
+			continue
+		}
+		applied++
+	}
+
+	if applied == 0 {
+		return g, errs
+	}
+	if len(removed) > 0 {
+		kept := edges[:0]
+		for j, e := range edges {
+			if !removed[j] {
+				kept = append(kept, e)
+			}
+		}
+		edges = kept
+	}
+	return &Graph{Nodes: nodes, Edges: edges, index: index}, errs
+}

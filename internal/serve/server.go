@@ -13,6 +13,7 @@ import (
 	"agl/internal/gnn"
 	"agl/internal/graph"
 	"agl/internal/sampling"
+	"agl/internal/tensor"
 	"agl/internal/wire"
 )
 
@@ -92,7 +93,7 @@ func (c Config) withDefaults(modelLayers int) Config {
 	return c
 }
 
-// Stats is a snapshot of the server's request accounting.
+// Stats is a snapshot of the server's request and mutation accounting.
 type Stats struct {
 	Requests  int64 // Score calls
 	CacheHits int64 // served straight from the LRU
@@ -101,6 +102,13 @@ type Stats struct {
 	Cold      int64 // scored by a full forward pass over a k-hop extraction
 	Batches   int64 // micro-batches flushed
 	Errors    int64 // requests that failed (unknown node, shutdown, ...)
+
+	Version     uint64 // current graph version (one per applied batch)
+	Applies     int64  // mutation batches that applied at least one mutation
+	Mutations   int64  // individual mutations applied
+	Invalidated int64  // cache entries evicted + store rows dirtied by mutations
+	Readmitted  int64  // dirty rows recomputed cold and re-admitted warm
+	DirtyRows   int64  // store rows currently dirty (the staleness frontier)
 }
 
 // Server answers per-node score requests on top of the offline pipeline's
@@ -114,6 +122,12 @@ type Stats struct {
 //     LocalFlattener extracts the node's k-hop GraphFeature and a single
 //     vectorized forward pass scores the whole micro-batch.
 //
+// The graph is live: Apply commits mutation batches (edge inserts and
+// removals, feature updates, new nodes) onto copy-on-write graph versions,
+// and a reverse k-hop dependency index invalidates exactly the cache
+// entries and store rows a batch can have affected — see dynamic.go for
+// the consistency model.
+//
 // Concurrent requests for one node collapse into a single computation
 // (single-flight), and all model execution is confined to the batcher
 // goroutine — Model instances cache activations and are not safe for
@@ -123,20 +137,35 @@ type Server struct {
 	model *gnn.Model
 	head  *gnn.Slice
 	store *Store
-	flat  *core.LocalFlattener
+
+	vg  *graph.Versioned // graph versions; mutated only via Apply
+	dep *depIndex        // reverse k-hop dependency index (owned by Apply)
+
+	applyMu sync.Mutex // serializes Apply end to end
 
 	mu       sync.Mutex
 	closed   bool
+	flat     *core.LocalFlattener // extractor for the current version (swapped by Apply)
+	version  uint64               // version flat/cache/dirty reflect
 	cache    *lruCache
+	overlay  map[int64][]float64 // recomputed embeddings overriding the base store
+	dirty    map[int64]struct{}  // store rows invalidated by mutations
 	inflight map[int64]*call
 
 	reqs chan *call
 	stop chan struct{}
 	done chan struct{}
+	// queued counts calls registered but not yet received by the batcher
+	// (or its shutdown drain). It — not the in-flight table, whose entries
+	// Apply may detach early — is what guarantees every registered call is
+	// eventually resolved.
+	queued atomic.Int64
 
 	requests, hits, collapsed atomic.Int64
 	warm, cold                atomic.Int64
 	batches, errors           atomic.Int64
+	applies, mutations        atomic.Int64
+	invalidations, readmitted atomic.Int64
 }
 
 // call is one de-duplicated score computation; waiters block on done.
@@ -178,6 +207,8 @@ func New(cfg Config, model *gnn.Model, g *graph.Graph, store *Store) (*Server, e
 		model: model,
 		head:  head,
 		store: store,
+		vg:    graph.NewVersioned(g),
+		dep:   newDepIndex(g),
 		flat: core.NewLocalFlattener(core.FlatConfig{
 			Hops:         cfg.Hops,
 			MaxNeighbors: cfg.MaxNeighbors,
@@ -185,6 +216,8 @@ func New(cfg Config, model *gnn.Model, g *graph.Graph, store *Store) (*Server, e
 			Seed:         cfg.Seed,
 		}, g),
 		cache:    newLRU(cfg.CacheSize),
+		overlay:  make(map[int64][]float64),
+		dirty:    make(map[int64]struct{}),
 		inflight: make(map[int64]*call),
 		reqs:     make(chan *call, cfg.QueueDepth),
 		stop:     make(chan struct{}),
@@ -218,6 +251,7 @@ func (s *Server) Score(ctx context.Context, node int64) ([]float64, error) {
 	}
 	c := &call{id: node, done: make(chan struct{})}
 	s.inflight[node] = c
+	s.queued.Add(1)
 	s.mu.Unlock()
 
 	// Plain blocking send, deliberately NOT select-ing on ctx: other
@@ -225,7 +259,7 @@ func (s *Server) Score(ctx context.Context, node int64) ([]float64, error) {
 	// it here would fail them all with this caller's cancellation. The
 	// send cannot wedge — a call registered before close is always
 	// consumed by the batcher (or by its shutdown drain, which keeps
-	// receiving until the in-flight table empties) — and this caller's
+	// receiving until the queued counter empties) — and this caller's
 	// own ctx is still honored below in wait.
 	s.reqs <- c
 	return s.wait(ctx, c)
@@ -255,16 +289,26 @@ func (s *Server) ScoreMany(ctx context.Context, nodes []int64) ([][]float64, []e
 	return out, errs
 }
 
-// Stats snapshots the request counters.
+// Stats snapshots the request and mutation counters.
 func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	version := s.version
+	dirtyRows := int64(len(s.dirty))
+	s.mu.Unlock()
 	return Stats{
-		Requests:  s.requests.Load(),
-		CacheHits: s.hits.Load(),
-		Collapsed: s.collapsed.Load(),
-		Warm:      s.warm.Load(),
-		Cold:      s.cold.Load(),
-		Batches:   s.batches.Load(),
-		Errors:    s.errors.Load(),
+		Requests:    s.requests.Load(),
+		CacheHits:   s.hits.Load(),
+		Collapsed:   s.collapsed.Load(),
+		Warm:        s.warm.Load(),
+		Cold:        s.cold.Load(),
+		Batches:     s.batches.Load(),
+		Errors:      s.errors.Load(),
+		Version:     version,
+		Applies:     s.applies.Load(),
+		Mutations:   s.mutations.Load(),
+		Invalidated: s.invalidations.Load(),
+		Readmitted:  s.readmitted.Load(),
+		DirtyRows:   dirtyRows,
 	}
 }
 
@@ -321,6 +365,7 @@ func (s *Server) batcher() {
 			s.drain()
 			return
 		case c := <-s.reqs:
+			s.queued.Add(-1)
 			batch := []*call{c}
 			if s.cfg.MaxWait > 0 {
 				timer.Reset(s.cfg.MaxWait)
@@ -328,6 +373,7 @@ func (s *Server) batcher() {
 				for len(batch) < s.cfg.MaxBatch {
 					select {
 					case c2 := <-s.reqs:
+						s.queued.Add(-1)
 						batch = append(batch, c2)
 					case <-timer.C:
 						break linger
@@ -346,6 +392,7 @@ func (s *Server) batcher() {
 			for len(batch) < s.cfg.MaxBatch {
 				select {
 				case c2 := <-s.reqs:
+					s.queued.Add(-1)
 					batch = append(batch, c2)
 				default:
 					break greedy
@@ -358,49 +405,85 @@ func (s *Server) batcher() {
 
 // drain resolves every outstanding call at shutdown. Calls registered
 // before the closed flag flipped may still be on their way into the
-// queue, so it keeps consuming until the in-flight table is empty.
+// queue, so it keeps consuming until the queued counter reaches zero.
 func (s *Server) drain() {
 	for {
 		select {
 		case c := <-s.reqs:
+			s.queued.Add(-1)
 			s.fail(c, ErrClosed)
 			continue
 		default:
 		}
-		s.mu.Lock()
-		n := len(s.inflight)
-		s.mu.Unlock()
-		if n == 0 {
+		if s.queued.Load() == 0 {
 			return
 		}
 		select {
 		case c := <-s.reqs:
+			s.queued.Add(-1)
 			s.fail(c, ErrClosed)
 		case <-time.After(100 * time.Microsecond):
 		}
 	}
 }
 
+// lookupEmbLocked resolves a node's warm embedding: dirty rows miss (they
+// must recompute on the current graph version), the overlay (recomputed
+// rows) shadows the base store. Callers hold s.mu.
+func (s *Server) lookupEmbLocked(id int64) ([]float64, bool) {
+	if _, isDirty := s.dirty[id]; isDirty {
+		return nil, false
+	}
+	if emb, ok := s.overlay[id]; ok {
+		return emb, true
+	}
+	return s.store.Lookup(id)
+}
+
 // process scores one micro-batch: store-backed nodes through the
-// prediction slice, the rest through one merged forward pass.
+// prediction slice, the rest through one merged forward pass. The whole
+// batch runs against one graph version (the flattener snapshot taken at
+// entry); results are admitted to the cache and store only if no mutation
+// batch committed meanwhile, so a concurrent Apply can never be shadowed
+// by an in-flight computation on the old version.
 func (s *Server) process(batch []*call) {
 	s.batches.Add(1)
 	var coldCalls []*call
-	var coldRecs []*wire.TrainRecord
+	var warmEmbs [][]float64 // parallel to the warm prefix handled inline
+
+	s.mu.Lock()
+	flat := s.flat
+	ver := s.version
+	warmCalls := batch[:0:0]
 	for _, c := range batch {
-		if emb, ok := s.store.Lookup(c.id); ok {
-			c.scores = core.ScoresFromLogits(gnn.ApplyDense(s.head.Head, emb))
-			s.warm.Add(1)
+		if emb, ok := s.lookupEmbLocked(c.id); ok {
+			warmCalls = append(warmCalls, c)
+			warmEmbs = append(warmEmbs, emb)
 			continue
 		}
-		rec, err := s.flat.GraphFeature(c.id)
+		coldCalls = append(coldCalls, c)
+	}
+	s.mu.Unlock()
+
+	for i, c := range warmCalls {
+		c.scores = core.ScoresFromLogits(gnn.ApplyDense(s.head.Head, warmEmbs[i]))
+		s.warm.Add(1)
+	}
+
+	var coldRecs []*wire.TrainRecord
+	kept := coldCalls[:0]
+	for _, c := range coldCalls {
+		rec, err := flat.GraphFeature(c.id)
 		if err != nil {
 			c.err = err
 			continue
 		}
-		coldCalls = append(coldCalls, c)
+		kept = append(kept, c)
 		coldRecs = append(coldRecs, rec)
 	}
+	coldCalls = kept
+
+	var coldEmb *tensor.Matrix
 	if len(coldRecs) > 0 {
 		b, err := core.AssembleBatch(coldRecs, s.model.Cfg.Classes, false)
 		if err != nil {
@@ -408,20 +491,38 @@ func (s *Server) process(batch []*call) {
 				c.err = fmt.Errorf("serve: batch assembly: %w", err)
 			}
 		} else {
-			logits := s.model.Infer(b.Graph, gnn.RunOptions{})
+			// Forward (rather than Infer) keeps the target rows' layer-K
+			// embeddings, which re-admit recomputed dirty rows warm below.
+			prep := s.model.Prepare(b.Graph, gnn.RunOptions{})
+			st := s.model.Forward(b.Graph, prep, gnn.RunOptions{})
+			coldEmb = st.Emb
 			for i, c := range coldCalls {
-				c.scores = core.ScoresFromLogits(logits.Row(i))
+				c.scores = core.ScoresFromLogits(st.Logits.Row(i))
 				s.cold.Add(1)
 			}
 		}
 	}
+
 	s.mu.Lock()
+	fresh := ver == s.version
 	for _, c := range batch {
-		if c.err == nil {
+		if c.err == nil && fresh {
 			s.cache.add(c.id, c.scores)
 		}
 		if s.inflight[c.id] == c {
 			delete(s.inflight, c.id)
+		}
+	}
+	if fresh && coldEmb != nil {
+		for i, c := range coldCalls {
+			if c.err != nil {
+				continue
+			}
+			if _, isDirty := s.dirty[c.id]; isDirty {
+				s.overlay[c.id] = append([]float64(nil), coldEmb.Row(i)...)
+				delete(s.dirty, c.id)
+				s.readmitted.Add(1)
+			}
 		}
 	}
 	s.mu.Unlock()
@@ -453,6 +554,16 @@ func (l *lruCache) get(id int64) ([]float64, bool) {
 		return e.Value.(*lruEntry).scores, true
 	}
 	return nil, false
+}
+
+// remove evicts one entry, reporting whether it was present.
+func (l *lruCache) remove(id int64) bool {
+	if e, ok := l.m[id]; ok {
+		l.ll.Remove(e)
+		delete(l.m, id)
+		return true
+	}
+	return false
 }
 
 func (l *lruCache) add(id int64, scores []float64) {

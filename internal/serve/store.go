@@ -4,6 +4,10 @@
 // and a bounded LRU score cache with single-flight deduplication. The batch
 // pipelines (GraphFlat/GraphTrainer/GraphInfer) produce artifacts offline;
 // this package answers per-node score requests at request latency.
+//
+// The serving graph is mutable: Server.Apply streams mutation batches onto
+// versioned copy-on-write snapshots, and a reverse k-hop dependency index
+// keeps the cache and store incrementally consistent (dynamic.go).
 package serve
 
 import (

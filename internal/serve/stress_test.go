@@ -3,8 +3,11 @@ package serve
 import (
 	"context"
 	"math"
+	"math/rand"
 	"sync"
 	"testing"
+
+	"agl/internal/graph"
 )
 
 // TestStressConcurrentMixedTraffic hammers one server from many goroutines
@@ -115,6 +118,109 @@ func TestSingleFlightCollapsesHubNode(t *testing.T) {
 	}
 	if st.Collapsed+st.CacheHits != burst-1 {
 		t.Fatalf("collapse accounting off: %+v", st)
+	}
+}
+
+// TestStressConcurrentScoreAndApply races mutation batches against full
+// score traffic — the -race tripwire for the invalidation path (LRU
+// eviction, dirty marking, flattener swaps, overlay re-admission all
+// interleaving with lookups). Every response must be a valid score; after
+// the writers drain, every node must agree with a cold recompute on the
+// final graph.
+func TestStressConcurrentScoreAndApply(t *testing.T) {
+	g, model, res := testGraph(t)
+	embs := make(map[int64][]float64)
+	for i, n := range g.Nodes {
+		if i%2 == 0 {
+			embs[n.ID] = res.Embeddings[n.ID]
+		}
+	}
+	store, err := NewStore(4, embs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 4, CacheSize: 32, MaxBatch: 8}
+	srv, err := New(cfg, model, g, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ids := g.IDs()
+	const readers = 16
+	const writers = 2
+	const perReader = 60
+	const batchesPerWriter = 25
+
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for b := 0; b < batchesPerWriter; b++ {
+				var muts []graph.Mutation
+				for k := 0; k < 4; k++ {
+					s := ids[rng.Intn(len(ids))]
+					d := ids[rng.Intn(len(ids))]
+					if s == d {
+						continue
+					}
+					if rng.Intn(2) == 0 {
+						muts = append(muts, graph.AddEdge(s, d, 1))
+					} else {
+						feat := make([]float64, 6)
+						feat[0] = rng.NormFloat64()
+						muts = append(muts, graph.UpdateNodeFeat(s, feat))
+					}
+				}
+				if _, err := srv.Apply(muts); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perReader; i++ {
+				id := ids[(w*perReader+i*i)%len(ids)]
+				scores, err := srv.Score(context.Background(), id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(scores) != 1 || math.IsNaN(scores[0]) {
+					t.Errorf("node %d: bad score %v", id, scores)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiesced: every served score must now equal a cold recompute on the
+	// final mutated graph (sampling disabled → exact).
+	cur, ver := srv.Graph()
+	if ver == 0 {
+		t.Fatal("no mutation batch applied")
+	}
+	want := coldRecompute(t, cfg, cloneModel(t, model), cur, ids)
+	for _, id := range ids {
+		got, err := srv.Score(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got[0]-want[id][0]) > 1e-9 {
+			t.Fatalf("node %d after churn: served %v, recompute %v", id, got[0], want[id][0])
+		}
 	}
 }
 
