@@ -95,6 +95,50 @@ type (
 	UUGConfig = datagen.UUGConfig
 )
 
+// Link-prediction types: the edge-level workload (fraud-pair scoring,
+// recommendation) through the same three modules — GraphFlat's edge-target
+// mode materializes merged endpoint neighborhoods, GraphTrainer's pairwise
+// head trains on them, and the serving tier scores pairs warm off the
+// embedding store.
+type (
+	// EdgeTarget marks a (src, dst) pair to flatten, with its link label
+	// (1 positive, 0 negative).
+	EdgeTarget = core.EdgeTarget
+	// LinkConfig parameterizes held-out-edge link splits.
+	LinkConfig = datagen.LinkConfig
+	// LinkDataset is a held-out-edge split: training graph, positive train
+	// pairs, and test positives plus sampled negatives.
+	LinkDataset = datagen.LinkDataset
+)
+
+// Edge-head kinds for ModelConfig.EdgeHead.
+const (
+	EdgeHeadDot      = gnn.EdgeHeadDot
+	EdgeHeadBilinear = gnn.EdgeHeadBilinear
+	EdgeHeadMLP      = gnn.EdgeHeadMLP
+)
+
+// NewLinks builds a held-out-edge link-prediction split from a dataset:
+// the training graph drops the held-out edges (both directions), and the
+// test set pairs them with uniformly sampled non-edge negatives.
+func NewLinks(ds *Dataset, cfg LinkConfig) (*LinkDataset, error) { return datagen.Links(ds, cfg) }
+
+// LinkTargets builds positive (label 1) edge targets from graph edges —
+// the training input of FlatConfig.EdgeTargets.
+func LinkTargets(edges []Edge) []EdgeTarget {
+	out := make([]EdgeTarget, 0, len(edges))
+	for _, e := range edges {
+		out = append(out, EdgeTarget{Src: e.Src, Dst: e.Dst, Label: 1})
+	}
+	return out
+}
+
+// EvaluateLinks scores a link model over LinkRecords (Flatten output with
+// FlatConfig.EdgeTargets) with ROC-AUC.
+func EvaluateLinks(m *Model, records [][]byte, cfg EvalConfig) (float64, error) {
+	return core.EvaluateLinks(m, records, cfg)
+}
+
 // NewCora generates a Cora-like citation dataset.
 func NewCora(cfg CoraConfig) (*Dataset, error) { return datagen.Cora(cfg) }
 
@@ -300,6 +344,11 @@ func LoadEmbeddingStore(r io.Reader) (*EmbeddingStore, error) {
 //		agl.UpdateNodeFeat(7, newFeat),
 //	})
 //	// res.Version advanced; res.Errs reports per-mutation failures.
+//
+// Link models (ModelConfig.EdgeHead set) additionally answer pair requests
+// with srv.ScoreLink(ctx, src, dst): warm pairs are two store lookups plus
+// one pairwise-head forward, unseen endpoints fall back to the cold
+// extraction path.
 func Serve(cfg ServeConfig, m *Model, g *Graph, store *EmbeddingStore) (*Server, error) {
 	return serve.New(cfg, m, g, store)
 }

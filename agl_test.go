@@ -206,3 +206,95 @@ func TestNewGraphValidation(t *testing.T) {
 		t.Fatal("expected validation error")
 	}
 }
+
+// TestPublicAPILinkPrediction drives the edge-level workload end to end
+// through the public API: held-out-edge split, edge-target flatten,
+// pairwise training, AUC evaluation, and online pair scoring.
+func TestPublicAPILinkPrediction(t *testing.T) {
+	ds, err := agl.NewUUG(agl.UUGConfig{Nodes: 400, FeatDim: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	links, err := agl.NewLinks(ds, agl.LinkConfig{TestFrac: 0.1, NegPerPos: 1, MaxTrainPairs: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flatCfg := agl.FlatConfig{Hops: 2, TempDir: t.TempDir()}
+	flatCfg.EdgeTargets = links.Train
+	trainFlat, err := agl.Flatten(flatCfg, links.G, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatCfg.EdgeTargets = links.Test
+	testFlat, err := agl.Flatten(flatCfg, links.G, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := agl.Train(agl.TrainConfig{
+		Model: agl.ModelConfig{
+			Kind: agl.GCN, InDim: links.G.FeatureDim(), Hidden: 8, Classes: 1,
+			Layers: 2, Act: agl.ActTanh, Seed: 3, EdgeHead: agl.EdgeHeadBilinear,
+		},
+		Loss: agl.LossBCE, Epochs: 8, BatchSize: 32, LR: 0.05,
+		Workers: 2, NegativeRatio: 2, Seed: 3,
+	}, trainFlat.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := agl.EvaluateLinks(res.Model, testFlat.Records, agl.EvalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.6 {
+		t.Fatalf("link AUC %.3f, want > 0.6", auc)
+	}
+
+	// Serve pairs online: warm off the embedding store.
+	inf, err := agl.Infer(agl.InferConfig{KeepEmbeddings: true, Seed: 3}, res.Model, links.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := agl.NewEmbeddingStore(0, inf.Embeddings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := agl.Serve(agl.ServeConfig{Seed: 3}, res.Model, links.G, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	p := links.Test[0]
+	logit, err := srv.ScoreLink(context.Background(), p.Src, p.Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(logit) {
+		t.Fatal("NaN link score")
+	}
+	if srv.Stats().LinkWarm != 1 {
+		t.Fatalf("expected warm pair scoring, got %+v", srv.Stats())
+	}
+
+	// Offline pair scoring through GraphInfer agrees with the server.
+	inf2, err := agl.Infer(agl.InferConfig{
+		KeepEmbeddings: true, Seed: 3,
+		EdgeTargets: []agl.EdgeTarget{{Src: p.Src, Dst: p.Dst}},
+	}, res.Model, links.G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := inf2.LinkScores[[2]int64{p.Src, p.Dst}]
+	if math.Abs(score-1/(1+math.Exp(-logit))) > 1e-9 {
+		t.Fatalf("offline pair score %v disagrees with online logit %v", score, logit)
+	}
+
+	// LinkTargets builds positive targets from edges.
+	lt := agl.LinkTargets(links.G.Edges[:3])
+	for _, p := range lt {
+		if p.Label != 1 {
+			t.Fatal("LinkTargets must label positives 1")
+		}
+	}
+}

@@ -32,7 +32,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aglbench: ")
 
-	exp := flag.String("exp", "all", "comma-separated experiments: table1|table2|table3|table4|table5|fig7|fig8|shuffle|serve|update|all")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1|table2|table3|table4|table5|fig7|fig8|shuffle|serve|update|link|all")
 	quick := flag.Bool("quick", false, "CI-scale datasets and epochs")
 	seed := flag.Int64("seed", 1, "global seed")
 	verbose := flag.Bool("v", false, "progress logging")
@@ -115,6 +115,8 @@ func main() {
 			run("serve", func() (fmt.Stringer, error) { return experiments.Serve(opt) })
 		case "update":
 			run("update", func() (fmt.Stringer, error) { return experiments.Update(opt) })
+		case "link":
+			run("link", func() (fmt.Stringer, error) { return experiments.Link(opt) })
 		default:
 			log.Fatalf("unknown experiment %q", name)
 		}
@@ -191,7 +193,21 @@ func runGen(dir string, nodes, dim int, seed int64) error {
 	if err := os.WriteFile(filepath.Join(dir, "targets.tsv"), []byte(targets.String()), 0o644); err != nil {
 		return err
 	}
-	log.Printf("wrote %d nodes, %d edges, %d targets to %s",
-		ds.G.NumNodes(), ds.G.NumEdges(), len(ds.Train), dir)
+	// pairs.tsv feeds the link-prediction pipeline (graphflat -p): positive
+	// training pairs sampled from the edge table.
+	var pairs strings.Builder
+	nPairs := 0
+	for i, e := range ds.G.Edges {
+		if i%3 != 0 || nPairs >= 300 {
+			continue
+		}
+		fmt.Fprintf(&pairs, "%d\t%d\t1\n", e.Src, e.Dst)
+		nPairs++
+	}
+	if err := os.WriteFile(filepath.Join(dir, "pairs.tsv"), []byte(pairs.String()), 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %d nodes, %d edges, %d targets, %d pairs to %s",
+		ds.G.NumNodes(), ds.G.NumEdges(), len(ds.Train), nPairs, dir)
 	return nil
 }

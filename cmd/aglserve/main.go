@@ -8,6 +8,7 @@
 // Endpoints:
 //
 //	GET  /score?node=ID          one node  -> {"node":ID,"scores":[...]}
+//	GET  /link?src=A&dst=B       pair score (link models) -> {"logit":..,"score":..}
 //	POST /scores {"nodes":[..]}  bulk      -> {"scores":{"ID":[...],...}}
 //	POST /update                 stream graph mutations (single or batch)
 //	GET  /mutations?since=V      catch-up feed of applied batches (410 when trimmed)
@@ -52,6 +53,7 @@ import (
 	"agl/internal/gnn"
 	"agl/internal/graph"
 	"agl/internal/mapreduce"
+	"agl/internal/nn"
 	"agl/internal/sampling"
 	"agl/internal/serve"
 )
@@ -160,6 +162,28 @@ func main() {
 			return
 		}
 		writeJSON(w, map[string]any{"node": id, "scores": scores})
+	})
+	mux.HandleFunc("GET /link", func(w http.ResponseWriter, r *http.Request) {
+		src, err := strconv.ParseInt(r.URL.Query().Get("src"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad src parameter: %w", err))
+			return
+		}
+		dst, err := strconv.ParseInt(r.URL.Query().Get("dst"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad dst parameter: %w", err))
+			return
+		}
+		logit, err := srv.ScoreLink(r.Context(), src, dst)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		// score is the sigmoid link probability; logit the raw head output.
+		writeJSON(w, map[string]any{
+			"src": src, "dst": dst,
+			"logit": logit, "score": nn.Sigmoid(logit),
+		})
 	})
 	mux.HandleFunc("POST /scores", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -340,7 +364,8 @@ func statusFor(err error) int {
 	case errors.Is(err, serve.ErrUnknownNode), errors.Is(err, graph.ErrUnknownNode),
 		errors.Is(err, graph.ErrUnknownEdge):
 		return http.StatusNotFound
-	case errors.Is(err, graph.ErrBadMutation), errors.Is(err, graph.ErrDuplicateNode):
+	case errors.Is(err, graph.ErrBadMutation), errors.Is(err, graph.ErrDuplicateNode),
+		errors.Is(err, serve.ErrNoEdgeHead):
 		return http.StatusBadRequest
 	case errors.Is(err, serve.ErrClosed):
 		return http.StatusServiceUnavailable

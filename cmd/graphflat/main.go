@@ -30,6 +30,7 @@ func main() {
 	nodePath := flag.String("n", "", "node table TSV (id<TAB>f1,f2,...)")
 	edgePath := flag.String("e", "", "edge table TSV (src<TAB>dst<TAB>weight)")
 	targetPath := flag.String("t", "", "target table TSV (id<TAB>label); default: all nodes")
+	pairPath := flag.String("p", "", "pair target TSV (src<TAB>dst<TAB>label) for link prediction; emits LinkRecords instead of node records")
 	hops := flag.Int("hops", 2, "neighborhood radius K")
 	strategy := flag.String("s", "uniform", "sampling strategy: uniform|weighted|topk")
 	maxNeighbors := flag.Int("max-neighbors", 0, "per-node in-edge cap (0 = unlimited)")
@@ -47,7 +48,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	targets, err := loadTargets(*targetPath, g)
+	var targets map[int64]core.Target
+	var pairs []core.EdgeTarget
+	if *pairPath != "" {
+		if *targetPath != "" {
+			log.Fatal("-t and -p are mutually exclusive (node vs edge targets)")
+		}
+		pairs, err = loadPairs(*pairPath)
+		if err == nil && len(pairs) == 0 {
+			// Without this, an empty pair table would silently fall back to
+			// node-target mode and emit 0 records.
+			log.Fatalf("pair table %s holds no pairs", *pairPath)
+		}
+	} else {
+		targets, err = loadTargets(*targetPath, g)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,15 +82,56 @@ func main() {
 		HubThreshold: *hubThreshold,
 		NumReducers:  *reducers,
 		Output:       outDir,
+		EdgeTargets:  pairs,
 	}, mapreduce.MemInput(core.TableRecords(g)), targets)
 	if err != nil {
 		log.Fatal(err)
 	}
+	kind := "GraphFeature"
+	if len(pairs) > 0 {
+		kind = "LinkRecord"
+	}
 	fmt.Printf("graph: %d nodes, %d edges; hubs re-indexed: %d\n",
 		g.NumNodes(), g.NumEdges(), res.HubCount)
-	fmt.Printf("wrote %d GraphFeature records to %s (%d MR rounds, %.2f MB shuffled)\n",
-		len(res.Records), *out, len(res.RoundStats),
+	fmt.Printf("wrote %d %s records to %s (%d MR rounds, %.2f MB shuffled)\n",
+		len(res.Records), kind, *out, len(res.RoundStats),
 		float64(res.TotalShuffledBytes())/1e6)
+}
+
+// loadPairs reads an edge-target table: src<TAB>dst<TAB>label per line
+// (label optional, default 1).
+func loadPairs(path string) ([]core.EdgeTarget, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []core.EdgeTarget
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("pair table: want src<TAB>dst[<TAB>label], got %q", line)
+		}
+		p := core.EdgeTarget{Label: 1}
+		if p.Src, err = strconv.ParseInt(parts[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("pair table: %w", err)
+		}
+		if p.Dst, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("pair table: %w", err)
+		}
+		if len(parts) > 2 {
+			if p.Label, err = strconv.ParseInt(parts[2], 10, 64); err != nil {
+				return nil, fmt.Errorf("pair table: %w", err)
+			}
+		}
+		out = append(out, p)
+	}
+	return out, sc.Err()
 }
 
 func loadTargets(path string, g *graph.Graph) (map[int64]core.Target, error) {

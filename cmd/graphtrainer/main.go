@@ -18,6 +18,7 @@ import (
 	"agl/internal/gnn"
 	"agl/internal/nn"
 	"agl/internal/ps"
+	"agl/internal/wire"
 )
 
 func main() {
@@ -41,17 +42,20 @@ func main() {
 	shards := flag.Int("ps", 1, "parameter-server shards")
 	mode := flag.String("mode", "async", "consistency: async|sync")
 	strategy := flag.String("t", "pipeline,pruning,partition", "train strategy: comma list of pipeline,pruning,partition")
+	edgeHead := flag.String("edge-head", "", "link prediction: pairwise head dot|bilinear|mlp; input must be graphflat -p LinkRecords")
+	negRatio := flag.Int("neg-ratio", 0, "negatives sampled per positive pair at batch time (link mode; 0 selects 1)")
 	seed := flag.Int64("seed", 1, "seed")
 	out := flag.String("o", "model.agl", "output model file")
 	flag.Parse()
 
-	records, inDim, err := loadRecords(*input)
+	link := *edgeHead != ""
+	records, inDim, err := loadRecords(*input, link)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var eval [][]byte
 	if *evalInput != "" {
-		eval, _, err = loadRecords(*evalInput)
+		eval, _, err = loadRecords(*evalInput, link)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,11 +65,11 @@ func main() {
 		Model: gnn.Config{
 			Kind: *modelName, InDim: inDim, Hidden: *hidden, Classes: *classes,
 			Layers: *layers, Heads: *heads, Act: nn.ActReLU, Dropout: *dropout,
-			Seed: *seed,
+			Seed: *seed, EdgeHead: *edgeHead,
 		},
 		BatchSize: *batch, Epochs: *epochs, LR: *lr,
 		Workers: *workers, PSShards: *shards,
-		Eval: eval, Seed: *seed,
+		Eval: eval, Seed: *seed, NegativeRatio: *negRatio,
 		Logf: log.Printf,
 	}
 	switch *loss {
@@ -131,9 +135,9 @@ func main() {
 	fmt.Printf("model saved to %s\n", *out)
 }
 
-// loadRecords reads GraphFeature records and sniffs the feature dimension
-// from the first record.
-func loadRecords(path string) ([][]byte, int, error) {
+// loadRecords reads GraphFeature (or, in link mode, LinkRecord) records
+// and sniffs the feature dimension from the first record.
+func loadRecords(path string, link bool) ([][]byte, int, error) {
 	dir, err := dfs.Open(path)
 	if err != nil {
 		return nil, 0, err
@@ -145,12 +149,22 @@ func loadRecords(path string) ([][]byte, int, error) {
 	if len(records) == 0 {
 		return nil, 0, fmt.Errorf("no records in %s", path)
 	}
-	recs, err := core.DecodeRecords(records[:1])
-	if err != nil {
-		return nil, 0, err
+	var nodes []wire.SGNode
+	if link {
+		recs, err := core.DecodeLinkRecords(records[:1])
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s: not LinkRecords (run graphflat -p for link mode): %w", path, err)
+		}
+		nodes = recs[0].SG.Nodes
+	} else {
+		recs, err := core.DecodeRecords(records[:1])
+		if err != nil {
+			return nil, 0, err
+		}
+		nodes = recs[0].SG.Nodes
 	}
 	dim := 0
-	for _, n := range recs[0].SG.Nodes {
+	for _, n := range nodes {
 		if len(n.Feat) > dim {
 			dim = len(n.Feat)
 		}

@@ -38,6 +38,12 @@ type FlatConfig struct {
 	// (0 = disabled).
 	HubThreshold int
 
+	// EdgeTargets switches GraphFlat to edge-level mode (link prediction):
+	// instead of per-node TrainRecords, Flatten emits one wire.LinkRecord
+	// per pair carrying the merged k-hop neighborhood of both endpoints.
+	// Mutually exclusive with node targets.
+	EdgeTargets []EdgeTarget
+
 	NumMappers  int
 	NumReducers int
 	TempDir     string
@@ -109,6 +115,19 @@ func Flatten(cfg FlatConfig, tables mapreduce.Input, targets map[int64]Target) (
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if len(cfg.EdgeTargets) > 0 {
+		if len(targets) > 0 {
+			return nil, fmt.Errorf("core: FlatConfig.EdgeTargets and node targets are mutually exclusive (got %d pairs and %d node targets)",
+				len(cfg.EdgeTargets), len(targets))
+		}
+		return flattenEdges(cfg, tables)
+	}
+	return flattenNodes(cfg, tables, targets)
+}
+
+// flattenNodes is the node-target pipeline (the original GraphFlat mode);
+// flattenEdges reuses it to materialize every pair endpoint's neighborhood.
+func flattenNodes(cfg FlatConfig, tables mapreduce.Input, targets map[int64]Target) (*FlatResult, error) {
 	cfg = cfg.withDefaults()
 	res := &FlatResult{}
 

@@ -30,6 +30,13 @@ type InferConfig struct {
 	// hidden-dim vector per node for no benefit.
 	KeepEmbeddings bool
 
+	// EdgeTargets, when non-empty, additionally scores these (src, dst)
+	// pairs offline with the model's edge head (InferResult.LinkScores) —
+	// the batch counterpart of the serving tier's warm /link path. Requires
+	// KeepEmbeddings (pair scoring reads the final-layer embeddings) and a
+	// model built with ModelConfig.EdgeHead.
+	EdgeTargets []EdgeTarget
+
 	NumMappers  int
 	NumReducers int
 	TempDir     string
@@ -70,6 +77,10 @@ type InferResult struct {
 	// and only apply the prediction slice. Nil unless
 	// InferConfig.KeepEmbeddings is set.
 	Embeddings map[int64][]float64
+	// LinkScores maps a requested (src, dst) pair to its sigmoid link
+	// probability. Nil unless InferConfig.EdgeTargets was set; pairs with
+	// an endpoint absent from the graph are dropped.
+	LinkScores map[[2]int64]float64
 	RoundStats []*mapreduce.Stats
 	Wall       time.Duration
 }
@@ -102,6 +113,11 @@ func (r *InferResult) TotalBusy() time.Duration {
 func Infer(cfg InferConfig, model *gnn.Model, tables mapreduce.Input) (*InferResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if len(cfg.EdgeTargets) > 0 && model.Edge == nil {
+		// Checked before any MapReduce round runs: at scale the pipeline is
+		// minutes of compute, and this is a configuration error.
+		return nil, fmt.Errorf("core: InferConfig.EdgeTargets needs a link model (set ModelConfig.EdgeHead)")
 	}
 	cfg = cfg.withDefaults()
 	start := time.Now()
@@ -208,6 +224,17 @@ func Infer(cfg InferConfig, model *gnn.Model, tables mapreduce.Input) (*InferRes
 		res.Scores[id] = m.Scores
 		if res.Embeddings != nil && m.Emb != nil {
 			res.Embeddings[id] = m.Emb.H
+		}
+	}
+	if len(cfg.EdgeTargets) > 0 {
+		res.LinkScores = make(map[[2]int64]float64, len(cfg.EdgeTargets))
+		for _, p := range cfg.EdgeTargets {
+			hs, ok1 := res.Embeddings[p.Src]
+			hd, ok2 := res.Embeddings[p.Dst]
+			if !ok1 || !ok2 {
+				continue // endpoint not in the graph: drop, as flatten does
+			}
+			res.LinkScores[[2]int64{p.Src, p.Dst}] = ScoresFromLogits([]float64{model.Edge.ScoreVec(hs, hd)})[0]
 		}
 	}
 	res.Wall = time.Since(start)

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"agl/internal/gnn"
+	"agl/internal/mapreduce"
+	"agl/internal/metrics"
+	"agl/internal/nn"
+	"agl/internal/sparse"
+	"agl/internal/tensor"
+	"agl/internal/wire"
+)
+
+// EdgeTarget marks a (src, dst) pair whose merged endpoint neighborhood
+// GraphFlat must materialize, with its link label: 1 for an observed
+// (positive) edge, 0 for a sampled negative. The edge-level counterpart of
+// Target.
+type EdgeTarget = wire.EdgeTarget
+
+// flattenEdges is GraphFlat's edge-target mode: the K merge rounds run once
+// over the union of all pair endpoints (each endpoint's k-hop neighborhood
+// is materialized exactly once no matter how many pairs share it), then one
+// extra MapReduce pass re-keys the endpoint records by pair and merges the
+// two endpoint subgraphs into a LinkRecord. The pair pass rides the same
+// streaming shuffle as every other round.
+func flattenEdges(cfg FlatConfig, tables mapreduce.Input) (*FlatResult, error) {
+	pairs := cfg.EdgeTargets
+	nodeTargets := make(map[int64]Target, 2*len(pairs))
+	for _, p := range pairs {
+		nodeTargets[p.Src] = Target{Label: -1}
+		nodeTargets[p.Dst] = Target{Label: -1}
+	}
+	sub := cfg.withDefaults()
+	sub.EdgeTargets = nil
+	sub.Output = nil // the output dataset receives LinkRecords, not endpoint records
+	res, err := flattenNodes(sub, tables, nodeTargets)
+	if err != nil {
+		return nil, err
+	}
+
+	// byNode maps an endpoint to the pairs it participates in; the mapper
+	// fans each endpoint record out to one shuffle key per pair.
+	byNode := make(map[int64][]int, len(nodeTargets))
+	for i, p := range pairs {
+		byNode[p.Src] = append(byNode[p.Src], i)
+		if p.Dst != p.Src {
+			byNode[p.Dst] = append(byNode[p.Dst], i)
+		}
+	}
+	pairMapper := mapreduce.MapperFunc(func(rec []byte, emit mapreduce.Emit) error {
+		tr, err := wire.DecodeTrainRecord(rec)
+		if err != nil {
+			return err
+		}
+		for _, pi := range byNode[tr.TargetID] {
+			if err := emit(mapreduce.KeyValue{Key: strconv.Itoa(pi), Value: rec}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	pairReducer := mapreduce.ReducerFunc(func(key string, values mapreduce.ValueIter, emit mapreduce.Emit) error {
+		pi, err := strconv.Atoi(key)
+		if err != nil || pi < 0 || pi >= len(pairs) {
+			return fmt.Errorf("core: pair reducer got key %q", key)
+		}
+		pair := pairs[pi]
+		var srcSG, dstSG *wire.Subgraph
+		for {
+			v, ok := values.Next()
+			if !ok {
+				break
+			}
+			tr, err := wire.DecodeTrainRecord(v)
+			if err != nil {
+				return err
+			}
+			switch tr.TargetID {
+			case pair.Src:
+				srcSG = tr.SG
+			case pair.Dst:
+				dstSG = tr.SG
+			default:
+				return fmt.Errorf("core: pair %d got record for node %d", pi, tr.TargetID)
+			}
+		}
+		if err := values.Err(); err != nil {
+			return err
+		}
+		if srcSG == nil || dstSG == nil {
+			// An endpoint absent from the node table produced no record:
+			// drop the pair, mirroring node-target behavior.
+			return nil
+		}
+		merged := srcSG
+		seenN, seenE := merged.NewSeenSets()
+		merged.MergeInto(dstSG, seenN, seenE)
+		rec := &wire.LinkRecord{Src: pair.Src, Dst: pair.Dst, Label: pair.Label, SG: merged}
+		return emit(mapreduce.KeyValue{Key: key, Value: wire.EncodeLinkRecord(rec)})
+	})
+
+	_, collect, stats, err := runRound(sub, "flat-pairs", pairMapper, pairReducer,
+		mapreduce.MemInput(res.Records))
+	if err != nil {
+		return nil, fmt.Errorf("core: GraphFlat pair merge: %w", err)
+	}
+	res.RoundStats = append(res.RoundStats, stats)
+	kvs, err := collect()
+	if err != nil {
+		return nil, fmt.Errorf("core: GraphFlat pair collect: %w", err)
+	}
+	res.Records = make([][]byte, 0, len(kvs))
+	for _, kv := range kvs {
+		res.Records = append(res.Records, kv.Value)
+	}
+	if cfg.Output != nil {
+		if err := cfg.Output.WriteAll(res.Records, sub.NumReducers); err != nil {
+			return nil, fmt.Errorf("core: GraphFlat output: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// LinkBatch is a vectorized batch of link examples: the merged subgraph of
+// every pair's GraphFeature plus per-pair endpoint rows and 0/1 labels.
+type LinkBatch struct {
+	Graph *gnn.BatchGraph
+	// SrcRows/DstRows index each pair's endpoints into Graph's rows.
+	SrcRows, DstRows []int
+	// Pairs holds the original (src, dst) node ids, parallel to the rows.
+	Pairs [][2]int64
+	// Labels is the P×1 0/1 link label matrix (BCE targets).
+	Labels *tensor.Matrix
+	// NodeIDs maps batch row -> original node id.
+	NodeIDs []int64
+	// Negatives counts the pairs appended by negative sampling.
+	Negatives int
+}
+
+// AssembleLinkBatch merges decoded LinkRecords into a single LinkBatch.
+// When rng is non-nil, negPerPos uniform negatives are sampled per positive
+// record at batch-assembly time (the GraphSAGE/GiGL in-batch scheme): the
+// source endpoint is kept and the destination is drawn uniformly from the
+// batch's node rows, skipping pairs that exist as batch edges or positive
+// pairs. Evaluation callers pass a nil rng and pre-materialized negatives.
+func AssembleLinkBatch(recs []*wire.LinkRecord, negPerPos int, rng *rand.Rand) (*LinkBatch, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("core: empty link batch")
+	}
+	index := make(map[int64]int)
+	var nodeIDs []int64
+	var feats [][]float64
+	var degs []float64
+	anyDeg := false
+	edgeSeen := make(map[[2]int64]bool)
+	var coos []sparse.Coo
+
+	for _, rec := range recs {
+		for _, n := range rec.SG.Nodes {
+			if _, ok := index[n.ID]; ok {
+				continue
+			}
+			index[n.ID] = len(nodeIDs)
+			nodeIDs = append(nodeIDs, n.ID)
+			feats = append(feats, n.Feat)
+			degs = append(degs, n.Deg)
+			if n.Deg > 0 {
+				anyDeg = true
+			}
+		}
+	}
+	var edgeFeat map[[2]int][]float64
+	for _, rec := range recs {
+		for _, e := range rec.SG.Edges {
+			k := [2]int64{e.Src, e.Dst}
+			if edgeSeen[k] {
+				continue
+			}
+			edgeSeen[k] = true
+			si, ok1 := index[e.Src]
+			di, ok2 := index[e.Dst]
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("core: edge (%d,%d) references node outside subgraphs", e.Src, e.Dst)
+			}
+			coos = append(coos, sparse.Coo{Row: di, Col: si, Val: e.Weight})
+			if len(e.Feat) > 0 {
+				if edgeFeat == nil {
+					edgeFeat = make(map[[2]int][]float64)
+				}
+				edgeFeat[[2]int{di, si}] = e.Feat
+			}
+		}
+	}
+
+	b := &LinkBatch{NodeIDs: nodeIDs}
+	posSeen := make(map[[2]int64]bool, len(recs))
+	var labels []float64
+	addPair := func(srcRow, dstRow int, srcID, dstID int64, label float64) {
+		b.SrcRows = append(b.SrcRows, srcRow)
+		b.DstRows = append(b.DstRows, dstRow)
+		b.Pairs = append(b.Pairs, [2]int64{srcID, dstID})
+		labels = append(labels, label)
+	}
+	for _, rec := range recs {
+		si, ok1 := index[rec.Src]
+		di, ok2 := index[rec.Dst]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("core: pair (%d,%d) endpoints missing from merged subgraph", rec.Src, rec.Dst)
+		}
+		if rec.Label != 0 {
+			posSeen[[2]int64{rec.Src, rec.Dst}] = true
+		}
+		addPair(si, di, rec.Src, rec.Dst, float64(rec.Label))
+	}
+	if rng != nil && negPerPos > 0 && len(nodeIDs) > 1 {
+		for _, rec := range recs {
+			if rec.Label == 0 {
+				continue
+			}
+			si := index[rec.Src]
+			for k := 0; k < negPerPos; k++ {
+				for attempt := 0; attempt < 10; attempt++ {
+					di := rng.Intn(len(nodeIDs))
+					dstID := nodeIDs[di]
+					// Both orientations count as "known edge": reciprocal
+					// pairs are one relationship, and a sampled subgraph may
+					// carry only the reverse direction (same convention as
+					// datagen.Links' negative sampling).
+					if di == si ||
+						posSeen[[2]int64{rec.Src, dstID}] || posSeen[[2]int64{dstID, rec.Src}] ||
+						edgeSeen[[2]int64{rec.Src, dstID}] || edgeSeen[[2]int64{dstID, rec.Src}] {
+						continue
+					}
+					addPair(si, di, rec.Src, dstID, 0)
+					b.Negatives++
+					break
+				}
+			}
+		}
+	}
+
+	featDim := 0
+	for _, f := range feats {
+		if len(f) > featDim {
+			featDim = len(f)
+		}
+	}
+	x := tensor.New(len(nodeIDs), featDim)
+	for i, f := range feats {
+		copy(x.Row(i), f)
+	}
+	b.Graph = &gnn.BatchGraph{Adj: sparse.NewCSR(len(nodeIDs), len(nodeIDs), coos), X: x, EdgeFeat: edgeFeat}
+	if anyDeg {
+		b.Graph.Deg = degs
+	}
+	// Every endpoint row (including sampled negatives) is a pruning target:
+	// its embedding must survive all K layers.
+	seenT := make(map[int]bool, len(b.SrcRows)*2)
+	for _, rows := range [][]int{b.SrcRows, b.DstRows} {
+		for _, r := range rows {
+			if !seenT[r] {
+				seenT[r] = true
+				b.Graph.Targets = append(b.Graph.Targets, r)
+			}
+		}
+	}
+	b.Graph.Dist = gnn.ComputeDistances(b.Graph.Adj, b.Graph.Targets)
+	b.Labels = tensor.FromSlice(len(labels), 1, labels)
+	return b, nil
+}
+
+// DecodeLinkRecords parses a slice of encoded LinkRecords.
+func DecodeLinkRecords(encoded [][]byte) ([]*wire.LinkRecord, error) {
+	out := make([]*wire.LinkRecord, 0, len(encoded))
+	for i, e := range encoded {
+		rec, err := wire.DecodeLinkRecord(e)
+		if err != nil {
+			return nil, fmt.Errorf("core: link record %d: %w", i, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// PredictLinks runs batched link inference over LinkRecords, returning the
+// sigmoid link probability, 0/1 label and (src, dst) pair per record.
+func PredictLinks(model *gnn.Model, records [][]byte, batchSize int, opt gnn.RunOptions) ([]float64, []int, [][2]int64, error) {
+	if model.Edge == nil {
+		return nil, nil, nil, fmt.Errorf("core: model has no edge head (set ModelConfig.EdgeHead)")
+	}
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	var scores []float64
+	var labels []int
+	var pairs [][2]int64
+	for lo := 0; lo < len(records); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(records) {
+			hi = len(records)
+		}
+		recs, err := DecodeLinkRecords(records[lo:hi])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		b, err := AssembleLinkBatch(recs, 0, nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		logits := model.InferEdges(b.Graph, b.SrcRows, b.DstRows, opt)
+		for p := 0; p < logits.Rows; p++ {
+			scores = append(scores, nn.Sigmoid(logits.At(p, 0)))
+			labels = append(labels, int(b.Labels.At(p, 0)))
+		}
+		pairs = append(pairs, b.Pairs...)
+	}
+	return scores, labels, pairs, nil
+}
+
+// EvaluateLinks scores a link model over LinkRecords with ROC-AUC. The
+// records carry their own labels (held-out positives plus materialized
+// negatives); no batch-time negative sampling happens here.
+func EvaluateLinks(model *gnn.Model, records [][]byte, cfg EvalConfig) (float64, error) {
+	scores, labels, _, err := PredictLinks(model, records, cfg.BatchSize, gnn.RunOptions{
+		Pruning: cfg.Pruning, Threads: cfg.AggThreads,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return metrics.AUC(scores, labels), nil
+}
+
+// preparedLinkBatch is a vectorized link batch ready for model computation.
+type preparedLinkBatch struct {
+	batch *LinkBatch
+	prep  *gnn.Prepared
+}

@@ -78,6 +78,11 @@ type TrainConfig struct {
 	EvalEvery  int
 	EvalMetric MetricKind
 
+	// NegativeRatio is the number of uniform negatives sampled per positive
+	// pair at batch-assembly time during link training (Model.EdgeHead set;
+	// 0 selects 1). Meaningless for node tasks and rejected there.
+	NegativeRatio int
+
 	// Patience enables early stopping in TrainWithHistory: training stops
 	// once the eval metric has not improved for Patience consecutive
 	// evaluations, and the best snapshot is returned (0 disables). This is
@@ -170,6 +175,13 @@ func Train(cfg TrainConfig, records [][]byte) (*TrainResult, error) {
 		parts[i%cfg.Workers] = append(parts[i%cfg.Workers], rec)
 	}
 
+	// Link models (Model.EdgeHead set) train on LinkRecords with a
+	// pairwise loop; node models on TrainRecords with the classic loop.
+	loop := trainWorkerLoop
+	if cfg.Model.EdgeHead != "" {
+		loop = trainLinkWorkerLoop
+	}
+
 	start := time.Now()
 	accs := make([]epochAcc, cfg.Epochs)
 	var accMu sync.Mutex
@@ -180,7 +192,7 @@ func Train(cfg TrainConfig, records [][]byte) (*TrainResult, error) {
 		go func(w int) {
 			defer wg.Done()
 			local := make([]epochAcc, cfg.Epochs)
-			if err := trainWorkerLoop(cfg, w, parts[w], cluster.Client(), local); err != nil {
+			if err := loop(cfg, w, parts[w], cluster.Client(), local); err != nil {
 				errCh <- err
 				return
 			}
@@ -219,10 +231,7 @@ func Train(cfg TrainConfig, records [][]byte) (*TrainResult, error) {
 		result.History = append(result.History, st)
 	}
 	if cfg.Eval != nil {
-		metric, err := Evaluate(final, cfg.Eval, EvalConfig{
-			BatchSize: cfg.BatchSize, Loss: cfg.Loss, Metric: cfg.EvalMetric,
-			Pruning: cfg.Pruning, AggThreads: cfg.AggThreads,
-		})
+		metric, err := evalDispatch(cfg, final)
 		if err != nil {
 			return nil, err
 		}
@@ -261,6 +270,10 @@ func TrainWithHistory(cfg TrainConfig, records [][]byte) (*TrainResult, error) {
 	for i, rec := range records {
 		parts[i%cfg.Workers] = append(parts[i%cfg.Workers], rec)
 	}
+	loop := trainWorkerLoop
+	if cfg.Model.EdgeHead != "" {
+		loop = trainLinkWorkerLoop
+	}
 
 	start := time.Now()
 	var history []EpochStats
@@ -282,7 +295,7 @@ func TrainWithHistory(cfg TrainConfig, records [][]byte) (*TrainResult, error) {
 				sub.Epochs = 1
 				sub.Seed = cfg.Seed + int64(e+1)*104729
 				local := make([]epochAcc, 1)
-				if err := trainWorkerLoop(sub, w, parts[w], cluster.Client(), local); err != nil {
+				if err := loop(sub, w, parts[w], cluster.Client(), local); err != nil {
 					errCh <- err
 					return
 				}
@@ -312,10 +325,7 @@ func TrainWithHistory(cfg TrainConfig, records [][]byte) (*TrainResult, error) {
 				return nil, err
 			}
 			cluster.Snapshot(snap.Params())
-			metric, err := Evaluate(snap, cfg.Eval, EvalConfig{
-				BatchSize: cfg.BatchSize, Loss: cfg.Loss, Metric: cfg.EvalMetric,
-				Pruning: cfg.Pruning, AggThreads: cfg.AggThreads,
-			})
+			metric, err := evalDispatch(cfg, snap)
 			if err != nil {
 				return nil, err
 			}
@@ -361,11 +371,23 @@ func TrainWithHistory(cfg TrainConfig, records [][]byte) (*TrainResult, error) {
 	}, nil
 }
 
+// evalDispatch scores cfg.Eval with the task-appropriate protocol: ROC-AUC
+// over LinkRecords for link models, EvalMetric over TrainRecords otherwise.
+func evalDispatch(cfg TrainConfig, model *gnn.Model) (float64, error) {
+	ec := EvalConfig{
+		BatchSize: cfg.BatchSize, Loss: cfg.Loss, Metric: cfg.EvalMetric,
+		Pruning: cfg.Pruning, AggThreads: cfg.AggThreads,
+	}
+	if cfg.Model.EdgeHead != "" {
+		return EvaluateLinks(model, cfg.Eval, ec)
+	}
+	return Evaluate(model, cfg.Eval, ec)
+}
+
 // preparedBatch is a vectorized batch ready for model computation.
 type preparedBatch struct {
 	batch *Batch
 	prep  *gnn.Prepared
-	vecNS int64
 }
 
 // trainWorkerLoop is the per-worker training loop: for each batch, pull the
@@ -382,12 +404,68 @@ func trainWorkerLoop(cfg TrainConfig, workerID int, part [][]byte, client ps.Cli
 	client.Register()
 	defer client.Deregister()
 
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(workerID)*7919))
 	opt := gnn.RunOptions{Pruning: cfg.Pruning, Threads: cfg.AggThreads, Train: true}
+	prepare := func(idx []int) (*preparedBatch, int64, error) {
+		t0 := time.Now()
+		recs := make([]*wire.TrainRecord, 0, len(idx))
+		for _, i := range idx {
+			rec, err := wire.DecodeTrainRecord(part[i])
+			if err != nil {
+				return nil, 0, err
+			}
+			recs = append(recs, rec)
+		}
+		b, err := AssembleBatch(recs, cfg.Model.Classes, cfg.Loss == LossBCE)
+		if err != nil {
+			return nil, 0, err
+		}
+		prep := local.Prepare(b.Graph, opt)
+		return &preparedBatch{batch: b, prep: prep}, int64(time.Since(t0)), nil
+	}
+	step := func(pb *preparedBatch) (float64, error) {
+		if err := client.PullInto(local.Params()); err != nil {
+			return 0, err
+		}
+		st := local.Forward(pb.batch.Graph, pb.prep, opt)
+		var loss float64
+		var dLogits *tensor.Matrix
+		switch cfg.Loss {
+		case LossCE:
+			loss, dLogits = nn.SoftmaxCrossEntropy(st.Logits, pb.batch.Labels)
+		case LossBCE:
+			loss, dLogits = nn.SigmoidBCE(st.Logits, pb.batch.LabelVecs)
+		default:
+			return 0, fmt.Errorf("core: unknown loss %d", cfg.Loss)
+		}
+		local.Params().ZeroGrads()
+		local.Backward(st, dLogits)
+		if err := client.PushGrads(local.Params()); err != nil {
+			return 0, err
+		}
+		return loss, nil
+	}
+	return runWorkerEpochs(cfg, workerID, len(part), prepare, step, accs)
+}
 
+// runWorkerEpochs drives the scaffolding the node and link training loops
+// share: per-epoch example shuffling and batch slicing, the prepare stage
+// running in its own goroutine (pipelined ahead of model compute when
+// cfg.Pipeline, lock-step otherwise), and per-epoch loss/time accounting.
+// prepare vectorizes one batch of partition indices and reports its
+// vectorization time; step pulls weights, runs forward/backward and pushes
+// gradients, returning the batch loss.
+func runWorkerEpochs[B any](cfg TrainConfig, workerID, n int,
+	prepare func(idx []int) (B, int64, error),
+	step func(B) (float64, error),
+	accs []epochAcc) error {
+	type fed struct {
+		b     B
+		vecNS int64
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(workerID)*7919))
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		order := rng.Perm(len(part))
-		batches := make([][]int, 0, len(part)/cfg.BatchSize+1)
+		order := rng.Perm(n)
+		batches := make([][]int, 0, n/cfg.BatchSize+1)
 		for lo := 0; lo < len(order); lo += cfg.BatchSize {
 			hi := lo + cfg.BatchSize
 			if hi > len(order) {
@@ -396,80 +474,39 @@ func trainWorkerLoop(cfg TrainConfig, workerID int, part [][]byte, client ps.Cli
 			batches = append(batches, order[lo:hi])
 		}
 
-		prepare := func(idx []int) (*preparedBatch, error) {
-			t0 := time.Now()
-			recs := make([]*wire.TrainRecord, 0, len(idx))
-			for _, i := range idx {
-				rec, err := wire.DecodeTrainRecord(part[i])
-				if err != nil {
-					return nil, err
-				}
-				recs = append(recs, rec)
-			}
-			b, err := AssembleBatch(recs, cfg.Model.Classes, cfg.Loss == LossBCE)
-			if err != nil {
-				return nil, err
-			}
-			prep := local.Prepare(b.Graph, opt)
-			return &preparedBatch{batch: b, prep: prep, vecNS: int64(time.Since(t0))}, nil
-		}
-
 		acc := &accs[epoch]
 		var prepErr atomic.Value
-		var feed chan *preparedBatch
+		depth := 0
 		if cfg.Pipeline {
-			// Preprocessing stage runs ahead of model computation.
-			feed = make(chan *preparedBatch, 2)
-			go func() {
-				defer close(feed)
-				for _, idx := range batches {
-					pb, err := prepare(idx)
-					if err != nil {
-						prepErr.Store(err)
-						return
-					}
-					feed <- pb
-				}
-			}()
-		} else {
-			feed = make(chan *preparedBatch)
-			go func() {
-				defer close(feed)
-				for _, idx := range batches {
-					pb, err := prepare(idx)
-					if err != nil {
-						prepErr.Store(err)
-						return
-					}
-					feed <- pb
-				}
-			}()
+			depth = 2 // preprocessing stage runs ahead of model computation
 		}
-
-		for pb := range feed {
+		feed := make(chan fed, depth)
+		go func() {
+			defer close(feed)
+			for _, idx := range batches {
+				b, vecNS, err := prepare(idx)
+				if err != nil {
+					prepErr.Store(err)
+					return
+				}
+				feed <- fed{b: b, vecNS: vecNS}
+			}
+		}()
+		for f := range feed {
 			t0 := time.Now()
-			if err := client.PullInto(local.Params()); err != nil {
-				return err
-			}
-			st := local.Forward(pb.batch.Graph, pb.prep, opt)
-			var loss float64
-			var dLogits *tensor.Matrix
-			switch cfg.Loss {
-			case LossCE:
-				loss, dLogits = nn.SoftmaxCrossEntropy(st.Logits, pb.batch.Labels)
-			case LossBCE:
-				loss, dLogits = nn.SigmoidBCE(st.Logits, pb.batch.LabelVecs)
-			default:
-				return fmt.Errorf("core: unknown loss %d", cfg.Loss)
-			}
-			local.Params().ZeroGrads()
-			local.Backward(st, dLogits)
-			if err := client.PushGrads(local.Params()); err != nil {
+			loss, err := step(f.b)
+			if err != nil {
+				// Unblock the prepare goroutine (it may be parked on a
+				// send) before abandoning the epoch.
+				go func() {
+					for range feed {
+					}
+				}()
 				return err
 			}
 			acc.lossSum += loss
 			acc.batches++
-			acc.vec += pb.vecNS
+			acc.vec += f.vecNS
 			acc.compute += int64(time.Since(t0))
 		}
 		if err, ok := prepErr.Load().(error); ok && err != nil {
@@ -477,6 +514,62 @@ func trainWorkerLoop(cfg TrainConfig, workerID int, part [][]byte, client ps.Cli
 		}
 	}
 	return nil
+}
+
+// trainLinkWorkerLoop is the pairwise counterpart of trainWorkerLoop: the
+// worker's partition holds encoded LinkRecords; each batch assembles the
+// merged pair subgraphs, samples NegativeRatio uniform negatives per
+// positive, and trains the GNN stack plus the edge head with sigmoid BCE.
+func trainLinkWorkerLoop(cfg TrainConfig, workerID int, part [][]byte, client ps.Client, accs []epochAcc) error {
+	if len(part) == 0 {
+		return nil
+	}
+	local, err := gnn.NewModel(cfg.Model)
+	if err != nil {
+		return err
+	}
+	client.Register()
+	defer client.Deregister()
+
+	negPerPos := cfg.NegativeRatio
+	if negPerPos <= 0 {
+		negPerPos = 1
+	}
+	// The prepare stage runs in its own goroutine; its negative sampling
+	// gets a dedicated RNG so it never races the runner's shuffling RNG.
+	negRNG := rand.New(rand.NewSource(cfg.Seed + int64(workerID)*7919 + 1))
+	opt := gnn.RunOptions{Pruning: cfg.Pruning, Threads: cfg.AggThreads, Train: true}
+	prepare := func(idx []int) (*preparedLinkBatch, int64, error) {
+		t0 := time.Now()
+		recs := make([]*wire.LinkRecord, 0, len(idx))
+		for _, i := range idx {
+			rec, err := wire.DecodeLinkRecord(part[i])
+			if err != nil {
+				return nil, 0, err
+			}
+			recs = append(recs, rec)
+		}
+		b, err := AssembleLinkBatch(recs, negPerPos, negRNG)
+		if err != nil {
+			return nil, 0, err
+		}
+		prep := local.Prepare(b.Graph, opt)
+		return &preparedLinkBatch{batch: b, prep: prep}, int64(time.Since(t0)), nil
+	}
+	step := func(pb *preparedLinkBatch) (float64, error) {
+		if err := client.PullInto(local.Params()); err != nil {
+			return 0, err
+		}
+		st := local.ForwardEdges(pb.batch.Graph, pb.prep, pb.batch.SrcRows, pb.batch.DstRows, opt)
+		loss, dLogits := nn.SigmoidBCE(st.Logits, pb.batch.Labels)
+		local.Params().ZeroGrads()
+		local.BackwardEdges(st, dLogits)
+		if err := client.PushGrads(local.Params()); err != nil {
+			return 0, err
+		}
+		return loss, nil
+	}
+	return runWorkerEpochs(cfg, workerID, len(part), prepare, step, accs)
 }
 
 // EvalConfig parameterizes Evaluate.

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"agl/internal/gnn"
 )
 
 // Validation for the public pipeline configs. Zero values keep their
@@ -22,6 +24,14 @@ func (c FlatConfig) Validate() error {
 	if c.HubThreshold < 0 {
 		return fmt.Errorf("core: FlatConfig.HubThreshold must be >= 0 (0 disables re-indexing), got %d", c.HubThreshold)
 	}
+	for i, p := range c.EdgeTargets {
+		if p.Label != 0 && p.Label != 1 {
+			return fmt.Errorf("core: FlatConfig.EdgeTargets[%d] label must be 0 (negative) or 1 (positive), got %d", i, p.Label)
+		}
+		if p.Src == p.Dst {
+			return fmt.Errorf("core: FlatConfig.EdgeTargets[%d] is a self pair (%d,%d); link prediction needs distinct endpoints", i, p.Src, p.Dst)
+		}
+	}
 	return validateMRKnobs("FlatConfig", c.NumMappers, c.NumReducers, c.MaxAttempts)
 }
 
@@ -32,6 +42,14 @@ func (c InferConfig) Validate() error {
 	}
 	if c.HubThreshold < 0 {
 		return fmt.Errorf("core: InferConfig.HubThreshold must be >= 0 (0 disables re-indexing), got %d", c.HubThreshold)
+	}
+	if len(c.EdgeTargets) > 0 && !c.KeepEmbeddings {
+		return fmt.Errorf("core: InferConfig.EdgeTargets requires KeepEmbeddings: offline pair scoring reads final-layer embeddings")
+	}
+	for i, p := range c.EdgeTargets {
+		if p.Src == p.Dst {
+			return fmt.Errorf("core: InferConfig.EdgeTargets[%d] is a self pair (%d,%d); link scoring needs distinct endpoints", i, p.Src, p.Dst)
+		}
 	}
 	return validateMRKnobs("InferConfig", c.NumMappers, c.NumReducers, c.MaxAttempts)
 }
@@ -67,6 +85,16 @@ func (c TrainConfig) Validate() error {
 	}
 	if c.Model.Layers < 0 {
 		return fmt.Errorf("core: TrainConfig.Model.Layers must be >= 1 (0 selects the default), got %d", c.Model.Layers)
+	}
+	if !gnn.ValidEdgeHead(c.Model.EdgeHead) {
+		return fmt.Errorf("core: TrainConfig.Model.EdgeHead must be one of %q, %q, %q (empty for node tasks), got %q",
+			gnn.EdgeHeadDot, gnn.EdgeHeadBilinear, gnn.EdgeHeadMLP, c.Model.EdgeHead)
+	}
+	if c.NegativeRatio < 0 {
+		return fmt.Errorf("core: TrainConfig.NegativeRatio must be >= 1 (0 selects 1), got %d", c.NegativeRatio)
+	}
+	if c.NegativeRatio > 0 && c.Model.EdgeHead == "" {
+		return fmt.Errorf("core: TrainConfig.NegativeRatio is a link-training knob; set Model.EdgeHead or leave it 0")
 	}
 	return nil
 }

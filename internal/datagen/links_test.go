@@ -1,0 +1,89 @@
+package datagen
+
+import (
+	"testing"
+)
+
+func TestLinksSplitInvariants(t *testing.T) {
+	for _, mk := range []func() (*Dataset, error){
+		func() (*Dataset, error) {
+			return Cora(CoraConfig{Nodes: 200, Edges: 500, FeatDim: 24, Classes: 4, Seed: 3})
+		},
+		func() (*Dataset, error) { return PPI(PPIConfig{Scale: 0.01, Seed: 3}) },
+		func() (*Dataset, error) { return UUG(UUGConfig{Nodes: 400, FeatDim: 8, Seed: 3}) },
+	} {
+		ds, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		links, err := Links(ds, LinkConfig{TestFrac: 0.1, NegPerPos: 2, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+
+		// The training graph lost the held-out edges — in both directions.
+		trainEdges := map[[2]int64]bool{}
+		for _, e := range links.G.Edges {
+			trainEdges[[2]int64{e.Src, e.Dst}] = true
+		}
+		origEdges := map[[2]int64]bool{}
+		for _, e := range ds.G.Edges {
+			origEdges[[2]int64{e.Src, e.Dst}] = true
+		}
+		pos, neg := 0, 0
+		for _, p := range links.Test {
+			switch p.Label {
+			case 1:
+				pos++
+				if trainEdges[[2]int64{p.Src, p.Dst}] || trainEdges[[2]int64{p.Dst, p.Src}] {
+					t.Fatalf("%s: held-out pair (%d,%d) leaks into the training graph", ds.Name, p.Src, p.Dst)
+				}
+				if !origEdges[[2]int64{p.Src, p.Dst}] {
+					t.Fatalf("%s: test positive (%d,%d) is not an original edge", ds.Name, p.Src, p.Dst)
+				}
+			case 0:
+				neg++
+				if origEdges[[2]int64{p.Src, p.Dst}] || origEdges[[2]int64{p.Dst, p.Src}] {
+					t.Fatalf("%s: sampled negative (%d,%d) is a real edge", ds.Name, p.Src, p.Dst)
+				}
+			default:
+				t.Fatalf("%s: bad test label %d", ds.Name, p.Label)
+			}
+		}
+		if pos == 0 || neg != 2*pos {
+			t.Fatalf("%s: want neg = 2*pos, got pos=%d neg=%d", ds.Name, pos, neg)
+		}
+		// Training pairs are edges of the training graph.
+		for _, p := range links.Train {
+			if p.Label != 1 || !trainEdges[[2]int64{p.Src, p.Dst}] {
+				t.Fatalf("%s: train pair (%d,%d,%d) is not a training-graph edge", ds.Name, p.Src, p.Dst, p.Label)
+			}
+		}
+		// Node set is preserved (endpoints of held-out edges stay servable).
+		if links.G.NumNodes() != ds.G.NumNodes() {
+			t.Fatalf("%s: node count changed %d -> %d", ds.Name, ds.G.NumNodes(), links.G.NumNodes())
+		}
+		if links.Summary() == "" {
+			t.Fatal("empty summary")
+		}
+	}
+}
+
+func TestLinksMaxTrainPairsAndValidate(t *testing.T) {
+	ds, err := UUG(UUGConfig{Nodes: 300, FeatDim: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	links, err := Links(ds, LinkConfig{MaxTrainPairs: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links.Train) != 50 {
+		t.Fatalf("MaxTrainPairs: got %d", len(links.Train))
+	}
+	for _, bad := range []LinkConfig{{TestFrac: -0.1}, {TestFrac: 1.5}, {NegPerPos: -1}, {MaxTrainPairs: -2}} {
+		if _, err := Links(ds, bad); err == nil {
+			t.Fatalf("config %+v: expected validation error", bad)
+		}
+	}
+}

@@ -408,3 +408,138 @@ func waitHealthy(t *testing.T, addr string, log *bytes.Buffer) {
 	}
 	t.Fatalf("aglserve never became healthy; log:\n%s", log.String())
 }
+
+// TestCLILinkPipelineEndToEnd drives the edge-level workload through the
+// binaries: pair targets -> graphflat -p -> graphtrainer -edge-head ->
+// aglserve GET /link (warm, cold after a streamed mutation, 404/400).
+func TestCLILinkPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bins := buildCmds(t, dir)
+
+	ds, err := datagen.UUG(datagen.UUGConfig{Nodes: 300, FeatDim: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodePath := filepath.Join(dir, "nodes.tsv")
+	edgePath := filepath.Join(dir, "edges.tsv")
+	nf, err := os.Create(nodePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteNodeTable(nf, ds.G.Nodes); err != nil {
+		t.Fatal(err)
+	}
+	nf.Close()
+	ef, err := os.Create(edgePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeTable(ef, ds.G.Edges); err != nil {
+		t.Fatal(err)
+	}
+	ef.Close()
+
+	var pairs strings.Builder
+	for i, e := range ds.G.Edges {
+		if i%4 != 0 || i/4 >= 200 {
+			continue
+		}
+		fmt.Fprintf(&pairs, "%d\t%d\t1\n", e.Src, e.Dst)
+	}
+	pairPath := filepath.Join(dir, "pairs.tsv")
+	if err := os.WriteFile(pairPath, []byte(pairs.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	feats := filepath.Join(dir, "linkfeats")
+	out := run(t, bins["graphflat"],
+		"-n", nodePath, "-e", edgePath, "-p", pairPath,
+		"-hops", "2", "-s", "weighted", "-max-neighbors", "10",
+		"-seed", "3", "-o", feats)
+	if !strings.Contains(out, "LinkRecord records") {
+		t.Fatalf("graphflat -p output: %s", out)
+	}
+
+	modelPath := filepath.Join(dir, "linkmodel.agl")
+	out = run(t, bins["graphtrainer"],
+		"-i", feats, "-m", "gcn", "-edge-head", "bilinear",
+		"-loss", "bce", "-metric", "auc", "-hidden", "8", "-classes", "1",
+		"-layers", "2", "-epochs", "3", "-batch", "32", "-lr", "0.05",
+		"-neg-ratio", "2", "-o", modelPath)
+	if !strings.Contains(out, "model saved") {
+		t.Fatalf("graphtrainer -edge-head output: %s", out)
+	}
+
+	addr := freeAddr(t)
+	serveCmd := exec.Command(bins["aglserve"],
+		"-m", modelPath, "-n", nodePath, "-e", edgePath,
+		"-s", "weighted", "-max-neighbors", "10", "-seed", "3",
+		"-addr", addr)
+	var serveOut bytes.Buffer
+	serveCmd.Stdout = &serveOut
+	serveCmd.Stderr = &serveOut
+	if err := serveCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		serveCmd.Process.Kill()
+		serveCmd.Wait()
+	}()
+	waitHealthy(t, addr, &serveOut)
+
+	src := ds.G.Edges[0].Src
+	dst := ds.G.Edges[0].Dst
+	var link struct {
+		Src   int64   `json:"src"`
+		Dst   int64   `json:"dst"`
+		Logit float64 `json:"logit"`
+		Score float64 `json:"score"`
+	}
+	getJSON(t, fmt.Sprintf("http://%s/link?src=%d&dst=%d", addr, src, dst), &link)
+	if link.Score < 0 || link.Score > 1 {
+		t.Fatalf("warm /link score out of range: %+v", link)
+	}
+
+	// Stream in a new node; its pair score must resolve cold.
+	var upd struct {
+		Applied int `json:"applied"`
+	}
+	postJSON(t, "http://"+addr+"/update", fmt.Sprintf(
+		`{"mutations":[{"op":"add_node","id":424242,"feat":[1,1,1,1,1,1,1,1]},{"op":"add_edge","src":424242,"dst":%d,"weight":2}]}`, dst),
+		http.StatusOK, &upd)
+	if upd.Applied != 2 {
+		t.Fatalf("update applied %d, want 2", upd.Applied)
+	}
+	getJSON(t, fmt.Sprintf("http://%s/link?src=424242&dst=%d", addr, dst), &link)
+	if link.Score < 0 || link.Score > 1 {
+		t.Fatalf("cold /link score out of range: %+v", link)
+	}
+	var stats struct {
+		LinkRequests, LinkWarm, LinkCold int64
+	}
+	getJSON(t, "http://"+addr+"/stats", &stats)
+	if stats.LinkWarm != 1 || stats.LinkCold != 1 {
+		t.Fatalf("link path accounting: %+v", stats)
+	}
+
+	// Unknown endpoint -> 404; missing parameter -> 400.
+	for _, tc := range []struct {
+		url  string
+		want int
+	}{
+		{fmt.Sprintf("http://%s/link?src=999999999&dst=%d", addr, dst), http.StatusNotFound},
+		{fmt.Sprintf("http://%s/link?src=%d", addr, src), http.StatusBadRequest},
+	} {
+		resp, err := http.Get(tc.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("GET %s: status %d, want %d", tc.url, resp.StatusCode, tc.want)
+		}
+	}
+}

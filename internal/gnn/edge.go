@@ -1,0 +1,234 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"agl/internal/nn"
+	"agl/internal/tensor"
+)
+
+// Edge-head kinds for Config.EdgeHead — the pairwise scoring function of a
+// link-prediction model, applied to the two endpoint embeddings.
+const (
+	// EdgeHeadDot scores a pair by the dot product of its embeddings
+	// (parameter-free; the GraphSAGE / GiGL default).
+	EdgeHeadDot = "dot"
+	// EdgeHeadBilinear scores hs·W·hd with a learned D×D matrix (DistMult
+	// generalization; breaks the dot product's symmetry for directed links).
+	EdgeHeadBilinear = "bilinear"
+	// EdgeHeadMLP runs a small MLP over the concatenated embeddings
+	// (concat(hs,hd) → D → 1, tanh hidden).
+	EdgeHeadMLP = "mlp"
+)
+
+// ValidEdgeHead reports whether kind names a known edge-head ("" is valid:
+// no edge head, a node-task model).
+func ValidEdgeHead(kind string) bool {
+	switch kind {
+	case "", EdgeHeadDot, EdgeHeadBilinear, EdgeHeadMLP:
+		return true
+	}
+	return false
+}
+
+// EdgeScorer is the pairwise prediction head of a link-prediction model: it
+// turns two endpoint embeddings into one link logit. Batch Forward/Backward
+// cache activations and are not safe for concurrent use (same contract as
+// the model layers); ScoreVec is stateless and safe to call concurrently —
+// it is the online warm path.
+type EdgeScorer struct {
+	Kind string
+	Dim  int
+
+	// W is the bilinear form (EdgeHeadBilinear only).
+	W *nn.Param
+	// L1/L2 are the MLP layers (EdgeHeadMLP only): concat(2D) → D → 1.
+	L1, L2 *nn.Dense
+
+	// Cached forward state for Backward.
+	hs, hd *tensor.Matrix
+	v      *tensor.Matrix // bilinear: hd·Wᵀ
+	act    *nn.Activation // mlp hidden activation
+}
+
+// NewEdgeScorer builds a pairwise head over dim-dimensional embeddings.
+// name prefixes the parameter names (parameter-server keys).
+func NewEdgeScorer(name, kind string, dim int, rng *rand.Rand) (*EdgeScorer, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("gnn: edge scorer needs dim >= 1, got %d", dim)
+	}
+	s := &EdgeScorer{Kind: kind, Dim: dim}
+	switch kind {
+	case EdgeHeadDot:
+	case EdgeHeadBilinear:
+		s.W = nn.GlorotParam(name+"/W", dim, dim, rng)
+	case EdgeHeadMLP:
+		s.L1 = nn.NewDense(name+"/l1", 2*dim, dim, rng)
+		s.L2 = nn.NewDense(name+"/l2", dim, 1, rng)
+		s.act = &nn.Activation{Kind: nn.ActTanh}
+	default:
+		return nil, fmt.Errorf("gnn: unknown edge head %q (want %s|%s|%s)",
+			kind, EdgeHeadDot, EdgeHeadBilinear, EdgeHeadMLP)
+	}
+	return s, nil
+}
+
+// Params returns the scorer's trainable parameters (empty for dot).
+func (s *EdgeScorer) Params() []*nn.Param {
+	switch s.Kind {
+	case EdgeHeadBilinear:
+		return []*nn.Param{s.W}
+	case EdgeHeadMLP:
+		return append(s.L1.Params(), s.L2.Params()...)
+	}
+	return nil
+}
+
+// Forward scores P pairs: hs and hd are P×D matrices of source and
+// destination embeddings (row p is pair p). Returns the P×1 logit matrix
+// and caches what Backward needs.
+func (s *EdgeScorer) Forward(hs, hd *tensor.Matrix) *tensor.Matrix {
+	s.hs, s.hd = hs, hd
+	switch s.Kind {
+	case EdgeHeadDot:
+		out := tensor.New(hs.Rows, 1)
+		for p := 0; p < hs.Rows; p++ {
+			out.Data[p] = dot(hs.Row(p), hd.Row(p))
+		}
+		return out
+	case EdgeHeadBilinear:
+		// v[p] = W·hd[p]; logit[p] = hs[p]·v[p].
+		v := tensor.New(hd.Rows, s.Dim)
+		tensor.MatMulABT(v, hd, s.W.W)
+		s.v = v
+		out := tensor.New(hs.Rows, 1)
+		for p := 0; p < hs.Rows; p++ {
+			out.Data[p] = dot(hs.Row(p), v.Row(p))
+		}
+		return out
+	case EdgeHeadMLP:
+		z := tensor.ConcatCols(hs, hd)
+		return s.L2.Forward(s.act.Forward(s.L1.Forward(z)))
+	}
+	panic("gnn: unknown edge head " + s.Kind)
+}
+
+// Backward propagates dLogits (P×1) through the scorer, accumulating
+// parameter gradients and returning (dHs, dHd) for the endpoint rows.
+func (s *EdgeScorer) Backward(dLogits *tensor.Matrix) (*tensor.Matrix, *tensor.Matrix) {
+	switch s.Kind {
+	case EdgeHeadDot:
+		dhs := tensor.New(s.hs.Rows, s.Dim)
+		dhd := tensor.New(s.hd.Rows, s.Dim)
+		for p := 0; p < s.hs.Rows; p++ {
+			g := dLogits.Data[p]
+			axpyVec(dhs.Row(p), g, s.hd.Row(p))
+			axpyVec(dhd.Row(p), g, s.hs.Row(p))
+		}
+		return dhs, dhd
+	case EdgeHeadBilinear:
+		// Scale source rows by the pair gradient once, then every term is a
+		// plain matmul: dW += gHsᵀ·hd, dHd = gHs·W, dHs[p] = g·v[p].
+		ghs := tensor.New(s.hs.Rows, s.Dim)
+		dhs := tensor.New(s.hs.Rows, s.Dim)
+		for p := 0; p < s.hs.Rows; p++ {
+			g := dLogits.Data[p]
+			axpyVec(ghs.Row(p), g, s.hs.Row(p))
+			axpyVec(dhs.Row(p), g, s.v.Row(p))
+		}
+		dw := tensor.New(s.Dim, s.Dim)
+		tensor.MatMulATB(dw, ghs, s.hd)
+		tensor.AXPY(s.W.Grad, 1, dw)
+		dhd := tensor.MatMulNew(ghs, s.W.W)
+		return dhs, dhd
+	case EdgeHeadMLP:
+		dz := s.L1.Backward(s.act.Backward(s.L2.Backward(dLogits)))
+		return dz.SliceCols(0, s.Dim), dz.SliceCols(s.Dim, 2*s.Dim)
+	}
+	panic("gnn: unknown edge head " + s.Kind)
+}
+
+// ScoreVec scores one pair of embedding vectors. Unlike Forward it caches
+// nothing, so concurrent callers are safe — this is the serving tier's warm
+// path (two store lookups feed straight into it).
+func (s *EdgeScorer) ScoreVec(hs, hd []float64) float64 {
+	switch s.Kind {
+	case EdgeHeadDot:
+		return dot(hs, hd)
+	case EdgeHeadBilinear:
+		// hs·W·hd without materializing W·hd: accumulate row by row.
+		var out float64
+		for i, a := range hs {
+			out += a * dot(s.W.W.Row(i), hd)
+		}
+		return out
+	case EdgeHeadMLP:
+		z := make([]float64, 0, 2*s.Dim)
+		z = append(append(z, hs...), hd...)
+		h := ApplyDense(s.L1, z)
+		for i, v := range h {
+			h[i] = math.Tanh(v)
+		}
+		return ApplyDense(s.L2, h)[0]
+	}
+	panic("gnn: unknown edge head " + s.Kind)
+}
+
+func axpyVec(dst []float64, alpha float64, x []float64) {
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+// EdgeForwardState carries activations between ForwardEdges and
+// BackwardEdges.
+type EdgeForwardState struct {
+	Prep   *Prepared
+	H      *tensor.Matrix // final node embeddings (all batch rows)
+	Hs, Hd *tensor.Matrix // endpoint embeddings, one row per pair
+	Logits *tensor.Matrix // P×1 link logits
+	b      *BatchGraph
+	src    []int
+	dst    []int
+}
+
+// ForwardEdges runs the GNN stack on a prepared batch and scores the
+// (src[p], dst[p]) row pairs with the model's edge head. The model must
+// have been built with Config.EdgeHead set.
+func (m *Model) ForwardEdges(b *BatchGraph, prep *Prepared, src, dst []int, opt RunOptions) *EdgeForwardState {
+	h := b.X
+	for i, layer := range m.Layers {
+		m.drops[i].Train = opt.Train
+		h = m.drops[i].Forward(h)
+		h = layer.Forward(prep.Aggs[i], h)
+	}
+	hs := h.RowsSubset(src)
+	hd := h.RowsSubset(dst)
+	logits := m.Edge.Forward(hs, hd)
+	return &EdgeForwardState{Prep: prep, H: h, Hs: hs, Hd: hd, Logits: logits, b: b, src: src, dst: dst}
+}
+
+// BackwardEdges propagates dLogits (P×1) through the edge head and all
+// layers, accumulating gradients into the model's parameters. Pairs sharing
+// an endpoint row accumulate additively, as do pairs whose src and dst map
+// to the same row.
+func (m *Model) BackwardEdges(st *EdgeForwardState, dLogits *tensor.Matrix) {
+	dhs, dhd := m.Edge.Backward(dLogits)
+	dh := tensor.New(st.H.Rows, st.H.Cols)
+	tensor.ScatterRowsAdd(dh, dhs, st.src)
+	tensor.ScatterRowsAdd(dh, dhd, st.dst)
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		dh = m.Layers[i].Backward(st.Prep.Aggs[i], dh)
+		dh = m.drops[i].Backward(dh)
+	}
+}
+
+// InferEdges runs ForwardEdges with dropout disabled and returns the link
+// logits. Used by evaluation.
+func (m *Model) InferEdges(b *BatchGraph, src, dst []int, opt RunOptions) *tensor.Matrix {
+	opt.Train = false
+	prep := m.Prepare(b, opt)
+	return m.ForwardEdges(b, prep, src, dst, opt).Logits
+}

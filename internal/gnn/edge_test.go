@@ -1,0 +1,176 @@
+package gnn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"agl/internal/nn"
+	"agl/internal/tensor"
+)
+
+// scorerLoss is the gradcheck objective for the pairwise head:
+// L = ½·Σ logit². dL/dlogit = logit.
+func scorerLoss(s *EdgeScorer, hs, hd *tensor.Matrix) float64 {
+	logits := s.Forward(hs, hd)
+	var l float64
+	for _, v := range logits.Data {
+		l += 0.5 * v * v
+	}
+	return l
+}
+
+func TestEdgeScorerGradcheckAllKinds(t *testing.T) {
+	const pairs, dim = 6, 5
+	for _, kind := range []string{EdgeHeadDot, EdgeHeadBilinear, EdgeHeadMLP} {
+		t.Run(kind, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			s, err := NewEdgeScorer("edge", kind, dim, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hs := tensor.New(pairs, dim)
+			hd := tensor.New(pairs, dim)
+			hs.RandFill(rng, 1)
+			hd.RandFill(rng, 1)
+			lossFn := func() float64 { return scorerLoss(s, hs, hd) }
+
+			logits := s.Forward(hs, hd)
+			for _, p := range s.Params() {
+				p.ZeroGrad()
+			}
+			dhs, dhd := s.Backward(logits)
+
+			for _, p := range s.Params() {
+				rel, err := nn.GradCheck(p, lossFn, 1e-6, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rel > 2e-4 {
+					t.Fatalf("%s param %s gradcheck rel error %v", kind, p.Name, rel)
+				}
+			}
+			if rel, err := nn.GradCheckInput(hs, dhs, lossFn, 1e-6, 1); err != nil || rel > 2e-4 {
+				t.Fatalf("%s dHs gradcheck rel error %v (err %v)", kind, rel, err)
+			}
+			if rel, err := nn.GradCheckInput(hd, dhd, lossFn, 1e-6, 1); err != nil || rel > 2e-4 {
+				t.Fatalf("%s dHd gradcheck rel error %v (err %v)", kind, rel, err)
+			}
+		})
+	}
+}
+
+// TestModelEdgeGradcheck backpropagates a link BCE loss through the whole
+// stack (edge head + GNN layers) and checks every parameter.
+func TestModelEdgeGradcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := testBatch(rng, 10, 4, 3, 0.3)
+	src := []int{0, 2, 5}
+	dst := []int{1, 3, 0}
+	labels := tensor.FromSlice(3, 1, []float64{1, 0, 1})
+	for _, kind := range []string{EdgeHeadDot, EdgeHeadBilinear, EdgeHeadMLP} {
+		t.Run(kind, func(t *testing.T) {
+			m, err := NewModel(Config{
+				Kind: KindGCN, InDim: 4, Hidden: 5, Classes: 1,
+				Layers: 2, Act: nn.ActTanh, Seed: 11, EdgeHead: kind,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := RunOptions{Train: false}
+			lossFn := func() float64 {
+				l, _ := nn.SigmoidBCE(m.InferEdges(b, src, dst, opt), labels)
+				return l
+			}
+			prep := m.Prepare(b, opt)
+			st := m.ForwardEdges(b, prep, src, dst, opt)
+			_, dLogits := nn.SigmoidBCE(st.Logits, labels)
+			m.Params().ZeroGrads()
+			m.BackwardEdges(st, dLogits)
+			for _, p := range m.Params().List() {
+				stride := 1
+				if len(p.W.Data) > 40 {
+					stride = len(p.W.Data) / 40
+				}
+				rel, err := nn.GradCheck(p, lossFn, 1e-6, stride)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rel > 2e-4 {
+					t.Fatalf("%s param %s gradcheck rel error %v", kind, p.Name, rel)
+				}
+			}
+		})
+	}
+}
+
+// TestScoreVecMatchesForward pins the stateless warm-path scorer to the
+// batch forward pass.
+func TestScoreVecMatchesForward(t *testing.T) {
+	const pairs, dim = 4, 6
+	for _, kind := range []string{EdgeHeadDot, EdgeHeadBilinear, EdgeHeadMLP} {
+		rng := rand.New(rand.NewSource(5))
+		s, err := NewEdgeScorer("edge", kind, dim, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := tensor.New(pairs, dim)
+		hd := tensor.New(pairs, dim)
+		hs.RandFill(rng, 1)
+		hd.RandFill(rng, 1)
+		logits := s.Forward(hs, hd)
+		for p := 0; p < pairs; p++ {
+			got := s.ScoreVec(hs.Row(p), hd.Row(p))
+			if math.Abs(got-logits.Data[p]) > 1e-12 {
+				t.Fatalf("%s pair %d: ScoreVec %v vs Forward %v", kind, p, got, logits.Data[p])
+			}
+		}
+	}
+}
+
+func TestEdgeModelSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := testBatch(rng, 8, 4, 2, 0.3)
+	src := []int{0, 3}
+	dst := []int{1, 4}
+	for _, kind := range []string{EdgeHeadDot, EdgeHeadBilinear, EdgeHeadMLP} {
+		m, err := NewModel(Config{
+			Kind: KindSAGE, InDim: 4, Hidden: 5, Classes: 1,
+			Layers: 2, Act: nn.ActTanh, Seed: 21, EdgeHead: kind,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		m2, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m2.Edge == nil || m2.Edge.Kind != kind {
+			t.Fatalf("%s: loaded model lost its edge head", kind)
+		}
+		want := m.InferEdges(b, src, dst, RunOptions{})
+		got := m2.InferEdges(b, src, dst, RunOptions{})
+		if !tensor.Equalish(want, got, 1e-12) {
+			t.Fatalf("%s: loaded model scores differ by %v", kind, tensor.MaxAbsDiff(want, got))
+		}
+	}
+}
+
+func TestNewEdgeScorerRejectsUnknownKind(t *testing.T) {
+	if _, err := NewEdgeScorer("edge", "cosine", 4, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error for unknown edge head kind")
+	}
+	if _, err := NewModel(Config{
+		Kind: KindGCN, InDim: 3, Hidden: 4, Classes: 1, Layers: 1, EdgeHead: "cosine",
+	}); err == nil {
+		t.Fatal("expected NewModel to reject unknown edge head")
+	}
+	if !ValidEdgeHead("") || !ValidEdgeHead(EdgeHeadDot) || ValidEdgeHead("cosine") {
+		t.Fatal("ValidEdgeHead enum wrong")
+	}
+}

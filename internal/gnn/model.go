@@ -32,6 +32,12 @@ type Config struct {
 	// an edge term to their attention logits (paper Eq. 1's e_vu); GCN and
 	// GraphSAGE ignore edge features.
 	EdgeDim int
+	// EdgeHead, when set ("dot", "bilinear" or "mlp"), makes this a
+	// link-prediction model: the GNN stack produces endpoint embeddings and
+	// an EdgeScorer turns embedding pairs into link logits. The dense node
+	// head still exists (Classes-wide) but training and serving go through
+	// the pairwise head.
+	EdgeHead string
 }
 
 func (c Config) withDefaults() Config {
@@ -55,6 +61,8 @@ type Model struct {
 	Cfg    Config
 	Layers []Layer
 	Head   *nn.Dense
+	// Edge is the pairwise link head; nil unless Cfg.EdgeHead is set.
+	Edge *EdgeScorer
 
 	drops  []*nn.Dropout
 	params *nn.ParamSet
@@ -92,6 +100,13 @@ func NewModel(cfg Config) (*Model, error) {
 		m.drops = append(m.drops, nn.NewDropout(cfg.Dropout, rng))
 	}
 	m.Head = nn.NewDense("head", cfg.Hidden, cfg.Classes, rng)
+	if cfg.EdgeHead != "" {
+		edge, err := NewEdgeScorer("edge", cfg.EdgeHead, cfg.Hidden, rng)
+		if err != nil {
+			return nil, err
+		}
+		m.Edge = edge
+	}
 	m.rebuildParams()
 	return m, nil
 }
@@ -105,6 +120,11 @@ func (m *Model) rebuildParams() {
 	}
 	for _, p := range m.Head.Params() {
 		m.params.Add(p)
+	}
+	if m.Edge != nil {
+		for _, p := range m.Edge.Params() {
+			m.params.Add(p)
+		}
 	}
 }
 

@@ -33,6 +33,9 @@ type modelSpec struct {
 	Cfg    Config
 	Layers []layerSpec
 	Head   layerSpec
+	// Edge holds the pairwise link head's parameters (Cfg.EdgeHead != "");
+	// empty for node-task models and for the parameter-free dot head.
+	Edge []paramSpec
 }
 
 func paramsToSpecs(ps []*nn.Param) []paramSpec {
@@ -120,6 +123,9 @@ func (m *Model) Save(w io.Writer) error {
 		Out:    m.Head.W.W.Cols,
 		Params: paramsToSpecs(m.Head.Params()),
 	}
+	if m.Edge != nil {
+		spec.Edge = paramsToSpecs(m.Edge.Params())
+	}
 	return gob.NewEncoder(w).Encode(&spec)
 }
 
@@ -143,6 +149,11 @@ func Load(r io.Reader) (*Model, error) {
 	}
 	if err := loadSpecsInto(m.Head.Params(), spec.Head.Params); err != nil {
 		return nil, err
+	}
+	if m.Edge != nil {
+		if err := loadSpecsInto(m.Edge.Params(), spec.Edge); err != nil {
+			return nil, err
+		}
 	}
 	return m, nil
 }

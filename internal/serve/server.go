@@ -24,6 +24,10 @@ var ErrClosed = errors.New("serve: server closed")
 // and the graph (a client error, unlike internal scoring failures).
 var ErrUnknownNode = core.ErrNodeNotFound
 
+// ErrNoEdgeHead marks a link request against a model trained without a
+// pairwise head (ModelConfig.EdgeHead unset) — a client error.
+var ErrNoEdgeHead = errors.New("serve: model has no edge head (not a link model)")
+
 // Config parameterizes a Server.
 type Config struct {
 	// Hops, MaxNeighbors, Strategy and Seed mirror FlatConfig for the cold
@@ -103,6 +107,10 @@ type Stats struct {
 	Batches   int64 // micro-batches flushed
 	Errors    int64 // requests that failed (unknown node, shutdown, ...)
 
+	LinkRequests int64 // ScoreLink calls
+	LinkWarm     int64 // pairs scored straight off two stored embeddings
+	LinkCold     int64 // pairs needing >= 1 request-time endpoint embedding
+
 	Version     uint64 // current graph version (one per applied batch)
 	Applies     int64  // mutation batches that applied at least one mutation
 	Mutations   int64  // individual mutations applied
@@ -166,12 +174,17 @@ type Server struct {
 	batches, errors           atomic.Int64
 	applies, mutations        atomic.Int64
 	invalidations, readmitted atomic.Int64
+
+	linkRequests, linkWarm, linkCold atomic.Int64
 }
 
-// call is one de-duplicated score computation; waiters block on done.
+// call is one de-duplicated score computation; waiters block on done. Every
+// resolved call also carries the node's layer-K embedding (emb), so link
+// requests share in-flight computations with node scoring.
 type call struct {
 	id     int64
 	scores []float64
+	emb    []float64
 	err    error
 	done   chan struct{}
 }
@@ -289,6 +302,116 @@ func (s *Server) ScoreMany(ctx context.Context, nodes []int64) ([][]float64, []e
 	return out, errs
 }
 
+// ScoreLink returns the model's link logit for the (src, dst) pair — the
+// online edge-level workload (fraud-pair scoring, recommendation). The warm
+// path is two shard lookups plus one pairwise-head forward, with no k-hop
+// extraction; endpoints missing from the store (new or dirtied by
+// mutations) resolve cold through the same micro-batched single-flight
+// pipeline as node scoring, then the pair is scored off the fresh
+// embeddings. Requires a model built with ModelConfig.EdgeHead.
+//
+// Each endpoint embedding is individually consistent with some committed
+// graph version; under a concurrent Apply the two endpoints may straddle
+// versions for that one request — the next request converges, the same
+// staleness window as node scoring.
+func (s *Server) ScoreLink(ctx context.Context, src, dst int64) (float64, error) {
+	s.linkRequests.Add(1)
+	if s.model.Edge == nil {
+		s.errors.Add(1)
+		return 0, ErrNoEdgeHead
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.errors.Add(1)
+		return 0, ErrClosed
+	}
+	hs, okS := s.lookupEmbLocked(src)
+	hd, okD := s.lookupEmbLocked(dst)
+	s.mu.Unlock()
+	if okS && okD {
+		s.linkWarm.Add(1)
+		return s.model.Edge.ScoreVec(hs, hd), nil
+	}
+	// Queue every missing endpoint before waiting on either, so the
+	// batcher can fold both cold extractions into one micro-batch (and a
+	// pair of dirty endpoints costs one forward pass, not two).
+	var cs, cd *call
+	var err error
+	if !okS {
+		if hs, cs, err = s.embedStart(src); err != nil {
+			return 0, err
+		}
+	}
+	if !okD {
+		if hd, cd, err = s.embedStart(dst); err != nil {
+			return 0, err
+		}
+	}
+	if cs != nil {
+		if hs, err = s.waitEmb(ctx, cs); err != nil {
+			return 0, err
+		}
+	}
+	if cd != nil {
+		if hd, err = s.waitEmb(ctx, cd); err != nil {
+			return 0, err
+		}
+	}
+	s.linkCold.Add(1)
+	return s.model.Edge.ScoreVec(hs, hd), nil
+}
+
+// embedStart resolves one node's layer-K embedding or queues its
+// computation: warm hits return the embedding immediately; otherwise the
+// returned call is registered with the batcher (sharing any in-flight
+// Score/ScoreLink computation for the same node, single-flight) and the
+// caller collects it with waitEmb. A dirty row recomputed this way
+// re-admits warm for everyone, same as node scoring.
+func (s *Server) embedStart(node int64) ([]float64, *call, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.errors.Add(1)
+		return nil, nil, ErrClosed
+	}
+	if emb, ok := s.lookupEmbLocked(node); ok {
+		s.mu.Unlock()
+		return emb, nil, nil
+	}
+	if c, ok := s.inflight[node]; ok {
+		s.mu.Unlock()
+		s.collapsed.Add(1)
+		return nil, c, nil
+	}
+	c := &call{id: node, done: make(chan struct{})}
+	s.inflight[node] = c
+	s.queued.Add(1)
+	s.mu.Unlock()
+	// Same deliberate plain send as Score: a registered call is always
+	// consumed by the batcher or its shutdown drain.
+	s.reqs <- c
+	return nil, c, nil
+}
+
+func (s *Server) waitEmb(ctx context.Context, c *call) ([]float64, error) {
+	select {
+	case <-c.done:
+		if c.err != nil {
+			s.errors.Add(1)
+			return nil, c.err
+		}
+		if c.emb == nil {
+			s.errors.Add(1)
+			return nil, fmt.Errorf("serve: no embedding computed for node %d", c.id)
+		}
+		return c.emb, nil
+	case <-ctx.Done():
+		s.errors.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
 // Stats snapshots the request and mutation counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
@@ -296,19 +419,22 @@ func (s *Server) Stats() Stats {
 	dirtyRows := int64(len(s.dirty))
 	s.mu.Unlock()
 	return Stats{
-		Requests:    s.requests.Load(),
-		CacheHits:   s.hits.Load(),
-		Collapsed:   s.collapsed.Load(),
-		Warm:        s.warm.Load(),
-		Cold:        s.cold.Load(),
-		Batches:     s.batches.Load(),
-		Errors:      s.errors.Load(),
-		Version:     version,
-		Applies:     s.applies.Load(),
-		Mutations:   s.mutations.Load(),
-		Invalidated: s.invalidations.Load(),
-		Readmitted:  s.readmitted.Load(),
-		DirtyRows:   dirtyRows,
+		Requests:     s.requests.Load(),
+		CacheHits:    s.hits.Load(),
+		Collapsed:    s.collapsed.Load(),
+		Warm:         s.warm.Load(),
+		Cold:         s.cold.Load(),
+		Batches:      s.batches.Load(),
+		Errors:       s.errors.Load(),
+		LinkRequests: s.linkRequests.Load(),
+		LinkWarm:     s.linkWarm.Load(),
+		LinkCold:     s.linkCold.Load(),
+		Version:      version,
+		Applies:      s.applies.Load(),
+		Mutations:    s.mutations.Load(),
+		Invalidated:  s.invalidations.Load(),
+		Readmitted:   s.readmitted.Load(),
+		DirtyRows:    dirtyRows,
 	}
 }
 
@@ -467,6 +593,7 @@ func (s *Server) process(batch []*call) {
 
 	for i, c := range warmCalls {
 		c.scores = core.ScoresFromLogits(gnn.ApplyDense(s.head.Head, warmEmbs[i]))
+		c.emb = warmEmbs[i]
 		s.warm.Add(1)
 	}
 
@@ -498,6 +625,7 @@ func (s *Server) process(batch []*call) {
 			coldEmb = st.Emb
 			for i, c := range coldCalls {
 				c.scores = core.ScoresFromLogits(st.Logits.Row(i))
+				c.emb = coldEmb.Row(i)
 				s.cold.Add(1)
 			}
 		}

@@ -1,0 +1,43 @@
+package wire
+
+// EdgeTarget names a (src, dst) pair with its link label (1 positive,
+// 0 sampled negative): the input unit of GraphFlat's edge-target mode and
+// the pair half of a LinkRecord. It lives in wire so dataset generators and
+// the pipeline share one pair type without an import cycle.
+type EdgeTarget struct {
+	Src, Dst int64
+	Label    int64
+}
+
+// LinkRecord is one edge-level training example: the pair <Src, Dst>, its
+// link label (1 = the edge exists / is positive, 0 = sampled negative) and
+// the merged k-hop GraphFeature of both endpoints. It is the edge-task
+// counterpart of TrainRecord: GraphFlat's edge-target mode emits one
+// LinkRecord per (src, dst) pair, and the pairwise trainer consumes them.
+type LinkRecord struct {
+	Src, Dst int64
+	Label    int64
+	SG       *Subgraph
+}
+
+// EncodeLinkRecord serializes rec.
+func EncodeLinkRecord(rec *LinkRecord) []byte {
+	b := make([]byte, 0, 64+len(rec.SG.Nodes)*16)
+	b = AppendVarint(b, rec.Src)
+	b = AppendVarint(b, rec.Dst)
+	b = AppendVarint(b, rec.Label)
+	b = EncodeSubgraph(b, rec.SG)
+	return b
+}
+
+// DecodeLinkRecord deserializes a LinkRecord.
+func DecodeLinkRecord(buf []byte) (*LinkRecord, error) {
+	r := NewReader(buf)
+	rec := &LinkRecord{Src: r.Varint(), Dst: r.Varint(), Label: r.Varint()}
+	sg, err := DecodeSubgraph(r)
+	if err != nil {
+		return nil, err
+	}
+	rec.SG = sg
+	return rec, nil
+}

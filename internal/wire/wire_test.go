@@ -200,3 +200,34 @@ func TestDecodeSubgraphTruncated(t *testing.T) {
 		t.Fatal("expected truncation error")
 	}
 }
+
+func TestLinkRecordRoundTrip(t *testing.T) {
+	rec := &LinkRecord{
+		Src:   -3,
+		Dst:   99,
+		Label: 1,
+		SG: &Subgraph{
+			Target: -3,
+			Nodes:  []SGNode{{ID: -3, Feat: []float64{1, 2}, Deg: 4}, {ID: 99, Feat: []float64{3}}},
+			Edges:  []SGEdge{{Src: 99, Dst: -3, Weight: 2.5}},
+		},
+	}
+	got, err := DecodeLinkRecord(EncodeLinkRecord(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != -3 || got.Dst != 99 || got.Label != 1 {
+		t.Fatalf("round trip pair: %+v", got)
+	}
+	if len(got.SG.Nodes) != 2 || got.SG.Nodes[0].Deg != 4 || got.SG.Edges[0].Weight != 2.5 {
+		t.Fatalf("round trip subgraph: %+v", got.SG)
+	}
+}
+
+func TestDecodeLinkRecordTruncated(t *testing.T) {
+	rec := &LinkRecord{Src: 1, Dst: 2, Label: 0, SG: &Subgraph{Target: 1, Nodes: []SGNode{{ID: 1, Feat: []float64{1}}}}}
+	b := EncodeLinkRecord(rec)
+	if _, err := DecodeLinkRecord(b[:len(b)-3]); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
