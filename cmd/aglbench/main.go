@@ -7,6 +7,8 @@
 //	aglbench -exp shuffle,serve,update -quick -json results.json
 //	aglbench -check results.json -baseline bench-baseline.json -tolerance 10
 //	aglbench -gen data -gen-nodes 400     # write nodes/edges/targets TSVs
+//	aglbench -exp train -cpuprofile cpu.out -memprofile mem.out
+//	                                      # profile the compute engine with pprof
 //
 // Output juxtaposes measured values with the paper's reported numbers;
 // EXPERIMENTS.md records a reference run. -json writes the experiments'
@@ -21,6 +23,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"agl/internal/datagen"
@@ -32,11 +36,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aglbench: ")
 
-	exp := flag.String("exp", "all", "comma-separated experiments: table1|table2|table3|table4|table5|fig7|fig8|shuffle|serve|update|link|all")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1|table2|table3|table4|table5|fig7|fig8|shuffle|serve|update|link|train|all")
 	quick := flag.Bool("quick", false, "CI-scale datasets and epochs")
 	seed := flag.Int64("seed", 1, "global seed")
 	verbose := flag.Bool("v", false, "progress logging")
 	jsonOut := flag.String("json", "", "write machine-readable metrics of the run experiments to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-run) to this file")
 
 	check := flag.String("check", "", "compare this metrics file against -baseline and exit (no experiments run)")
 	baseline := flag.String("baseline", "bench-baseline.json", "baseline metrics file for -check")
@@ -60,6 +66,59 @@ func main() {
 		return
 	}
 
+	// pprof hooks: kernel and trainer work is measurable on any experiment
+	// run without a test harness (aglbench -exp train -cpuprofile cpu.out).
+	// Teardown is explicit (not deferred) so fatal exits — including a
+	// failing experiment, the very run one wants to profile — still leave
+	// valid profiles behind.
+	var cpuFile *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		cpuFile = f
+	}
+	profilesDone := false
+	finishProfiles := func() {
+		if profilesDone {
+			return
+		}
+		profilesDone = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				log.Printf("-cpuprofile: %v", err)
+			} else {
+				log.Printf("wrote CPU profile to %s", *cpuProfile)
+			}
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Printf("-memprofile: %v", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("-memprofile: %v", err)
+			} else {
+				log.Printf("wrote heap profile to %s", *memProfile)
+			}
+			if err := f.Close(); err != nil {
+				log.Printf("-memprofile: %v", err)
+			}
+		}
+	}
+	defer finishProfiles()
+	fatalf := func(format string, args ...any) {
+		finishProfiles()
+		log.Fatalf(format, args...)
+	}
+
 	opt := experiments.Options{Quick: *quick, Seed: *seed}
 	if *verbose {
 		opt.Logf = log.Printf
@@ -77,7 +136,7 @@ func main() {
 	run := func(name string, f func() (fmt.Stringer, error)) {
 		res, err := f()
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			fatalf("%s: %v", name, err)
 		}
 		fmt.Println(res)
 		collect(name, res)
@@ -117,17 +176,19 @@ func main() {
 			run("update", func() (fmt.Stringer, error) { return experiments.Update(opt) })
 		case "link":
 			run("link", func() (fmt.Stringer, error) { return experiments.Link(opt) })
+		case "train":
+			run("train", func() (fmt.Stringer, error) { return experiments.TrainPerf(opt) })
 		default:
-			log.Fatalf("unknown experiment %q", name)
+			fatalf("unknown experiment %q", name)
 		}
 	}
 
 	if *jsonOut != "" {
 		if len(metrics) == 0 {
-			log.Fatalf("-json: no metrics collected (experiments %q export none; try shuffle,serve,update)", *exp)
+			fatalf("-json: no metrics collected (experiments %q export none; try shuffle,serve,update)", *exp)
 		}
 		if err := experiments.WriteMetricsFile(*jsonOut, metrics); err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
 		log.Printf("wrote %d metrics to %s", len(metrics), *jsonOut)
 	}

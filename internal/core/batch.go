@@ -28,6 +28,13 @@ type Batch struct {
 // "subgraph vectorization" phase of GraphTrainer. Subgraphs of different
 // targets overlap; nodes and edges are deduplicated by id.
 func AssembleBatch(recs []*wire.TrainRecord, numClasses int, multiLabel bool) (*Batch, error) {
+	return AssembleBatchWS(nil, recs, numClasses, multiLabel)
+}
+
+// AssembleBatchWS is AssembleBatch with the batch feature matrix X drawn
+// from a per-step workspace (nil allocates). Supervision (LabelVecs) stays
+// heap-allocated: callers like Predict keep it past the workspace reset.
+func AssembleBatchWS(ws *tensor.Workspace, recs []*wire.TrainRecord, numClasses int, multiLabel bool) (*Batch, error) {
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("core: empty batch")
 	}
@@ -88,7 +95,7 @@ func AssembleBatch(recs []*wire.TrainRecord, numClasses int, multiLabel bool) (*
 			featDim = len(f)
 		}
 	}
-	x := tensor.New(len(nodeIDs), featDim)
+	x := ws.Get(len(nodeIDs), featDim)
 	for i, f := range feats {
 		copy(x.Row(i), f)
 	}

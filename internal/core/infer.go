@@ -10,6 +10,7 @@ import (
 	"agl/internal/mapreduce"
 	"agl/internal/nn"
 	"agl/internal/sampling"
+	"agl/internal/tensor"
 	"agl/internal/wire"
 )
 
@@ -285,18 +286,22 @@ func OriginalInfer(cfg FlatConfig, model *gnn.Model, tables mapreduce.Input, ids
 	// embedding inference" of paper §3.4. Batching here would only merge
 	// literal duplicates; each record still carries its full k-hop subgraph
 	// through vectorization, so per-record forwarding is the honest
-	// baseline.
+	// baseline. One workspace is recycled across all records: scores are
+	// copied out by ScoresFromLogits before each reset.
+	ws := tensor.NewWorkspace()
+	iopt := gnn.RunOptions{Workspace: ws}
 	for _, rec := range flat.Records {
 		tr, err := wire.DecodeTrainRecord(rec)
 		if err != nil {
 			return nil, err
 		}
-		b, err := AssembleBatch([]*wire.TrainRecord{tr}, model.Cfg.Classes, false)
+		b, err := AssembleBatchWS(ws, []*wire.TrainRecord{tr}, model.Cfg.Classes, false)
 		if err != nil {
 			return nil, err
 		}
-		logits := model.Infer(b.Graph, gnn.RunOptions{})
+		logits := model.Infer(b.Graph, iopt)
 		res.Scores[tr.TargetID] = ScoresFromLogits(logits.Row(0))
+		ws.Reset()
 	}
 	res.ForwardWall = time.Since(t1)
 	res.ForwardBusy = res.ForwardWall

@@ -147,6 +147,13 @@ type LinkBatch struct {
 // batch's node rows, skipping pairs that exist as batch edges or positive
 // pairs. Evaluation callers pass a nil rng and pre-materialized negatives.
 func AssembleLinkBatch(recs []*wire.LinkRecord, negPerPos int, rng *rand.Rand) (*LinkBatch, error) {
+	return AssembleLinkBatchWS(nil, recs, negPerPos, rng)
+}
+
+// AssembleLinkBatchWS is AssembleLinkBatch with the batch feature matrix X
+// drawn from a per-step workspace (nil allocates). Labels stay
+// heap-allocated for callers that outlive the workspace.
+func AssembleLinkBatchWS(ws *tensor.Workspace, recs []*wire.LinkRecord, negPerPos int, rng *rand.Rand) (*LinkBatch, error) {
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("core: empty link batch")
 	}
@@ -248,7 +255,7 @@ func AssembleLinkBatch(recs []*wire.LinkRecord, negPerPos int, rng *rand.Rand) (
 			featDim = len(f)
 		}
 	}
-	x := tensor.New(len(nodeIDs), featDim)
+	x := ws.Get(len(nodeIDs), featDim)
 	for i, f := range feats {
 		copy(x.Row(i), f)
 	}
@@ -297,6 +304,10 @@ func PredictLinks(model *gnn.Model, records [][]byte, batchSize int, opt gnn.Run
 	var scores []float64
 	var labels []int
 	var pairs [][2]int64
+	// Per-batch workspace: scores are extracted scalar by scalar before
+	// the reset, so nothing workspace-owned escapes the loop.
+	ws := tensor.NewWorkspace()
+	opt.Workspace = ws
 	for lo := 0; lo < len(records); lo += batchSize {
 		hi := lo + batchSize
 		if hi > len(records) {
@@ -306,7 +317,7 @@ func PredictLinks(model *gnn.Model, records [][]byte, batchSize int, opt gnn.Run
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		b, err := AssembleLinkBatch(recs, 0, nil)
+		b, err := AssembleLinkBatchWS(ws, recs, 0, nil)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -316,6 +327,7 @@ func PredictLinks(model *gnn.Model, records [][]byte, batchSize int, opt gnn.Run
 			labels = append(labels, int(b.Labels.At(p, 0)))
 		}
 		pairs = append(pairs, b.Pairs...)
+		ws.Reset()
 	}
 	return scores, labels, pairs, nil
 }

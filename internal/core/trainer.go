@@ -405,7 +405,7 @@ func trainWorkerLoop(cfg TrainConfig, workerID int, part [][]byte, client ps.Cli
 	defer client.Deregister()
 
 	opt := gnn.RunOptions{Pruning: cfg.Pruning, Threads: cfg.AggThreads, Train: true}
-	prepare := func(idx []int) (*preparedBatch, int64, error) {
+	prepare := func(ws *tensor.Workspace, idx []int) (*preparedBatch, int64, error) {
 		t0 := time.Now()
 		recs := make([]*wire.TrainRecord, 0, len(idx))
 		for _, i := range idx {
@@ -415,25 +415,29 @@ func trainWorkerLoop(cfg TrainConfig, workerID int, part [][]byte, client ps.Cli
 			}
 			recs = append(recs, rec)
 		}
-		b, err := AssembleBatch(recs, cfg.Model.Classes, cfg.Loss == LossBCE)
+		b, err := AssembleBatchWS(ws, recs, cfg.Model.Classes, cfg.Loss == LossBCE)
 		if err != nil {
 			return nil, 0, err
 		}
-		prep := local.Prepare(b.Graph, opt)
+		po := opt
+		po.Workspace = ws
+		prep := local.Prepare(b.Graph, po)
 		return &preparedBatch{batch: b, prep: prep}, int64(time.Since(t0)), nil
 	}
-	step := func(pb *preparedBatch) (float64, error) {
+	step := func(pb *preparedBatch, ws *tensor.Workspace) (float64, error) {
 		if err := client.PullInto(local.Params()); err != nil {
 			return 0, err
 		}
-		st := local.Forward(pb.batch.Graph, pb.prep, opt)
+		so := opt
+		so.Workspace = ws
+		st := local.Forward(pb.batch.Graph, pb.prep, so)
 		var loss float64
 		var dLogits *tensor.Matrix
 		switch cfg.Loss {
 		case LossCE:
-			loss, dLogits = nn.SoftmaxCrossEntropy(st.Logits, pb.batch.Labels)
+			loss, dLogits = nn.SoftmaxCrossEntropyWS(ws, st.Logits, pb.batch.Labels)
 		case LossBCE:
-			loss, dLogits = nn.SigmoidBCE(st.Logits, pb.batch.LabelVecs)
+			loss, dLogits = nn.SigmoidBCEWS(ws, st.Logits, pb.batch.LabelVecs)
 		default:
 			return 0, fmt.Errorf("core: unknown loss %d", cfg.Loss)
 		}
@@ -451,18 +455,29 @@ func trainWorkerLoop(cfg TrainConfig, workerID int, part [][]byte, client ps.Cli
 // share: per-epoch example shuffling and batch slicing, the prepare stage
 // running in its own goroutine (pipelined ahead of model compute when
 // cfg.Pipeline, lock-step otherwise), and per-epoch loss/time accounting.
-// prepare vectorizes one batch of partition indices and reports its
-// vectorization time; step pulls weights, runs forward/backward and pushes
-// gradients, returning the batch loss.
+// prepare vectorizes one batch of partition indices into the given
+// workspace and reports its vectorization time; step pulls weights, runs
+// forward/backward and pushes gradients against the same workspace,
+// returning the batch loss.
+//
+// The worker owns two workspaces cycled through a channel: batch N+1's
+// decode + assembly + adjacency normalization fills one arena while batch
+// N's model step runs against the other (the paper's training pipeline,
+// §3.3.2). A workspace is reset and recycled only after its batch's step
+// completes, so the prepare stage can never overwrite live activations.
 func runWorkerEpochs[B any](cfg TrainConfig, workerID, n int,
-	prepare func(idx []int) (B, int64, error),
-	step func(B) (float64, error),
+	prepare func(ws *tensor.Workspace, idx []int) (B, int64, error),
+	step func(b B, ws *tensor.Workspace) (float64, error),
 	accs []epochAcc) error {
 	type fed struct {
 		b     B
 		vecNS int64
+		ws    *tensor.Workspace
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(workerID)*7919))
+	wsCh := make(chan *tensor.Workspace, 2)
+	wsCh <- tensor.NewWorkspace()
+	wsCh <- tensor.NewWorkspace()
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		order := rng.Perm(n)
 		batches := make([][]int, 0, n/cfg.BatchSize+1)
@@ -484,26 +499,34 @@ func runWorkerEpochs[B any](cfg TrainConfig, workerID, n int,
 		go func() {
 			defer close(feed)
 			for _, idx := range batches {
-				b, vecNS, err := prepare(idx)
+				ws := <-wsCh
+				b, vecNS, err := prepare(ws, idx)
 				if err != nil {
 					prepErr.Store(err)
 					return
 				}
-				feed <- fed{b: b, vecNS: vecNS}
+				feed <- fed{b: b, vecNS: vecNS, ws: ws}
 			}
 		}()
 		for f := range feed {
 			t0 := time.Now()
-			loss, err := step(f.b)
+			loss, err := step(f.b, f.ws)
 			if err != nil {
 				// Unblock the prepare goroutine (it may be parked on a
-				// send) before abandoning the epoch.
+				// send or a workspace receive) before abandoning the
+				// epoch, recycling the drained workspaces so it can
+				// finish. wsCh holds at most the two worker-owned
+				// workspaces, so the sends never block.
 				go func() {
-					for range feed {
+					wsCh <- f.ws
+					for g := range feed {
+						wsCh <- g.ws
 					}
 				}()
 				return err
 			}
+			f.ws.Reset()
+			wsCh <- f.ws
 			acc.lossSum += loss
 			acc.batches++
 			acc.vec += f.vecNS
@@ -539,7 +562,7 @@ func trainLinkWorkerLoop(cfg TrainConfig, workerID int, part [][]byte, client ps
 	// gets a dedicated RNG so it never races the runner's shuffling RNG.
 	negRNG := rand.New(rand.NewSource(cfg.Seed + int64(workerID)*7919 + 1))
 	opt := gnn.RunOptions{Pruning: cfg.Pruning, Threads: cfg.AggThreads, Train: true}
-	prepare := func(idx []int) (*preparedLinkBatch, int64, error) {
+	prepare := func(ws *tensor.Workspace, idx []int) (*preparedLinkBatch, int64, error) {
 		t0 := time.Now()
 		recs := make([]*wire.LinkRecord, 0, len(idx))
 		for _, i := range idx {
@@ -549,19 +572,23 @@ func trainLinkWorkerLoop(cfg TrainConfig, workerID int, part [][]byte, client ps
 			}
 			recs = append(recs, rec)
 		}
-		b, err := AssembleLinkBatch(recs, negPerPos, negRNG)
+		b, err := AssembleLinkBatchWS(ws, recs, negPerPos, negRNG)
 		if err != nil {
 			return nil, 0, err
 		}
-		prep := local.Prepare(b.Graph, opt)
+		po := opt
+		po.Workspace = ws
+		prep := local.Prepare(b.Graph, po)
 		return &preparedLinkBatch{batch: b, prep: prep}, int64(time.Since(t0)), nil
 	}
-	step := func(pb *preparedLinkBatch) (float64, error) {
+	step := func(pb *preparedLinkBatch, ws *tensor.Workspace) (float64, error) {
 		if err := client.PullInto(local.Params()); err != nil {
 			return 0, err
 		}
-		st := local.ForwardEdges(pb.batch.Graph, pb.prep, pb.batch.SrcRows, pb.batch.DstRows, opt)
-		loss, dLogits := nn.SigmoidBCE(st.Logits, pb.batch.Labels)
+		so := opt
+		so.Workspace = ws
+		st := local.ForwardEdges(pb.batch.Graph, pb.prep, pb.batch.SrcRows, pb.batch.DstRows, so)
+		loss, dLogits := nn.SigmoidBCEWS(ws, st.Logits, pb.batch.Labels)
 		local.Params().ZeroGrads()
 		local.BackwardEdges(st, dLogits)
 		if err := client.PushGrads(local.Params()); err != nil {
@@ -617,6 +644,11 @@ func Predict(model *gnn.Model, records [][]byte, batchSize int, opt gnn.RunOptio
 	var labels []int
 	var logitParts []*tensor.Matrix
 	var vecParts []*tensor.Matrix
+	// One workspace serves every batch: assembly and the forward pass fill
+	// it, the (small) logit block is cloned out, and a reset recycles the
+	// arena for the next batch.
+	ws := tensor.NewWorkspace()
+	opt.Workspace = ws
 	for lo := 0; lo < len(records); lo += batchSize {
 		hi := lo + batchSize
 		if hi > len(records) {
@@ -626,11 +658,12 @@ func Predict(model *gnn.Model, records [][]byte, batchSize int, opt gnn.RunOptio
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
-		b, err := AssembleBatch(recs, model.Cfg.Classes, false)
+		b, err := AssembleBatchWS(ws, recs, model.Cfg.Classes, false)
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
-		logits := model.Infer(b.Graph, opt)
+		logits := model.Infer(b.Graph, opt).Clone()
+		ws.Reset()
 		logitParts = append(logitParts, logits)
 		ids = append(ids, b.TargetIDs...)
 		labels = append(labels, b.Labels...)

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"agl/internal/gnn"
+	"agl/internal/nn"
+	"agl/internal/tensor"
+)
+
+// runFixedSeedTrain trains a small GCN with dropout and aggregation
+// threading enabled (the configuration that exercises every parallel and
+// workspace-backed code path) and returns the final loss, the eval metric,
+// and the serialized model bytes.
+func runFixedSeedTrain(t *testing.T, train, test [][]byte) (float64, float64, []byte) {
+	t.Helper()
+	res, err := Train(TrainConfig{
+		Model: gnn.Config{
+			Kind: gnn.KindGCN, InDim: 48, Hidden: 16, Classes: 4, Layers: 2,
+			Act: nn.ActReLU, Dropout: 0.2, Seed: 1,
+		},
+		Loss: LossCE, BatchSize: 32, Epochs: 4, LR: 0.02,
+		Pipeline: true, AggThreads: 4,
+		Eval: test, EvalMetric: MetricAccuracy, Seed: 2,
+	}, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := gnn.MarshalModel(res.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.History[len(res.History)-1]
+	return last.Loss, last.Metric, enc
+}
+
+// TestTrainBitIdenticalAcrossParallelism is the engine's core determinism
+// guarantee: because every kernel is row-partitioned (each output row is
+// produced by exactly one worker in the reference accumulation order),
+// fixed-seed training produces identical losses, metrics and serialized
+// model bytes whether the shared pool runs serial or wide.
+func TestTrainBitIdenticalAcrossParallelism(t *testing.T) {
+	train, test, _ := miniCora(t, 2)
+	defer tensor.SetParallelism(tensor.SetParallelism(0))
+
+	tensor.SetParallelism(1)
+	loss1, metric1, bytes1 := runFixedSeedTrain(t, train, test)
+
+	tensor.SetParallelism(8)
+	loss8, metric8, bytes8 := runFixedSeedTrain(t, train, test)
+
+	if loss1 != loss8 {
+		t.Fatalf("final loss differs across parallelism: %v (serial) vs %v (8-way)", loss1, loss8)
+	}
+	if metric1 != metric8 {
+		t.Fatalf("eval metric differs across parallelism: %v vs %v", metric1, metric8)
+	}
+	if !bytes.Equal(bytes1, bytes8) {
+		t.Fatal("serialized model bytes differ across parallelism settings")
+	}
+}
+
+// TestTrainWorkspaceMatchesAllocating pins the workspace plumbing itself:
+// a fixed-seed run must be bit-identical whether layer temporaries come
+// from the per-step arena (Train's default) or from a fresh forward pass
+// with no workspace at all. Both paths share one model snapshot.
+func TestTrainWorkspaceMatchesAllocating(t *testing.T) {
+	train, _, _ := miniCora(t, 1)
+	recs, err := DecodeRecords(train[:16])
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := gnn.NewModel(gnn.Config{
+		Kind: gnn.KindGCN, InDim: 48, Hidden: 8, Classes: 4, Layers: 2,
+		Act: nn.ActReLU, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Allocating path.
+	b1, err := AssembleBatch(recs, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := model.Infer(b1.Graph, gnn.RunOptions{})
+
+	// Workspace path, run twice so the second pass exercises recycled
+	// (dirty-capacity) buffers.
+	ws := tensor.NewWorkspace()
+	var wsLogits *tensor.Matrix
+	for i := 0; i < 2; i++ {
+		ws.Reset()
+		b2, err := AssembleBatchWS(ws, recs, 4, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wsLogits = model.Infer(b2.Graph, gnn.RunOptions{Workspace: ws})
+	}
+	if tensor.MaxAbsDiff(plain, wsLogits) != 0 {
+		t.Fatalf("workspace-backed forward differs from allocating forward by %v",
+			tensor.MaxAbsDiff(plain, wsLogits))
+	}
+
+	// The second pass must be (nearly) allocation-free on the arena side.
+	gets, misses := ws.Stats()
+	if gets == 0 {
+		t.Fatal("workspace unused")
+	}
+	if misses > gets/2 {
+		t.Fatalf("workspace hit rate too low: %d misses of %d gets", misses, gets)
+	}
+}

@@ -136,6 +136,29 @@ func TestFig8Quick(t *testing.T) {
 	}
 }
 
+func TestTrainPerfQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := TrainPerf(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Examples <= 0 || res.NsPerExample <= 0 || res.Throughput <= 0 {
+		t.Fatalf("malformed result %+v", res)
+	}
+	m := res.Metrics()
+	if m["train_throughput_ns_per_example"] != res.NsPerExample {
+		t.Fatal("metrics do not carry the guarded inverse throughput")
+	}
+	// The engine bar: the workspace-backed step must not allocate per
+	// matrix anymore — a few hundred heap objects per example would mean
+	// the arena stopped hitting.
+	if res.StepAllocs > 2000 {
+		t.Fatalf("allocs/example %v: workspace reuse regressed", res.StepAllocs)
+	}
+}
+
 func TestServeQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")

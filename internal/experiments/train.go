@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"agl/internal/core"
+	"agl/internal/datagen"
+	"agl/internal/gnn"
+	"agl/internal/mapreduce"
+	"agl/internal/nn"
+)
+
+// TrainPerfResult records the compute-engine training baseline: wall-clock
+// throughput of the pipelined GraphTrainer (decode + vectorize overlapped
+// with blocked/parallel forward-backward, double-buffered workspaces) on a
+// fixed Cora-shaped workload. It is the perf anchor for the dense engine —
+// re-run it after kernel or trainer changes to track the trajectory.
+type TrainPerfResult struct {
+	Examples     int           // examples stepped (records × epochs)
+	Wall         time.Duration // total training wall time
+	NsPerExample float64       // wall / examples — the guarded inverse throughput
+	Throughput   float64       // examples per second (human-facing)
+	StepAllocs   float64       // heap objects allocated per example
+	FinalLoss    float64
+	Text         string
+}
+
+func (r *TrainPerfResult) String() string { return r.Text }
+
+// Metrics implements MetricsProvider. train_throughput is exported in
+// lower-is-better form (nanoseconds per training example) so the
+// bench-regression guard's single comparison rule applies; the printed
+// table carries the examples/s reading.
+func (r *TrainPerfResult) Metrics() map[string]float64 {
+	return map[string]float64{
+		"train_throughput_ns_per_example": r.NsPerExample,
+		"allocs_per_example":              r.StepAllocs,
+	}
+}
+
+// TrainPerf measures end-to-end training throughput of the pipelined
+// trainer on a generated Cora-shaped dataset: flatten once, then time
+// Train with the engine's production configuration (pipeline on,
+// aggregation threads, pruning off so every batch exercises the shared
+// unpruned aggregator path).
+func TrainPerf(opt Options) (*TrainPerfResult, error) {
+	cora, err := datagen.Cora(opt.coraCfg())
+	if err != nil {
+		return nil, err
+	}
+	epochs := 8
+	if opt.Quick {
+		epochs = 4
+	}
+	targets := make(map[int64]core.Target, len(cora.Train))
+	for _, id := range cora.Train {
+		targets[id] = core.Target{Label: int64(cora.LabelOf(id))}
+	}
+	flat, err := core.Flatten(core.FlatConfig{
+		Hops: 2, MaxNeighbors: 25, Seed: opt.Seed + 29, TempDir: opt.TempDir,
+	}, mapreduce.MemInput(core.TableRecords(cora.G)), targets)
+	if err != nil {
+		return nil, err
+	}
+	records := flat.Records
+
+	cfg := core.TrainConfig{
+		Model: gnn.Config{
+			Kind: gnn.KindGCN, InDim: cora.G.FeatureDim(), Hidden: 32,
+			Classes: cora.NumClasses, Layers: 2, Act: nn.ActReLU,
+			Dropout: 0.1, Seed: opt.Seed + 31,
+		},
+		Loss: core.LossCE, BatchSize: 64, Epochs: epochs, LR: 0.02,
+		Pipeline: true, AggThreads: 4, Seed: opt.Seed + 37,
+	}
+
+	opt.logf("train: %d records x %d epochs through the pipelined trainer", len(records), epochs)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := core.Train(cfg, records)
+	if err != nil {
+		return nil, err
+	}
+	runtime.ReadMemStats(&after)
+
+	examples := len(records) * epochs
+	out := &TrainPerfResult{
+		Examples:     examples,
+		Wall:         res.Total,
+		NsPerExample: float64(res.Total.Nanoseconds()) / float64(examples),
+		Throughput:   float64(examples) / res.Total.Seconds(),
+		StepAllocs:   float64(after.Mallocs-before.Mallocs) / float64(examples),
+		FinalLoss:    res.History[len(res.History)-1].Loss,
+	}
+	rows := [][]string{{
+		fmt.Sprintf("%d", examples),
+		fmt.Sprintf("%.3fs", out.Wall.Seconds()),
+		fmt.Sprintf("%.0f ex/s", out.Throughput),
+		fmt.Sprintf("%.0f ns", out.NsPerExample),
+		fmt.Sprintf("%.1f", out.StepAllocs),
+		fmt.Sprintf("%.4f", out.FinalLoss),
+	}}
+	out.Text = "Train throughput: pipelined GraphTrainer on Cora-shaped data (GCN 2-layer)\n" +
+		table([]string{"Examples", "Wall", "train_throughput", "ns/example", "allocs/example", "Final loss"}, rows)
+	return out, nil
+}

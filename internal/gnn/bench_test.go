@@ -51,19 +51,27 @@ func benchModel(b *testing.B, kind string, heads int) *Model {
 	return m
 }
 
+// benchForwardBackward measures one full train step — Prepare (adjacency
+// normalization + aggregator build), Forward, loss, Backward — exactly as
+// the trainer runs it: every temporary drawn from a per-step workspace
+// that is reset between iterations.
 func benchForwardBackward(b *testing.B, m *Model, bg *BatchGraph, opt RunOptions) {
 	b.Helper()
 	labels := make([]int, len(bg.Targets))
 	for i := range labels {
 		labels[i] = i % 2
 	}
+	ws := tensor.NewWorkspace()
+	opt.Workspace = ws
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		prep := m.Prepare(bg, opt)
 		st := m.Forward(bg, prep, opt)
-		_, dl := nn.SoftmaxCrossEntropy(st.Logits, labels)
+		_, dl := nn.SoftmaxCrossEntropyWS(ws, st.Logits, labels)
 		m.Params().ZeroGrads()
 		m.Backward(st, dl)
+		ws.Reset()
 	}
 }
 

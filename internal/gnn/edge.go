@@ -89,39 +89,40 @@ func (s *EdgeScorer) Params() []*nn.Param {
 // Forward scores P pairs: hs and hd are P×D matrices of source and
 // destination embeddings (row p is pair p). Returns the P×1 logit matrix
 // and caches what Backward needs.
-func (s *EdgeScorer) Forward(hs, hd *tensor.Matrix) *tensor.Matrix {
+func (s *EdgeScorer) Forward(ws *tensor.Workspace, hs, hd *tensor.Matrix) *tensor.Matrix {
 	s.hs, s.hd = hs, hd
 	switch s.Kind {
 	case EdgeHeadDot:
-		out := tensor.New(hs.Rows, 1)
+		out := ws.GetUninit(hs.Rows, 1)
 		for p := 0; p < hs.Rows; p++ {
 			out.Data[p] = dot(hs.Row(p), hd.Row(p))
 		}
 		return out
 	case EdgeHeadBilinear:
 		// v[p] = W·hd[p]; logit[p] = hs[p]·v[p].
-		v := tensor.New(hd.Rows, s.Dim)
+		v := ws.GetUninit(hd.Rows, s.Dim)
 		tensor.MatMulABT(v, hd, s.W.W)
 		s.v = v
-		out := tensor.New(hs.Rows, 1)
+		out := ws.GetUninit(hs.Rows, 1)
 		for p := 0; p < hs.Rows; p++ {
 			out.Data[p] = dot(hs.Row(p), v.Row(p))
 		}
 		return out
 	case EdgeHeadMLP:
-		z := tensor.ConcatCols(hs, hd)
-		return s.L2.Forward(s.act.Forward(s.L1.Forward(z)))
+		z := ws.GetUninit(hs.Rows, hs.Cols+hd.Cols)
+		tensor.ConcatColsInto(z, hs, hd)
+		return s.L2.Forward(ws, s.act.Forward(ws, s.L1.Forward(ws, z)))
 	}
 	panic("gnn: unknown edge head " + s.Kind)
 }
 
 // Backward propagates dLogits (P×1) through the scorer, accumulating
 // parameter gradients and returning (dHs, dHd) for the endpoint rows.
-func (s *EdgeScorer) Backward(dLogits *tensor.Matrix) (*tensor.Matrix, *tensor.Matrix) {
+func (s *EdgeScorer) Backward(ws *tensor.Workspace, dLogits *tensor.Matrix) (*tensor.Matrix, *tensor.Matrix) {
 	switch s.Kind {
 	case EdgeHeadDot:
-		dhs := tensor.New(s.hs.Rows, s.Dim)
-		dhd := tensor.New(s.hd.Rows, s.Dim)
+		dhs := ws.Get(s.hs.Rows, s.Dim)
+		dhd := ws.Get(s.hd.Rows, s.Dim)
 		for p := 0; p < s.hs.Rows; p++ {
 			g := dLogits.Data[p]
 			axpyVec(dhs.Row(p), g, s.hd.Row(p))
@@ -131,21 +132,26 @@ func (s *EdgeScorer) Backward(dLogits *tensor.Matrix) (*tensor.Matrix, *tensor.M
 	case EdgeHeadBilinear:
 		// Scale source rows by the pair gradient once, then every term is a
 		// plain matmul: dW += gHsᵀ·hd, dHd = gHs·W, dHs[p] = g·v[p].
-		ghs := tensor.New(s.hs.Rows, s.Dim)
-		dhs := tensor.New(s.hs.Rows, s.Dim)
+		ghs := ws.Get(s.hs.Rows, s.Dim)
+		dhs := ws.Get(s.hs.Rows, s.Dim)
 		for p := 0; p < s.hs.Rows; p++ {
 			g := dLogits.Data[p]
 			axpyVec(ghs.Row(p), g, s.hs.Row(p))
 			axpyVec(dhs.Row(p), g, s.v.Row(p))
 		}
-		dw := tensor.New(s.Dim, s.Dim)
+		dw := ws.GetUninit(s.Dim, s.Dim)
 		tensor.MatMulATB(dw, ghs, s.hd)
 		tensor.AXPY(s.W.Grad, 1, dw)
-		dhd := tensor.MatMulNew(ghs, s.W.W)
+		dhd := ws.GetUninit(ghs.Rows, s.W.W.Cols)
+		tensor.MatMul(dhd, ghs, s.W.W)
 		return dhs, dhd
 	case EdgeHeadMLP:
-		dz := s.L1.Backward(s.act.Backward(s.L2.Backward(dLogits)))
-		return dz.SliceCols(0, s.Dim), dz.SliceCols(s.Dim, 2*s.Dim)
+		dz := s.L1.Backward(ws, s.act.Backward(ws, s.L2.Backward(ws, dLogits)))
+		dhs := ws.GetUninit(dz.Rows, s.Dim)
+		dz.SliceColsInto(dhs, 0, s.Dim)
+		dhd := ws.GetUninit(dz.Rows, s.Dim)
+		dz.SliceColsInto(dhd, s.Dim, 2*s.Dim)
+		return dhs, dhd
 	}
 	panic("gnn: unknown edge head " + s.Kind)
 }
@@ -192,22 +198,26 @@ type EdgeForwardState struct {
 	b      *BatchGraph
 	src    []int
 	dst    []int
+	ws     *tensor.Workspace
 }
 
 // ForwardEdges runs the GNN stack on a prepared batch and scores the
 // (src[p], dst[p]) row pairs with the model's edge head. The model must
 // have been built with Config.EdgeHead set.
 func (m *Model) ForwardEdges(b *BatchGraph, prep *Prepared, src, dst []int, opt RunOptions) *EdgeForwardState {
+	ws := opt.Workspace
 	h := b.X
 	for i, layer := range m.Layers {
 		m.drops[i].Train = opt.Train
-		h = m.drops[i].Forward(h)
-		h = layer.Forward(prep.Aggs[i], h)
+		h = m.drops[i].Forward(ws, h)
+		h = layer.Forward(ws, prep.Aggs[i], h)
 	}
-	hs := h.RowsSubset(src)
-	hd := h.RowsSubset(dst)
-	logits := m.Edge.Forward(hs, hd)
-	return &EdgeForwardState{Prep: prep, H: h, Hs: hs, Hd: hd, Logits: logits, b: b, src: src, dst: dst}
+	hs := ws.GetUninit(len(src), h.Cols)
+	h.RowsSubsetInto(hs, src)
+	hd := ws.GetUninit(len(dst), h.Cols)
+	h.RowsSubsetInto(hd, dst)
+	logits := m.Edge.Forward(ws, hs, hd)
+	return &EdgeForwardState{Prep: prep, H: h, Hs: hs, Hd: hd, Logits: logits, b: b, src: src, dst: dst, ws: ws}
 }
 
 // BackwardEdges propagates dLogits (P×1) through the edge head and all
@@ -215,13 +225,14 @@ func (m *Model) ForwardEdges(b *BatchGraph, prep *Prepared, src, dst []int, opt 
 // an endpoint row accumulate additively, as do pairs whose src and dst map
 // to the same row.
 func (m *Model) BackwardEdges(st *EdgeForwardState, dLogits *tensor.Matrix) {
-	dhs, dhd := m.Edge.Backward(dLogits)
-	dh := tensor.New(st.H.Rows, st.H.Cols)
+	ws := st.ws
+	dhs, dhd := m.Edge.Backward(ws, dLogits)
+	dh := ws.Get(st.H.Rows, st.H.Cols)
 	tensor.ScatterRowsAdd(dh, dhs, st.src)
 	tensor.ScatterRowsAdd(dh, dhd, st.dst)
 	for i := len(m.Layers) - 1; i >= 0; i-- {
-		dh = m.Layers[i].Backward(st.Prep.Aggs[i], dh)
-		dh = m.drops[i].Backward(dh)
+		dh = m.Layers[i].Backward(ws, st.Prep.Aggs[i], dh)
+		dh = m.drops[i].Backward(ws, dh)
 	}
 }
 

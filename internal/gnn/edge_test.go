@@ -13,7 +13,7 @@ import (
 // scorerLoss is the gradcheck objective for the pairwise head:
 // L = ½·Σ logit². dL/dlogit = logit.
 func scorerLoss(s *EdgeScorer, hs, hd *tensor.Matrix) float64 {
-	logits := s.Forward(hs, hd)
+	logits := s.Forward(nil, hs, hd)
 	var l float64
 	for _, v := range logits.Data {
 		l += 0.5 * v * v
@@ -36,11 +36,11 @@ func TestEdgeScorerGradcheckAllKinds(t *testing.T) {
 			hd.RandFill(rng, 1)
 			lossFn := func() float64 { return scorerLoss(s, hs, hd) }
 
-			logits := s.Forward(hs, hd)
+			logits := s.Forward(nil, hs, hd)
 			for _, p := range s.Params() {
 				p.ZeroGrad()
 			}
-			dhs, dhd := s.Backward(logits)
+			dhs, dhd := s.Backward(nil, logits)
 
 			for _, p := range s.Params() {
 				rel, err := nn.GradCheck(p, lossFn, 1e-6, 1)
@@ -119,7 +119,7 @@ func TestScoreVecMatchesForward(t *testing.T) {
 		hd := tensor.New(pairs, dim)
 		hs.RandFill(rng, 1)
 		hd.RandFill(rng, 1)
-		logits := s.Forward(hs, hd)
+		logits := s.Forward(nil, hs, hd)
 		for p := 0; p < pairs; p++ {
 			got := s.ScoreVec(hs.Row(p), hd.Row(p))
 			if math.Abs(got-logits.Data[p]) > 1e-12 {

@@ -138,7 +138,7 @@ func TestEdgeGATSlicedInferenceMatchesBatch(t *testing.T) {
 	var sliced *tensor.Matrix
 	for _, s := range slices {
 		if s.IsPrediction() {
-			sliced = s.Head.Forward(tensor.FromRows(h))
+			sliced = s.Head.Forward(nil, tensor.FromRows(h))
 			break
 		}
 		next := make([][]float64, n)

@@ -129,23 +129,26 @@ func (l *GATLayer) leakyGrad(x float64) float64 {
 }
 
 // Forward implements Layer.
-func (l *GATLayer) Forward(ag *sparse.Aggregator, h *tensor.Matrix) *tensor.Matrix {
+func (l *GATLayer) Forward(ws *tensor.Workspace, ag *sparse.Aggregator, h *tensor.Matrix) *tensor.Matrix {
 	a := ag.A
 	n := a.NumRows
 	nnz := a.NNZ()
 	l.hIn = h
-	l.z = make([]*tensor.Matrix, l.Heads)
-	l.raw = make([][]float64, l.Heads)
-	l.alpha = make([][]float64, l.Heads)
-	out := tensor.New(n, l.out)
+	if len(l.z) != l.Heads {
+		l.z = make([]*tensor.Matrix, l.Heads)
+		l.raw = make([][]float64, l.Heads)
+		l.alpha = make([][]float64, l.Heads)
+	}
+	out := ws.Get(n, l.out)
 
 	for hd := 0; hd < l.Heads; hd++ {
-		z := tensor.MatMulNew(h, l.WH[hd].W)
+		z := ws.GetUninit(h.Rows, l.WH[hd].W.Cols)
+		tensor.MatMul(z, h, l.WH[hd].W)
 		l.z[hd] = z
-		ssrc := matVec(z, l.ASrc[hd].W)
-		sdst := matVec(z, l.ADst[hd].W)
-		raw := make([]float64, nnz)
-		alpha := make([]float64, nnz)
+		ssrc := matVecWS(ws, z, l.ASrc[hd].W)
+		sdst := matVecWS(ws, z, l.ADst[hd].W)
+		raw := ws.Floats(nnz)
+		alpha := ws.Floats(nnz)
 		off := hd * l.headDim
 		ag.RangeEdgesParallel(func(lo, hi int) {
 			for v := lo; v < hi; v++ {
@@ -188,30 +191,28 @@ func (l *GATLayer) Forward(ag *sparse.Aggregator, h *tensor.Matrix) *tensor.Matr
 	}
 	out.AddRowVector(l.B.W.Row(0))
 	l.act = nn.Activation{Kind: l.Act}
-	return l.act.Forward(out)
+	return l.act.Forward(ws, out)
 }
 
 // Backward implements Layer.
-func (l *GATLayer) Backward(ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Matrix {
+func (l *GATLayer) Backward(ws *tensor.Workspace, ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Matrix {
 	a, at := ag.A, ag.AT
 	n := a.NumRows
-	dOut := l.act.Backward(dy)
-	sums := dOut.ColSums()
-	brow := l.B.Grad.Row(0)
-	for j, v := range sums {
-		brow[j] += v
+	dOut := l.act.Backward(ws, dy)
+	dOut.ColSumsInto(l.B.Grad.Row(0))
+	dh := ws.Get(l.hIn.Rows, l.in)
+	if len(l.draw) != l.Heads {
+		l.draw = make([][]float64, l.Heads)
 	}
-	dh := tensor.New(l.hIn.Rows, l.in)
-	l.draw = make([][]float64, l.Heads)
 
 	for hd := 0; hd < l.Heads; hd++ {
 		z := l.z[hd]
 		alpha := l.alpha[hd]
 		raw := l.raw[hd]
 		off := hd * l.headDim
-		draw := make([]float64, a.NNZ())
-		dsdst := make([]float64, n)
-		dZ := tensor.New(n, l.headDim)
+		draw := ws.Floats(a.NNZ())
+		dsdst := ws.Floats(n)
+		dZ := ws.Get(n, l.headDim)
 
 		// Sweep 1: destination-partitioned. Softmax backward per row and
 		// the dsdst terms; both write only row-v state.
@@ -247,7 +248,7 @@ func (l *GATLayer) Backward(ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Ma
 
 		// Sweep 2: source-partitioned over the transpose. Accumulates dZ[u]
 		// and dssrc[u]; each u is owned by exactly one partition.
-		dssrc := make([]float64, n)
+		dssrc := ws.Floats(n)
 		ag.RangeEdgesParallelT(func(lo, hi int) {
 			for u := lo; u < hi; u++ {
 				elo, ehi := at.RowPtr[u], at.RowPtr[u+1]
@@ -290,8 +291,8 @@ func (l *GATLayer) Backward(ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Ma
 		// Score contributions to dZ and attention-vector gradients.
 		asrc := l.ASrc[hd].W.Data
 		adst := l.ADst[hd].W.Data
-		daSrc := make([]float64, l.headDim)
-		daDst := make([]float64, l.headDim)
+		daSrc := ws.Floats(l.headDim)
+		daDst := ws.Floats(l.headDim)
 		for i := 0; i < n; i++ {
 			zrow := dZ.Row(i)
 			zi := z.Row(i)
@@ -314,10 +315,10 @@ func (l *GATLayer) Backward(ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Ma
 		}
 
 		// dW += Hᵀ·dZ ; dH += dZ·Wᵀ
-		dw := tensor.New(l.in, l.headDim)
+		dw := ws.GetUninit(l.in, l.headDim)
 		tensor.MatMulATB(dw, l.hIn, dZ)
 		tensor.AXPY(l.WH[hd].Grad, 1, dw)
-		dhHead := tensor.New(n, l.in)
+		dhHead := ws.GetUninit(n, l.in)
 		tensor.MatMulABT(dhHead, dZ, l.WH[hd].W)
 		tensor.Add(dh, dh, dhHead)
 		l.draw[hd] = draw
@@ -371,10 +372,10 @@ func (l *GATLayer) InferNode(selfH []float64, selfDeg float64, msgs []NeighborMs
 	return out
 }
 
-// matVec computes m @ v for a column-vector parameter v (k×1), returning a
-// dense []float64 of length m.Rows.
-func matVec(m *tensor.Matrix, v *tensor.Matrix) []float64 {
-	out := make([]float64, m.Rows)
+// matVecWS computes m @ v for a column-vector parameter v (k×1), returning
+// a dense []float64 of length m.Rows drawn from ws (nil allocates).
+func matVecWS(ws *tensor.Workspace, m *tensor.Matrix, v *tensor.Matrix) []float64 {
+	out := ws.Floats(m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		var s float64

@@ -50,31 +50,28 @@ func (l *GCNLayer) OutDim() int { return l.out }
 func (l *GCNLayer) Params() []*nn.Param { return []*nn.Param{l.W, l.B} }
 
 // Forward implements Layer.
-func (l *GCNLayer) Forward(ag *sparse.Aggregator, h *tensor.Matrix) *tensor.Matrix {
-	l.hAgg = tensor.New(ag.A.NumRows, h.Cols)
+func (l *GCNLayer) Forward(ws *tensor.Workspace, ag *sparse.Aggregator, h *tensor.Matrix) *tensor.Matrix {
+	l.hAgg = ws.GetUninit(ag.A.NumRows, h.Cols)
 	ag.Forward(l.hAgg, h)
-	z := tensor.MatMulNew(l.hAgg, l.W.W)
+	z := ws.GetUninit(l.hAgg.Rows, l.W.W.Cols)
+	tensor.MatMul(z, l.hAgg, l.W.W)
 	z.AddRowVector(l.B.W.Row(0))
 	l.act = nn.Activation{Kind: l.Act}
-	return l.act.Forward(z)
+	return l.act.Forward(ws, z)
 }
 
 // Backward implements Layer.
-func (l *GCNLayer) Backward(ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Matrix {
-	dz := l.act.Backward(dy)
+func (l *GCNLayer) Backward(ws *tensor.Workspace, ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Matrix {
+	dz := l.act.Backward(ws, dy)
 	// dW += (Â·H)ᵀ · dZ, db += colsum(dZ)
-	dw := tensor.New(l.W.W.Rows, l.W.W.Cols)
+	dw := ws.GetUninit(l.W.W.Rows, l.W.W.Cols)
 	tensor.MatMulATB(dw, l.hAgg, dz)
 	tensor.AXPY(l.W.Grad, 1, dw)
-	sums := dz.ColSums()
-	brow := l.B.Grad.Row(0)
-	for j, v := range sums {
-		brow[j] += v
-	}
+	dz.ColSumsInto(l.B.Grad.Row(0))
 	// dH = Âᵀ · (dZ · Wᵀ)
-	dhAgg := tensor.New(dz.Rows, l.W.W.Rows)
+	dhAgg := ws.GetUninit(dz.Rows, l.W.W.Rows)
 	tensor.MatMulABT(dhAgg, dz, l.W.W)
-	dh := tensor.New(ag.A.NumCols, l.W.W.Rows)
+	dh := ws.GetUninit(ag.A.NumCols, l.W.W.Rows)
 	ag.Backward(dh, dhAgg)
 	return dh
 }

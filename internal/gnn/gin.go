@@ -65,45 +65,44 @@ func (l *GINLayer) Params() []*nn.Param {
 }
 
 // Forward implements Layer.
-func (l *GINLayer) Forward(ag *sparse.Aggregator, h *tensor.Matrix) *tensor.Matrix {
+func (l *GINLayer) Forward(ws *tensor.Workspace, ag *sparse.Aggregator, h *tensor.Matrix) *tensor.Matrix {
 	l.h = h
-	l.agg = tensor.New(ag.A.NumRows, h.Cols)
+	l.agg = ws.GetUninit(ag.A.NumRows, h.Cols)
 	ag.Forward(l.agg, h)
 	eps := l.Eps.W.Data[0]
-	combined := l.agg.Clone()
+	combined := ws.GetUninit(l.agg.Rows, l.agg.Cols)
+	combined.CopyFrom(l.agg)
 	tensor.AXPY(combined, 1+eps, h)
 	l.combined = combined
-	z1 := tensor.MatMulNew(combined, l.W1.W)
+	z1 := ws.GetUninit(combined.Rows, l.W1.W.Cols)
+	tensor.MatMul(z1, combined, l.W1.W)
 	z1.AddRowVector(l.B1.W.Row(0))
 	l.act1 = nn.Activation{Kind: l.Act}
-	a1 := l.act1.Forward(z1)
+	a1 := l.act1.Forward(ws, z1)
 	l.z1 = a1
-	z2 := tensor.MatMulNew(a1, l.W2.W)
+	z2 := ws.GetUninit(a1.Rows, l.W2.W.Cols)
+	tensor.MatMul(z2, a1, l.W2.W)
 	z2.AddRowVector(l.B2.W.Row(0))
 	l.act2 = nn.Activation{Kind: l.Act}
-	return l.act2.Forward(z2)
+	return l.act2.Forward(ws, z2)
 }
 
 // Backward implements Layer.
-func (l *GINLayer) Backward(ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Matrix {
-	dz2 := l.act2.Backward(dy)
-	dw2 := tensor.New(l.W2.W.Rows, l.W2.W.Cols)
+func (l *GINLayer) Backward(ws *tensor.Workspace, ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Matrix {
+	dz2 := l.act2.Backward(ws, dy)
+	dw2 := ws.GetUninit(l.W2.W.Rows, l.W2.W.Cols)
 	tensor.MatMulATB(dw2, l.z1, dz2)
 	tensor.AXPY(l.W2.Grad, 1, dw2)
-	for j, v := range dz2.ColSums() {
-		l.B2.Grad.Data[j] += v
-	}
-	da1 := tensor.New(dz2.Rows, l.W2.W.Rows)
+	dz2.ColSumsInto(l.B2.Grad.Row(0))
+	da1 := ws.GetUninit(dz2.Rows, l.W2.W.Rows)
 	tensor.MatMulABT(da1, dz2, l.W2.W)
-	dz1 := l.act1.Backward(da1)
-	dw1 := tensor.New(l.W1.W.Rows, l.W1.W.Cols)
+	dz1 := l.act1.Backward(ws, da1)
+	dw1 := ws.GetUninit(l.W1.W.Rows, l.W1.W.Cols)
 	tensor.MatMulATB(dw1, l.combined, dz1)
 	tensor.AXPY(l.W1.Grad, 1, dw1)
-	for j, v := range dz1.ColSums() {
-		l.B1.Grad.Data[j] += v
-	}
+	dz1.ColSumsInto(l.B1.Grad.Row(0))
 	// dCombined = dZ1 · W1ᵀ
-	dc := tensor.New(dz1.Rows, l.in)
+	dc := ws.GetUninit(dz1.Rows, l.in)
 	tensor.MatMulABT(dc, dz1, l.W1.W)
 	// dε = Σ dc ⊙ h
 	var deps float64
@@ -113,7 +112,7 @@ func (l *GINLayer) Backward(ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Ma
 	l.Eps.Grad.Data[0] += deps
 	// dH = (1+ε)·dc + Aᵀ·dc
 	eps := l.Eps.W.Data[0]
-	dh := tensor.New(ag.A.NumCols, l.in)
+	dh := ws.GetUninit(ag.A.NumCols, l.in)
 	ag.Backward(dh, dc)
 	tensor.AXPY(dh, 1+eps, dc)
 	return dh

@@ -202,7 +202,7 @@ func runSliced(t *testing.T, m *Model, adj *sparse.CSR, x *tensor.Matrix) *tenso
 	for _, s := range slices {
 		if s.IsPrediction() {
 			emb := tensor.FromRows(h)
-			return s.Head.Forward(emb)
+			return s.Head.Forward(nil, emb)
 		}
 		next := make([][]float64, n)
 		for v := 0; v < n; v++ {

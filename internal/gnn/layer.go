@@ -26,14 +26,16 @@ type NeighborMsg struct {
 // subgraphs via an Aggregator (which encapsulates the adjacency and the
 // edge-partitioned parallelism); InferNode computes a single node's output
 // embedding from explicit neighbor messages, which is what a GraphInfer
-// reduce round does.
+// reduce round does. Forward/Backward draw every temporary from the
+// per-step workspace (nil allocates), so one Reset after the optimizer
+// step recycles the whole layer stack's memory.
 type Layer interface {
 	// Forward computes H^{(k)} from H^{(k-1)} over the given adjacency.
-	Forward(ag *sparse.Aggregator, h *tensor.Matrix) *tensor.Matrix
+	Forward(ws *tensor.Workspace, ag *sparse.Aggregator, h *tensor.Matrix) *tensor.Matrix
 	// Backward consumes dL/dH^{(k)} and returns dL/dH^{(k-1)}, accumulating
 	// parameter gradients. Must be called after Forward with the same
-	// aggregator.
-	Backward(ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Matrix
+	// aggregator and workspace.
+	Backward(ws *tensor.Workspace, ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Matrix
 	// InferNode computes this layer's output for one node: selfH is the
 	// node's own input embedding, selfDeg its normalization degree, msgs its
 	// in-edge neighbor messages.
@@ -52,7 +54,7 @@ type Layer interface {
 func applyActVec(kind nn.ActKind, v []float64) {
 	a := nn.Activation{Kind: kind}
 	m := tensor.FromSlice(1, len(v), v)
-	out := a.Forward(m)
+	out := a.Forward(nil, m)
 	copy(v, out.Data)
 }
 

@@ -190,6 +190,11 @@ type RunOptions struct {
 	Threads int
 	// Train enables dropout.
 	Train bool
+	// Workspace, when non-nil, is the per-step arena every temporary of
+	// Prepare/Forward/Backward is drawn from. The caller resets it after
+	// the step (and after copying out anything it wants to keep). Nil
+	// falls back to plain allocation.
+	Workspace *tensor.Workspace
 }
 
 // Prepared holds the per-batch, per-layer aggregation state: the normalized
@@ -207,18 +212,19 @@ type Prepared struct {
 // happens once on the full batch adjacency before filtering, which keeps
 // pruned and unpruned outputs for target nodes bit-identical.
 func (m *Model) Prepare(b *BatchGraph, opt RunOptions) *Prepared {
+	ws := opt.Workspace
 	var norm *sparse.CSR
 	switch m.Cfg.Kind {
 	case KindGCN:
 		if b.Deg != nil {
-			norm = sparse.SymNormalizeWithDeg(b.Adj, b.Deg)
+			norm = sparse.SymNormalizeWithDegWS(ws, b.Adj, b.Deg)
 		} else {
-			norm = b.Adj.SymNormalize()
+			norm = b.Adj.SymNormalizeWS(ws)
 		}
 	case KindSAGE:
-		norm = b.Adj.RowNormalize()
+		norm = b.Adj.RowNormalizeWS(ws)
 	case KindGAT:
-		norm = b.Adj.AddSelfLoops(1)
+		norm = b.Adj.AddSelfLoopsWS(ws, 1)
 	case KindGIN:
 		norm = b.Adj // GIN sum-aggregates the raw weighted adjacency
 	default:
@@ -226,17 +232,19 @@ func (m *Model) Prepare(b *BatchGraph, opt RunOptions) *Prepared {
 	}
 	k := len(m.Layers)
 	p := &Prepared{}
+	// Aggregators hold only the adjacency, so without pruning every layer
+	// shares one — the transpose and its partitions are built once per
+	// batch instead of once per layer.
+	var shared *sparse.Aggregator
 	for i := 0; i < k; i++ {
 		adj := norm
 		if opt.Pruning {
-			maxDst := k - i - 1
-			maxSrc := k - i
-			adj = norm.FilterEdges(func(v, u int) bool {
-				dv, du := b.Dist[v], b.Dist[u]
-				return dv >= 0 && dv <= maxDst && du >= 0 && du <= maxSrc
-			})
+			adj = norm.FilterByDistWS(ws, b.Dist, k-i-1, k-i)
+		} else if shared != nil {
+			p.Aggs = append(p.Aggs, shared)
+			continue
 		}
-		ag := sparse.NewAggregator(adj, opt.Threads)
+		ag := sparse.NewAggregatorWS(ws, adj, opt.Threads)
 		if m.Cfg.EdgeDim > 0 && b.EdgeFeat != nil {
 			// Materialize E_B aligned with this layer's (possibly pruned,
 			// possibly self-looped) edge array; absent entries (self loops)
@@ -250,6 +258,9 @@ func (m *Model) Prepare(b *BatchGraph, opt RunOptions) *Prepared {
 			}
 			ag.EFeat = ef
 		}
+		if !opt.Pruning {
+			shared = ag
+		}
 		p.Aggs = append(p.Aggs, ag)
 	}
 	return p
@@ -262,31 +273,37 @@ type ForwardState struct {
 	Emb    *tensor.Matrix // target-row embeddings
 	Logits *tensor.Matrix // head outputs for target rows
 	b      *BatchGraph
+	ws     *tensor.Workspace
 }
 
 // Forward runs the full model on a prepared batch and returns the state
-// needed for Backward.
+// needed for Backward. With opt.Workspace set, every matrix in the state
+// (including H, Emb and Logits) is workspace-owned and only valid until
+// the workspace is reset.
 func (m *Model) Forward(b *BatchGraph, prep *Prepared, opt RunOptions) *ForwardState {
+	ws := opt.Workspace
 	h := b.X
 	for i, layer := range m.Layers {
 		m.drops[i].Train = opt.Train
-		h = m.drops[i].Forward(h)
-		h = layer.Forward(prep.Aggs[i], h)
+		h = m.drops[i].Forward(ws, h)
+		h = layer.Forward(ws, prep.Aggs[i], h)
 	}
-	emb := h.RowsSubset(b.Targets)
-	logits := m.Head.Forward(emb)
-	return &ForwardState{Prep: prep, H: h, Emb: emb, Logits: logits, b: b}
+	emb := ws.GetUninit(len(b.Targets), h.Cols)
+	h.RowsSubsetInto(emb, b.Targets)
+	logits := m.Head.Forward(ws, emb)
+	return &ForwardState{Prep: prep, H: h, Emb: emb, Logits: logits, b: b, ws: ws}
 }
 
 // Backward propagates dLogits through the head and all layers, accumulating
 // gradients into the model's parameters.
 func (m *Model) Backward(st *ForwardState, dLogits *tensor.Matrix) {
-	dEmb := m.Head.Backward(dLogits)
-	dh := tensor.New(st.H.Rows, st.H.Cols)
+	ws := st.ws
+	dEmb := m.Head.Backward(ws, dLogits)
+	dh := ws.Get(st.H.Rows, st.H.Cols)
 	tensor.ScatterRowsAdd(dh, dEmb, st.b.Targets)
 	for i := len(m.Layers) - 1; i >= 0; i-- {
-		dh = m.Layers[i].Backward(st.Prep.Aggs[i], dh)
-		dh = m.drops[i].Backward(dh)
+		dh = m.Layers[i].Backward(ws, st.Prep.Aggs[i], dh)
+		dh = m.drops[i].Backward(ws, dh)
 	}
 }
 

@@ -51,39 +51,37 @@ func (l *SAGELayer) OutDim() int { return l.out }
 func (l *SAGELayer) Params() []*nn.Param { return []*nn.Param{l.WSelf, l.WNeigh, l.B} }
 
 // Forward implements Layer.
-func (l *SAGELayer) Forward(ag *sparse.Aggregator, h *tensor.Matrix) *tensor.Matrix {
+func (l *SAGELayer) Forward(ws *tensor.Workspace, ag *sparse.Aggregator, h *tensor.Matrix) *tensor.Matrix {
 	l.h = h
-	l.m = tensor.New(ag.A.NumRows, h.Cols)
+	l.m = ws.GetUninit(ag.A.NumRows, h.Cols)
 	ag.Forward(l.m, h)
-	z := tensor.MatMulNew(h, l.WSelf.W)
-	zn := tensor.MatMulNew(l.m, l.WNeigh.W)
+	z := ws.GetUninit(h.Rows, l.WSelf.W.Cols)
+	tensor.MatMul(z, h, l.WSelf.W)
+	zn := ws.GetUninit(l.m.Rows, l.WNeigh.W.Cols)
+	tensor.MatMul(zn, l.m, l.WNeigh.W)
 	tensor.Add(z, z, zn)
 	z.AddRowVector(l.B.W.Row(0))
 	l.act = nn.Activation{Kind: l.Act}
-	return l.act.Forward(z)
+	return l.act.Forward(ws, z)
 }
 
 // Backward implements Layer.
-func (l *SAGELayer) Backward(ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Matrix {
-	dz := l.act.Backward(dy)
+func (l *SAGELayer) Backward(ws *tensor.Workspace, ag *sparse.Aggregator, dy *tensor.Matrix) *tensor.Matrix {
+	dz := l.act.Backward(ws, dy)
 	// Parameter gradients.
-	dws := tensor.New(l.WSelf.W.Rows, l.WSelf.W.Cols)
+	dws := ws.GetUninit(l.WSelf.W.Rows, l.WSelf.W.Cols)
 	tensor.MatMulATB(dws, l.h, dz)
 	tensor.AXPY(l.WSelf.Grad, 1, dws)
-	dwn := tensor.New(l.WNeigh.W.Rows, l.WNeigh.W.Cols)
+	dwn := ws.GetUninit(l.WNeigh.W.Rows, l.WNeigh.W.Cols)
 	tensor.MatMulATB(dwn, l.m, dz)
 	tensor.AXPY(l.WNeigh.Grad, 1, dwn)
-	sums := dz.ColSums()
-	brow := l.B.Grad.Row(0)
-	for j, v := range sums {
-		brow[j] += v
-	}
+	dz.ColSumsInto(l.B.Grad.Row(0))
 	// dH = dZ·W_selfᵀ + Aᵀ·(dZ·W_neighᵀ)
-	dh := tensor.New(dz.Rows, l.in)
+	dh := ws.GetUninit(dz.Rows, l.in)
 	tensor.MatMulABT(dh, dz, l.WSelf.W)
-	dm := tensor.New(dz.Rows, l.in)
+	dm := ws.GetUninit(dz.Rows, l.in)
 	tensor.MatMulABT(dm, dz, l.WNeigh.W)
-	dhAgg := tensor.New(ag.A.NumCols, l.in)
+	dhAgg := ws.GetUninit(ag.A.NumCols, l.in)
 	ag.Backward(dhAgg, dm)
 	tensor.Add(dh, dh, dhAgg)
 	return dh

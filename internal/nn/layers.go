@@ -7,6 +7,12 @@ import (
 	"agl/internal/tensor"
 )
 
+// Every layer's Forward/Backward takes a *tensor.Workspace as its first
+// argument: all temporaries (outputs, cached activations, gradient
+// scratch) are drawn from it and live until the workspace is Reset at the
+// end of the step. A nil workspace is always valid and falls back to plain
+// allocation, which is what one-shot callers (gradient checks, tests) use.
+
 // Dense is a fully connected layer Y = X·W + b.
 type Dense struct {
 	W, B *Param
@@ -27,27 +33,24 @@ func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
 // Forward computes Y = X·W + b and caches X.
-func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
+func (d *Dense) Forward(ws *tensor.Workspace, x *tensor.Matrix) *tensor.Matrix {
 	d.x = x
-	y := tensor.MatMulNew(x, d.W.W)
+	y := ws.GetUninit(x.Rows, d.W.W.Cols)
+	tensor.MatMul(y, x, d.W.W)
 	y.AddRowVector(d.B.W.Row(0))
 	return y
 }
 
 // Backward accumulates dW, db and returns dX given dY.
-func (d *Dense) Backward(dy *tensor.Matrix) *tensor.Matrix {
+func (d *Dense) Backward(ws *tensor.Workspace, dy *tensor.Matrix) *tensor.Matrix {
 	// dW += Xᵀ·dY
-	dw := tensor.New(d.W.W.Rows, d.W.W.Cols)
+	dw := ws.GetUninit(d.W.W.Rows, d.W.W.Cols)
 	tensor.MatMulATB(dw, d.x, dy)
 	tensor.AXPY(d.W.Grad, 1, dw)
 	// db += colsum(dY)
-	sums := dy.ColSums()
-	brow := d.B.Grad.Row(0)
-	for j, v := range sums {
-		brow[j] += v
-	}
+	dy.ColSumsInto(d.B.Grad.Row(0))
 	// dX = dY·Wᵀ
-	dx := tensor.New(dy.Rows, d.W.W.Rows)
+	dx := ws.GetUninit(dy.Rows, d.W.W.Rows)
 	tensor.MatMulABT(dx, dy, d.W.W)
 	return dx
 }
@@ -96,9 +99,9 @@ func (k ActKind) String() string {
 }
 
 // Forward applies the activation elementwise, caching what backward needs.
-func (a *Activation) Forward(x *tensor.Matrix) *tensor.Matrix {
+func (a *Activation) Forward(ws *tensor.Workspace, x *tensor.Matrix) *tensor.Matrix {
 	a.x = x
-	y := tensor.New(x.Rows, x.Cols)
+	y := ws.Get(x.Rows, x.Cols)
 	slope := a.LeakySlope
 	if slope == 0 {
 		slope = 0.01
@@ -134,8 +137,8 @@ func (a *Activation) Forward(x *tensor.Matrix) *tensor.Matrix {
 }
 
 // Backward returns dX = dY ⊙ f'(X).
-func (a *Activation) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	dx := tensor.New(dy.Rows, dy.Cols)
+func (a *Activation) Backward(ws *tensor.Workspace, dy *tensor.Matrix) *tensor.Matrix {
+	dx := ws.Get(dy.Rows, dy.Cols)
 	slope := a.LeakySlope
 	if slope == 0 {
 		slope = 0.01
@@ -178,7 +181,11 @@ type Dropout struct {
 	Train bool
 	Rng   *rand.Rand
 
-	mask []float64
+	// mask is reused across Forward calls whenever the incoming shape
+	// still fits its capacity; active reports whether the last Forward
+	// actually dropped (mask stays allocated while inactive).
+	mask   []float64
+	active bool
 }
 
 // NewDropout builds a dropout layer with the given drop probability.
@@ -187,14 +194,21 @@ func NewDropout(rate float64, rng *rand.Rand) *Dropout {
 }
 
 // Forward drops entries with probability Rate and rescales survivors.
-func (d *Dropout) Forward(x *tensor.Matrix) *tensor.Matrix {
+func (d *Dropout) Forward(ws *tensor.Workspace, x *tensor.Matrix) *tensor.Matrix {
 	if !d.Train || d.Rate <= 0 {
-		d.mask = nil
+		d.active = false
 		return x
 	}
 	keep := 1 - d.Rate
-	y := tensor.New(x.Rows, x.Cols)
-	d.mask = make([]float64, len(x.Data))
+	y := ws.Get(x.Rows, x.Cols)
+	n := len(x.Data)
+	if cap(d.mask) >= n {
+		d.mask = d.mask[:n]
+		clear(d.mask)
+	} else {
+		d.mask = make([]float64, n)
+	}
+	d.active = true
 	for i, v := range x.Data {
 		if d.Rng.Float64() < keep {
 			d.mask[i] = 1 / keep
@@ -205,11 +219,11 @@ func (d *Dropout) Forward(x *tensor.Matrix) *tensor.Matrix {
 }
 
 // Backward applies the saved mask to the incoming gradient.
-func (d *Dropout) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	if d.mask == nil {
+func (d *Dropout) Backward(ws *tensor.Workspace, dy *tensor.Matrix) *tensor.Matrix {
+	if !d.active {
 		return dy
 	}
-	dx := tensor.New(dy.Rows, dy.Cols)
+	dx := ws.Get(dy.Rows, dy.Cols)
 	for i, g := range dy.Data {
 		dx.Data[i] = g * d.mask[i]
 	}

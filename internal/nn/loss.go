@@ -10,10 +10,16 @@ import (
 // over logits against integer class labels, returning the loss and the
 // gradient w.r.t. logits. Rows with label < 0 are ignored (masked).
 func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	return SoftmaxCrossEntropyWS(nil, logits, labels)
+}
+
+// SoftmaxCrossEntropyWS is SoftmaxCrossEntropy with the gradient and
+// scratch drawn from a per-step workspace (nil allocates).
+func SoftmaxCrossEntropyWS(ws *tensor.Workspace, logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
 	if len(labels) != logits.Rows {
 		panic("nn: SoftmaxCrossEntropy label count mismatch")
 	}
-	grad := tensor.New(logits.Rows, logits.Cols)
+	grad := ws.Get(logits.Rows, logits.Cols)
 	var loss float64
 	count := 0
 	for i := 0; i < logits.Rows; i++ {
@@ -26,7 +32,7 @@ func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.
 		return 0, grad
 	}
 	inv := 1 / float64(count)
-	probs := make([]float64, logits.Cols)
+	probs := ws.Floats(logits.Cols)
 	for i := 0; i < logits.Rows; i++ {
 		y := labels[i]
 		if y < 0 {
@@ -83,6 +89,12 @@ func Softmax(logits *tensor.Matrix) *tensor.Matrix {
 // w.r.t. logits. It supports multi-label targets (any number of columns)
 // and uses the numerically stable log-sum-exp formulation.
 func SigmoidBCE(logits, targets *tensor.Matrix) (float64, *tensor.Matrix) {
+	return SigmoidBCEWS(nil, logits, targets)
+}
+
+// SigmoidBCEWS is SigmoidBCE with the gradient drawn from a per-step
+// workspace (nil allocates).
+func SigmoidBCEWS(ws *tensor.Workspace, logits, targets *tensor.Matrix) (float64, *tensor.Matrix) {
 	if logits.Rows != targets.Rows || logits.Cols != targets.Cols {
 		panic("nn: SigmoidBCE shape mismatch")
 	}
@@ -90,7 +102,7 @@ func SigmoidBCE(logits, targets *tensor.Matrix) (float64, *tensor.Matrix) {
 	if n == 0 {
 		return 0, tensor.New(0, 0)
 	}
-	grad := tensor.New(logits.Rows, logits.Cols)
+	grad := ws.Get(logits.Rows, logits.Cols)
 	var loss float64
 	for i, z := range logits.Data {
 		t := targets.Data[i]

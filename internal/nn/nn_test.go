@@ -63,18 +63,18 @@ func TestDenseForwardBackwardGradcheck(t *testing.T) {
 	labels := []int{0, 1, 2, 0, 1}
 
 	lossFn := func() float64 {
-		y := d.Forward(x)
+		y := d.Forward(nil, x)
 		l, _ := SoftmaxCrossEntropy(y, labels)
 		return l
 	}
-	y := d.Forward(x)
+	y := d.Forward(nil, x)
 	loss, dy := SoftmaxCrossEntropy(y, labels)
 	if loss <= 0 {
 		t.Fatalf("loss=%v", loss)
 	}
 	d.W.ZeroGrad()
 	d.B.ZeroGrad()
-	dx := d.Backward(dy)
+	dx := d.Backward(nil, dy)
 
 	for _, p := range d.Params() {
 		rel, err := GradCheck(p, lossFn, 1e-6, 1)
@@ -112,13 +112,13 @@ func TestActivationsGradcheck(t *testing.T) {
 			target.Data[i] = float64(i%2) * 0.5
 		}
 		lossFn := func() float64 {
-			y := act.Forward(x)
+			y := act.Forward(nil, x)
 			l, _ := SigmoidBCE(y, target)
 			return l
 		}
-		y := act.Forward(x)
+		y := act.Forward(nil, x)
 		_, dy := SigmoidBCE(y, target)
-		dx := act.Backward(dy)
+		dx := act.Backward(nil, dy)
 		rel, err := GradCheckInput(x, dx, lossFn, 1e-6, 1)
 		if err != nil {
 			t.Fatal(err)
@@ -140,7 +140,7 @@ func TestDropoutTrainEval(t *testing.T) {
 	d := NewDropout(0.5, rng)
 	x := tensor.New(50, 40)
 	x.Fill(1)
-	y := d.Forward(x)
+	y := d.Forward(nil, x)
 	zeros, twos := 0, 0
 	for _, v := range y.Data {
 		switch v {
@@ -162,7 +162,7 @@ func TestDropoutTrainEval(t *testing.T) {
 	// Backward respects the mask.
 	dy := tensor.New(50, 40)
 	dy.Fill(1)
-	dx := d.Backward(dy)
+	dx := d.Backward(nil, dy)
 	for i, v := range y.Data {
 		if (v == 0) != (dx.Data[i] == 0) {
 			t.Fatal("dropout mask not applied to gradient")
@@ -170,7 +170,7 @@ func TestDropoutTrainEval(t *testing.T) {
 	}
 	// Eval mode is identity.
 	d.Train = false
-	if d.Forward(x) != x {
+	if d.Forward(nil, x) != x {
 		t.Fatal("eval-mode dropout should pass through")
 	}
 }
@@ -248,13 +248,13 @@ func TestSigmoidBCEGradcheckViaDense(t *testing.T) {
 	x.RandFill(rng, 1)
 	target := tensor.FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}, {0, 0}})
 	lossFn := func() float64 {
-		l, _ := SigmoidBCE(d.Forward(x), target)
+		l, _ := SigmoidBCE(d.Forward(nil, x), target)
 		return l
 	}
-	_, dy := SigmoidBCE(d.Forward(x), target)
+	_, dy := SigmoidBCE(d.Forward(nil, x), target)
 	d.W.ZeroGrad()
 	d.B.ZeroGrad()
-	d.Backward(dy)
+	d.Backward(nil, dy)
 	rel, _ := GradCheck(d.W, lossFn, 1e-6, 1)
 	if rel > 1e-5 {
 		t.Fatalf("BCE gradcheck rel error %v", rel)

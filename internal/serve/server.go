@@ -160,6 +160,11 @@ type Server struct {
 	dirty    map[int64]struct{}  // store rows invalidated by mutations
 	inflight map[int64]*call
 
+	// ws is the cold-path workspace: all model execution runs on the
+	// batcher goroutine, so one arena serves every cold forward pass and
+	// is reset at the end of each micro-batch.
+	ws *tensor.Workspace
+
 	reqs chan *call
 	stop chan struct{}
 	done chan struct{}
@@ -232,6 +237,7 @@ func New(cfg Config, model *gnn.Model, g *graph.Graph, store *Store) (*Server, e
 		overlay:  make(map[int64][]float64),
 		dirty:    make(map[int64]struct{}),
 		inflight: make(map[int64]*call),
+		ws:       tensor.NewWorkspace(),
 		reqs:     make(chan *call, cfg.QueueDepth),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -612,7 +618,13 @@ func (s *Server) process(batch []*call) {
 
 	var coldEmb *tensor.Matrix
 	if len(coldRecs) > 0 {
-		b, err := core.AssembleBatch(coldRecs, s.model.Cfg.Classes, false)
+		// The whole cold pass — batch assembly, adjacency normalization,
+		// layer activations — runs out of the batcher-owned workspace;
+		// scores and the (small) per-target embeddings are copied out
+		// before the deferred reset recycles it for the next micro-batch.
+		defer s.ws.Reset()
+		opt := gnn.RunOptions{Workspace: s.ws}
+		b, err := core.AssembleBatchWS(s.ws, coldRecs, s.model.Cfg.Classes, false)
 		if err != nil {
 			for _, c := range coldCalls {
 				c.err = fmt.Errorf("serve: batch assembly: %w", err)
@@ -620,12 +632,12 @@ func (s *Server) process(batch []*call) {
 		} else {
 			// Forward (rather than Infer) keeps the target rows' layer-K
 			// embeddings, which re-admit recomputed dirty rows warm below.
-			prep := s.model.Prepare(b.Graph, gnn.RunOptions{})
-			st := s.model.Forward(b.Graph, prep, gnn.RunOptions{})
+			prep := s.model.Prepare(b.Graph, opt)
+			st := s.model.Forward(b.Graph, prep, opt)
 			coldEmb = st.Emb
 			for i, c := range coldCalls {
 				c.scores = core.ScoresFromLogits(st.Logits.Row(i))
-				c.emb = coldEmb.Row(i)
+				c.emb = append([]float64(nil), coldEmb.Row(i)...)
 				s.cold.Add(1)
 			}
 		}
@@ -642,12 +654,12 @@ func (s *Server) process(batch []*call) {
 		}
 	}
 	if fresh && coldEmb != nil {
-		for i, c := range coldCalls {
+		for _, c := range coldCalls {
 			if c.err != nil {
 				continue
 			}
 			if _, isDirty := s.dirty[c.id]; isDirty {
-				s.overlay[c.id] = append([]float64(nil), coldEmb.Row(i)...)
+				s.overlay[c.id] = c.emb // already a heap copy of coldEmb.Row(i)
 				delete(s.dirty, c.id)
 				s.readmitted.Add(1)
 			}

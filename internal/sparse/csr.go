@@ -155,23 +155,35 @@ func (m *CSR) Transpose() *CSR {
 // into m's edge arrays of the transpose's i-th edge. GAT's backward pass
 // uses the map to read forward-pass attention coefficients while iterating
 // source-partitioned (conflict-free) over the transpose.
-func (m *CSR) TransposeWithMap() (*CSR, []int) {
+func (m *CSR) TransposeWithMap() (*CSR, []int) { return m.TransposeWithMapWS(nil) }
+
+// TransposeWithMapWS is TransposeWithMap with every array drawn from ws.
+func (m *CSR) TransposeWithMapWS(ws *tensor.Workspace) (*CSR, []int) {
+	t := &CSR{}
+	fwd := m.transposeWithMapIntoWS(ws, t)
+	return t, fwd
+}
+
+// transposeWithMapIntoWS fills t (a caller-owned struct, typically embedded
+// in an Aggregator) with mᵀ and returns the edge map.
+func (m *CSR) transposeWithMapIntoWS(ws *tensor.Workspace, t *CSR) []int {
 	nnz := m.NNZ()
-	t := &CSR{
+	*t = CSR{
 		NumRows: m.NumCols,
 		NumCols: m.NumRows,
-		RowPtr:  make([]int, m.NumCols+1),
-		ColIdx:  make([]int, nnz),
-		Val:     make([]float64, nnz),
+		RowPtr:  ws.Ints(m.NumCols + 1),
+		ColIdx:  ws.Ints(nnz),
+		Val:     ws.Floats(nnz),
 	}
-	fwd := make([]int, nnz)
+	fwd := ws.Ints(nnz)
 	for _, c := range m.ColIdx {
 		t.RowPtr[c+1]++
 	}
 	for r := 0; r < t.NumRows; r++ {
 		t.RowPtr[r+1] += t.RowPtr[r]
 	}
-	next := append([]int(nil), t.RowPtr...)
+	next := ws.Ints(t.NumRows)
+	copy(next, t.RowPtr[:t.NumRows])
 	for r := 0; r < m.NumRows; r++ {
 		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
 		for i := lo; i < hi; i++ {
@@ -183,7 +195,7 @@ func (m *CSR) TransposeWithMap() (*CSR, []int) {
 			fwd[pos] = i
 		}
 	}
-	return t, fwd
+	return fwd
 }
 
 // SpMM computes dst = m @ x where x is dense. dst must be m.NumRows×x.Cols.
@@ -211,11 +223,7 @@ func (m *CSR) spmmRows(dst, x *tensor.Matrix, lo, hi int) {
 		}
 		cols, vals := m.Row(r)
 		for i, c := range cols {
-			w := vals[i]
-			xrow := x.Data[c*n : (c+1)*n]
-			for j, xv := range xrow {
-				drow[j] += w * xv
-			}
+			tensor.AXPYVec(drow, x.Data[c*n:(c+1)*n], vals[i])
 		}
 	}
 }
@@ -231,40 +239,117 @@ func (m *CSR) SpMMNew(x *tensor.Matrix) *tensor.Matrix {
 // true. The dimensions are unchanged: dropped rows simply become empty.
 // This is the primitive behind the paper's graph-pruning strategy.
 func (m *CSR) FilterEdges(keep func(row, col int) bool) *CSR {
-	rowPtr := make([]int, m.NumRows+1)
-	colIdx := make([]int, 0, m.NNZ())
-	val := make([]float64, 0, m.NNZ())
+	return m.FilterEdgesWS(nil, keep)
+}
+
+// FilterEdgesWS is FilterEdges with the result arrays drawn from ws.
+func (m *CSR) FilterEdgesWS(ws *tensor.Workspace, keep func(row, col int) bool) *CSR {
+	rowPtr := ws.Ints(m.NumRows + 1)
+	colIdx := ws.Ints(m.NNZ())
+	val := ws.Floats(m.NNZ())
+	out := 0
 	for r := 0; r < m.NumRows; r++ {
 		cols, vals := m.Row(r)
 		for i, c := range cols {
 			if keep(r, c) {
-				colIdx = append(colIdx, c)
-				val = append(val, vals[i])
+				colIdx[out] = c
+				val[out] = vals[i]
+				out++
 			}
 		}
-		rowPtr[r+1] = len(colIdx)
+		rowPtr[r+1] = out
 	}
-	return &CSR{NumRows: m.NumRows, NumCols: m.NumCols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+	return &CSR{NumRows: m.NumRows, NumCols: m.NumCols, RowPtr: rowPtr, ColIdx: colIdx[:out], Val: val[:out]}
+}
+
+// FilterByDistWS keeps edge (v, u) only when dist[v] ∈ [0, maxDst] and
+// dist[u] ∈ [0, maxSrc] — the per-layer graph-pruning predicate of the
+// paper's §3.3.2, specialized so the training hot path pays no closure.
+func (m *CSR) FilterByDistWS(ws *tensor.Workspace, dist []int, maxDst, maxSrc int) *CSR {
+	rowPtr := ws.Ints(m.NumRows + 1)
+	colIdx := ws.Ints(m.NNZ())
+	val := ws.Floats(m.NNZ())
+	out := 0
+	for r := 0; r < m.NumRows; r++ {
+		dv := dist[r]
+		rowOK := dv >= 0 && dv <= maxDst
+		if rowOK {
+			cols, vals := m.Row(r)
+			for i, c := range cols {
+				if du := dist[c]; du >= 0 && du <= maxSrc {
+					colIdx[out] = c
+					val[out] = vals[i]
+					out++
+				}
+			}
+		}
+		rowPtr[r+1] = out
+	}
+	return &CSR{NumRows: m.NumRows, NumCols: m.NumCols, RowPtr: rowPtr, ColIdx: colIdx[:out], Val: val[:out]}
 }
 
 // AddSelfLoops returns a copy of m with weight-w self loops added to every
 // row (existing diagonal entries are incremented).
-func (m *CSR) AddSelfLoops(w float64) *CSR {
-	entries := m.Entries()
-	n := m.NumRows
-	if m.NumCols > n {
-		n = m.NumCols
+func (m *CSR) AddSelfLoops(w float64) *CSR { return m.AddSelfLoopsWS(nil, w) }
+
+// AddSelfLoopsWS is AddSelfLoops with its edge arrays drawn from ws (nil ws
+// allocates). Rows are already column-sorted, so the diagonal is merged in
+// a single linear pass instead of a coordinate re-sort.
+func (m *CSR) AddSelfLoopsWS(ws *tensor.Workspace, w float64) *CSR {
+	diag := m.NumRows
+	if m.NumCols < diag {
+		diag = m.NumCols
 	}
-	for i := 0; i < m.NumRows && i < m.NumCols; i++ {
-		entries = append(entries, Coo{Row: i, Col: i, Val: w})
+	// Upper bound: one inserted diagonal per eligible row.
+	maxNNZ := m.NNZ() + diag
+	c := &CSR{
+		NumRows: m.NumRows,
+		NumCols: m.NumCols,
+		RowPtr:  ws.Ints(m.NumRows + 1),
+		ColIdx:  ws.Ints(maxNNZ),
+		Val:     ws.Floats(maxNNZ),
 	}
-	return NewCSR(m.NumRows, m.NumCols, entries)
+	out := 0
+	for r := 0; r < m.NumRows; r++ {
+		cols, vals := m.Row(r)
+		placed := r >= diag // rows without a diagonal slot copy verbatim
+		for i, col := range cols {
+			if !placed && col >= r {
+				if col == r {
+					c.ColIdx[out] = r
+					c.Val[out] = vals[i] + w
+					out++
+					placed = true
+					continue
+				}
+				c.ColIdx[out] = r
+				c.Val[out] = w
+				out++
+				placed = true
+			}
+			c.ColIdx[out] = col
+			c.Val[out] = vals[i]
+			out++
+		}
+		if !placed {
+			c.ColIdx[out] = r
+			c.Val[out] = w
+			out++
+		}
+		c.RowPtr[r+1] = out
+	}
+	c.ColIdx = c.ColIdx[:out]
+	c.Val = c.Val[:out]
+	return c
 }
 
 // RowNormalize returns a copy of m whose rows each sum to 1 (empty rows are
 // left empty). This realizes mean aggregation for GraphSAGE.
-func (m *CSR) RowNormalize() *CSR {
-	c := m.Clone()
+func (m *CSR) RowNormalize() *CSR { return m.RowNormalizeWS(nil) }
+
+// RowNormalizeWS is RowNormalize with the copy's arrays drawn from ws.
+func (m *CSR) RowNormalizeWS(ws *tensor.Workspace) *CSR {
+	c := m.CloneWS(ws)
 	for r := 0; r < c.NumRows; r++ {
 		lo, hi := c.RowPtr[r], c.RowPtr[r+1]
 		var sum float64
@@ -281,18 +366,41 @@ func (m *CSR) RowNormalize() *CSR {
 	return c
 }
 
+// CloneWS is Clone with the copy's arrays drawn from ws.
+func (m *CSR) CloneWS(ws *tensor.Workspace) *CSR {
+	if ws == nil {
+		return m.Clone()
+	}
+	c := &CSR{
+		NumRows: m.NumRows,
+		NumCols: m.NumCols,
+		RowPtr:  ws.Ints(len(m.RowPtr)),
+		ColIdx:  ws.Ints(len(m.ColIdx)),
+		Val:     ws.Floats(len(m.Val)),
+	}
+	copy(c.RowPtr, m.RowPtr)
+	copy(c.ColIdx, m.ColIdx)
+	copy(c.Val, m.Val)
+	return c
+}
+
 // SymNormalizeWithDeg returns D^{-1/2}·(m+I)·D^{-1/2} using externally
 // supplied degrees (deg[i] must be node i's weighted in-degree + 1). AGL
 // uses this with the global degrees carried inside GraphFeatures so that
 // k-hop fragments normalize identically to the full graph.
 func SymNormalizeWithDeg(m *CSR, deg []float64) *CSR {
+	return SymNormalizeWithDegWS(nil, m, deg)
+}
+
+// SymNormalizeWithDegWS is SymNormalizeWithDeg over a workspace.
+func SymNormalizeWithDegWS(ws *tensor.Workspace, m *CSR, deg []float64) *CSR {
 	if m.NumRows != m.NumCols {
 		panic("sparse: SymNormalizeWithDeg requires a square matrix")
 	}
 	if len(deg) != m.NumRows {
 		panic("sparse: SymNormalizeWithDeg degree length mismatch")
 	}
-	c := m.AddSelfLoops(1)
+	c := m.AddSelfLoopsWS(ws, 1)
 	for r := 0; r < c.NumRows; r++ {
 		lo, hi := c.RowPtr[r], c.RowPtr[r+1]
 		dr := deg[r]
@@ -312,19 +420,22 @@ func SymNormalizeWithDeg(m *CSR, deg []float64) *CSR {
 
 // SymNormalize returns D^{-1/2}·(m+I)·D^{-1/2}, the symmetric normalization
 // used by GCN, where D is the degree matrix of m+I. m must be square.
-func (m *CSR) SymNormalize() *CSR {
+func (m *CSR) SymNormalize() *CSR { return m.SymNormalizeWS(nil) }
+
+// SymNormalizeWS is SymNormalize over a workspace: the self-looped copy is
+// fresh, so it is normalized in place instead of cloned again.
+func (m *CSR) SymNormalizeWS(ws *tensor.Workspace) *CSR {
 	if m.NumRows != m.NumCols {
 		panic("sparse: SymNormalize requires a square matrix")
 	}
-	a := m.AddSelfLoops(1)
-	deg := make([]float64, a.NumRows)
-	for r := 0; r < a.NumRows; r++ {
-		_, vals := a.Row(r)
+	c := m.AddSelfLoopsWS(ws, 1)
+	deg := ws.Floats(c.NumRows)
+	for r := 0; r < c.NumRows; r++ {
+		_, vals := c.Row(r)
 		for _, v := range vals {
 			deg[r] += v
 		}
 	}
-	c := a.Clone()
 	for r := 0; r < c.NumRows; r++ {
 		lo, hi := c.RowPtr[r], c.RowPtr[r+1]
 		for i := lo; i < hi; i++ {

@@ -375,3 +375,32 @@ func BenchmarkSpMMPartitioned8(b *testing.B) {
 		m.SpMMParallel(dst, x, parts)
 	}
 }
+
+// BenchmarkPrepareWS measures the per-batch adjacency pipeline the trainer
+// runs before every step — symmetric normalization plus aggregator (and
+// transpose) construction — against a warmed workspace.
+func BenchmarkPrepareWS(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	m := randomCSR(rng, 2000, 2000, 0.005)
+	ws := tensor.NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		norm := m.SymNormalizeWS(ws)
+		NewAggregatorWS(ws, norm, 0)
+		ws.Reset()
+	}
+}
+
+// BenchmarkPrepareAlloc is BenchmarkPrepareWS without the workspace — the
+// engine's pre-overhaul behavior, kept for before/after comparison.
+func BenchmarkPrepareAlloc(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	m := randomCSR(rng, 2000, 2000, 0.005)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		norm := m.SymNormalize()
+		NewAggregator(norm, 0)
+	}
+}

@@ -1,8 +1,6 @@
 package sparse
 
 import (
-	"sync"
-
 	"agl/internal/tensor"
 )
 
@@ -39,24 +37,19 @@ func PartitionEdges(m *CSR, t int) []Partition {
 	return parts
 }
 
-// SpMMParallel computes dst = m @ x using one goroutine per partition.
-// Each partition owns a disjoint set of destination rows, so the threads
-// are conflict-free by construction.
+// SpMMParallel computes dst = m @ x with one shared-pool task per
+// partition. Each partition owns a disjoint set of destination rows, so
+// the tasks are conflict-free by construction and the result is
+// bit-identical to the serial product.
 func (m *CSR) SpMMParallel(dst, x *tensor.Matrix, parts []Partition) {
 	m.checkSpMM(dst, x)
 	if len(parts) <= 1 {
 		m.SpMM(dst, x)
 		return
 	}
-	var wg sync.WaitGroup
-	for _, p := range parts {
-		wg.Add(1)
-		go func(p Partition) {
-			defer wg.Done()
-			m.spmmRows(dst, x, p.LoRow, p.HiRow)
-		}(p)
-	}
-	wg.Wait()
+	tensor.ParallelEach(len(parts), func(i int) {
+		m.spmmRows(dst, x, parts[i].LoRow, parts[i].HiRow)
+	})
 }
 
 // Aggregator performs repeated dst = A @ x products over a fixed adjacency,
@@ -64,8 +57,10 @@ func (m *CSR) SpMMParallel(dst, x *tensor.Matrix, parts []Partition) {
 // matrix and its transpose so forward and backward aggregation both run
 // conflict-free in parallel.
 type Aggregator struct {
-	A  *CSR
-	AT *CSR
+	A *CSR
+	// AT is the transpose adjacency, embedded by value so building an
+	// aggregator is a single allocation on the per-batch hot path.
+	AT CSR
 	// FwdIdx maps each edge of AT back to its index in A's edge arrays, so
 	// per-edge state computed during a destination-partitioned forward pass
 	// can be read during a source-partitioned backward pass.
@@ -81,12 +76,16 @@ type Aggregator struct {
 
 // NewAggregator builds an Aggregator over a. threads <= 1 disables
 // partitioned (parallel) aggregation.
-func NewAggregator(a *CSR, threads int) *Aggregator {
-	at, fwd := a.TransposeWithMap()
-	ag := &Aggregator{A: a, AT: at, FwdIdx: fwd, threads: threads}
+func NewAggregator(a *CSR, threads int) *Aggregator { return NewAggregatorWS(nil, a, threads) }
+
+// NewAggregatorWS is NewAggregator with the transpose arrays drawn from a
+// per-batch workspace, so repeated batch preparation stops allocating.
+func NewAggregatorWS(ws *tensor.Workspace, a *CSR, threads int) *Aggregator {
+	ag := &Aggregator{A: a, threads: threads}
+	ag.FwdIdx = a.transposeWithMapIntoWS(ws, &ag.AT)
 	if threads > 1 {
 		ag.parts = PartitionEdges(ag.A, threads)
-		ag.tparts = PartitionEdges(ag.AT, threads)
+		ag.tparts = PartitionEdges(&ag.AT, threads)
 	}
 	return ag
 }
@@ -112,23 +111,17 @@ func (ag *Aggregator) Backward(dst, g *tensor.Matrix) {
 	ag.AT.SpMM(dst, g)
 }
 
-// RangeEdgesParallel invokes fn(part, lo, hi) for each partition on its own
-// goroutine, where [lo, hi) is the row range. It is the generic hook GAT
-// uses for per-edge attention computations.
+// RangeEdgesParallel invokes fn(lo, hi) for each partition's row range as
+// one shared-pool task per partition. It is the generic hook GAT uses for
+// per-edge attention computations.
 func (ag *Aggregator) RangeEdgesParallel(fn func(loRow, hiRow int)) {
 	if ag.threads <= 1 || len(ag.parts) <= 1 {
 		fn(0, ag.A.NumRows)
 		return
 	}
-	var wg sync.WaitGroup
-	for _, p := range ag.parts {
-		wg.Add(1)
-		go func(p Partition) {
-			defer wg.Done()
-			fn(p.LoRow, p.HiRow)
-		}(p)
-	}
-	wg.Wait()
+	tensor.ParallelEach(len(ag.parts), func(i int) {
+		fn(ag.parts[i].LoRow, ag.parts[i].HiRow)
+	})
 }
 
 // RangeEdgesParallelT is RangeEdgesParallel over the transpose adjacency.
@@ -137,13 +130,7 @@ func (ag *Aggregator) RangeEdgesParallelT(fn func(loRow, hiRow int)) {
 		fn(0, ag.AT.NumRows)
 		return
 	}
-	var wg sync.WaitGroup
-	for _, p := range ag.tparts {
-		wg.Add(1)
-		go func(p Partition) {
-			defer wg.Done()
-			fn(p.LoRow, p.HiRow)
-		}(p)
-	}
-	wg.Wait()
+	tensor.ParallelEach(len(ag.tparts), func(i int) {
+		fn(ag.tparts[i].LoRow, ag.tparts[i].HiRow)
+	})
 }

@@ -1,0 +1,85 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Kernel benchmarks for the blocked/parallel dense engine. The *Serial
+// variants pin parallelism to 1 so CI runs surface both the single-thread
+// kernel quality and the pool's scaling on whatever cores the runner has.
+
+func benchMats(n, k, m int) (a, b, dst *Matrix) {
+	rng := rand.New(rand.NewSource(1))
+	a = New(n, k)
+	a.RandFill(rng, 1)
+	b = New(k, m)
+	b.RandFill(rng, 1)
+	return a, b, New(n, m)
+}
+
+func benchMatMul(b *testing.B, par, n, k, m int) {
+	b.Helper()
+	defer SetParallelism(SetParallelism(par))
+	x, y, dst := benchMats(n, k, m)
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * n * k * m))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(dst, x, y)
+	}
+}
+
+func BenchmarkMatMul512Serial(b *testing.B)   { benchMatMul(b, 1, 512, 512, 512) }
+func BenchmarkMatMul512Parallel(b *testing.B) { benchMatMul(b, 0, 512, 512, 512) }
+
+// The training shape: tall activations against a small weight matrix.
+func BenchmarkMatMulTallSerial(b *testing.B)   { benchMatMul(b, 1, 4096, 64, 64) }
+func BenchmarkMatMulTallParallel(b *testing.B) { benchMatMul(b, 0, 4096, 64, 64) }
+
+func BenchmarkMatMulATBTall(b *testing.B) {
+	defer SetParallelism(SetParallelism(0))
+	rng := rand.New(rand.NewSource(2))
+	x := New(4096, 64)
+	x.RandFill(rng, 1)
+	g := New(4096, 64)
+	g.RandFill(rng, 1)
+	dst := New(64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulATB(dst, x, g)
+	}
+}
+
+func BenchmarkMatMulABTTall(b *testing.B) {
+	defer SetParallelism(SetParallelism(0))
+	rng := rand.New(rand.NewSource(3))
+	g := New(4096, 64)
+	g.RandFill(rng, 1)
+	w := New(64, 64)
+	w.RandFill(rng, 1)
+	dst := New(4096, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulABT(dst, g, w)
+	}
+}
+
+// BenchmarkWorkspaceStep measures the arena's per-step overhead: the Get
+// calls of a typical 2-layer train step plus the Reset, against warmed
+// free lists.
+func BenchmarkWorkspaceStep(b *testing.B) {
+	ws := NewWorkspace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 12; j++ {
+			ws.Get(1024, 32)
+		}
+		ws.Floats(6000)
+		ws.Ints(1025)
+		ws.Reset()
+	}
+}

@@ -1,0 +1,191 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Naive reference kernels: the exact loop order the blocked/parallel
+// kernels must reproduce bit for bit (per destination element, ascending-k
+// accumulation with the same zero-skip).
+
+func naiveMatMul(a, b *Matrix) *Matrix {
+	dst := New(a.Rows, b.Cols)
+	n := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+func naiveMatMulATB(a, b *Matrix) *Matrix {
+	dst := New(a.Cols, b.Cols)
+	p := b.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		brow := b.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[k*p : (k+1)*p]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return dst
+}
+
+func naiveMatMulABT(a, b *Matrix) *Matrix {
+	dst := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var sum float64
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			drow[j] = sum
+		}
+	}
+	return dst
+}
+
+// randMat fills a matrix with values including exact zeros (to exercise the
+// sparsity skip) and denormal-ish magnitudes.
+func randMat(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		switch rng.Intn(4) {
+		case 0:
+			m.Data[i] = 0
+		default:
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func sameBits(t *testing.T, name string, got, want *Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: element %d = %v want %v (must be bit-identical)", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestBlockedKernelsMatchNaive drives the blocked/parallel kernels over
+// randomized shapes — including empty (0-row), single-column, exact
+// block-multiple and non-multiple-of-block sizes — at several parallelism
+// settings, asserting bit-identical results against the naive reference.
+func TestBlockedKernelsMatchNaive(t *testing.T) {
+	defer SetParallelism(SetParallelism(0))
+	rng := rand.New(rand.NewSource(7))
+	dims := []int{0, 1, 2, 3, 7, 17, 31, 64, 100, matmulBlockK - 1, matmulBlockK, matmulBlockK + 3}
+	pick := func() int { return dims[rng.Intn(len(dims))] }
+	for _, par := range []int{1, 2, 3, 8} {
+		SetParallelism(par)
+		for trial := 0; trial < 60; trial++ {
+			m, k, n := pick(), pick(), pick()
+			a := randMat(rng, m, k)
+			b := randMat(rng, k, n)
+
+			dst := New(m, n)
+			dst.Fill(42) // results must not depend on dst's prior contents
+			MatMul(dst, a, b)
+			sameBits(t, "MatMul", dst, naiveMatMul(a, b))
+
+			bt := randMat(rng, m, n)
+			atb := New(k, n)
+			atb.Fill(-7)
+			MatMulATB(atb, a, bt)
+			sameBits(t, "MatMulATB", atb, naiveMatMulATB(a, bt))
+
+			babt := randMat(rng, n, k)
+			abt := New(m, n)
+			abt.Fill(3.5)
+			MatMulABT(abt, a, babt)
+			sameBits(t, "MatMulABT", abt, naiveMatMulABT(a, babt))
+		}
+	}
+}
+
+// TestKernelsExplicitEdgeShapes nails the degenerate shapes individually so
+// a failure names the offender.
+func TestKernelsExplicitEdgeShapes(t *testing.T) {
+	defer SetParallelism(SetParallelism(0))
+	SetParallelism(8)
+	rng := rand.New(rand.NewSource(11))
+	cases := []struct{ m, k, n int }{
+		{0, 5, 4},                // 0 output rows
+		{5, 0, 4},                // empty inner dimension: result is all zeros
+		{4, 5, 1},                // single output column
+		{1, 1, 1},                // scalars
+		{3, matmulBlockK + 1, 2}, // inner dim just past one block
+	}
+	for _, c := range cases {
+		a := randMat(rng, c.m, c.k)
+		b := randMat(rng, c.k, c.n)
+		dst := New(c.m, c.n)
+		MatMul(dst, a, b)
+		sameBits(t, "MatMul", dst, naiveMatMul(a, b))
+
+		b2 := randMat(rng, c.m, c.n)
+		atb := New(c.k, c.n)
+		MatMulATB(atb, a, b2)
+		sameBits(t, "MatMulATB", atb, naiveMatMulATB(a, b2))
+
+		b3 := randMat(rng, c.n, c.k)
+		abt := New(c.m, c.n)
+		MatMulABT(abt, a, b3)
+		sameBits(t, "MatMulABT", abt, naiveMatMulABT(a, b3))
+	}
+}
+
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randMat(rng, 7, 5)
+
+	tr := New(5, 7)
+	m.TransposeInto(tr)
+	sameBits(t, "TransposeInto", tr, m.Transpose())
+
+	idx := []int{3, 0, 6, 3}
+	sub := New(len(idx), 5)
+	m.RowsSubsetInto(sub, idx)
+	sameBits(t, "RowsSubsetInto", sub, m.RowsSubset(idx))
+
+	sums := make([]float64, 5)
+	m.ColSumsInto(sums)
+	for j, v := range m.ColSums() {
+		if sums[j] != v {
+			t.Fatalf("ColSumsInto[%d] = %v want %v", j, sums[j], v)
+		}
+	}
+
+	o := randMat(rng, 7, 3)
+	cc := New(7, 8)
+	ConcatColsInto(cc, m, o)
+	sameBits(t, "ConcatColsInto", cc, ConcatCols(m, o))
+
+	sl := New(7, 2)
+	m.SliceColsInto(sl, 1, 3)
+	sameBits(t, "SliceColsInto", sl, m.SliceCols(1, 3))
+}

@@ -123,9 +123,32 @@ func (m *Matrix) RandFill(rng *rand.Rand, scale float64) {
 	}
 }
 
+// matmulBlockK is the depth-panel size of the blocked kernels: MatMul
+// streams b in panels of up to matmulBlockK rows so the active slab stays
+// cache-resident across the destination rows a worker owns. Blocking over
+// k keeps the per-element accumulation order (k ascending) identical to
+// the reference kernel, so blocked and naive results are bit-identical.
+const matmulBlockK = 256
+
+// matmulGrain returns the number of destination rows per parallel task so
+// each task carries enough arithmetic (~64k multiply-adds) to amortize
+// scheduling. work is the per-row flop count.
+func matmulGrain(work int) int {
+	if work < 1 {
+		work = 1
+	}
+	g := 65536 / work
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
 // MatMul computes dst = a @ b. dst must be a.Rows×b.Cols and distinct from
-// both operands. It uses an ikj loop order so the inner loop streams rows of
-// b and dst.
+// both operands. The kernel is cache-blocked over the inner dimension and
+// row-partitioned across the shared worker pool; because every destination
+// row is owned by exactly one worker and accumulates in ascending-k order,
+// the result is bit-identical at any parallelism setting.
 func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", a.Cols, b.Rows))
@@ -133,18 +156,57 @@ func MatMul(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
-	dst.Zero()
+	chunks, size := jobChunks(a.Rows, matmulGrain(a.Cols*b.Cols))
+	if chunks <= 1 {
+		matMulRows(dst, a, b, 0, a.Rows)
+		return
+	}
+	dispatch(&poolJob{kind: kindMatMul, dst: dst, a: a, b: b, n: a.Rows, size: size, chunks: chunks})
+}
+
+// AXPYVec computes dst[j] += a*src[j] over len(src) elements — the
+// exported row primitive shared with the sparse kernels.
+func AXPYVec(dst, src []float64, a float64) { axpyRow(dst, src, a) }
+
+// axpyRow computes dst[j] += a*src[j] with a 4-wide unroll. Distinct
+// elements accumulate independently, so the unroll cannot change any
+// element's rounding.
+func axpyRow(dst, src []float64, a float64) {
+	n := len(src)
+	dst = dst[:n]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		dst[j] += a * src[j]
+		dst[j+1] += a * src[j+1]
+		dst[j+2] += a * src[j+2]
+		dst[j+3] += a * src[j+3]
+	}
+	for ; j < n; j++ {
+		dst[j] += a * src[j]
+	}
+}
+
+// matMulRows computes destination rows [lo, hi) of dst = a @ b with the
+// inner dimension walked in cache-sized panels.
+func matMulRows(dst, a, b *Matrix, lo, hi int) {
 	n := b.Cols
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*n : (k+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
+	for i := lo; i < hi; i++ {
+		clear(dst.Row(i))
+	}
+	for kb := 0; kb < a.Cols; kb += matmulBlockK {
+		kend := kb + matmulBlockK
+		if kend > a.Cols {
+			kend = a.Cols
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for k := kb; k < kend; k++ {
+				av := arow[k]
+				if av == 0 {
+					continue
+				}
+				axpyRow(drow, b.Data[k*n:(k+1)*n], av)
 			}
 		}
 	}
@@ -158,7 +220,10 @@ func MatMulNew(a, b *Matrix) *Matrix {
 }
 
 // MatMulATB computes dst = aᵀ @ b without materializing the transpose.
-// a is m×n, b is m×p, dst must be n×p.
+// a is m×n, b is m×p, dst must be n×p. Work is partitioned over
+// destination rows (columns of a): each worker streams all of a and b but
+// writes only its own slab of dst, in the reference accumulation order, so
+// parallel and serial results are bit-identical.
 func MatMulATB(dst, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulATB outer dims %d vs %d", a.Rows, b.Rows))
@@ -166,25 +231,37 @@ func MatMulATB(dst, a, b *Matrix) {
 	if dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulATB dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
 	}
-	dst.Zero()
+	chunks, size := jobChunks(a.Cols, matmulGrain(a.Rows*b.Cols))
+	if chunks <= 1 {
+		matMulATBRows(dst, a, b, 0, a.Cols)
+		return
+	}
+	dispatch(&poolJob{kind: kindMatMulATB, dst: dst, a: a, b: b, n: a.Cols, size: size, chunks: chunks})
+}
+
+// matMulATBRows computes destination rows [lo, hi) of dst = aᵀ @ b.
+func matMulATBRows(dst, a, b *Matrix, lo, hi int) {
 	p := b.Cols
+	for r := lo; r < hi; r++ {
+		clear(dst.Row(r))
+	}
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		brow := b.Row(i)
-		for k, av := range arow {
+		for k := lo; k < hi; k++ {
+			av := arow[k]
 			if av == 0 {
 				continue
 			}
-			drow := dst.Data[k*p : (k+1)*p]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
+			axpyRow(dst.Data[k*p:(k+1)*p], brow, av)
 		}
 	}
 }
 
 // MatMulABT computes dst = a @ bᵀ without materializing the transpose.
-// a is m×n, b is p×n, dst must be m×p.
+// a is m×n, b is p×n, dst must be m×p. Row-partitioned over dst like
+// MatMul; each element is a single ascending-k dot product, so results are
+// bit-identical at any parallelism.
 func MatMulABT(dst, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulABT inner dims %d vs %d", a.Cols, b.Cols))
@@ -192,10 +269,42 @@ func MatMulABT(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulABT dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	for i := 0; i < a.Rows; i++ {
+	chunks, size := jobChunks(a.Rows, matmulGrain(a.Cols*b.Rows))
+	if chunks <= 1 {
+		matMulABTRows(dst, a, b, 0, a.Rows)
+		return
+	}
+	dispatch(&poolJob{kind: kindMatMulABT, dst: dst, a: a, b: b, n: a.Rows, size: size, chunks: chunks})
+}
+
+// matMulABTRows computes destination rows [lo, hi) of dst = a @ bᵀ. Four
+// dot products run fused per pass so each streamed row of a is reused
+// fourfold; every dot still accumulates its own sum in ascending-k order,
+// so results match the one-at-a-time reference bit for bit.
+func matMulABTRows(dst, a, b *Matrix, lo, hi int) {
+	n := a.Cols
+	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
+		j := 0
+		for ; j+4 <= b.Rows; j += 4 {
+			b0 := b.Data[j*n : (j+1)*n]
+			b1 := b.Data[(j+1)*n : (j+2)*n]
+			b2 := b.Data[(j+2)*n : (j+3)*n]
+			b3 := b.Data[(j+3)*n : (j+4)*n]
+			var s0, s1, s2, s3 float64
+			for k, av := range arow {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			drow[j] = s0
+			drow[j+1] = s1
+			drow[j+2] = s2
+			drow[j+3] = s3
+		}
+		for ; j < b.Rows; j++ {
 			brow := b.Row(j)
 			var sum float64
 			for k, av := range arow {
@@ -209,13 +318,21 @@ func MatMulABT(dst, a, b *Matrix) {
 // Transpose returns a newly allocated mᵀ.
 func (m *Matrix) Transpose() *Matrix {
 	out := New(m.Cols, m.Rows)
+	m.TransposeInto(out)
+	return out
+}
+
+// TransposeInto writes mᵀ into dst (m.Cols×m.Rows), which must not alias m.
+func (m *Matrix) TransposeInto(dst *Matrix) {
+	if dst.Rows != m.Cols || dst.Cols != m.Rows {
+		panic(fmt.Sprintf("tensor: TransposeInto dst %dx%d want %dx%d", dst.Rows, dst.Cols, m.Cols, m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
-			out.Data[j*m.Rows+i] = v
+			dst.Data[j*m.Rows+i] = v
 		}
 	}
-	return out
 }
 
 // Add computes dst = a + b elementwise; dst may alias a or b.
@@ -276,22 +393,41 @@ func (m *Matrix) AddRowVector(vec []float64) {
 // ColSums returns the per-column sums of m (used for bias gradients).
 func (m *Matrix) ColSums() []float64 {
 	out := make([]float64, m.Cols)
+	m.ColSumsInto(out)
+	return out
+}
+
+// ColSumsInto accumulates the per-column sums of m into out (len m.Cols),
+// which the caller must have zeroed (or be accumulating into, as the bias
+// gradients do).
+func (m *Matrix) ColSumsInto(out []float64) {
+	if len(out) != m.Cols {
+		panic(fmt.Sprintf("tensor: ColSumsInto len %d want %d", len(out), m.Cols))
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
 			out[j] += v
 		}
 	}
-	return out
 }
 
 // RowsSubset returns a new matrix containing the given rows of m, in order.
 func (m *Matrix) RowsSubset(idx []int) *Matrix {
 	out := New(len(idx), m.Cols)
-	for i, r := range idx {
-		copy(out.Row(i), m.Row(r))
-	}
+	m.RowsSubsetInto(out, idx)
 	return out
+}
+
+// RowsSubsetInto copies the given rows of m, in order, into dst
+// (len(idx)×m.Cols).
+func (m *Matrix) RowsSubsetInto(dst *Matrix, idx []int) {
+	if dst.Rows != len(idx) || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: RowsSubsetInto dst %dx%d want %dx%d", dst.Rows, dst.Cols, len(idx), m.Cols))
+	}
+	for i, r := range idx {
+		copy(dst.Row(i), m.Row(r))
+	}
 }
 
 // ScatterRowsAdd adds each row of src into dst at destination row idx[i].
@@ -383,21 +519,37 @@ func ConcatCols(ms ...*Matrix) *Matrix {
 	rows := ms[0].Rows
 	cols := 0
 	for _, m := range ms {
+		cols += m.Cols
+	}
+	out := New(rows, cols)
+	ConcatColsInto(out, ms...)
+	return out
+}
+
+// ConcatColsInto stacks matrices horizontally into dst, which must be
+// rows×Σcols.
+func ConcatColsInto(dst *Matrix, ms ...*Matrix) {
+	rows, cols := 0, 0
+	if len(ms) > 0 {
+		rows = ms[0].Rows
+	}
+	for _, m := range ms {
 		if m.Rows != rows {
 			panic("tensor: ConcatCols row mismatch")
 		}
 		cols += m.Cols
 	}
-	out := New(rows, cols)
+	if dst.Rows != rows || dst.Cols != cols {
+		panic(fmt.Sprintf("tensor: ConcatColsInto dst %dx%d want %dx%d", dst.Rows, dst.Cols, rows, cols))
+	}
 	for i := 0; i < rows; i++ {
-		drow := out.Row(i)
+		drow := dst.Row(i)
 		off := 0
 		for _, m := range ms {
 			copy(drow[off:off+m.Cols], m.Row(i))
 			off += m.Cols
 		}
 	}
-	return out
 }
 
 // SliceCols returns a copy of columns [lo, hi) of m.
@@ -406,8 +558,19 @@ func (m *Matrix) SliceCols(lo, hi int) *Matrix {
 		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) of %d", lo, hi, m.Cols))
 	}
 	out := New(m.Rows, hi-lo)
-	for i := 0; i < m.Rows; i++ {
-		copy(out.Row(i), m.Row(i)[lo:hi])
-	}
+	m.SliceColsInto(out, lo, hi)
 	return out
+}
+
+// SliceColsInto copies columns [lo, hi) of m into dst (m.Rows×(hi-lo)).
+func (m *Matrix) SliceColsInto(dst *Matrix, lo, hi int) {
+	if lo < 0 || hi > m.Cols || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) of %d", lo, hi, m.Cols))
+	}
+	if dst.Rows != m.Rows || dst.Cols != hi-lo {
+		panic(fmt.Sprintf("tensor: SliceColsInto dst %dx%d want %dx%d", dst.Rows, dst.Cols, m.Rows, hi-lo))
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(dst.Row(i), m.Row(i)[lo:hi])
+	}
 }

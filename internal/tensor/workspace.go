@@ -1,0 +1,159 @@
+package tensor
+
+// Workspace is a per-step arena of reusable matrices and slices. One
+// training step (or one cold serving batch, or one inference batch)
+// acquires all of its temporaries — layer activations, gradients, the
+// normalized per-batch adjacency — from a workspace, and a single Reset at
+// the end of the step makes every buffer reusable for the next one. After
+// the first step the hot loop performs no per-batch matrix allocations.
+//
+// Buffers are recycled by capacity: a request is satisfied by the smallest
+// free buffer that fits and is resliced to the requested shape, so batches
+// of varying size (the common case: every merged subgraph has a different
+// node count) still hit the arena. All returned buffers are zeroed.
+//
+// A Workspace is NOT safe for concurrent use; it is a single step's arena.
+// The trainer double-buffers two workspaces per worker so batch N+1's
+// assembly can overlap batch N's model step. A nil *Workspace is valid
+// everywhere one is accepted and falls back to plain allocation.
+type Workspace struct {
+	freeMats []*Matrix
+	usedMats []*Matrix
+	freeF64  [][]float64
+	usedF64  [][]float64
+	freeInt  [][]int
+	usedInt  [][]int
+
+	gets, misses uint64
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Get returns a zeroed rows×cols matrix owned by the workspace. The matrix
+// is valid until Reset. On a nil workspace it is equivalent to New.
+func (w *Workspace) Get(rows, cols int) *Matrix {
+	m := w.GetUninit(rows, cols)
+	if w != nil {
+		clear(m.Data) // New already zeroes on the nil-workspace path
+	}
+	return m
+}
+
+// GetUninit is Get without the zeroing guarantee: recycled buffers carry
+// whatever the previous step left in them. Use it only for destinations
+// the consumer fully overwrites (a MatMul/SpMM dst, a RowsSubsetInto
+// target) — accumulator targets and sparse writers need Get.
+func (w *Workspace) GetUninit(rows, cols int) *Matrix {
+	if w == nil {
+		return New(rows, cols)
+	}
+	if rows < 0 || cols < 0 {
+		return New(rows, cols) // let New panic with its message
+	}
+	w.gets++
+	need := rows * cols
+	best := -1
+	for i, m := range w.freeMats {
+		if c := cap(m.Data); c >= need && (best < 0 || c < cap(w.freeMats[best].Data)) {
+			best = i
+		}
+	}
+	var m *Matrix
+	if best >= 0 {
+		m = w.freeMats[best]
+		last := len(w.freeMats) - 1
+		w.freeMats[best] = w.freeMats[last]
+		w.freeMats = w.freeMats[:last]
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:need]
+	} else {
+		w.misses++
+		m = New(rows, cols)
+	}
+	w.usedMats = append(w.usedMats, m)
+	return m
+}
+
+// Floats returns a zeroed []float64 of length n owned by the workspace.
+func (w *Workspace) Floats(n int) []float64 {
+	if w == nil {
+		return make([]float64, n)
+	}
+	w.gets++
+	best := -1
+	for i, s := range w.freeF64 {
+		if c := cap(s); c >= n && (best < 0 || c < cap(w.freeF64[best])) {
+			best = i
+		}
+	}
+	var s []float64
+	if best >= 0 {
+		s = w.freeF64[best][:n]
+		last := len(w.freeF64) - 1
+		w.freeF64[best] = w.freeF64[last]
+		w.freeF64 = w.freeF64[:last]
+		clear(s)
+	} else {
+		w.misses++
+		s = make([]float64, n)
+	}
+	w.usedF64 = append(w.usedF64, s)
+	return s
+}
+
+// Ints returns a zeroed []int of length n owned by the workspace.
+func (w *Workspace) Ints(n int) []int {
+	if w == nil {
+		return make([]int, n)
+	}
+	w.gets++
+	best := -1
+	for i, s := range w.freeInt {
+		if c := cap(s); c >= n && (best < 0 || c < cap(w.freeInt[best])) {
+			best = i
+		}
+	}
+	var s []int
+	if best >= 0 {
+		s = w.freeInt[best][:n]
+		last := len(w.freeInt) - 1
+		w.freeInt[best] = w.freeInt[last]
+		w.freeInt = w.freeInt[:last]
+		clear(s)
+	} else {
+		w.misses++
+		s = make([]int, n)
+	}
+	w.usedInt = append(w.usedInt, s)
+	return s
+}
+
+// Reset returns every buffer handed out since the last Reset to the free
+// lists. The caller must not touch previously returned buffers afterwards.
+func (w *Workspace) Reset() {
+	if w == nil {
+		return
+	}
+	for _, m := range w.usedMats {
+		w.freeMats = append(w.freeMats, m)
+	}
+	w.usedMats = w.usedMats[:0]
+	for _, s := range w.usedF64 {
+		w.freeF64 = append(w.freeF64, s[:cap(s)])
+	}
+	w.usedF64 = w.usedF64[:0]
+	for _, s := range w.usedInt {
+		w.freeInt = append(w.freeInt, s[:cap(s)])
+	}
+	w.usedInt = w.usedInt[:0]
+}
+
+// Stats reports the number of buffer requests served and how many of them
+// had to allocate. A warmed-up steady state has misses ≪ gets.
+func (w *Workspace) Stats() (gets, misses uint64) {
+	if w == nil {
+		return 0, 0
+	}
+	return w.gets, w.misses
+}
