@@ -308,9 +308,19 @@ type (
 	Server = serve.Server
 	// ServeStats snapshots a Server's request and mutation accounting.
 	ServeStats = serve.Stats
-	// EmbeddingStore is a sharded, read-optimized store of final-layer
-	// node embeddings in a flat, mmap-friendly layout.
+	// EmbeddingStore is the read interface of a final-layer node-embedding
+	// store. Two backends implement it: the sharded heap store built by
+	// NewEmbeddingStore, and the out-of-core mmap'd store opened by
+	// OpenMappedStore. Lookup results alias backend memory — copy before
+	// retaining (see serve.Store for the full contract).
 	EmbeddingStore = serve.Store
+	// MemEmbeddingStore is the heap-resident EmbeddingStore backend.
+	MemEmbeddingStore = serve.MemStore
+	// MappedEmbeddingStore is the out-of-core EmbeddingStore backend: a
+	// checksummed fixed-stride file served via mmap with zero
+	// deserialization, so open is O(1) and resident memory is bounded by
+	// what the page cache keeps warm. Close it when done.
+	MappedEmbeddingStore = serve.MappedStore
 	// ApplyResult summarizes one mutation batch committed with
 	// Server.Apply: the new graph version, which mutations applied
 	// (positional errors, partial-failure semantics), and how many cache
@@ -318,16 +328,30 @@ type (
 	ApplyResult = serve.ApplyResult
 )
 
-// NewEmbeddingStore builds a sharded embedding store, typically from
+// NewEmbeddingStore builds a sharded heap embedding store, typically from
 // InferResult.Embeddings (run Infer with KeepEmbeddings set). numShards
 // <= 0 selects a default.
-func NewEmbeddingStore(numShards int, embeddings map[int64][]float64) (*EmbeddingStore, error) {
+func NewEmbeddingStore(numShards int, embeddings map[int64][]float64) (*MemEmbeddingStore, error) {
 	return serve.NewStore(numShards, embeddings)
 }
 
-// LoadEmbeddingStore reads a store serialized with EmbeddingStore.WriteTo.
-func LoadEmbeddingStore(r io.Reader) (*EmbeddingStore, error) {
+// LoadEmbeddingStore reads a store serialized with MemEmbeddingStore.WriteTo.
+func LoadEmbeddingStore(r io.Reader) (*MemEmbeddingStore, error) {
 	return serve.ReadStore(r)
+}
+
+// CreateMappedStore writes src's embeddings to path in the out-of-core
+// mapped layout (see MappedEmbeddingStore). The write is staged and
+// renamed into place atomically.
+func CreateMappedStore(path string, src EmbeddingStore) error {
+	return serve.CreateMapped(path, src)
+}
+
+// OpenMappedStore maps the store at path in O(1) time and memory: only
+// the header is read eagerly; rows fault in on demand. Call Verify to
+// checksum the full file, Close to unmap it.
+func OpenMappedStore(path string) (*MappedEmbeddingStore, error) {
+	return serve.OpenMapped(path)
 }
 
 // Serve starts an online inference server for m over g. store may be nil,
@@ -349,6 +373,6 @@ func LoadEmbeddingStore(r io.Reader) (*EmbeddingStore, error) {
 // with srv.ScoreLink(ctx, src, dst): warm pairs are two store lookups plus
 // one pairwise-head forward, unseen endpoints fall back to the cold
 // extraction path.
-func Serve(cfg ServeConfig, m *Model, g *Graph, store *EmbeddingStore) (*Server, error) {
+func Serve(cfg ServeConfig, m *Model, g *Graph, store EmbeddingStore) (*Server, error) {
 	return serve.New(cfg, m, g, store)
 }

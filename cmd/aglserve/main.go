@@ -72,7 +72,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "sampling seed (match training)")
 	precompute := flag.Bool("precompute", true, "run GraphInfer at startup to build the embedding store")
 	storePath := flag.String("store", "", "load the embedding store from this file instead of precomputing")
+	storeMmap := flag.String("store-mmap", "", "serve the embedding store mmap'd from this file (out-of-core; O(1) open)")
+	storeVerify := flag.Bool("store-verify", false, "checksum the mmap'd store's payload sections at startup")
 	saveStore := flag.String("save-store", "", "write the precomputed embedding store to this file")
+	saveStoreMmap := flag.String("save-store-mmap", "", "write the precomputed store to this file in the mmap layout")
 	cacheSize := flag.Int("cache", 4096, "LRU score-cache entries")
 	maxBatch := flag.Int("max-batch", 64, "micro-batch size cap")
 	flag.Parse()
@@ -99,19 +102,35 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var store *serve.Store
+	var store serve.Store
 	switch {
+	case *storeMmap != "":
+		t0 := time.Now()
+		ms, err := serve.OpenMapped(*storeMmap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ms.Close()
+		if *storeVerify {
+			if err := ms.Verify(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		store = ms
+		log.Printf("mapped %d embeddings (dim %d) from %s in %s",
+			ms.Len(), ms.Dim(), *storeMmap, time.Since(t0).Round(time.Microsecond))
 	case *storePath != "":
 		f, err := os.Open(*storePath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		store, err = serve.ReadStore(f)
+		ms, err := serve.ReadStore(f)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("loaded %d embeddings (dim %d) from %s", store.Len(), store.Dim(), *storePath)
+		store = ms
+		log.Printf("loaded %d embeddings (dim %d) from %s", ms.Len(), ms.Dim(), *storePath)
 	case *precompute:
 		t0 := time.Now()
 		res, err := core.Infer(core.InferConfig{
@@ -121,23 +140,30 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		store, err = serve.NewStore(0, res.Embeddings)
+		ms, err := serve.NewStore(0, res.Embeddings)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("precomputed %d embeddings in %s", store.Len(), time.Since(t0).Round(time.Millisecond))
+		store = ms
+		log.Printf("precomputed %d embeddings in %s", ms.Len(), time.Since(t0).Round(time.Millisecond))
 		if *saveStore != "" {
 			f, err := os.Create(*saveStore)
 			if err != nil {
 				log.Fatal(err)
 			}
-			if _, err := store.WriteTo(f); err != nil {
+			if _, err := ms.WriteTo(f); err != nil {
 				log.Fatal(err)
 			}
 			if err := f.Close(); err != nil {
 				log.Fatal(err)
 			}
 			log.Printf("saved embedding store to %s", *saveStore)
+		}
+		if *saveStoreMmap != "" {
+			if err := serve.CreateMapped(*saveStoreMmap, ms); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("saved mmap-layout embedding store to %s", *saveStoreMmap)
 		}
 	}
 
@@ -302,9 +328,13 @@ func main() {
 		fmt.Fprintln(w, "ok")
 	})
 
+	storeLen := 0
+	if store != nil {
+		storeLen = store.Len()
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	go func() {
-		log.Printf("serving %d nodes on %s (store: %d embeddings)", g.NumNodes(), *addr, store.Len())
+		log.Printf("serving %d nodes on %s (store: %d embeddings)", g.NumNodes(), *addr, storeLen)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}

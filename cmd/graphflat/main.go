@@ -37,6 +37,8 @@ func main() {
 	hubThreshold := flag.Int("hub-threshold", 0, "re-indexing threshold (0 = disabled)")
 	seed := flag.Int64("seed", 1, "sampling seed")
 	reducers := flag.Int("reducers", 8, "reduce partitions")
+	partitions := flag.Int("partitions", 0, "hash-partition the output by target id into N part files (0 = single dataset); graphtrainer/graphinfer stream partitioned outputs with bounded memory")
+	spill := flag.Bool("spill", false, "spill intermediate rounds to disk instead of RAM")
 	out := flag.String("o", "graphfeatures", "output dataset directory")
 	flag.Parse()
 
@@ -83,6 +85,8 @@ func main() {
 		NumReducers:  *reducers,
 		Output:       outDir,
 		EdgeTargets:  pairs,
+		Partitions:   *partitions,
+		SpillRounds:  *spill,
 	}, mapreduce.MemInput(core.TableRecords(g)), targets)
 	if err != nil {
 		log.Fatal(err)
@@ -93,9 +97,15 @@ func main() {
 	}
 	fmt.Printf("graph: %d nodes, %d edges; hubs re-indexed: %d\n",
 		g.NumNodes(), g.NumEdges(), res.HubCount)
-	fmt.Printf("wrote %d %s records to %s (%d MR rounds, %.2f MB shuffled)\n",
-		len(res.Records), kind, *out, len(res.RoundStats),
-		float64(res.TotalShuffledBytes())/1e6)
+	if res.Partitioned != nil {
+		fmt.Printf("wrote %d %s records to %s across %d partitions (%d MR rounds, %.2f MB shuffled)\n",
+			res.Partitioned.Records, kind, *out, res.Partitioned.Partitions,
+			len(res.RoundStats), float64(res.TotalShuffledBytes())/1e6)
+	} else {
+		fmt.Printf("wrote %d %s records to %s (%d MR rounds, %.2f MB shuffled)\n",
+			len(res.Records), kind, *out, len(res.RoundStats),
+			float64(res.TotalShuffledBytes())/1e6)
+	}
 }
 
 // loadPairs reads an edge-target table: src<TAB>dst<TAB>label per line

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"agl/internal/core"
 	"agl/internal/gnn"
@@ -31,6 +32,8 @@ func main() {
 	modelPath := flag.String("m", "model.agl", "trained model file")
 	nodePath := flag.String("n", "", "node table TSV")
 	edgePath := flag.String("e", "", "edge table TSV")
+	flatPath := flag.String("flat", "", "partitioned graphflat output to score one partition at a time (bounded memory); replaces -n/-e")
+	batch := flag.Int("batch", 256, "scoring batch size (-flat mode)")
 	strategy := flag.String("s", "uniform", "sampling strategy (match training)")
 	maxNeighbors := flag.Int("max-neighbors", 0, "per-node in-edge cap (match training)")
 	hubThreshold := flag.Int("hub-threshold", 0, "re-indexing threshold (match training)")
@@ -39,7 +42,7 @@ func main() {
 	out := flag.String("o", "scores.tsv", "output scores TSV (id<TAB>score...)")
 	flag.Parse()
 
-	if *nodePath == "" || *edgePath == "" {
+	if *flatPath == "" && (*nodePath == "" || *edgePath == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -51,6 +54,10 @@ func main() {
 	mf.Close()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *flatPath != "" {
+		scorePartitioned(model, *flatPath, *batch, *out)
+		return
 	}
 	g, err := graph.LoadTables(*nodePath, *edgePath)
 	if err != nil {
@@ -98,4 +105,46 @@ func main() {
 	fmt.Printf("scored %d nodes in %s (%d MR rounds, %.2f MB shuffled) -> %s\n",
 		len(res.Scores), res.Wall.Round(1e6), len(res.RoundStats),
 		float64(res.TotalShuffledBytes())/1e6, *out)
+}
+
+// scorePartitioned streams a partitioned graphflat output through the
+// model one partition at a time, writing scores as they come. Peak memory
+// is one partition plus the inference workspace, not the dataset.
+func scorePartitioned(model *gnn.Model, flatPath string, batch int, out string) {
+	parts, err := core.OpenPartitions(flatPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	start := time.Now()
+	scored := 0
+	err = core.ScorePartitions(model, parts, batch, gnn.RunOptions{},
+		func(part int, ids []int64, scores [][]float64) error {
+			for i, id := range ids {
+				cols := make([]string, 0, len(scores[i]))
+				for _, s := range scores[i] {
+					cols = append(cols, strconv.FormatFloat(s, 'g', 8, 64))
+				}
+				if _, err := fmt.Fprintf(w, "%d\t%s\n", id, strings.Join(cols, ",")); err != nil {
+					return err
+				}
+			}
+			scored += len(ids)
+			return nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scored %d nodes in %s from %d partitions -> %s\n",
+		scored, time.Since(start).Round(1e6), parts.NumPartitions(), out)
 }

@@ -49,9 +49,37 @@ func main() {
 	flag.Parse()
 
 	link := *edgeHead != ""
-	records, inDim, err := loadRecords(*input, link)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		records [][]byte
+		parts   *core.PartitionSet
+		inDim   int
+		err     error
+	)
+	if core.IsPartitioned(*input) {
+		// Partitioned graphflat output: stream one partition at a time
+		// instead of materializing the dataset.
+		parts, err = core.OpenPartitions(*input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if parts.Link() != link {
+			log.Fatalf("%s holds link=%v partitions but -edge-head=%q selects link=%v training",
+				*input, parts.Link(), *edgeHead, link)
+		}
+		first, ferr := parts.First()
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		inDim, err = sniffDim(first, link)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("partitioned input: %d records across %d partitions", parts.Records(), parts.NumPartitions())
+	} else {
+		records, inDim, err = loadRecords(*input, link)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	var eval [][]byte
 	if *evalInput != "" {
@@ -107,7 +135,12 @@ func main() {
 		}
 	}
 
-	res, err := core.Train(cfg, records)
+	var res *core.TrainResult
+	if parts != nil {
+		res, err = core.TrainPartitions(cfg, parts)
+	} else {
+		res, err = core.Train(cfg, records)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -149,17 +182,26 @@ func loadRecords(path string, link bool) ([][]byte, int, error) {
 	if len(records) == 0 {
 		return nil, 0, fmt.Errorf("no records in %s", path)
 	}
+	dim, err := sniffDim(records[0], link)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return records, dim, nil
+}
+
+// sniffDim decodes a single record to discover the feature dimension.
+func sniffDim(rec []byte, link bool) (int, error) {
 	var nodes []wire.SGNode
 	if link {
-		recs, err := core.DecodeLinkRecords(records[:1])
+		recs, err := core.DecodeLinkRecords([][]byte{rec})
 		if err != nil {
-			return nil, 0, fmt.Errorf("%s: not LinkRecords (run graphflat -p for link mode): %w", path, err)
+			return 0, fmt.Errorf("not LinkRecords (run graphflat -p for link mode): %w", err)
 		}
 		nodes = recs[0].SG.Nodes
 	} else {
-		recs, err := core.DecodeRecords(records[:1])
+		recs, err := core.DecodeRecords([][]byte{rec})
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		nodes = recs[0].SG.Nodes
 	}
@@ -169,5 +211,5 @@ func loadRecords(path string, link bool) ([][]byte, int, error) {
 			dim = len(n.Feat)
 		}
 	}
-	return records, dim, nil
+	return dim, nil
 }

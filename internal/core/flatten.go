@@ -58,6 +58,16 @@ type FlatConfig struct {
 	// TempDir instead of memory — the industrial-scale mode where a round's
 	// shuffle exceeds RAM. Results are identical to the in-memory mode.
 	SpillRounds bool
+
+	// Partitions, when > 0, switches Output to partitioned mode: the final
+	// records are hash-partitioned by target id (the pair's source endpoint
+	// in edge mode) into exactly Partitions part files plus a manifest, and
+	// FlatResult.Records is left nil — the records are meant to be streamed
+	// back one partition at a time (OpenPartitions / TrainPartitions /
+	// ScorePartitions) with bounded resident memory. Combine with
+	// SpillRounds so the final round never materializes in RAM either.
+	// Requires Output.
+	Partitions int
 }
 
 func (c FlatConfig) withDefaults() FlatConfig {
@@ -87,11 +97,17 @@ func (c FlatConfig) mrConfig(name string) mapreduce.Config {
 // FlatResult is GraphFlat's output: one serialized TrainRecord (the triple
 // <TargetedNodeId, Label, GraphFeature>) per target node, plus accounting.
 type FlatResult struct {
+	// Records holds the final records in memory — nil in partitioned mode
+	// (FlatConfig.Partitions > 0), where they live only in the output
+	// dataset's part files.
 	Records     [][]byte
 	RoundStats  []*mapreduce.Stats
 	InDegrees   map[int64]int
 	WeightedDeg map[int64]float64
 	HubCount    int
+	// Partitioned is the manifest of the partitioned output dataset (nil
+	// when FlatConfig.Partitions was 0).
+	Partitioned *PartitionManifest
 }
 
 // TotalShuffledBytes sums shuffle volume over all rounds.
@@ -173,7 +189,17 @@ func flattenNodes(cfg FlatConfig, tables mapreduce.Input, targets map[int64]Targ
 		}
 		res.RoundStats = append(res.RoundStats, stats)
 	}
-	_ = cur
+	if cfg.Partitions > 0 {
+		// Partitioned mode streams the final round straight into the
+		// hash-partitioned part files; nothing is materialized here (with
+		// SpillRounds the records go disk to disk).
+		man, err := writePartitionedOutput(cfg, cur, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: GraphFlat partitioned output: %w", err)
+		}
+		res.Partitioned = man
+		return res, nil
+	}
 
 	pairs, err := collect()
 	if err != nil {

@@ -35,7 +35,8 @@ func flattenEdges(cfg FlatConfig, tables mapreduce.Input) (*FlatResult, error) {
 	}
 	sub := cfg.withDefaults()
 	sub.EdgeTargets = nil
-	sub.Output = nil // the output dataset receives LinkRecords, not endpoint records
+	sub.Output = nil   // the output dataset receives LinkRecords, not endpoint records
+	sub.Partitions = 0 // only the final pair records are partitioned
 	res, err := flattenNodes(sub, tables, nodeTargets)
 	if err != nil {
 		return nil, err
@@ -102,12 +103,22 @@ func flattenEdges(cfg FlatConfig, tables mapreduce.Input) (*FlatResult, error) {
 		return emit(mapreduce.KeyValue{Key: key, Value: wire.EncodeLinkRecord(rec)})
 	})
 
-	_, collect, stats, err := runRound(sub, "flat-pairs", pairMapper, pairReducer,
+	cur, collect, stats, err := runRound(sub, "flat-pairs", pairMapper, pairReducer,
 		mapreduce.MemInput(res.Records))
 	if err != nil {
 		return nil, fmt.Errorf("core: GraphFlat pair merge: %w", err)
 	}
 	res.RoundStats = append(res.RoundStats, stats)
+	if cfg.Partitions > 0 {
+		// Partition the pair records by source endpoint; see flattenNodes.
+		man, err := writePartitionedOutput(cfg, cur, pairs)
+		if err != nil {
+			return nil, fmt.Errorf("core: GraphFlat partitioned output: %w", err)
+		}
+		res.Records = nil
+		res.Partitioned = man
+		return res, nil
+	}
 	kvs, err := collect()
 	if err != nil {
 		return nil, fmt.Errorf("core: GraphFlat pair collect: %w", err)

@@ -1,0 +1,431 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"agl/internal/dfs"
+	"agl/internal/gnn"
+	"agl/internal/mapreduce"
+	"agl/internal/nn"
+	"agl/internal/ps"
+)
+
+// This file is GraphFlat's partitioned-output mode and the bounded-memory
+// train/infer loops over it. With FlatConfig.Partitions set, the final
+// round's records are hash-partitioned by target id into per-partition
+// part files instead of being materialized in FlatResult.Records, and
+// TrainPartitions / ScorePartitions stream them back one partition at a
+// time — peak resident memory is the largest partition plus the training
+// workspaces, not the dataset.
+
+// partitionManifestName is the manifest file written next to the part
+// files; dfs readers ignore it (they only list part-* files).
+const partitionManifestName = "partitions.json"
+
+// PartitionManifest describes a partitioned GraphFlat output dataset:
+// part-NNNNN holds exactly the records whose target id hashes to
+// partition NNNNN.
+type PartitionManifest struct {
+	// Partitions is the partition count; part files are part-00000 ..
+	// part-(Partitions-1).
+	Partitions int `json:"partitions"`
+	// Link marks LinkRecord partitions (FlatConfig.EdgeTargets mode,
+	// partitioned by the pair's source endpoint); false means per-node
+	// TrainRecords partitioned by target node id.
+	Link bool `json:"link"`
+	// Records is the total record count across all partitions.
+	Records int `json:"records"`
+	// Counts is the per-partition record count, len == Partitions.
+	Counts []int `json:"counts"`
+}
+
+// partitionOf maps a target id to its partition — the same Fibonacci hash
+// as the serving tier's shards, well-mixed even for sequential ids.
+func partitionOf(id int64, partitions int) int {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return int(h % uint64(partitions))
+}
+
+// writePartitionedOutput streams the final round's keyed records into
+// cfg.Partitions hash-partitioned part files under cfg.Output, plus the
+// manifest. In node mode the shuffle key is the target node id; in link
+// mode (pairs non-nil) it is the pair index, and the pair's source
+// endpoint picks the partition. The input is the final round's output
+// re-framed as an Input, so with SpillRounds set the records stream from
+// disk to disk without ever being resident at once.
+func writePartitionedOutput(cfg FlatConfig, finalRound mapreduce.Input, pairs []EdgeTarget) (*PartitionManifest, error) {
+	writers := make([]*dfs.PartWriter, cfg.Partitions)
+	abort := func() {
+		for _, w := range writers {
+			if w != nil {
+				w.Abort()
+			}
+		}
+	}
+	for i := range writers {
+		w, err := cfg.Output.Writer(i)
+		if err != nil {
+			abort()
+			return nil, err
+		}
+		writers[i] = w
+	}
+	man := &PartitionManifest{
+		Partitions: cfg.Partitions,
+		Link:       pairs != nil,
+		Counts:     make([]int, cfg.Partitions),
+	}
+	iters, err := finalRound.Splits(1)
+	if err != nil {
+		abort()
+		return nil, err
+	}
+	for _, iter := range iters {
+		err := iter(func(rec []byte) error {
+			kv, err := mapreduce.DecodeKV(rec)
+			if err != nil {
+				return err
+			}
+			key, err := strconv.ParseInt(kv.Key, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad final-round key %q: %w", kv.Key, err)
+			}
+			target := key
+			if pairs != nil {
+				if key < 0 || key >= int64(len(pairs)) {
+					return fmt.Errorf("pair index %d out of range (have %d pairs)", key, len(pairs))
+				}
+				target = pairs[key].Src
+			}
+			p := partitionOf(target, cfg.Partitions)
+			man.Counts[p]++
+			man.Records++
+			return writers[p].Append(kv.Value)
+		})
+		if err != nil {
+			abort()
+			return nil, err
+		}
+	}
+	for _, w := range writers {
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+	}
+	b, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	manPath := filepath.Join(cfg.Output.Path(), partitionManifestName)
+	if err := os.WriteFile(manPath, append(b, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	return man, nil
+}
+
+// PartitionSet is a reader over a partitioned GraphFlat output: the
+// manifest plus lazy per-partition loading. Load materializes exactly one
+// partition's records; dropping the returned slice releases them.
+type PartitionSet struct {
+	dir *dfs.Dir
+	man PartitionManifest
+}
+
+// OpenPartitions opens a dataset written by Flatten with
+// FlatConfig.Partitions set. It fails with os.ErrNotExist (wrapped) when
+// the directory has no partition manifest — callers can fall back to
+// treating the dataset as unpartitioned.
+func OpenPartitions(path string) (*PartitionSet, error) {
+	dir, err := dfs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(filepath.Join(path, partitionManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("core: %s is not a partitioned dataset: %w", path, err)
+	}
+	var man PartitionManifest
+	if err := json.Unmarshal(b, &man); err != nil {
+		return nil, fmt.Errorf("core: bad partition manifest in %s: %w", path, err)
+	}
+	if man.Partitions < 1 || len(man.Counts) != man.Partitions {
+		return nil, fmt.Errorf("core: implausible partition manifest in %s (partitions=%d counts=%d)",
+			path, man.Partitions, len(man.Counts))
+	}
+	return &PartitionSet{dir: dir, man: man}, nil
+}
+
+// IsPartitioned reports whether path carries a partition manifest.
+func IsPartitioned(path string) bool {
+	_, err := os.Stat(filepath.Join(path, partitionManifestName))
+	return err == nil
+}
+
+// Manifest returns the dataset's manifest.
+func (p *PartitionSet) Manifest() PartitionManifest { return p.man }
+
+// NumPartitions returns the partition count.
+func (p *PartitionSet) NumPartitions() int { return p.man.Partitions }
+
+// Link reports whether the partitions hold LinkRecords.
+func (p *PartitionSet) Link() bool { return p.man.Link }
+
+// Records returns the total record count.
+func (p *PartitionSet) Records() int { return p.man.Records }
+
+// Load materializes partition i's records.
+func (p *PartitionSet) Load(i int) ([][]byte, error) {
+	if i < 0 || i >= p.man.Partitions {
+		return nil, fmt.Errorf("core: partition %d out of range [0,%d)", i, p.man.Partitions)
+	}
+	path := filepath.Join(p.dir.Path(), fmt.Sprintf("part-%05d", i))
+	r, err := dfs.OpenPart(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	out := make([][]byte, 0, p.man.Counts[i])
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: partition %d: %w", i, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// First returns the first record of the first non-empty partition —
+// enough to sniff the feature dimension without loading a partition.
+func (p *PartitionSet) First() ([]byte, error) {
+	for i := 0; i < p.man.Partitions; i++ {
+		if p.man.Counts[i] == 0 {
+			continue
+		}
+		path := filepath.Join(p.dir.Path(), fmt.Sprintf("part-%05d", i))
+		r, err := dfs.OpenPart(path)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := r.Next()
+		r.Close()
+		if err != nil {
+			return nil, err
+		}
+		return rec, nil
+	}
+	return nil, fmt.Errorf("core: partitioned dataset is empty")
+}
+
+// loadedPartition is one prefetched partition on its way to the consumer.
+type loadedPartition struct {
+	idx  int
+	recs [][]byte
+	err  error
+}
+
+// prefetchPartitions loads partitions in the given order on a side
+// goroutine, one ahead of the consumer: partition N+1's disk read and
+// record framing overlap partition N's compute. The consumer must drain
+// the channel (or the goroutine parks forever on a buffered send — drain
+// on error paths too).
+func prefetchPartitions(parts *PartitionSet, order []int) <-chan loadedPartition {
+	ch := make(chan loadedPartition, 1)
+	go func() {
+		defer close(ch)
+		for _, pi := range order {
+			recs, err := parts.Load(pi)
+			ch <- loadedPartition{idx: pi, recs: recs, err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// TrainPartitions runs parameter-server training over a partitioned
+// GraphFlat output with bounded resident memory: each epoch streams the
+// partitions (in per-epoch shuffled order) through the PR-5 worker
+// pipeline, holding one partition's records at a time while the prefetch
+// goroutine decodes the next. The parameter-server cluster is shared
+// across partitions, so convergence matches Train over the concatenated
+// records up to batch ordering.
+//
+// cfg.Eval is evaluated once on the final model, as in Train.
+func TrainPartitions(cfg TrainConfig, parts *PartitionSet) (*TrainResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if parts.Records() == 0 {
+		return nil, fmt.Errorf("core: no training records")
+	}
+	link := cfg.Model.EdgeHead != ""
+	if link != parts.Link() {
+		return nil, fmt.Errorf("core: partitioned dataset link=%v does not match model edge head %q",
+			parts.Link(), cfg.Model.EdgeHead)
+	}
+	global, err := gnn.NewModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	cluster := ps.NewCluster(cfg.PSShards, global.Params(),
+		func() nn.Optimizer { return nn.NewAdam(cfg.LR) }, cfg.Mode)
+	loop := trainWorkerLoop
+	if link {
+		loop = trainLinkWorkerLoop
+	}
+
+	start := time.Now()
+	accs := make([]epochAcc, cfg.Epochs)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for e := 0; e < cfg.Epochs; e++ {
+		order := rng.Perm(parts.NumPartitions())
+		feed := prefetchPartitions(parts, order)
+		for lp := range feed {
+			if lp.err != nil {
+				return nil, lp.err
+			}
+			if len(lp.recs) == 0 {
+				continue
+			}
+			workerParts := make([][][]byte, cfg.Workers)
+			for i, rec := range lp.recs {
+				workerParts[i%cfg.Workers] = append(workerParts[i%cfg.Workers], rec)
+			}
+			var acc epochAcc
+			var accMu sync.Mutex
+			var wg sync.WaitGroup
+			errCh := make(chan error, cfg.Workers)
+			for w := 0; w < cfg.Workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					sub := cfg
+					sub.Epochs = 1
+					// A distinct seed per (epoch, partition) keeps batch
+					// shuffling fresh across the outer loops.
+					sub.Seed = cfg.Seed + int64(e+1)*104729 + int64(lp.idx+1)*15485863
+					local := make([]epochAcc, 1)
+					if err := loop(sub, w, workerParts[w], cluster.Client(), local); err != nil {
+						errCh <- err
+						return
+					}
+					accMu.Lock()
+					acc.lossSum += local[0].lossSum
+					acc.batches += local[0].batches
+					acc.vec += local[0].vec
+					acc.compute += local[0].compute
+					accMu.Unlock()
+				}(w)
+			}
+			wg.Wait()
+			select {
+			case err := <-errCh:
+				// Drain the prefetcher so its buffered send never leaks.
+				go func() {
+					for range feed {
+					}
+				}()
+				return nil, err
+			default:
+			}
+			accs[e].lossSum += acc.lossSum
+			accs[e].batches += acc.batches
+			accs[e].vec += acc.vec
+			accs[e].compute += acc.compute
+		}
+	}
+
+	result := &TrainResult{Total: time.Since(start)}
+	final, err := gnn.NewModel(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	cluster.Snapshot(final.Params())
+	result.Model = final
+	result.PSBytesOut, result.PSBytesIn = cluster.Traffic()
+	for e := range accs {
+		st := EpochStats{Epoch: e + 1}
+		if accs[e].batches > 0 {
+			st.Loss = accs[e].lossSum / float64(accs[e].batches)
+		}
+		st.VecBusy = time.Duration(accs[e].vec)
+		st.ComputeBusy = time.Duration(accs[e].compute)
+		result.History = append(result.History, st)
+	}
+	if cfg.Eval != nil {
+		metric, err := evalDispatch(cfg, final)
+		if err != nil {
+			return nil, err
+		}
+		last := &result.History[len(result.History)-1]
+		last.Metric = metric
+		last.HasMetric = true
+		if cfg.Logf != nil {
+			cfg.Logf("final %s = %.4f", cfg.EvalMetric, metric)
+		}
+	}
+	return result, nil
+}
+
+// ScorePartitions runs batched node inference over a partitioned GraphFlat
+// output one partition at a time (prefetching the next while the current
+// one scores), streaming each partition's (ids, score vectors) to fn.
+// Resident memory is bounded by one partition plus the inference
+// workspace. Link partitions are rejected — use PredictLinks over
+// PartitionSet.Load for pair scoring.
+func ScorePartitions(model *gnn.Model, parts *PartitionSet, batchSize int, opt gnn.RunOptions,
+	fn func(part int, ids []int64, scores [][]float64) error) error {
+	if parts.Link() {
+		return fmt.Errorf("core: ScorePartitions needs node partitions (this dataset holds LinkRecords)")
+	}
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	order := make([]int, parts.NumPartitions())
+	for i := range order {
+		order[i] = i
+	}
+	feed := prefetchPartitions(parts, order)
+	for lp := range feed {
+		if lp.err != nil {
+			return lp.err
+		}
+		if len(lp.recs) == 0 {
+			continue
+		}
+		ids, logits, _, _, err := Predict(model, lp.recs, batchSize, opt)
+		if err != nil {
+			go func() {
+				for range feed {
+				}
+			}()
+			return err
+		}
+		scores := make([][]float64, logits.Rows)
+		for i := range scores {
+			scores[i] = ScoresFromLogits(logits.Row(i))
+		}
+		if err := fn(lp.idx, ids, scores); err != nil {
+			go func() {
+				for range feed {
+				}
+			}()
+			return err
+		}
+	}
+	return nil
+}

@@ -32,6 +32,12 @@ func (c FlatConfig) Validate() error {
 			return fmt.Errorf("core: FlatConfig.EdgeTargets[%d] is a self pair (%d,%d); link prediction needs distinct endpoints", i, p.Src, p.Dst)
 		}
 	}
+	if c.Partitions < 0 {
+		return fmt.Errorf("core: FlatConfig.Partitions must be >= 0 (0 disables partitioned output), got %d", c.Partitions)
+	}
+	if c.Partitions > 0 && c.Output == nil {
+		return fmt.Errorf("core: FlatConfig.Partitions requires Output (partitions are part files of the output dataset)")
+	}
 	return validateMRKnobs("FlatConfig", c.NumMappers, c.NumReducers, c.MaxAttempts)
 }
 

@@ -93,5 +93,5 @@ func table(header []string, rows [][]string) string {
 // what "-exp all" expands to in cmd/aglbench.
 var AllExperiments = []string{
 	"table1", "table2", "table3", "table4", "table5",
-	"fig7", "fig8", "shuffle", "serve", "update", "link", "train",
+	"fig7", "fig8", "shuffle", "serve", "update", "link", "train", "oocore",
 }

@@ -89,6 +89,28 @@ func randomMutations(rng *rand.Rand, cur *graph.Graph, nextID *int64, n int) []g
 	return muts
 }
 
+// buildBackend materializes one Store backend over GraphInfer embeddings:
+// the heap MemStore, or a MappedStore round-tripped through its on-disk
+// layout. Consistency suites run over both — the serving tier must behave
+// identically regardless of where the rows live, and for the mapped
+// backend the dirty-row overlay must shadow rows without ever writing the
+// (read-only) mapped file.
+func buildBackend(t *testing.T, name string, embs map[int64][]float64) Store {
+	t.Helper()
+	mem, err := NewStore(8, embs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name == "mmap" {
+		return mappedFromMem(t, mem)
+	}
+	return mem
+}
+
+// storeBackendNames lists the Store implementations the parameterized
+// consistency suites cover.
+var storeBackendNames = []string{"mem", "mmap"}
+
 // TestIncrementalConsistencyWithStore is the tentpole property test: a
 // store-backed server receives random mutation batches, and after every
 // Apply each served score must equal a from-scratch cold recompute on the
@@ -96,13 +118,17 @@ func randomMutations(rng *rand.Rand, cur *graph.Graph, nextID *int64, n int) []g
 // information-complete and the comparison is exact: unaffected rows keep
 // serving warm off the original store, so the test proves invalidation is
 // broad enough (no stale row survives) while the warm/cold accounting
-// proves it is not absurdly over-broad (warm traffic remains).
+// proves it is not absurdly over-broad (warm traffic remains). It runs
+// over both store backends.
 func TestIncrementalConsistencyWithStore(t *testing.T) {
-	g, model, res := testGraph(t)
-	store, err := NewStore(8, res.Embeddings)
-	if err != nil {
-		t.Fatal(err)
+	for _, backend := range storeBackendNames {
+		t.Run(backend, func(t *testing.T) { testIncrementalConsistency(t, backend) })
 	}
+}
+
+func testIncrementalConsistency(t *testing.T, backend string) {
+	g, model, res := testGraph(t)
+	store := buildBackend(t, backend, res.Embeddings)
 	cfg := Config{Seed: 4}
 	srv, err := New(cfg, model, g, store)
 	if err != nil {
@@ -150,6 +176,14 @@ func TestIncrementalConsistencyWithStore(t *testing.T) {
 	}
 	if st.Applies != 5 || st.Mutations == 0 || st.Invalidated == 0 {
 		t.Fatalf("mutation accounting off: %+v", st)
+	}
+	// The mapped file is read-only: dirty rows live in the resident
+	// overlay, so after all the mutation traffic the on-disk sections must
+	// still checksum clean.
+	if ms, ok := store.(*MappedStore); ok {
+		if err := ms.Verify(); err != nil {
+			t.Fatalf("dynamic serving wrote through to the mapped file: %v", err)
+		}
 	}
 }
 
@@ -272,13 +306,18 @@ func TestInvalidationScope(t *testing.T) {
 }
 
 // TestDirtyRowReadmission: an invalidated store row serves cold exactly
-// once, then returns to the warm tier with its recomputed embedding.
+// once, then returns to the warm tier with its recomputed embedding. Runs
+// over both store backends — for the mmap backend the readmitted row lands
+// in the overlay, never in the file.
 func TestDirtyRowReadmission(t *testing.T) {
-	g, model, res := testGraph(t)
-	store, err := NewStore(8, res.Embeddings)
-	if err != nil {
-		t.Fatal(err)
+	for _, backend := range storeBackendNames {
+		t.Run(backend, func(t *testing.T) { testDirtyRowReadmission(t, backend) })
 	}
+}
+
+func testDirtyRowReadmission(t *testing.T, backend string) {
+	g, model, res := testGraph(t)
+	store := buildBackend(t, backend, res.Embeddings)
 	// CacheSize 1 so the cache cannot mask the warm/cold distinction.
 	srv, err := New(Config{Seed: 4, CacheSize: 1}, model, g, store)
 	if err != nil {

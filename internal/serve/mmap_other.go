@@ -1,0 +1,19 @@
+//go:build !unix
+
+package serve
+
+import "os"
+
+// mmapFile on platforms without syscall.Mmap reads the whole file into a
+// heap buffer — same semantics (read-only view of the file's bytes, O(1)
+// header validation already done by the caller), without the bounded
+// resident footprint. The second return is false: nothing to munmap.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	b := make([]byte, size)
+	if _, err := f.ReadAt(b, 0); err != nil {
+		return nil, false, err
+	}
+	return b, false, nil
+}
+
+func munmapFile(b []byte) error { return nil }

@@ -1,0 +1,29 @@
+//go:build unix
+
+package serve
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only. The second return reports whether the bytes
+// are a real mapping (and must go back through munmapFile) as opposed to
+// a heap buffer.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size > math.MaxInt32 && strconv64bit == 32 {
+		return nil, false, fmt.Errorf("file too large to map on a 32-bit platform (%d bytes)", size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+func munmapFile(b []byte) error { return syscall.Munmap(b) }
+
+// strconv64bit is 64 on 64-bit platforms, 32 on 32-bit ones.
+const strconv64bit = 32 << (^uint(0) >> 63)

@@ -144,7 +144,7 @@ type Server struct {
 	cfg   Config
 	model *gnn.Model
 	head  *gnn.Slice
-	store *Store
+	store Store
 
 	vg  *graph.Versioned // graph versions; mutated only via Apply
 	dep *depIndex        // reverse k-hop dependency index (owned by Apply)
@@ -195,9 +195,12 @@ type call struct {
 }
 
 // New starts a Server for model over g, optionally backed by an embedding
-// store built from GraphInfer output (nil serves everything cold). The
-// model's prediction slice is segmented out once at startup.
-func New(cfg Config, model *gnn.Model, g *graph.Graph, store *Store) (*Server, error) {
+// store built from GraphInfer output (nil serves everything cold). Both
+// backends work: a heap MemStore or an mmap'd MappedStore — the server
+// never writes through the store, so dirty rows from mutations live in a
+// resident overlay either way. The model's prediction slice is segmented
+// out once at startup.
+func New(cfg Config, model *gnn.Model, g *graph.Graph, store Store) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -206,6 +209,9 @@ func New(cfg Config, model *gnn.Model, g *graph.Graph, store *Store) (*Server, e
 	}
 	if g == nil {
 		return nil, errors.New("serve: nil graph")
+	}
+	if store == nil {
+		store = (*MemStore)(nil) // method set is nil-tolerant; empty store
 	}
 	cfg = cfg.withDefaults(len(model.Layers))
 	if store.Len() > 0 && store.Dim() != model.Cfg.Hidden {
@@ -599,7 +605,10 @@ func (s *Server) process(batch []*call) {
 
 	for i, c := range warmCalls {
 		c.scores = core.ScoresFromLogits(gnn.ApplyDense(s.head.Head, warmEmbs[i]))
-		c.emb = warmEmbs[i]
+		// Copy: warmEmbs[i] is a Lookup view into store memory, and c.emb
+		// outlives this batch (ScoreLink waiters read it after resolution;
+		// for a MappedStore the view also dies with Close).
+		c.emb = append([]float64(nil), warmEmbs[i]...)
 		s.warm.Add(1)
 	}
 

@@ -8,29 +8,70 @@
 // The serving graph is mutable: Server.Apply streams mutation batches onto
 // versioned copy-on-write snapshots, and a reverse k-hop dependency index
 // keeps the cache and store incrementally consistent (dynamic.go).
+//
+// Two store backends implement the Store interface: MemStore holds the
+// embeddings on the heap (sharded, built directly from GraphInfer output),
+// and MappedStore (store_mmap.go) serves a fixed-stride on-disk layout
+// through mmap with zero deserialization, so the resident footprint is
+// whatever the page cache keeps warm rather than the whole store.
 package serve
 
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc64"
 	"io"
 	"sort"
 )
 
-// storeMagic identifies the flat store layout; bump the trailing digits on
-// incompatible changes.
-var storeMagic = [8]byte{'A', 'G', 'L', 'E', 'M', 'B', '0', '1'}
+// Store magics identify the sharded heap-store layout; the trailing digits
+// bump on incompatible changes. Version 02 appends a CRC64 per shard;
+// ReadStore still accepts the checksum-less 01 files.
+var (
+	storeMagic   = [8]byte{'A', 'G', 'L', 'E', 'M', 'B', '0', '2'}
+	storeMagicV1 = [8]byte{'A', 'G', 'L', 'E', 'M', 'B', '0', '1'}
+)
 
-// Store is a sharded, read-only embedding store: node ids hash across
-// shards, and each shard keeps a sorted id array plus one flat float64
-// slab holding the embeddings back to back. The layout is deliberately
-// mmap-friendly — fixed-width little-endian arrays with no per-entry
-// framing — so a serialized store can be paged in lazily; lookups are a
-// shard hash plus a binary search, no allocation.
+// crcTable is the CRC64 polynomial shared by every store format.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Store is the read interface of an embedding store backend. The serving
+// tier (Server, ScoreLink, dynamic invalidation) works identically over
+// any implementation; MemStore keeps embeddings on the heap, MappedStore
+// serves an mmap'd file.
 //
-// A Store is immutable after construction and safe for concurrent readers.
-type Store struct {
+// Aliasing contract: the slice returned by Lookup is a view into the
+// backend's memory (a heap slab for MemStore, the mapped region for
+// MappedStore). It must be treated as read-only and must be copied before
+// being retained across a batch boundary, stored in any structure that
+// outlives the current request, or exposed to code that may mutate it —
+// for MappedStore, writing through the view would fault or corrupt the
+// shared page-cache pages.
+type Store interface {
+	// Lookup returns the stored embedding for id. The returned slice
+	// aliases backend memory — see the interface comment for the contract.
+	Lookup(id int64) ([]float64, bool)
+	// Len returns the number of stored embeddings.
+	Len() int
+	// Dim returns the embedding dimensionality (0 for an empty store).
+	Dim() int
+	// Range iterates the stored (id, embedding) pairs until fn returns
+	// false. The embedding slice aliases backend memory, same contract as
+	// Lookup; it is only valid for the duration of the callback.
+	Range(fn func(id int64, emb []float64) bool)
+	// WriteTo serializes the store in the backend's native on-disk layout.
+	WriteTo(w io.Writer) (int64, error)
+}
+
+// MemStore is the heap-resident Store backend: node ids hash across
+// shards, and each shard keeps a sorted id array plus one flat float64
+// slab holding the embeddings back to back. Lookups are a shard hash plus
+// a binary search, no allocation.
+//
+// A MemStore is immutable after construction and safe for concurrent
+// readers.
+type MemStore struct {
 	dim    int
 	count  int
 	shards []storeShard
@@ -41,14 +82,14 @@ type storeShard struct {
 	data []float64 // len(ids)*dim, embedding i at [i*dim, (i+1)*dim)
 }
 
-// NewStore builds a store over GraphInfer's final-layer embeddings
+// NewStore builds a heap store over GraphInfer's final-layer embeddings
 // (InferResult.Embeddings). numShards <= 0 selects a default; every
 // embedding must share one dimensionality.
-func NewStore(numShards int, embeddings map[int64][]float64) (*Store, error) {
+func NewStore(numShards int, embeddings map[int64][]float64) (*MemStore, error) {
 	if numShards <= 0 {
 		numShards = 16
 	}
-	s := &Store{shards: make([]storeShard, numShards)}
+	s := &MemStore{shards: make([]storeShard, numShards)}
 	for id, h := range embeddings {
 		if s.dim == 0 {
 			s.dim = len(h)
@@ -79,8 +120,8 @@ func shardOf(id int64, shards int) int {
 }
 
 // Lookup returns the stored embedding for id. The returned slice aliases
-// the store's slab and must not be modified.
-func (s *Store) Lookup(id int64) ([]float64, bool) {
+// the store's slab — read-only, copy before retaining (see Store).
+func (s *MemStore) Lookup(id int64) ([]float64, bool) {
 	if s == nil || s.count == 0 {
 		return nil, false
 	}
@@ -93,7 +134,7 @@ func (s *Store) Lookup(id int64) ([]float64, bool) {
 }
 
 // Len returns the number of stored embeddings.
-func (s *Store) Len() int {
+func (s *MemStore) Len() int {
 	if s == nil {
 		return 0
 	}
@@ -101,17 +142,40 @@ func (s *Store) Len() int {
 }
 
 // Dim returns the embedding dimensionality (0 for an empty store).
-func (s *Store) Dim() int {
+func (s *MemStore) Dim() int {
 	if s == nil {
 		return 0
 	}
 	return s.dim
 }
 
+// Range iterates the stored embeddings shard by shard (ids ascending
+// within a shard). The emb slice aliases the shard slab, valid only for
+// the duration of the callback.
+func (s *MemStore) Range(fn func(id int64, emb []float64) bool) {
+	if s == nil {
+		return
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for j, id := range sh.ids {
+			if !fn(id, sh.data[j*s.dim:(j+1)*s.dim:(j+1)*s.dim]) {
+				return
+			}
+		}
+	}
+}
+
 // WriteTo serializes the store in its flat layout: magic, shard count and
-// dim, then per shard a count followed by the raw id and float arrays.
-func (s *Store) WriteTo(w io.Writer) (int64, error) {
-	cw := &countingWriter{w: bufio.NewWriter(w)}
+// dim, then per shard a count, the raw id and float arrays, and a CRC64
+// over the shard's encoded bytes. A nil receiver writes a valid empty
+// store.
+func (s *MemStore) WriteTo(w io.Writer) (int64, error) {
+	if s == nil {
+		s = &MemStore{shards: make([]storeShard, 1)}
+	}
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
 	write := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
 	if err := write(storeMagic); err != nil {
 		return cw.n, err
@@ -124,63 +188,104 @@ func (s *Store) WriteTo(w io.Writer) (int64, error) {
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
-		if err := write(uint64(len(sh.ids))); err != nil {
+		crc := crc64.New(crcTable)
+		tee := io.MultiWriter(cw, crc)
+		wr := func(v any) error { return binary.Write(tee, binary.LittleEndian, v) }
+		if err := wr(uint64(len(sh.ids))); err != nil {
 			return cw.n, err
 		}
-		if err := write(sh.ids); err != nil {
+		if err := wr(sh.ids); err != nil {
 			return cw.n, err
 		}
-		if err := write(sh.data); err != nil {
+		if err := wr(sh.data); err != nil {
+			return cw.n, err
+		}
+		if err := write(crc.Sum64()); err != nil {
 			return cw.n, err
 		}
 	}
-	return cw.n, cw.w.(*bufio.Writer).Flush()
+	return cw.n, bw.Flush()
 }
 
-// ReadStore deserializes a store written by WriteTo.
-func ReadStore(r io.Reader) (*Store, error) {
-	br := bufio.NewReader(r)
-	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+// ReadStore deserializes a heap store written by WriteTo. It accepts both
+// the current checksummed format (AGLEMB02) and the legacy AGLEMB01
+// layout; truncation, garbage headers, and checksum mismatches return
+// descriptive errors carrying the byte offset of the failure.
+func ReadStore(r io.Reader) (*MemStore, error) {
+	cr := &countingReader{r: bufio.NewReader(r)}
+	read := func(v any) error { return binary.Read(cr, binary.LittleEndian, v) }
 	var magic [8]byte
 	if err := read(&magic); err != nil {
-		return nil, fmt.Errorf("serve: store header: %w", err)
+		return nil, fmt.Errorf("serve: store header truncated at offset %d: %w", cr.n, noEOF(err))
 	}
-	if magic != storeMagic {
-		return nil, fmt.Errorf("serve: bad store magic %q", magic[:])
+	checksummed := magic == storeMagic
+	if !checksummed && magic != storeMagicV1 {
+		return nil, fmt.Errorf("serve: bad store magic %q at offset 0 (want %q or %q)",
+			magic[:], storeMagic[:], storeMagicV1[:])
 	}
 	var shards, dim uint32
 	if err := read(&shards); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("serve: store header truncated at offset %d: %w", cr.n, noEOF(err))
 	}
 	if err := read(&dim); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("serve: store header truncated at offset %d: %w", cr.n, noEOF(err))
 	}
 	if shards == 0 || shards > 1<<20 || dim > 1<<20 {
-		return nil, fmt.Errorf("serve: implausible store header (shards=%d dim=%d)", shards, dim)
+		return nil, fmt.Errorf("serve: implausible store header at offset 8 (shards=%d dim=%d)", shards, dim)
 	}
-	s := &Store{dim: int(dim), shards: make([]storeShard, shards)}
+	s := &MemStore{dim: int(dim), shards: make([]storeShard, shards)}
 	for i := range s.shards {
+		crc := crc64.New(crcTable)
+		shr := io.Reader(cr)
+		if checksummed {
+			shr = io.TeeReader(cr, crc)
+		}
+		rd := func(v any) error { return binary.Read(shr, binary.LittleEndian, v) }
 		var n uint64
-		if err := read(&n); err != nil {
-			return nil, err
+		if err := rd(&n); err != nil {
+			return nil, fmt.Errorf("serve: store truncated in shard %d header at offset %d: %w",
+				i, cr.n, noEOF(err))
 		}
 		// Bound the allocation a corrupt/truncated header can trigger:
 		// 2^28 embeddings per shard and 2^31 floats (16 GiB) of payload.
 		if n > 1<<28 || n*uint64(s.dim) > 1<<31 {
-			return nil, fmt.Errorf("serve: implausible shard size %d (dim %d)", n, s.dim)
+			return nil, fmt.Errorf("serve: implausible shard %d size %d (dim %d) at offset %d",
+				i, n, s.dim, cr.n)
 		}
 		sh := &s.shards[i]
 		sh.ids = make([]int64, n)
-		if err := read(sh.ids); err != nil {
-			return nil, err
+		if err := rd(sh.ids); err != nil {
+			return nil, fmt.Errorf("serve: store truncated in shard %d ids at offset %d: %w",
+				i, cr.n, noEOF(err))
 		}
 		sh.data = make([]float64, int(n)*s.dim)
-		if err := read(sh.data); err != nil {
-			return nil, err
+		if err := rd(sh.data); err != nil {
+			return nil, fmt.Errorf("serve: store truncated in shard %d embeddings at offset %d: %w",
+				i, cr.n, noEOF(err))
+		}
+		if checksummed {
+			var want uint64
+			if err := read(&want); err != nil {
+				return nil, fmt.Errorf("serve: store truncated in shard %d checksum at offset %d: %w",
+					i, cr.n, noEOF(err))
+			}
+			if got := crc.Sum64(); got != want {
+				return nil, fmt.Errorf("serve: shard %d checksum mismatch at offset %d: got %#016x, want %#016x",
+					i, cr.n-8, got, want)
+			}
 		}
 		s.count += int(n)
 	}
 	return s, nil
+}
+
+// noEOF rewrites a bare io.EOF as io.ErrUnexpectedEOF: every read here is
+// mid-structure, so running out of input is always a truncation.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }
 
 type countingWriter struct {
@@ -190,6 +295,19 @@ type countingWriter struct {
 
 func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// countingReader tracks how many bytes the decoder has consumed, so parse
+// errors can report where in the file they happened.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
 	c.n += int64(n)
 	return n, err
 }

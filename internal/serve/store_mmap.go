@@ -1,0 +1,404 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"sort"
+	"unsafe"
+)
+
+// MappedStore is the out-of-core Store backend: a fixed-stride on-disk
+// layout mapped into the address space and served with zero
+// deserialization. Lookup is a binary search over the mapped id index
+// plus a pointer into the mapped row region, so a warm lookup is a
+// page-cache hit and opening a store is O(1) in its size — only the
+// 64-byte header is read and verified eagerly.
+//
+// On-disk layout (little-endian throughout):
+//
+//	offset  0  magic "AGLMAP01"                     (8 bytes)
+//	offset  8  uint32 dim                           (4 bytes)
+//	offset 12  uint32 reserved, zero                (4 bytes)
+//	offset 16  uint64 count                         (8 bytes)
+//	offset 24  uint64 CRC64(index section)          (8 bytes)
+//	offset 32  uint64 CRC64(row section)            (8 bytes)
+//	offset 40  uint64 CRC64(header bytes [0,40))    (8 bytes)
+//	offset 48  zero padding                         (16 bytes)
+//	offset 64  index: count x int64 node ids, sorted ascending
+//	           rows:  count x dim x float64, row i belongs to index[i]
+//
+// The header checksum is verified at open (it covers everything needed to
+// trust the geometry); the section checksums cover the bulk payload and
+// are verified on demand by Verify, so open stays O(1).
+//
+// A MappedStore is strictly read-only: the serving tier's dynamic
+// invalidation overlays recomputed rows in resident memory (Server.overlay)
+// and never writes the mapped file. It is immutable after open and safe
+// for concurrent readers; Close unmaps the file, after which previously
+// returned Lookup views are invalid.
+type MappedStore struct {
+	path   string
+	data   []byte // the whole file (mmap'd, or heap-read on platforms without mmap)
+	ids    []int64
+	rows   []float64
+	dim    int
+	count  int
+	mapped bool
+}
+
+var mappedMagic = [8]byte{'A', 'G', 'L', 'M', 'A', 'P', '0', '1'}
+
+const (
+	mappedHeaderSize = 64
+	mappedCRCRange   = 40 // header CRC covers bytes [0, 40)
+)
+
+// mappedHeader is the decoded fixed-size header.
+type mappedHeader struct {
+	dim       uint32
+	count     uint64
+	indexCRC  uint64
+	dataCRC   uint64
+	headerCRC uint64
+}
+
+func (h *mappedHeader) encode() [mappedHeaderSize]byte {
+	var b [mappedHeaderSize]byte
+	copy(b[0:8], mappedMagic[:])
+	binary.LittleEndian.PutUint32(b[8:12], h.dim)
+	binary.LittleEndian.PutUint64(b[16:24], h.count)
+	binary.LittleEndian.PutUint64(b[24:32], h.indexCRC)
+	binary.LittleEndian.PutUint64(b[32:40], h.dataCRC)
+	h.headerCRC = crc64.Checksum(b[:mappedCRCRange], crcTable)
+	binary.LittleEndian.PutUint64(b[40:48], h.headerCRC)
+	return b
+}
+
+// CreateMapped writes src's embeddings to path in the mapped layout. The
+// file is staged at path+".tmp" and renamed into place on success, so a
+// crash mid-write never leaves a half-written store at path.
+func CreateMapped(path string, src Store) error {
+	ids := make([]int64, 0, src.Len())
+	src.Range(func(id int64, _ []float64) bool {
+		ids = append(ids, id)
+		return true
+	})
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after the rename
+	if err := writeMapped(f, src, ids); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: write mapped store %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// writeMapped streams the index and row sections (computing their CRCs on
+// the way through), then seeks back and commits the real header.
+func writeMapped(f *os.File, src Store, sortedIDs []int64) error {
+	var zero [mappedHeaderSize]byte
+	if _, err := f.Write(zero[:]); err != nil {
+		return err
+	}
+	bw := newSectionWriter(f)
+	for _, id := range sortedIDs {
+		if err := bw.writeInt64(id); err != nil {
+			return err
+		}
+	}
+	indexCRC, err := bw.finishSection()
+	if err != nil {
+		return err
+	}
+	dim := src.Dim()
+	for _, id := range sortedIDs {
+		emb, ok := src.Lookup(id)
+		if !ok || len(emb) != dim {
+			return fmt.Errorf("store changed during write: node %d (dim %d, want %d)", id, len(emb), dim)
+		}
+		for _, v := range emb {
+			if err := bw.writeUint64(mathFloat64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	dataCRC, err := bw.finishSection()
+	if err != nil {
+		return err
+	}
+	h := mappedHeader{dim: uint32(dim), count: uint64(len(sortedIDs)), indexCRC: indexCRC, dataCRC: dataCRC}
+	hdr := h.encode()
+	_, err = f.WriteAt(hdr[:], 0)
+	return err
+}
+
+// mathFloat64bits avoids importing math for one call site.
+func mathFloat64bits(v float64) uint64 { return *(*uint64)(unsafe.Pointer(&v)) }
+
+// sectionWriter buffers little-endian writes to f while teeing them
+// through a CRC64, resettable per section.
+type sectionWriter struct {
+	f   *os.File
+	buf []byte
+	crc uint64
+}
+
+func newSectionWriter(f *os.File) *sectionWriter {
+	return &sectionWriter{f: f, buf: make([]byte, 0, 1<<16)}
+}
+
+func (w *sectionWriter) writeInt64(v int64) error { return w.writeUint64(uint64(v)) }
+
+func (w *sectionWriter) writeUint64(v uint64) error {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+	if len(w.buf) >= 1<<16 {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *sectionWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	w.crc = crc64.Update(w.crc, crcTable, w.buf)
+	_, err := w.f.Write(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+// finishSection flushes and returns the section's CRC, resetting it for
+// the next section.
+func (w *sectionWriter) finishSection() (uint64, error) {
+	if err := w.flush(); err != nil {
+		return 0, err
+	}
+	crc := w.crc
+	w.crc = 0
+	return crc, nil
+}
+
+// OpenMapped maps the store at path. Open is O(1) regardless of store
+// size: it reads and verifies only the 64-byte header (magic, header
+// checksum, and that the declared geometry matches the file size), then
+// maps the file read-only. Use Verify to additionally checksum the index
+// and row sections.
+func OpenMapped(path string) (*MappedStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < mappedHeaderSize {
+		return nil, fmt.Errorf("serve: mapped store %s truncated: %d bytes, want at least the %d-byte header",
+			path, size, mappedHeaderSize)
+	}
+	var hdr [mappedHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("serve: mapped store %s: read header: %w", path, err)
+	}
+	if string(hdr[0:8]) != string(mappedMagic[:]) {
+		return nil, fmt.Errorf("serve: mapped store %s: bad magic %q at offset 0 (want %q)",
+			path, hdr[0:8], mappedMagic[:])
+	}
+	wantHeaderCRC := binary.LittleEndian.Uint64(hdr[40:48])
+	if got := crc64.Checksum(hdr[:mappedCRCRange], crcTable); got != wantHeaderCRC {
+		return nil, fmt.Errorf("serve: mapped store %s: header checksum mismatch at offset 40: got %#016x, want %#016x",
+			path, got, wantHeaderCRC)
+	}
+	dim := binary.LittleEndian.Uint32(hdr[8:12])
+	count := binary.LittleEndian.Uint64(hdr[16:24])
+	if dim > 1<<20 || count > 1<<40 || (count > 0 && dim == 0) {
+		return nil, fmt.Errorf("serve: mapped store %s: implausible header at offset 8 (dim=%d count=%d)",
+			path, dim, count)
+	}
+	indexBytes := count * 8
+	rowBytes := count * uint64(dim) * 8
+	want := int64(mappedHeaderSize + indexBytes + rowBytes)
+	if size < want {
+		return nil, fmt.Errorf("serve: mapped store %s truncated at offset %d: %d bytes, header at offset 16 declares %d (count=%d dim=%d)",
+			path, size, size, want, count, dim)
+	}
+	if size > want {
+		return nil, fmt.Errorf("serve: mapped store %s: %d trailing bytes past offset %d (count=%d dim=%d)",
+			path, size-want, want, count, dim)
+	}
+	data, mapped, err := mmapFile(f, size)
+	if err != nil {
+		return nil, fmt.Errorf("serve: mmap %s: %w", path, err)
+	}
+	s := &MappedStore{
+		path:   path,
+		data:   data,
+		ids:    bytesToInt64s(data[mappedHeaderSize : mappedHeaderSize+indexBytes]),
+		rows:   bytesToFloat64s(data[mappedHeaderSize+indexBytes : want]),
+		dim:    int(dim),
+		count:  int(count),
+		mapped: mapped,
+	}
+	return s, nil
+}
+
+// Lookup returns the stored embedding for id. The returned slice is a
+// view straight into the mapped file — read-only, copy before retaining,
+// invalid after Close (see Store).
+func (s *MappedStore) Lookup(id int64) ([]float64, bool) {
+	if s == nil || s.count == 0 {
+		return nil, false
+	}
+	i := sort.Search(len(s.ids), func(j int) bool { return s.ids[j] >= id })
+	if i == len(s.ids) || s.ids[i] != id {
+		return nil, false
+	}
+	return s.rows[i*s.dim : (i+1)*s.dim : (i+1)*s.dim], true
+}
+
+// Len returns the number of stored embeddings.
+func (s *MappedStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.count
+}
+
+// Dim returns the embedding dimensionality (0 for an empty store).
+func (s *MappedStore) Dim() int {
+	if s == nil {
+		return 0
+	}
+	return s.dim
+}
+
+// Range iterates the stored embeddings in ascending id order. The emb
+// slice aliases the mapped region, valid only for the callback.
+func (s *MappedStore) Range(fn func(id int64, emb []float64) bool) {
+	if s == nil {
+		return
+	}
+	for i, id := range s.ids {
+		if !fn(id, s.rows[i*s.dim:(i+1)*s.dim:(i+1)*s.dim]) {
+			return
+		}
+	}
+}
+
+// WriteTo copies the store's raw bytes — the mapped file already is the
+// serialization, so this is a single contiguous write.
+func (s *MappedStore) WriteTo(w io.Writer) (int64, error) {
+	if s == nil || s.data == nil {
+		h := mappedHeader{}
+		hdr := h.encode()
+		n, err := w.Write(hdr[:])
+		return int64(n), err
+	}
+	n, err := w.Write(s.data)
+	return int64(n), err
+}
+
+// Verify checksums the index and row sections against the header — the
+// full-file integrity check deferred from open. It faults in every page,
+// so it costs one sequential read of the file.
+func (s *MappedStore) Verify() error {
+	if s == nil || s.data == nil {
+		return nil
+	}
+	indexEnd := mappedHeaderSize + len(s.ids)*8
+	wantIndex := binary.LittleEndian.Uint64(s.data[24:32])
+	if got := crc64.Checksum(s.data[mappedHeaderSize:indexEnd], crcTable); got != wantIndex {
+		return fmt.Errorf("serve: mapped store %s: index checksum mismatch (section at offset %d): got %#016x, want %#016x",
+			s.path, mappedHeaderSize, got, wantIndex)
+	}
+	wantData := binary.LittleEndian.Uint64(s.data[32:40])
+	if got := crc64.Checksum(s.data[indexEnd:], crcTable); got != wantData {
+		return fmt.Errorf("serve: mapped store %s: row checksum mismatch (section at offset %d): got %#016x, want %#016x",
+			s.path, indexEnd, got, wantData)
+	}
+	return nil
+}
+
+// Path returns the file the store was opened from.
+func (s *MappedStore) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// Close unmaps the file. Slices previously returned by Lookup/Range are
+// invalid afterwards. Close is idempotent.
+func (s *MappedStore) Close() error {
+	if s == nil || s.data == nil {
+		return nil
+	}
+	data, mapped := s.data, s.mapped
+	s.data, s.ids, s.rows, s.count, s.dim = nil, nil, nil, 0, 0
+	if mapped {
+		return munmapFile(data)
+	}
+	return nil
+}
+
+// bytesToInt64s reinterprets b as little-endian int64s. On little-endian
+// hosts with aligned input this is a zero-copy cast; otherwise it falls
+// back to an allocating decode (correct everywhere, paid only on exotic
+// platforms or unaligned heap buffers).
+func bytesToInt64s(b []byte) []int64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// bytesToFloat64s reinterprets b as little-endian float64s; same cast /
+// fallback split as bytesToInt64s.
+func bytesToFloat64s(b []byte) []float64 {
+	n := len(b) / 8
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		bits := binary.LittleEndian.Uint64(b[i*8:])
+		out[i] = *(*float64)(unsafe.Pointer(&bits))
+	}
+	return out
+}
+
+// hostLittleEndian reports whether the native byte order matches the
+// file's little-endian layout, deciding whether the zero-copy casts above
+// are legal.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()

@@ -1,0 +1,526 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"agl/internal/gnn"
+)
+
+// randomEmbeddings builds n random embeddings with mixed-sign ids,
+// including NaN/Inf payloads so bit-identity (not float equality) is what
+// the property tests actually check.
+func randomEmbeddings(seed int64, n, dim int) map[int64][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	embs := make(map[int64][]float64, n)
+	for len(embs) < n {
+		id := int64(rng.Intn(4*n)) - int64(2*n)
+		h := make([]float64, dim)
+		for j := range h {
+			switch rng.Intn(20) {
+			case 0:
+				h[j] = math.NaN()
+			case 1:
+				h[j] = math.Inf(1 - 2*rng.Intn(2))
+			case 2:
+				h[j] = 0
+			default:
+				h[j] = rng.NormFloat64()
+			}
+		}
+		embs[id] = h
+	}
+	return embs
+}
+
+// mappedFromMem round-trips a MemStore through the mapped layout and opens
+// it, closing on test cleanup.
+func mappedFromMem(t *testing.T, src *MemStore) *MappedStore {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "store.aglmap")
+	if err := CreateMapped(path, src); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ms.Close() })
+	return ms
+}
+
+// TestMappedStoreMatchesMemStore is the backend-equivalence property: for
+// random embeddings, every Store method must answer bit-identically over
+// the mmap backend and the heap backend.
+func TestMappedStoreMatchesMemStore(t *testing.T) {
+	embs := randomEmbeddings(11, 600, 7)
+	mem, err := NewStore(8, embs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := mappedFromMem(t, mem)
+
+	if mapped.Len() != mem.Len() || mapped.Dim() != mem.Dim() {
+		t.Fatalf("mapped len/dim %d/%d, mem %d/%d", mapped.Len(), mapped.Dim(), mem.Len(), mem.Dim())
+	}
+	// Present ids: bit-identical rows. Absent ids: both miss.
+	for id := int64(-1500); id < 1500; id++ {
+		me, mok := mem.Lookup(id)
+		pe, pok := mapped.Lookup(id)
+		if mok != pok {
+			t.Fatalf("id %d: mem ok=%v mapped ok=%v", id, mok, pok)
+		}
+		if !mok {
+			continue
+		}
+		for j := range me {
+			if math.Float64bits(me[j]) != math.Float64bits(pe[j]) {
+				t.Fatalf("id %d dim %d: mem %x mapped %x", id, j,
+					math.Float64bits(me[j]), math.Float64bits(pe[j]))
+			}
+		}
+	}
+	// Range must visit the identical (id, row) set.
+	got := make(map[int64][]float64, mapped.Len())
+	mapped.Range(func(id int64, emb []float64) bool {
+		got[id] = append([]float64(nil), emb...)
+		return true
+	})
+	if len(got) != len(embs) {
+		t.Fatalf("Range visited %d ids, want %d", len(got), len(embs))
+	}
+	for id, want := range embs {
+		for j := range want {
+			if math.Float64bits(got[id][j]) != math.Float64bits(want[j]) {
+				t.Fatalf("Range id %d dim %d mismatch", id, j)
+			}
+		}
+	}
+	if err := mapped.Verify(); err != nil {
+		t.Fatalf("Verify on a freshly written store: %v", err)
+	}
+}
+
+// TestMappedStoreWriteToRoundTrip: WriteTo emits the file bytes verbatim,
+// and those bytes re-open as an identical store.
+func TestMappedStoreWriteToRoundTrip(t *testing.T) {
+	mem, err := NewStore(4, randomEmbeddings(13, 64, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := mappedFromMem(t, mem)
+
+	var buf bytes.Buffer
+	if _, err := mapped.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := os.ReadFile(mapped.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), disk) {
+		t.Fatal("WriteTo bytes differ from the backing file")
+	}
+	copyPath := filepath.Join(t.TempDir(), "copy.aglmap")
+	if err := os.WriteFile(copyPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenMapped(copyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Len() != mem.Len() || back.Verify() != nil {
+		t.Fatalf("round-tripped store len=%d verify=%v", back.Len(), back.Verify())
+	}
+}
+
+// TestMappedStoreEmpty pins the degenerate geometry: zero embeddings is a
+// valid store on both the write and read sides, and a closed/nil store
+// answers like an empty one.
+func TestMappedStoreEmpty(t *testing.T) {
+	empty := &MemStore{shards: make([]storeShard, 1)}
+	path := filepath.Join(t.TempDir(), "empty.aglmap")
+	if err := CreateMapped(path, empty); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Len() != 0 || ms.Dim() != 0 {
+		t.Fatalf("empty store len=%d dim=%d", ms.Len(), ms.Dim())
+	}
+	if _, ok := ms.Lookup(1); ok {
+		t.Fatal("empty store returned a row")
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, ok := ms.Lookup(1); ok {
+		t.Fatal("closed store returned a row")
+	}
+	var nilStore *MappedStore
+	if nilStore.Len() != 0 || nilStore.Dim() != 0 {
+		t.Fatal("nil store not empty")
+	}
+}
+
+// TestOpenMappedCorruption is the table-driven corruption suite for the
+// mmap layout: every damaged fixture must be rejected at open with an
+// error naming what broke and where.
+func TestOpenMappedCorruption(t *testing.T) {
+	mem, err := NewStore(2, randomEmbeddings(17, 40, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	goodPath := filepath.Join(dir, "good.aglmap")
+	if err := CreateMapped(goodPath, mem); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(goodPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"empty file", func(b []byte) []byte { return nil }, "truncated"},
+		{"shorter than header", func(b []byte) []byte { return b[:40] }, "truncated"},
+		{"bad magic", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			copy(out[0:8], "NOTASTOR")
+			return out
+		}, "bad magic"},
+		{"header bit flip", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[16] ^= 0x01 // count byte: header CRC must catch it
+			return out
+		}, "header checksum mismatch"},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-9] }, "truncated"},
+		{"trailing bytes", func(b []byte) []byte { return append(append([]byte(nil), b...), 0, 0, 0) }, "trailing bytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, strings.ReplaceAll(tc.name, " ", "_")+".aglmap")
+			if err := os.WriteFile(path, tc.mutate(good), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := OpenMapped(path)
+			if err == nil {
+				t.Fatal("corrupted store opened")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestMappedStoreVerifyDetectsSectionCorruption: payload damage that the
+// O(1) open intentionally does not scan for must be caught by Verify, with
+// the broken section named.
+func TestMappedStoreVerifyDetectsSectionCorruption(t *testing.T) {
+	mem, err := NewStore(2, randomEmbeddings(19, 40, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodPath := filepath.Join(t.TempDir(), "good.aglmap")
+	if err := CreateMapped(goodPath, mem); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(goodPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexEnd := mappedHeaderSize + mem.Len()*8
+
+	cases := []struct {
+		name    string
+		offset  int
+		wantSub string
+	}{
+		{"index flip", mappedHeaderSize + 3, "index checksum mismatch"},
+		{"row flip", indexEnd + 5, "row checksum mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := append([]byte(nil), good...)
+			bad[tc.offset] ^= 0x40
+			path := filepath.Join(t.TempDir(), "bad.aglmap")
+			if err := os.WriteFile(path, bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ms, err := OpenMapped(path) // open is O(1): payload damage passes
+			if err != nil {
+				t.Fatalf("open after payload flip should succeed (header intact): %v", err)
+			}
+			defer ms.Close()
+			verr := ms.Verify()
+			if verr == nil {
+				t.Fatal("Verify missed the flipped byte")
+			}
+			if !strings.Contains(verr.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", verr, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestReadStoreCorruption is the table-driven corruption suite for the
+// heap-store serialization (AGLEMB02): truncations, bad magic, and payload
+// damage must produce descriptive offset-bearing errors, and the legacy
+// checksum-less AGLEMB01 layout must still load.
+func TestReadStoreCorruption(t *testing.T) {
+	mem, err := NewStore(3, randomEmbeddings(23, 50, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := mem.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"empty file", func(b []byte) []byte { return nil }, "header truncated"},
+		{"magic only", func(b []byte) []byte { return b[:8] }, "header truncated"},
+		{"bad magic", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			copy(out[0:8], "AGLEMB99")
+			return out
+		}, "bad store magic"},
+		{"truncated mid shard", func(b []byte) []byte { return b[:len(b)/2] }, "truncated in shard"},
+		{"truncated before final checksum", func(b []byte) []byte { return b[:len(b)-4] }, "truncated in shard"},
+		{"payload bit flip", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(out)/2] ^= 0x10
+			return out
+		}, "checksum mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadStore(bytes.NewReader(tc.mutate(good)))
+			if err == nil {
+				t.Fatal("corrupted store accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), "offset") && tc.name != "bad magic" {
+				t.Fatalf("error %q carries no offset", err)
+			}
+		})
+	}
+
+	t.Run("legacy v1 accepted", func(t *testing.T) {
+		// A v1 file is the v2 layout minus the per-shard checksums: strip
+		// them by re-encoding by hand.
+		v1 := legacyV1Bytes(t, mem)
+		back, err := ReadStore(bytes.NewReader(v1))
+		if err != nil {
+			t.Fatalf("legacy store rejected: %v", err)
+		}
+		if back.Len() != mem.Len() || back.Dim() != mem.Dim() {
+			t.Fatalf("legacy round trip len=%d dim=%d, want %d/%d",
+				back.Len(), back.Dim(), mem.Len(), mem.Dim())
+		}
+	})
+}
+
+// legacyV1Bytes encodes a store in the AGLEMB01 layout (no shard CRCs).
+func legacyV1Bytes(t *testing.T, s *MemStore) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write(storeMagicV1[:])
+	le := func(v any) {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	le(uint32(len(s.shards)))
+	le(uint32(s.dim))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		le(uint64(len(sh.ids)))
+		le(sh.ids)
+		le(sh.data)
+	}
+	return buf.Bytes()
+}
+
+// TestLookupAliasingContract pins the documented Lookup contract on both
+// backends: the returned view is capacity-capped (an append cannot clobber
+// the neighboring row) and a caller-side copy is fully detached.
+func TestLookupAliasingContract(t *testing.T) {
+	embs := randomEmbeddings(29, 100, 4)
+	mem, err := NewStore(4, embs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := mappedFromMem(t, mem)
+
+	for _, backend := range []struct {
+		name  string
+		store Store
+	}{
+		{"mem", mem},
+		{"mmap", mapped},
+	} {
+		t.Run(backend.name, func(t *testing.T) {
+			var someID int64
+			backend.store.Range(func(id int64, _ []float64) bool {
+				someID = id
+				return false
+			})
+			v, ok := backend.store.Lookup(someID)
+			if !ok {
+				t.Fatal("lookup miss")
+			}
+			if cap(v) != len(v) {
+				t.Fatalf("Lookup view has spare capacity (%d > %d): an append would scribble on the backend",
+					cap(v), len(v))
+			}
+			// The documented pattern — copy before retaining — must detach.
+			cp := append([]float64(nil), v...)
+			cp[0] = math.Pi
+			after, _ := backend.store.Lookup(someID)
+			if math.Float64bits(after[0]) == math.Float64bits(math.Pi) &&
+				math.Float64bits(v[0]) != math.Float64bits(math.Pi) {
+				t.Fatal("mutating a copy reached the backend")
+			}
+		})
+	}
+}
+
+// TestServeBackendsBitIdentical runs the serving tier's Score and
+// ScoreLink over both store backends: identical requests must produce
+// bit-identical answers, because the backends differ only in where the
+// bytes live.
+func TestServeBackendsBitIdentical(t *testing.T) {
+	g, model, inf := testLinkGraph(t, gnn.EdgeHeadBilinear)
+	mem, err := NewStore(8, inf.Embeddings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := mappedFromMem(t, mem)
+
+	memSrv, err := New(Config{Seed: 4}, model, g, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer memSrv.Close()
+	model2, err := gnn.UnmarshalModel(mustMarshal(t, model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapSrv, err := New(Config{Seed: 4}, model2, g, mapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapSrv.Close()
+
+	ctx := context.Background()
+	ids := g.IDs()
+	for i := 0; i < 40; i++ {
+		id := ids[i*5%len(ids)]
+		a, err := memSrv.Score(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := mapSrv.Score(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range a {
+			if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+				t.Fatalf("node %d dim %d: mem %v mmap %v", id, j, a[j], b[j])
+			}
+		}
+	}
+	for i := 0; i < 25; i++ {
+		src, dst := ids[i], ids[(i*13+7)%len(ids)]
+		if src == dst {
+			continue
+		}
+		a, err := memSrv.ScoreLink(ctx, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := mapSrv.ScoreLink(ctx, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("pair (%d,%d): mem %v mmap %v", src, dst, a, b)
+		}
+	}
+	if st := mapSrv.Stats(); st.Warm == 0 {
+		t.Fatalf("mapped server never served warm: %+v", st)
+	}
+}
+
+// TestStoreNilAndEmptyReceivers pins the zero-value contracts both
+// backends share: nil stores answer empty, and a nil MappedStore still
+// serializes a valid (empty) header.
+func TestStoreNilAndEmptyReceivers(t *testing.T) {
+	var mem *MemStore
+	if mem.Len() != 0 || mem.Dim() != 0 {
+		t.Fatal("nil MemStore reports non-empty")
+	}
+	if _, ok := mem.Lookup(1); ok {
+		t.Fatal("nil MemStore resolved a lookup")
+	}
+	mem.Range(func(int64, []float64) bool { t.Fatal("Range callback on nil store"); return true })
+
+	var mapped *MappedStore
+	if mapped.Len() != 0 || mapped.Dim() != 0 {
+		t.Fatal("nil MappedStore reports non-empty")
+	}
+	mapped.Range(func(int64, []float64) bool { t.Fatal("Range callback on nil store"); return true })
+	var buf bytes.Buffer
+	if _, err := mapped.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != mappedHeaderSize {
+		t.Fatalf("nil MappedStore wrote %d bytes, want the bare %d-byte header", buf.Len(), mappedHeaderSize)
+	}
+}
+
+// TestStoreRangeEarlyStop: returning false must end the iteration on
+// both backends.
+func TestStoreRangeEarlyStop(t *testing.T) {
+	src, err := NewStore(4, randomEmbeddings(11, 50, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := mappedFromMem(t, src)
+	for name, st := range map[string]Store{"mem": src, "mmap": mapped} {
+		seen := 0
+		st.Range(func(int64, []float64) bool {
+			seen++
+			return false
+		})
+		if seen != 1 {
+			t.Fatalf("%s: Range visited %d rows after a stop", name, seen)
+		}
+	}
+}
