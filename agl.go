@@ -326,7 +326,43 @@ type (
 	// (positional errors, partial-failure semantics), and how many cache
 	// entries and store rows were invalidated.
 	ApplyResult = serve.ApplyResult
+	// ShedError reports a cold-path request rejected by admission control
+	// (the server is saturated); it carries a RetryAfter hint and unwraps
+	// to ErrOverloaded. aglserve maps it to HTTP 429 + Retry-After.
+	ShedError = serve.ShedError
+	// FlightSample is one interval of the Server's always-on metrics
+	// flight recorder (queue depth, batch occupancy, shed/expired counts,
+	// warm/cold latency percentiles). Read a recorder file with
+	// ReadFlightFile or cmd/aglmetrics.
+	FlightSample = serve.FlightSample
 )
+
+// ValidationError reports one rejected configuration field from any
+// Validate() (FlatConfig, InferConfig, TrainConfig, ServeConfig). Field is
+// the qualified name ("FlatConfig.Hops"); branch on it with errors.As.
+type ValidationError = core.ValidationError
+
+// Serving-tier error sentinels, usable with errors.Is on Score/ScoreLink/
+// Apply failures.
+var (
+	// ErrServerClosed marks a request against a shut-down Server.
+	ErrServerClosed = serve.ErrClosed
+	// ErrUnknownNode marks a request for a node absent from both the
+	// store and the graph.
+	ErrUnknownNode = serve.ErrUnknownNode
+	// ErrOverloaded is the sentinel every ShedError unwraps to.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrExpired marks a request dropped from a micro-batch because its
+	// ctx deadline could not be met; it unwraps to
+	// context.DeadlineExceeded.
+	ErrExpired = serve.ErrExpired
+)
+
+// ReadFlightFile decodes a Server flight-recorder file (ServeConfig.
+// FlightPath) into oldest-first samples.
+func ReadFlightFile(path string) ([]FlightSample, error) {
+	return serve.ReadFlightFile(path)
+}
 
 // NewEmbeddingStore builds a sharded heap embedding store, typically from
 // InferResult.Embeddings (run Infer with KeepEmbeddings set). numShards
@@ -358,12 +394,21 @@ func OpenMappedStore(path string) (*MappedEmbeddingStore, error) {
 // in which case every request takes the cold forward-pass path. Close the
 // returned Server when done.
 //
+// The serving API is context-first: srv.Score(ctx, id), srv.ScoreLink(ctx,
+// src, dst) and srv.Apply(ctx, muts) all honor ctx deadlines end to end —
+// a cold request whose deadline cannot be met is dropped from its
+// micro-batch before the forward pass runs (ErrExpired), and under
+// saturation cold requests are shed fast with a *ShedError instead of
+// queueing (errors.Is ErrOverloaded; warm and cached requests are never
+// shed). The deprecated no-context Server.ApplyNoCtx remains for one
+// release.
+//
 // The served graph is dynamic: srv.Apply commits mutation batches (built
 // with AddNode/AddEdge/RemoveEdge/UpdateNodeFeat) and invalidates exactly
 // the affected cached scores and store rows, so every request after Apply
 // returns reflects the mutated graph:
 //
-//	res, _ := srv.Apply([]agl.Mutation{
+//	res, _ := srv.Apply(ctx, []agl.Mutation{
 //		agl.AddEdge(42, 7, 1.0),
 //		agl.UpdateNodeFeat(7, newFeat),
 //	})
@@ -373,6 +418,11 @@ func OpenMappedStore(path string) (*MappedEmbeddingStore, error) {
 // with srv.ScoreLink(ctx, src, dst): warm pairs are two store lookups plus
 // one pairwise-head forward, unseen endpoints fall back to the cold
 // extraction path.
+//
+// Always-on observability: the server samples per-interval counters into a
+// fixed-size flight-recorder ring (ServeConfig.FlightPath mirrors it to a
+// compact binary file); srv.Flight() snapshots it and cmd/aglmetrics reads
+// a dump post-hoc.
 func Serve(cfg ServeConfig, m *Model, g *Graph, store EmbeddingStore) (*Server, error) {
 	return serve.New(cfg, m, g, store)
 }

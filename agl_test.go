@@ -116,7 +116,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	// Stream a mutation through the public API: the affected node must be
 	// invalidated and rescored, the version must advance.
 	feat := make([]float64, ds.G.FeatureDim())
-	res2, err := srv.Apply([]agl.Mutation{agl.UpdateNodeFeat(ids[0], feat)})
+	res2, err := srv.Apply(context.Background(), []agl.Mutation{agl.UpdateNodeFeat(ids[0], feat)})
 	if err != nil {
 		t.Fatal(err)
 	}

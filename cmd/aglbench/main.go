@@ -36,7 +36,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aglbench: ")
 
-	exp := flag.String("exp", "all", "comma-separated experiments: table1|table2|table3|table4|table5|fig7|fig8|shuffle|serve|update|link|train|oocore|all")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1|table2|table3|table4|table5|fig7|fig8|shuffle|serve|update|link|train|oocore|overload|all")
 	quick := flag.Bool("quick", false, "CI-scale datasets and epochs")
 	seed := flag.Int64("seed", 1, "global seed")
 	verbose := flag.Bool("v", false, "progress logging")
@@ -180,6 +180,8 @@ func main() {
 			run("train", func() (fmt.Stringer, error) { return experiments.TrainPerf(opt) })
 		case "oocore":
 			run("oocore", func() (fmt.Stringer, error) { return experiments.OOCore(opt) })
+		case "overload":
+			run("overload", func() (fmt.Stringer, error) { return experiments.Overload(opt) })
 		default:
 			fatalf("unknown experiment %q", name)
 		}

@@ -13,7 +13,16 @@
 //	POST /update                 stream graph mutations (single or batch)
 //	GET  /mutations?since=V      catch-up feed of applied batches (410 when trimmed)
 //	GET  /stats                  request + mutation accounting
+//	GET  /metrics?last=N         flight-recorder snapshot (newest N samples)
 //	GET  /healthz                liveness
+//
+// Every error response uses one JSON envelope,
+// {"error":{"code":"...","message":"..."}}, with stable codes:
+// bad_request, not_found, gone, overloaded (429, with Retry-After),
+// deadline_exceeded, canceled, unavailable, internal. -deadline bounds
+// each request end to end; under cold-path saturation (-shed) requests are
+// rejected with 429 instead of queueing. -flight mirrors the always-on
+// metrics ring to a fixed-size file readable with aglmetrics.
 //
 // /update accepts one mutation object or a batch:
 //
@@ -78,6 +87,13 @@ func main() {
 	saveStoreMmap := flag.String("save-store-mmap", "", "write the precomputed store to this file in the mmap layout")
 	cacheSize := flag.Int("cache", 4096, "LRU score-cache entries")
 	maxBatch := flag.Int("max-batch", 64, "micro-batch size cap")
+	maxWait := flag.Duration("max-wait", 0, "micro-batch linger: wait up to this long for batch companions (0 flushes greedily)")
+	queueDepth := flag.Int("queue", 0, "cold-path queue depth (0 selects 4*max-batch)")
+	shed := flag.Int("shed", 0, "cold requests in flight before admission control sheds with 429 (0 selects the queue depth)")
+	deadline := flag.Duration("deadline", 0, "per-request deadline enforced end to end (0 disables; clients can only shorten it)")
+	flightPath := flag.String("flight", "", "mirror the always-on metrics ring to this flight-recorder file (read it with aglmetrics)")
+	flightSlots := flag.Int("flight-slots", 0, "flight-recorder ring capacity in samples (0 selects 3600)")
+	flightInterval := flag.Duration("flight-interval", 0, "flight-recorder sampling period (0 selects 1s)")
 	flag.Parse()
 
 	if *nodePath == "" || *edgePath == "" {
@@ -169,7 +185,9 @@ func main() {
 
 	srv, err := serve.New(serve.Config{
 		MaxNeighbors: *maxNeighbors, Strategy: strat, Seed: *seed,
-		CacheSize: *cacheSize, MaxBatch: *maxBatch,
+		CacheSize: *cacheSize, MaxBatch: *maxBatch, MaxWait: *maxWait,
+		QueueDepth: *queueDepth, ShedThreshold: *shed,
+		FlightPath: *flightPath, FlightSlots: *flightSlots, FlightInterval: *flightInterval,
 	}, model, g, store)
 	if err != nil {
 		log.Fatal(err)
@@ -179,12 +197,12 @@ func main() {
 	mux.HandleFunc("GET /score", func(w http.ResponseWriter, r *http.Request) {
 		id, err := strconv.ParseInt(r.URL.Query().Get("node"), 10, 64)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad node parameter: %w", err))
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("bad node parameter: %w", err))
 			return
 		}
 		scores, err := srv.Score(r.Context(), id)
 		if err != nil {
-			httpError(w, statusFor(err), err)
+			serveError(w, err)
 			return
 		}
 		writeJSON(w, map[string]any{"node": id, "scores": scores})
@@ -192,17 +210,17 @@ func main() {
 	mux.HandleFunc("GET /link", func(w http.ResponseWriter, r *http.Request) {
 		src, err := strconv.ParseInt(r.URL.Query().Get("src"), 10, 64)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad src parameter: %w", err))
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("bad src parameter: %w", err))
 			return
 		}
 		dst, err := strconv.ParseInt(r.URL.Query().Get("dst"), 10, 64)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad dst parameter: %w", err))
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("bad dst parameter: %w", err))
 			return
 		}
 		logit, err := srv.ScoreLink(r.Context(), src, dst)
 		if err != nil {
-			httpError(w, statusFor(err), err)
+			serveError(w, err)
 			return
 		}
 		// score is the sigmoid link probability; logit the raw head output.
@@ -216,7 +234,7 @@ func main() {
 			Nodes []int64 `json:"nodes"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("bad request body: %w", err))
 			return
 		}
 		scores, errs := srv.ScoreMany(r.Context(), req.Nodes)
@@ -240,7 +258,7 @@ func main() {
 					break
 				}
 			}
-			httpError(w, statusFor(first), first)
+			serveError(w, first)
 			return
 		}
 		resp := map[string]any{"scores": out}
@@ -252,12 +270,12 @@ func main() {
 	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
 		muts, decodeErrs, err := decodeMutations(r)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, "bad_request", err)
 			return
 		}
-		res, err := srv.Apply(muts)
+		res, err := srv.Apply(r.Context(), muts)
 		if err != nil {
-			httpError(w, statusFor(err), err)
+			serveError(w, err)
 			return
 		}
 		failed := map[string]string{}
@@ -277,7 +295,7 @@ func main() {
 		// is only an error status when nothing applied (same contract as
 		// POST /scores).
 		if res.Applied == 0 && len(failed) > 0 {
-			httpError(w, statusFor(first), first)
+			serveError(w, first)
 			return
 		}
 		resp := map[string]any{
@@ -295,14 +313,14 @@ func main() {
 		if q := r.URL.Query().Get("since"); q != "" {
 			v, err := strconv.ParseUint(q, 10, 64)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Errorf("bad since parameter: %w", err))
+				writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("bad since parameter: %w", err))
 				return
 			}
 			since = v
 		}
 		entries, ok := srv.MutationsSince(since)
 		if !ok {
-			httpError(w, http.StatusGone,
+			writeError(w, http.StatusGone, "gone",
 				fmt.Errorf("mutation log trimmed past version %d; resync from a fresh snapshot", since))
 			return
 		}
@@ -323,6 +341,32 @@ func main() {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, srv.Stats())
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		last := 60
+		if q := r.URL.Query().Get("last"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				writeError(w, http.StatusBadRequest, "bad_request",
+					fmt.Errorf("bad last parameter %q", q))
+				return
+			}
+			last = v
+		}
+		samples := srv.Flight()
+		if last > 0 && len(samples) > last {
+			samples = samples[len(samples)-last:]
+		}
+		if samples == nil {
+			samples = []serve.FlightSample{}
+		}
+		spec := srv.FlightInfo()
+		writeJSON(w, map[string]any{
+			"interval_ms": spec.Interval.Milliseconds(),
+			"slots":       spec.Slots,
+			"path":        spec.Path,
+			"samples":     samples,
+		})
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -332,7 +376,20 @@ func main() {
 	if store != nil {
 		storeLen = store.Len()
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	var handler http.Handler = mux
+	if *deadline > 0 {
+		// The edge deadline propagates through r.Context() into
+		// Score/ScoreLink/Apply and on into the micro-batcher, where a
+		// request that can no longer make it is dropped before the forward
+		// pass (408 deadline_exceeded at this edge).
+		d := *deadline
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			mux.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		log.Printf("serving %d nodes on %s (store: %d embeddings)", g.NumNodes(), *addr, storeLen)
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -389,27 +446,55 @@ func decodeMutations(r *http.Request) ([]graph.Mutation, []error, error) {
 	return []graph.Mutation{single}, make([]error, 1), nil
 }
 
-func statusFor(err error) int {
+// errStatus maps a serving-tier error to its HTTP status and stable
+// machine-readable code. Codes are part of the API (documented in README):
+// clients branch on error.code, never on the message text.
+func errStatus(err error) (int, string) {
 	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		return http.StatusTooManyRequests, "overloaded"
 	case errors.Is(err, serve.ErrUnknownNode), errors.Is(err, graph.ErrUnknownNode),
 		errors.Is(err, graph.ErrUnknownEdge):
-		return http.StatusNotFound
+		return http.StatusNotFound, "not_found"
 	case errors.Is(err, graph.ErrBadMutation), errors.Is(err, graph.ErrDuplicateNode),
 		errors.Is(err, serve.ErrNoEdgeHead):
-		return http.StatusBadRequest
+		return http.StatusBadRequest, "bad_request"
 	case errors.Is(err, serve.ErrClosed):
-		return http.StatusServiceUnavailable
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return http.StatusRequestTimeout
+		return http.StatusServiceUnavailable, "unavailable"
+	case errors.Is(err, context.DeadlineExceeded):
+		// Covers serve.ErrExpired too: the request was dropped from its
+		// micro-batch because the deadline could not be met.
+		return http.StatusRequestTimeout, "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout, "canceled"
 	default:
-		return http.StatusInternalServerError
+		return http.StatusInternalServerError, "internal"
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, err error) {
+// serveError writes the envelope for an error coming out of the Server,
+// deriving status and code; shed responses carry a Retry-After hint.
+func serveError(w http.ResponseWriter, err error) {
+	status, code := errStatus(err)
+	var shed *serve.ShedError
+	if errors.As(err, &shed) {
+		secs := int((shed.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeError(w, status, code, err)
+}
+
+// writeError emits the stable JSON error envelope shared by every
+// endpoint: {"error":{"code":"...","message":"..."}}.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{"code": code, "message": err.Error()},
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -107,6 +108,48 @@ func trainCfgLayers(l int) TrainConfig {
 	c := TrainConfig{}
 	c.Model.Layers = l
 	return c
+}
+
+// TestValidationErrorTyped table-tests the typed-error mapping: every
+// Validate rejection across the pipeline configs is a *ValidationError
+// whose Field is the qualified public name, so callers branch on the
+// field instead of parsing message strings.
+func TestValidationErrorTyped(t *testing.T) {
+	cases := []struct {
+		name  string
+		err   error
+		field string
+	}{
+		{"flat hops", FlatConfig{Hops: -1}.Validate(), "FlatConfig.Hops"},
+		{"flat neighbors", FlatConfig{MaxNeighbors: -2}.Validate(), "FlatConfig.MaxNeighbors"},
+		{"flat partitions", FlatConfig{Partitions: 3}.Validate(), "FlatConfig.Partitions"},
+		{"flat mr knob", FlatConfig{NumReducers: -1}.Validate(), "FlatConfig.NumReducers"},
+		{"infer edge targets", InferConfig{EdgeTargets: []EdgeTarget{{Src: 1, Dst: 2}}}.Validate(), "InferConfig.EdgeTargets"},
+		{"infer mr knob", InferConfig{MaxAttempts: -1}.Validate(), "InferConfig.MaxAttempts"},
+		{"train lr", TrainConfig{LR: math.NaN()}.Validate(), "TrainConfig.LR"},
+		{"train dropout", trainCfgDropout(1.5).Validate(), "TrainConfig.Model.Dropout"},
+		{"train neg ratio", TrainConfig{NegativeRatio: 2}.Validate(), "TrainConfig.NegativeRatio"},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+			continue
+		}
+		var verr *ValidationError
+		if !errors.As(tc.err, &verr) {
+			t.Errorf("%s: error %T is not a *ValidationError", tc.name, tc.err)
+			continue
+		}
+		if verr.Field != tc.field {
+			t.Errorf("%s: Field = %q, want %q", tc.name, verr.Field, tc.field)
+		}
+		if verr.Reason == "" {
+			t.Errorf("%s: empty Reason", tc.name)
+		}
+		if want := verr.Field + ": " + verr.Reason; tc.err.Error() != want {
+			t.Errorf("%s: Error() = %q, want %q", tc.name, tc.err.Error(), want)
+		}
+	}
 }
 
 // TestValidationRejectsBeforeRunning: the pipeline entry points surface

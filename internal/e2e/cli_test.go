@@ -19,14 +19,22 @@ import (
 	"time"
 
 	"agl/internal/datagen"
+	"agl/internal/gnn"
 	"agl/internal/graph"
+	"agl/internal/nn"
+	"agl/internal/serve"
 )
 
-// buildCmds compiles the CLIs into dir.
+// buildCmds compiles the offline-pipeline CLIs into dir.
 func buildCmds(t *testing.T, dir string) map[string]string {
+	return buildSome(t, dir, "graphflat", "graphtrainer", "graphinfer", "aglserve")
+}
+
+// buildSome compiles the named CLIs into dir.
+func buildSome(t *testing.T, dir string, names ...string) map[string]string {
 	t.Helper()
 	bins := map[string]string{}
-	for _, name := range []string{"graphflat", "graphtrainer", "graphinfer", "aglserve"} {
+	for _, name := range names {
 		bin := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", bin, "agl/cmd/"+name)
 		cmd.Dir = repoRoot(t)
@@ -541,5 +549,220 @@ func TestCLILinkPipelineEndToEnd(t *testing.T) {
 		if resp.StatusCode != tc.want {
 			t.Fatalf("GET %s: status %d, want %d", tc.url, resp.StatusCode, tc.want)
 		}
+	}
+}
+
+// errEnvelope is the stable JSON error shape every aglserve endpoint
+// emits: {"error":{"code":"...","message":"..."}}.
+type errEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// getEnvelope fetches url and decodes the error envelope, returning the
+// raw response for header/status assertions.
+func getEnvelope(t *testing.T, url string) (*http.Response, errEnvelope) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env errEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("GET %s: decode envelope: %v", url, err)
+	}
+	return resp, env
+}
+
+// TestCLIServeOverloadEndToEnd drives aglserve's production-hardening
+// surface over real HTTP: admission control answering with the
+// machine-readable 429 envelope + Retry-After, the server-wide -deadline
+// expiring a request as the 408 envelope, the 400 envelope for malformed
+// parameters, the live GET /metrics ring snapshot, and the post-mortem
+// flight-recorder file read back with aglmetrics.
+//
+// Saturation is deterministic, not a timing race: with -shed 1 a single
+// admitted cold request lingers in the micro-batcher for -max-wait
+// waiting for companions admission control can never let in, holding the
+// only admission slot while the probes arrive.
+func TestCLIServeOverloadEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bins := buildSome(t, dir, "aglserve", "aglmetrics")
+
+	ds, err := datagen.UUG(datagen.UUGConfig{Nodes: 200, FeatDim: 8, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodePath := filepath.Join(dir, "nodes.tsv")
+	edgePath := filepath.Join(dir, "edges.tsv")
+	nf, err := os.Create(nodePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteNodeTable(nf, ds.G.Nodes); err != nil {
+		t.Fatal(err)
+	}
+	nf.Close()
+	ef, err := os.Create(edgePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeTable(ef, ds.G.Edges); err != nil {
+		t.Fatal(err)
+	}
+	ef.Close()
+
+	// An untrained model is enough: this test exercises the serving
+	// control plane, not score quality.
+	model, err := gnn.NewModel(gnn.Config{
+		Kind: gnn.KindGCN, InDim: 8, Hidden: 8, Classes: 1, Layers: 2,
+		Act: nn.ActTanh, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := gnn.MarshalModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath := filepath.Join(dir, "model.agl")
+	if err := os.WriteFile(modelPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	flightPath := filepath.Join(dir, "flight.aglfr")
+	addr := freeAddr(t)
+	serveCmd := exec.Command(bins["aglserve"],
+		"-m", modelPath, "-n", nodePath, "-e", edgePath,
+		"-seed", "3", "-precompute=false",
+		"-max-batch", "2", "-max-wait", "5s", "-queue", "1", "-shed", "1",
+		"-deadline", "500ms", "-cache", "8",
+		"-flight", flightPath, "-flight-interval", "100ms",
+		"-addr", addr)
+	var serveOut bytes.Buffer
+	serveCmd.Stdout = &serveOut
+	serveCmd.Stderr = &serveOut
+	if err := serveCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		serveCmd.Process.Kill()
+		serveCmd.Wait()
+	}()
+	waitHealthy(t, addr, &serveOut)
+
+	// The hold: one cold request admits, then lingers in the batcher.
+	holdURL := fmt.Sprintf("http://%s/score?node=%d", addr, ds.G.Nodes[0].ID)
+	type holdResult struct {
+		resp *http.Response
+		env  errEnvelope
+	}
+	holdCh := make(chan holdResult, 1)
+	go func() {
+		resp, err := http.Get(holdURL)
+		if err != nil {
+			holdCh <- holdResult{}
+			return
+		}
+		defer resp.Body.Close()
+		var env errEnvelope
+		json.NewDecoder(resp.Body).Decode(&env)
+		holdCh <- holdResult{resp, env}
+	}()
+
+	// Wait until the hold owns the admission slot (ColdPending gauge).
+	var pending struct{ ColdPending int64 }
+	holdDeadline := time.Now().Add(10 * time.Second)
+	for {
+		getJSON(t, "http://"+addr+"/stats", &pending)
+		if pending.ColdPending >= 1 {
+			break
+		}
+		if time.Now().After(holdDeadline) {
+			t.Fatalf("hold request never admitted; server log:\n%s", serveOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Probe: admission control must shed with the full 429 contract.
+	probeURL := fmt.Sprintf("http://%s/score?node=%d", addr, ds.G.Nodes[1].ID)
+	resp, env := getEnvelope(t, probeURL)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("probe during saturation: status %d, want 429", resp.StatusCode)
+	}
+	if env.Error.Code != "overloaded" || env.Error.Message == "" {
+		t.Fatalf("shed envelope %+v", env)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 carried no Retry-After header")
+	}
+
+	// The held request must expire at the server-wide 500ms deadline and
+	// come back as the 408 envelope — never as a success served late.
+	hold := <-holdCh
+	if hold.resp == nil {
+		t.Fatal("hold request failed at transport level")
+	}
+	if hold.resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("held request: status %d, want 408", hold.resp.StatusCode)
+	}
+	if hold.env.Error.Code != "deadline_exceeded" {
+		t.Fatalf("held request envelope %+v", hold.env)
+	}
+
+	// Malformed parameter: same envelope shape, stable code.
+	resp, env = getEnvelope(t, "http://"+addr+"/score?node=notanumber")
+	if resp.StatusCode != http.StatusBadRequest || env.Error.Code != "bad_request" {
+		t.Fatalf("bad parameter: status %d, envelope %+v", resp.StatusCode, env)
+	}
+
+	// Live ring snapshot: the shed and the expiry must show up in the
+	// per-interval samples once the next tick lands.
+	time.Sleep(250 * time.Millisecond)
+	var metrics struct {
+		IntervalMs int64                `json:"interval_ms"`
+		Slots      int                  `json:"slots"`
+		Path       string               `json:"path"`
+		Samples    []serve.FlightSample `json:"samples"`
+	}
+	getJSON(t, "http://"+addr+"/metrics?last=100", &metrics)
+	if metrics.IntervalMs != 100 || metrics.Path != flightPath {
+		t.Fatalf("metrics spec: %+v", metrics)
+	}
+	var liveShed uint64
+	for _, s := range metrics.Samples {
+		liveShed += uint64(s.Shed)
+	}
+	if len(metrics.Samples) == 0 || liveShed == 0 {
+		t.Fatalf("live ring: %d samples, %d shed — recorder missed the overload",
+			len(metrics.Samples), liveShed)
+	}
+
+	// Post-mortem: kill the server hard (no graceful close) and read the
+	// flight file with aglmetrics — incident forensics must not depend on
+	// a clean shutdown.
+	serveCmd.Process.Kill()
+	serveCmd.Wait()
+	dump := run(t, bins["aglmetrics"], "-i", flightPath)
+	if !strings.Contains(dump, "totals:") {
+		t.Fatalf("aglmetrics table output:\n%s", dump)
+	}
+	jsonDump := run(t, bins["aglmetrics"], "-i", flightPath, "-json")
+	var fileShed uint64
+	for _, line := range strings.Split(strings.TrimSpace(jsonDump), "\n") {
+		var s serve.FlightSample
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("aglmetrics -json line %q: %v", line, err)
+		}
+		fileShed += uint64(s.Shed)
+	}
+	if fileShed == 0 {
+		t.Fatal("flight file recorded no shed samples")
 	}
 }

@@ -1,0 +1,337 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agl/internal/core"
+	"agl/internal/datagen"
+	"agl/internal/gnn"
+	"agl/internal/mapreduce"
+	"agl/internal/nn"
+	"agl/internal/serve"
+)
+
+// OverloadResult records the traffic-hardening experiment: a server with a
+// deliberately small cold-path capacity driven at ~10x saturation by
+// deadline-carrying cold attackers while paced warm clients keep scoring.
+// It demonstrates graceful degradation — warm traffic is never shed and
+// its p99 stays close to the unloaded baseline, overload is answered with
+// explicit ShedErrors instead of queueing, no success is ever delivered
+// past its deadline, and the flight recorder covers the whole run. It is
+// the perf anchor for admission control and deadline propagation — re-run
+// it after serve/ changes.
+type OverloadResult struct {
+	Nodes        int
+	WarmClients  int
+	Attackers    int
+	ColdCapacity int // admission limit (ShedThreshold)
+
+	// Paced warm traffic, before and during the cold-path storm.
+	UnloadedP50, UnloadedP99 time.Duration
+	LoadedP50, LoadedP99     time.Duration
+	WarmRequests             int
+
+	// Attack outcomes. Attempts = OK + Shed + Expired.
+	ColdAttempts, ColdOK, ColdShed, ColdExpired int
+
+	// Hard invariants — the experiment fails unless both are zero.
+	WarmShed   int // warm requests rejected by admission control
+	LateServed int // successes delivered past deadline + grace
+
+	ShedFraction  float64 // ColdShed / ColdAttempts
+	DegradedRatio float64 // LoadedP99 / UnloadedP99
+
+	// Flight-recorder coverage of the run.
+	FlightSamples int
+	FlightSpan    time.Duration
+
+	Text string
+}
+
+func (r *OverloadResult) String() string { return r.Text }
+
+// Metrics implements the bench-regression contract (lower is better).
+// late_served and warm_shed carry a zero baseline: any occurrence is a
+// regression.
+func (r *OverloadResult) Metrics() map[string]float64 {
+	return map[string]float64{
+		"shed_fraction":           r.ShedFraction,
+		"degraded_warm_p99_ratio": r.DegradedRatio,
+		"late_served":             float64(r.LateServed),
+		"warm_shed":               float64(r.WarmShed),
+	}
+}
+
+// lateGrace pads client-side deadline accounting: the server never hands a
+// result past the deadline (wait checks ctx before delivery), but the
+// measuring goroutine can sit on the runqueue well after the channel
+// receive — tens of milliseconds on a loaded single-core CI box — so
+// "late" means beyond deadline+grace.
+const lateGrace = 100 * time.Millisecond
+
+// Overload runs the production-hardening load test.
+func Overload(opt Options) (*OverloadResult, error) {
+	nodes, perPhase, warmClients, attackers := 3000, 600, 4, 80
+	pace, flightInterval := 500*time.Microsecond, 150*time.Millisecond
+	if opt.Quick {
+		nodes, perPhase, warmClients, attackers = 1200, 300, 4, 80
+		pace, flightInterval = 300*time.Microsecond, 60*time.Millisecond
+	}
+	warmDeadline, coldDeadline := 500*time.Millisecond, 30*time.Millisecond
+
+	ds, err := datagen.UUG(datagen.UUGConfig{Nodes: nodes, FeatDim: 16, Seed: opt.Seed + 31})
+	if err != nil {
+		return nil, err
+	}
+	model, err := gnn.NewModel(gnn.Config{
+		Kind: gnn.KindGCN, InDim: ds.G.FeatureDim(), Hidden: 16, Classes: 1,
+		Layers: 2, Act: nn.ActTanh, Seed: opt.Seed + 32,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opt.logf("overload: GraphInfer precompute over %d nodes", nodes)
+	inf, err := core.Infer(core.InferConfig{Seed: opt.Seed, TempDir: opt.TempDir, NumReducers: 8, KeepEmbeddings: true},
+		model, mapreduce.MemInput(core.TableRecords(ds.G)))
+	if err != nil {
+		return nil, err
+	}
+
+	// 60% of the nodes are warm (embedding in the store); the rest always
+	// need a request-time forward pass and form the attack surface.
+	ids := ds.G.IDs()
+	warmCut := len(ids) * 6 / 10
+	warmIDs, coldIDs := ids[:warmCut], ids[warmCut:]
+	warmEmb := make(map[int64][]float64, len(warmIDs))
+	for _, id := range warmIDs {
+		warmEmb[id] = inf.Embeddings[id]
+	}
+	store, err := serve.NewStore(0, warmEmb)
+	if err != nil {
+		return nil, err
+	}
+
+	flightDir, err := os.MkdirTemp(opt.TempDir, "agl-overload-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(flightDir)
+	flightPath := filepath.Join(flightDir, "overload.aglfr")
+
+	// Tiny cold-path capacity so saturation is reachable at bench scale: at
+	// most 8 admitted cold requests in flight, batches of 4, a small cache
+	// so warm traffic genuinely exercises the store path.
+	cfg := serve.Config{
+		Seed: opt.Seed, MaxBatch: 4, QueueDepth: 8, ShedThreshold: 8,
+		CacheSize: 64, FlightPath: flightPath, FlightInterval: flightInterval,
+	}
+	srv, err := serve.New(cfg, model, ds.G, store)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	res := &OverloadResult{
+		Nodes: nodes, WarmClients: warmClients, Attackers: attackers,
+		ColdCapacity: cfg.ShedThreshold, WarmRequests: 2 * perPhase,
+	}
+
+	// Phase 1 — unloaded baseline: paced warm traffic, no cold pressure.
+	opt.logf("overload: unloaded warm baseline, %d requests", perPhase)
+	base, shed, late1, err := pacedWarm(srv, warmIDs[:perPhase], warmClients, pace, warmDeadline)
+	if err != nil {
+		return nil, err
+	}
+	res.WarmShed += shed
+	res.LateServed += late1
+	res.UnloadedP50, res.UnloadedP99 = base.p50(), base.p99()
+
+	// Phase 2 — storm: attackers hammer cold nodes with short deadlines at
+	// ~10x the admission capacity while the same paced warm traffic
+	// continues on fresh warm ids (no cache cross-talk with phase 1).
+	opt.logf("overload: storm phase, %d attackers vs capacity %d", attackers, cfg.ShedThreshold)
+	var (
+		stop                  atomic.Bool
+		nextCold              atomic.Int64
+		coldOK, coldShed      atomic.Int64
+		coldExpired, coldLate atomic.Int64
+		attackErr             atomic.Value
+		awg                   sync.WaitGroup
+	)
+	for a := 0; a < attackers; a++ {
+		awg.Add(1)
+		go func() {
+			defer awg.Done()
+			for !stop.Load() {
+				id := coldIDs[int(nextCold.Add(1))%len(coldIDs)]
+				ctx, cancel := context.WithTimeout(context.Background(), coldDeadline)
+				t0 := time.Now()
+				_, err := srv.Score(ctx, id)
+				elapsed := time.Since(t0)
+				cancel()
+				switch {
+				case err == nil:
+					coldOK.Add(1)
+					if elapsed > coldDeadline+lateGrace {
+						coldLate.Add(1)
+					}
+				case errors.Is(err, serve.ErrOverloaded):
+					coldShed.Add(1)
+					// Honor the shed: back off instead of spinning.
+					time.Sleep(time.Millisecond)
+				case errors.Is(err, context.DeadlineExceeded):
+					coldExpired.Add(1)
+				default:
+					attackErr.Store(err)
+					return
+				}
+				// Think time keeps the offered load far above capacity
+				// without parking 10x-capacity goroutines hot on the
+				// runqueue (which would skew client-side latency).
+				time.Sleep(500 * time.Microsecond)
+			}
+		}()
+	}
+	loaded, shed, late, err := pacedWarm(srv, warmIDs[perPhase:2*perPhase], warmClients, pace, warmDeadline)
+	stop.Store(true)
+	awg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	if err, ok := attackErr.Load().(error); ok {
+		return nil, err
+	}
+	res.WarmShed += shed
+	res.LateServed += late + int(coldLate.Load())
+	res.LoadedP50, res.LoadedP99 = loaded.p50(), loaded.p99()
+	res.ColdOK = int(coldOK.Load())
+	res.ColdShed = int(coldShed.Load())
+	res.ColdExpired = int(coldExpired.Load())
+	res.ColdAttempts = res.ColdOK + res.ColdShed + res.ColdExpired
+	if res.ColdAttempts > 0 {
+		res.ShedFraction = float64(res.ColdShed) / float64(res.ColdAttempts)
+	}
+	res.DegradedRatio = float64(res.LoadedP99) / math.Max(float64(res.UnloadedP99), 1)
+
+	// Hard invariants: overload must degrade explicitly, not silently.
+	if res.WarmShed > 0 {
+		return nil, fmt.Errorf("overload: %d warm request(s) shed — warm traffic must never hit admission control", res.WarmShed)
+	}
+	if res.LateServed > 0 {
+		return nil, fmt.Errorf("overload: %d result(s) served past deadline+%s (unloaded warm %d, storm warm %d, storm cold %d)",
+			res.LateServed, lateGrace, late1, late, coldLate.Load())
+	}
+	if res.ColdShed == 0 {
+		return nil, fmt.Errorf("overload: no requests shed at %dx cold-path saturation — admission control inert",
+			attackers/cfg.ShedThreshold)
+	}
+	stats := srv.Stats()
+	if stats.Shed != int64(res.ColdShed) {
+		return nil, fmt.Errorf("overload: server counted %d sheds, clients saw %d", stats.Shed, res.ColdShed)
+	}
+
+	// Flight-recorder audit: close flushes the final sample; the file must
+	// parse and its per-interval deltas must sum to the server totals —
+	// i.e. the recorder covered every request of the run.
+	if err := srv.Close(); err != nil {
+		return nil, err
+	}
+	samples, err := serve.ReadFlightFile(flightPath)
+	if err != nil {
+		return nil, fmt.Errorf("overload: flight file unreadable: %w", err)
+	}
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("overload: flight file holds %d sample(s), want >= 2 over the run", len(samples))
+	}
+	var ringReqs, ringShed uint64
+	for _, s := range samples {
+		ringReqs += uint64(s.Requests)
+		ringShed += uint64(s.Shed)
+	}
+	if ringReqs != uint64(stats.Requests+stats.LinkRequests) || ringShed != uint64(stats.Shed) {
+		return nil, fmt.Errorf("overload: flight ring covers %d requests / %d sheds, server counted %d / %d",
+			ringReqs, ringShed, stats.Requests+stats.LinkRequests, stats.Shed)
+	}
+	res.FlightSamples = len(samples)
+	res.FlightSpan = time.Duration(samples[len(samples)-1].UnixNanos - samples[0].UnixNanos)
+
+	rows := [][]string{
+		{"warm unloaded", fmt.Sprintf("%d", perPhase), fmtLatency(res.UnloadedP50), fmtLatency(res.UnloadedP99)},
+		{"warm under storm", fmt.Sprintf("%d", perPhase), fmtLatency(res.LoadedP50), fmtLatency(res.LoadedP99)},
+	}
+	res.Text = fmt.Sprintf(
+		"Overload: %d-node graph, cold capacity %d, %d attackers (~%dx), %d warm clients\n%s"+
+			"storm: %d cold attempts -> %d served, %d shed (%.0f%%), %d expired at %s deadline\n"+
+			"invariants: warm shed %d, served past deadline %d (grace %s)\n"+
+			"warm p99 degradation under storm: %.2fx unloaded\n"+
+			"flight recorder: %d samples over %s, deltas sum to server totals\n",
+		nodes, cfg.ShedThreshold, attackers, attackers/cfg.ShedThreshold, warmClients,
+		table([]string{"Warm phase", "Requests", "p50", "p99"}, rows),
+		res.ColdAttempts, res.ColdOK, res.ColdShed, 100*res.ShedFraction, res.ColdExpired, coldDeadline,
+		res.WarmShed, res.LateServed, lateGrace,
+		res.DegradedRatio,
+		res.FlightSamples, res.FlightSpan.Round(time.Millisecond))
+	return res, nil
+}
+
+// latSlice aggregates paced-phase latencies.
+type latSlice []time.Duration
+
+func (l latSlice) p50() time.Duration { return l[len(l)/2] }
+func (l latSlice) p99() time.Duration { return l[len(l)*99/100] }
+
+// pacedWarm drives deadline-carrying warm traffic at a fixed pace and
+// reports sorted latencies plus the shed and late counts (both of which
+// the caller treats as invariant violations).
+func pacedWarm(srv *serve.Server, ids []int64, clients int, pace, deadline time.Duration) (latSlice, int, int, error) {
+	lats := make(latSlice, len(ids))
+	var next atomic.Int64
+	var shed, late atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), deadline)
+				t0 := time.Now()
+				_, err := srv.Score(ctx, ids[i])
+				elapsed := time.Since(t0)
+				cancel()
+				if err != nil {
+					if errors.Is(err, serve.ErrOverloaded) {
+						shed.Add(1)
+						continue
+					}
+					firstErr.Store(fmt.Errorf("warm request for node %d: %w", ids[i], err))
+					return
+				}
+				lats[i] = elapsed
+				if elapsed > deadline+lateGrace {
+					late.Add(1)
+				}
+				time.Sleep(pace)
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return nil, 0, 0, err
+	}
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	return lats, int(shed.Load()), int(late.Load()), nil
+}

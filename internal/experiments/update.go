@@ -179,7 +179,7 @@ func Update(opt Options) (*UpdateResult, error) {
 					}
 				}
 				t0 := time.Now()
-				ar, err := srv.Apply(muts)
+				ar, err := srv.Apply(context.Background(), muts)
 				d := time.Since(t0)
 				if err != nil {
 					writersErr.Store(err)

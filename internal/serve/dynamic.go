@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+
 	"agl/internal/graph"
 )
 
@@ -157,10 +159,17 @@ type ApplyResult struct {
 //
 // Apply is safe to call concurrently with Score traffic and with other
 // Apply calls (batches serialize).
-func (s *Server) Apply(muts []graph.Mutation) (*ApplyResult, error) {
+//
+// ctx is honored at batch boundaries: a context already done when the
+// batch would commit aborts before mutating anything. A committed batch is
+// never rolled back by cancellation.
+func (s *Server) Apply(ctx context.Context, muts []graph.Mutation) (*ApplyResult, error) {
 	s.applyMu.Lock()
 	defer s.applyMu.Unlock()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -212,6 +221,14 @@ func (s *Server) Apply(muts []graph.Mutation) (*ApplyResult, error) {
 	s.mu.Unlock()
 	s.invalidations.Add(int64(res.Invalidated))
 	return res, nil
+}
+
+// ApplyNoCtx is the pre-context form of Apply.
+//
+// Deprecated: use Apply(ctx, muts); this wrapper is kept for one release
+// so existing callers migrate without a flag day.
+func (s *Server) ApplyNoCtx(muts []graph.Mutation) (*ApplyResult, error) {
+	return s.Apply(context.Background(), muts)
 }
 
 // Graph returns the server's current graph snapshot and its version. The

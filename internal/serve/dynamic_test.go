@@ -142,7 +142,7 @@ func testIncrementalConsistency(t *testing.T, backend string) {
 	for batch := 0; batch < 5; batch++ {
 		cur, _ := srv.Graph()
 		muts := randomMutations(rng, cur, &nextID, 1+rng.Intn(6))
-		ar, err := srv.Apply(muts)
+		ar, err := srv.Apply(context.Background(), muts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,7 +216,7 @@ func TestIncrementalConsistencySampled(t *testing.T) {
 	for batch := 0; batch < 4; batch++ {
 		cur, _ := srv.Graph()
 		muts := randomMutations(rng, cur, &nextID, 1+rng.Intn(5))
-		if _, err := srv.Apply(muts); err != nil {
+		if _, err := srv.Apply(context.Background(), muts); err != nil {
 			t.Fatal(err)
 		}
 		cur, _ = srv.Graph()
@@ -279,7 +279,7 @@ func TestInvalidationScope(t *testing.T) {
 		}
 	}
 	before := srv.Stats()
-	ar, err := srv.Apply([]graph.Mutation{graph.UpdateNodeFeat(0, []float64{9, 9})})
+	ar, err := srv.Apply(context.Background(), []graph.Mutation{graph.UpdateNodeFeat(0, []float64{9, 9})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +326,7 @@ func testDirtyRowReadmission(t *testing.T, backend string) {
 	defer srv.Close()
 
 	target := g.Nodes[0].ID
-	if _, err := srv.Apply([]graph.Mutation{
+	if _, err := srv.Apply(context.Background(), []graph.Mutation{
 		graph.UpdateNodeFeat(target, make([]float64, g.FeatureDim())),
 	}); err != nil {
 		t.Fatal(err)
@@ -372,7 +372,7 @@ func testDirtyRowReadmission(t *testing.T, backend string) {
 func TestApplyPartialFailureSemantics(t *testing.T) {
 	srv, _ := lineServer(t)
 	defer srv.Close()
-	ar, err := srv.Apply([]graph.Mutation{
+	ar, err := srv.Apply(context.Background(), []graph.Mutation{
 		graph.AddEdge(0, 2, 1),     // ok
 		graph.AddEdge(0, 12345, 1), // unknown node
 		graph.RemoveEdge(5, 0),     // unknown edge
@@ -388,7 +388,7 @@ func TestApplyPartialFailureSemantics(t *testing.T) {
 	}
 	// All-failed batch: version must not advance.
 	before := srv.Stats().Version
-	ar, err = srv.Apply([]graph.Mutation{graph.RemoveEdge(5, 0)})
+	ar, err = srv.Apply(context.Background(), []graph.Mutation{graph.RemoveEdge(5, 0)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -400,7 +400,7 @@ func TestApplyPartialFailureSemantics(t *testing.T) {
 func TestApplyAfterCloseFails(t *testing.T) {
 	srv, _ := lineServer(t)
 	srv.Close()
-	if _, err := srv.Apply([]graph.Mutation{graph.AddEdge(0, 2, 1)}); !errors.Is(err, ErrClosed) {
+	if _, err := srv.Apply(context.Background(), []graph.Mutation{graph.AddEdge(0, 2, 1)}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Apply after Close: %v", err)
 	}
 }
@@ -424,7 +424,7 @@ func TestAddNodeServed(t *testing.T) {
 	feat := make([]float64, g.FeatureDim())
 	feat[0] = 1
 	anchor := g.Nodes[3].ID
-	if _, err := srv.Apply([]graph.Mutation{
+	if _, err := srv.Apply(context.Background(), []graph.Mutation{
 		graph.AddNode(newID, feat),
 		graph.AddEdge(anchor, newID, 1),
 		graph.AddEdge(newID, anchor, 1),
@@ -464,7 +464,7 @@ func TestApplyDetachesInflightCalls(t *testing.T) {
 	srv.inflight[0] = c
 	srv.mu.Unlock()
 
-	if _, err := srv.Apply([]graph.Mutation{graph.UpdateNodeFeat(0, []float64{9, 9})}); err != nil {
+	if _, err := srv.Apply(context.Background(), []graph.Mutation{graph.UpdateNodeFeat(0, []float64{9, 9})}); err != nil {
 		t.Fatal(err)
 	}
 	srv.mu.Lock()
@@ -479,7 +479,7 @@ func TestApplyDetachesInflightCalls(t *testing.T) {
 	srv.mu.Lock()
 	srv.inflight[5] = c5
 	srv.mu.Unlock()
-	if _, err := srv.Apply([]graph.Mutation{graph.UpdateNodeFeat(0, []float64{8, 8})}); err != nil {
+	if _, err := srv.Apply(context.Background(), []graph.Mutation{graph.UpdateNodeFeat(0, []float64{8, 8})}); err != nil {
 		t.Fatal(err)
 	}
 	srv.mu.Lock()
@@ -513,10 +513,10 @@ func TestMutationsSince(t *testing.T) {
 	if entries, ok := srv.MutationsSince(0); !ok || len(entries) != 0 {
 		t.Fatalf("fresh log: entries %v ok %v", entries, ok)
 	}
-	if _, err := srv.Apply([]graph.Mutation{graph.AddEdge(0, 2, 1)}); err != nil {
+	if _, err := srv.Apply(context.Background(), []graph.Mutation{graph.AddEdge(0, 2, 1)}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.Apply([]graph.Mutation{
+	if _, err := srv.Apply(context.Background(), []graph.Mutation{
 		graph.UpdateNodeFeat(3, []float64{1, 1}),
 		graph.RemoveEdge(5, 0), // invalid: filtered out of the log
 	}); err != nil {

@@ -159,7 +159,7 @@ func TestScoreLinkMutationConsistency(t *testing.T) {
 	for i := range newFeat {
 		newFeat[i] = 9
 	}
-	res, err := srv.Apply([]graph.Mutation{graph.UpdateNodeFeat(src, newFeat)})
+	res, err := srv.Apply(context.Background(), []graph.Mutation{graph.UpdateNodeFeat(src, newFeat)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +20,11 @@ import (
 
 // ErrClosed is returned by Score once the server has shut down.
 var ErrClosed = errors.New("serve: server closed")
+
+// ErrExpired marks a request dropped from a micro-batch because its
+// deadline could not be met — the forward pass never ran for it.
+// errors.Is(err, context.DeadlineExceeded) holds.
+var ErrExpired = fmt.Errorf("serve: request expired before compute: %w", context.DeadlineExceeded)
 
 // ErrUnknownNode marks a request for a node absent from both the store
 // and the graph (a client error, unlike internal scoring failures).
@@ -53,27 +59,52 @@ type Config struct {
 	// QueueDepth bounds the pending-request channel (0 selects 4*MaxBatch).
 	// Enqueues beyond it block, providing backpressure.
 	QueueDepth int
+
+	// ShedThreshold caps cold-path requests in flight (admitted but not
+	// yet completed); beyond it new cold requests are rejected immediately
+	// with a ShedError instead of queueing into latency they cannot
+	// survive. 0 selects QueueDepth. Warm, cache-hit, and single-flight
+	// collapsed requests are never subject to admission.
+	ShedThreshold int
+
+	// FlightPath, when non-empty, mirrors the always-on metrics ring to a
+	// fixed-size binary flight-recorder file (see ring.go for the format),
+	// readable post-hoc with cmd/aglmetrics or ReadFlightFile.
+	FlightPath string
+	// FlightSlots is the ring capacity in samples (0 selects 3600 — one
+	// hour at the default interval).
+	FlightSlots int
+	// FlightInterval is the sampling period (0 selects 1s; < 0 disables
+	// the recorder entirely).
+	FlightInterval time.Duration
 }
 
-// Validate rejects nonsensical serving parameters.
+// Validate rejects nonsensical serving parameters. Failures are
+// *core.ValidationError with the public field name ("ServeConfig.Hops").
 func (c Config) Validate() error {
 	if c.Hops < 0 {
-		return fmt.Errorf("serve: Config.Hops must be >= 1 (0 selects the model depth), got %d", c.Hops)
+		return core.Invalidf("ServeConfig.Hops", "must be >= 1 (0 selects the model depth), got %d", c.Hops)
 	}
 	if c.MaxNeighbors < 0 {
-		return fmt.Errorf("serve: Config.MaxNeighbors must be >= 0 (0 disables sampling), got %d", c.MaxNeighbors)
+		return core.Invalidf("ServeConfig.MaxNeighbors", "must be >= 0 (0 disables sampling), got %d", c.MaxNeighbors)
 	}
 	if c.CacheSize < 0 {
-		return fmt.Errorf("serve: Config.CacheSize must be >= 0 (0 selects the default), got %d", c.CacheSize)
+		return core.Invalidf("ServeConfig.CacheSize", "must be >= 0 (0 selects the default), got %d", c.CacheSize)
 	}
 	if c.MaxBatch < 0 {
-		return fmt.Errorf("serve: Config.MaxBatch must be >= 0 (0 selects the default), got %d", c.MaxBatch)
+		return core.Invalidf("ServeConfig.MaxBatch", "must be >= 0 (0 selects the default), got %d", c.MaxBatch)
 	}
 	if c.MaxWait < 0 {
-		return fmt.Errorf("serve: Config.MaxWait must be >= 0 (0 selects the default), got %v", c.MaxWait)
+		return core.Invalidf("ServeConfig.MaxWait", "must be >= 0 (0 selects the default), got %v", c.MaxWait)
 	}
 	if c.QueueDepth < 0 {
-		return fmt.Errorf("serve: Config.QueueDepth must be >= 0 (0 selects the default), got %d", c.QueueDepth)
+		return core.Invalidf("ServeConfig.QueueDepth", "must be >= 0 (0 selects the default), got %d", c.QueueDepth)
+	}
+	if c.ShedThreshold < 0 {
+		return core.Invalidf("ServeConfig.ShedThreshold", "must be >= 0 (0 selects QueueDepth), got %d", c.ShedThreshold)
+	}
+	if c.FlightSlots < 0 {
+		return core.Invalidf("ServeConfig.FlightSlots", "must be >= 0 (0 selects the default), got %d", c.FlightSlots)
 	}
 	return nil
 }
@@ -94,6 +125,18 @@ func (c Config) withDefaults(modelLayers int) Config {
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 4 * c.MaxBatch
 	}
+	if c.ShedThreshold == 0 {
+		// Matching QueueDepth keeps the batcher's plain channel send
+		// non-blocking: admitted-but-unconsumed calls never exceed the
+		// channel capacity.
+		c.ShedThreshold = c.QueueDepth
+	}
+	if c.FlightSlots == 0 {
+		c.FlightSlots = 3600
+	}
+	if c.FlightInterval == 0 {
+		c.FlightInterval = time.Second
+	}
 	return c
 }
 
@@ -106,6 +149,10 @@ type Stats struct {
 	Cold      int64 // scored by a full forward pass over a k-hop extraction
 	Batches   int64 // micro-batches flushed
 	Errors    int64 // requests that failed (unknown node, shutdown, ...)
+
+	Shed        int64 // cold requests rejected by admission control (429 at the edge)
+	Expired     int64 // requests dropped from a batch past their deadline
+	ColdPending int64 // cold requests admitted but not yet completed (gauge)
 
 	LinkRequests int64 // ScoreLink calls
 	LinkWarm     int64 // pairs scored straight off two stored embeddings
@@ -174,9 +221,24 @@ type Server struct {
 	// eventually resolved.
 	queued atomic.Int64
 
+	// adm caps in-flight cold work; warm and cache traffic bypass it.
+	adm *admission
+
+	// flight is the always-on metrics ring, fed by the recorder goroutine
+	// every cfg.FlightInterval. flightMu guards the per-interval latency
+	// histograms (observed from request goroutines and the batcher).
+	flight      *FlightRing
+	flightStop  chan struct{}
+	flightDone  chan struct{}
+	flightMu    sync.Mutex
+	warmHist    latHist
+	coldHist    latHist
+	batchMaxWin atomic.Int64 // largest batch this flight interval
+
 	requests, hits, collapsed atomic.Int64
 	warm, cold                atomic.Int64
 	batches, errors           atomic.Int64
+	shed, expired             atomic.Int64
 	applies, mutations        atomic.Int64
 	invalidations, readmitted atomic.Int64
 
@@ -192,6 +254,34 @@ type call struct {
 	emb    []float64
 	err    error
 	done   chan struct{}
+
+	enq      time.Time // registration time, for cold-path latency accounting
+	admitted bool      // holds an admission slot (released on resolution)
+	// deadline is the latest deadline among all waiters, in UnixNanos
+	// (noDeadline when any waiter has none). Single-flight collapse only
+	// ever extends it, so a shared computation is dropped from a batch
+	// only when no waiter can still use the result.
+	deadline atomic.Int64
+}
+
+// noDeadline marks a call some waiter will wait on forever.
+const noDeadline = math.MaxInt64
+
+func deadlineOf(ctx context.Context) int64 {
+	if d, ok := ctx.Deadline(); ok {
+		return d.UnixNano()
+	}
+	return noDeadline
+}
+
+// extendDeadline raises the call's deadline to at least d (atomic max).
+func (c *call) extendDeadline(d int64) {
+	for {
+		cur := c.deadline.Load()
+		if cur >= d || c.deadline.CompareAndSwap(cur, d) {
+			return
+		}
+	}
 }
 
 // New starts a Server for model over g, optionally backed by an embedding
@@ -244,9 +334,20 @@ func New(cfg Config, model *gnn.Model, g *graph.Graph, store Store) (*Server, er
 		dirty:    make(map[int64]struct{}),
 		inflight: make(map[int64]*call),
 		ws:       tensor.NewWorkspace(),
+		adm:      newAdmission(cfg.ShedThreshold, cfg.MaxBatch),
 		reqs:     make(chan *call, cfg.QueueDepth),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+	}
+	if cfg.FlightInterval > 0 {
+		ring, err := NewFlightRing(cfg.FlightSlots, cfg.FlightPath)
+		if err != nil {
+			return nil, err
+		}
+		s.flight = ring
+		s.flightStop = make(chan struct{})
+		s.flightDone = make(chan struct{})
+		go s.recorder()
 	}
 	go s.batcher()
 	return s, nil
@@ -256,8 +357,19 @@ func New(cfg Config, model *gnn.Model, g *graph.Graph, store Store) (*Server, er
 // most once no matter how many goroutines ask concurrently. The returned
 // slice is shared with the score cache and other waiters and must not be
 // modified.
+//
+// ctx carries the request deadline end to end: a cold request whose
+// deadline passes while queued is dropped from its micro-batch before the
+// forward pass runs (ErrExpired, errors.Is context.DeadlineExceeded), and
+// a result is never delivered after the deadline even if the computation
+// finished. When the cold path is saturated (Config.ShedThreshold
+// requests already in flight), Score fails fast with a *ShedError
+// (errors.Is ErrOverloaded) carrying a retry hint, instead of queueing
+// work that cannot meet any deadline. Cache hits and warm requests
+// complete inline on the caller's goroutine and are never shed.
 func (s *Server) Score(ctx context.Context, node int64) ([]float64, error) {
 	s.requests.Add(1)
+	start := time.Now()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -271,10 +383,60 @@ func (s *Server) Score(ctx context.Context, node int64) ([]float64, error) {
 	}
 	if c, ok := s.inflight[node]; ok {
 		s.mu.Unlock()
+		c.extendDeadline(deadlineOf(ctx))
 		s.collapsed.Add(1)
 		return s.wait(ctx, c)
 	}
-	c := &call{id: node, done: make(chan struct{})}
+	if emb, ok := s.lookupEmbLocked(node); ok {
+		ver := s.version
+		s.mu.Unlock()
+		// Warm path, inline: the prediction slice is a pure function of
+		// the stored embedding, so it runs on the caller's goroutine and
+		// never queues behind cold-path batches — under cold saturation
+		// warm latency is untouched by design, not by luck.
+		scores := core.ScoresFromLogits(gnn.ApplyDense(s.head.Head, emb))
+		s.warm.Add(1)
+		s.observeWarm(time.Since(start))
+		s.mu.Lock()
+		if !s.closed && ver == s.version {
+			s.cache.add(node, scores)
+		}
+		s.mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			s.errors.Add(1)
+			return nil, err
+		}
+		return scores, nil
+	}
+	s.mu.Unlock()
+
+	// Cold path: everything below costs a k-hop extraction plus a shared
+	// forward pass, gated by admission control.
+	if err := ctx.Err(); err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	if err := s.adm.admit(); err != nil {
+		s.shed.Add(1)
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.adm.release()
+		s.errors.Add(1)
+		return nil, ErrClosed
+	}
+	if c, ok := s.inflight[node]; ok {
+		// Raced with another registration for the same node; join it.
+		s.mu.Unlock()
+		s.adm.release()
+		c.extendDeadline(deadlineOf(ctx))
+		s.collapsed.Add(1)
+		return s.wait(ctx, c)
+	}
+	c := &call{id: node, done: make(chan struct{}), enq: start, admitted: true}
+	c.deadline.Store(deadlineOf(ctx))
 	s.inflight[node] = c
 	s.queued.Add(1)
 	s.mu.Unlock()
@@ -284,8 +446,9 @@ func (s *Server) Score(ctx context.Context, node int64) ([]float64, error) {
 	// it here would fail them all with this caller's cancellation. The
 	// send cannot wedge — a call registered before close is always
 	// consumed by the batcher (or by its shutdown drain, which keeps
-	// receiving until the queued counter empties) — and this caller's
-	// own ctx is still honored below in wait.
+	// receiving until the queued counter empties), and admission bounds
+	// in-flight sends to the channel capacity — and this caller's own ctx
+	// is still honored below in wait.
 	s.reqs <- c
 	return s.wait(ctx, c)
 }
@@ -351,12 +514,12 @@ func (s *Server) ScoreLink(ctx context.Context, src, dst int64) (float64, error)
 	var cs, cd *call
 	var err error
 	if !okS {
-		if hs, cs, err = s.embedStart(src); err != nil {
+		if hs, cs, err = s.embedStart(ctx, src); err != nil {
 			return 0, err
 		}
 	}
 	if !okD {
-		if hd, cd, err = s.embedStart(dst); err != nil {
+		if hd, cd, err = s.embedStart(ctx, dst); err != nil {
 			return 0, err
 		}
 	}
@@ -379,8 +542,10 @@ func (s *Server) ScoreLink(ctx context.Context, src, dst int64) (float64, error)
 // returned call is registered with the batcher (sharing any in-flight
 // Score/ScoreLink computation for the same node, single-flight) and the
 // caller collects it with waitEmb. A dirty row recomputed this way
-// re-admits warm for everyone, same as node scoring.
-func (s *Server) embedStart(node int64) ([]float64, *call, error) {
+// re-admits warm for everyone, same as node scoring. Queueing a fresh
+// computation passes admission control: a saturated cold path sheds the
+// link request with a *ShedError instead of registering.
+func (s *Server) embedStart(ctx context.Context, node int64) ([]float64, *call, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -393,10 +558,31 @@ func (s *Server) embedStart(node int64) ([]float64, *call, error) {
 	}
 	if c, ok := s.inflight[node]; ok {
 		s.mu.Unlock()
+		c.extendDeadline(deadlineOf(ctx))
 		s.collapsed.Add(1)
 		return nil, c, nil
 	}
-	c := &call{id: node, done: make(chan struct{})}
+	s.mu.Unlock()
+	if err := s.adm.admit(); err != nil {
+		s.shed.Add(1)
+		return nil, nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.adm.release()
+		s.errors.Add(1)
+		return nil, nil, ErrClosed
+	}
+	if c, ok := s.inflight[node]; ok {
+		s.mu.Unlock()
+		s.adm.release()
+		c.extendDeadline(deadlineOf(ctx))
+		s.collapsed.Add(1)
+		return nil, c, nil
+	}
+	c := &call{id: node, done: make(chan struct{}), enq: time.Now(), admitted: true}
+	c.deadline.Store(deadlineOf(ctx))
 	s.inflight[node] = c
 	s.queued.Add(1)
 	s.mu.Unlock()
@@ -409,6 +595,13 @@ func (s *Server) embedStart(node int64) ([]float64, *call, error) {
 func (s *Server) waitEmb(ctx context.Context, c *call) ([]float64, error) {
 	select {
 	case <-c.done:
+		// Deadline first: a result that arrives past the caller's
+		// deadline is strictly never delivered, even when c.done and
+		// ctx.Done() race.
+		if err := ctx.Err(); err != nil {
+			s.errors.Add(1)
+			return nil, err
+		}
 		if c.err != nil {
 			s.errors.Add(1)
 			return nil, c.err
@@ -438,6 +631,9 @@ func (s *Server) Stats() Stats {
 		Cold:         s.cold.Load(),
 		Batches:      s.batches.Load(),
 		Errors:       s.errors.Load(),
+		Shed:         s.shed.Load(),
+		Expired:      s.expired.Load(),
+		ColdPending:  s.adm.pending.Load(),
 		LinkRequests: s.linkRequests.Load(),
 		LinkWarm:     s.linkWarm.Load(),
 		LinkCold:     s.linkCold.Load(),
@@ -451,6 +647,8 @@ func (s *Server) Stats() Stats {
 }
 
 // Close shuts the batcher down. In-flight requests fail with ErrClosed.
+// The flight recorder appends one final sample (so a run's tail is always
+// covered) before its file mirror is closed.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	already := s.closed
@@ -460,12 +658,23 @@ func (s *Server) Close() error {
 		close(s.stop)
 	}
 	<-s.done
+	if s.flight != nil {
+		if !already {
+			close(s.flightStop)
+		}
+		<-s.flightDone
+	}
 	return nil
 }
 
 func (s *Server) wait(ctx context.Context, c *call) ([]float64, error) {
 	select {
 	case <-c.done:
+		// Deadline first (see waitEmb): never deliver a success past it.
+		if err := ctx.Err(); err != nil {
+			s.errors.Add(1)
+			return nil, err
+		}
 		if c.err != nil {
 			s.errors.Add(1)
 		}
@@ -483,6 +692,9 @@ func (s *Server) fail(c *call, err error) {
 		delete(s.inflight, c.id)
 	}
 	s.mu.Unlock()
+	if c.admitted {
+		s.adm.release()
+	}
 	c.err = err
 	close(c.done)
 }
@@ -586,6 +798,7 @@ func (s *Server) lookupEmbLocked(id int64) ([]float64, bool) {
 // by an in-flight computation on the old version.
 func (s *Server) process(batch []*call) {
 	s.batches.Add(1)
+	s.recordBatch(len(batch))
 	var coldCalls []*call
 	var warmEmbs [][]float64 // parallel to the warm prefix handled inline
 
@@ -603,6 +816,36 @@ func (s *Server) process(batch []*call) {
 	}
 	s.mu.Unlock()
 
+	// Deadline triage before any compute. A warm entry (a row that turned
+	// warm between registration and processing) is dropped if its deadline
+	// has already passed; a cold entry is dropped if the deadline will
+	// have passed by the time this batch's forward pass can complete
+	// (EWMA service-time estimate) — spending the forward pass on it
+	// would only delay the batchmates that can still make theirs.
+	now := time.Now().UnixNano()
+	coldEst := int64(len(coldCalls)) * s.adm.perReqNs.Load()
+	keptW, keptE := warmCalls[:0], warmEmbs[:0]
+	for i, c := range warmCalls {
+		if c.deadline.Load() < now {
+			c.err = ErrExpired
+			s.expired.Add(1)
+			continue
+		}
+		keptW = append(keptW, c)
+		keptE = append(keptE, warmEmbs[i])
+	}
+	warmCalls, warmEmbs = keptW, keptE
+	kept := coldCalls[:0]
+	for _, c := range coldCalls {
+		if c.deadline.Load() < now+coldEst {
+			c.err = ErrExpired
+			s.expired.Add(1)
+			continue
+		}
+		kept = append(kept, c)
+	}
+	coldCalls = kept
+
 	for i, c := range warmCalls {
 		c.scores = core.ScoresFromLogits(gnn.ApplyDense(s.head.Head, warmEmbs[i]))
 		// Copy: warmEmbs[i] is a Lookup view into store memory, and c.emb
@@ -610,10 +853,12 @@ func (s *Server) process(batch []*call) {
 		// for a MappedStore the view also dies with Close).
 		c.emb = append([]float64(nil), warmEmbs[i]...)
 		s.warm.Add(1)
+		s.observeWarm(time.Since(c.enq))
 	}
 
+	coldStart := time.Now()
 	var coldRecs []*wire.TrainRecord
-	kept := coldCalls[:0]
+	kept = coldCalls[:0]
 	for _, c := range coldCalls {
 		rec, err := flat.GraphFeature(c.id)
 		if err != nil {
@@ -648,8 +893,10 @@ func (s *Server) process(batch []*call) {
 				c.scores = core.ScoresFromLogits(st.Logits.Row(i))
 				c.emb = append([]float64(nil), coldEmb.Row(i)...)
 				s.cold.Add(1)
+				s.observeCold(time.Since(c.enq))
 			}
 		}
+		s.adm.observe(len(coldRecs), time.Since(coldStart))
 	}
 
 	s.mu.Lock()
@@ -676,8 +923,156 @@ func (s *Server) process(batch []*call) {
 	}
 	s.mu.Unlock()
 	for _, c := range batch {
+		if c.admitted {
+			s.adm.release()
+		}
 		close(c.done)
 	}
+}
+
+// observeWarm folds one warm-path latency into the current flight interval.
+func (s *Server) observeWarm(d time.Duration) {
+	if s.flight == nil {
+		return
+	}
+	s.flightMu.Lock()
+	s.warmHist.observe(d.Microseconds())
+	s.flightMu.Unlock()
+}
+
+// observeCold folds one cold-path latency into the current flight interval.
+func (s *Server) observeCold(d time.Duration) {
+	if s.flight == nil {
+		return
+	}
+	s.flightMu.Lock()
+	s.coldHist.observe(d.Microseconds())
+	s.flightMu.Unlock()
+}
+
+// recordBatch tracks the largest batch drained this flight interval.
+func (s *Server) recordBatch(n int) {
+	for {
+		cur := s.batchMaxWin.Load()
+		if int64(n) <= cur || s.batchMaxWin.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// flightCounters is the recorder's previous-tick snapshot; samples carry
+// per-interval deltas so a flat line really means "nothing happened".
+type flightCounters struct {
+	requests, hits, warm, cold, batches int64
+	shed, expired, errs, applies        int64
+}
+
+func (s *Server) snapCounters() flightCounters {
+	return flightCounters{
+		requests: s.requests.Load() + s.linkRequests.Load(),
+		hits:     s.hits.Load(),
+		warm:     s.warm.Load() + s.linkWarm.Load(),
+		cold:     s.cold.Load() + s.linkCold.Load(),
+		batches:  s.batches.Load(),
+		shed:     s.shed.Load(),
+		expired:  s.expired.Load(),
+		errs:     s.errors.Load(),
+		applies:  s.applies.Load(),
+	}
+}
+
+// recorder is the flight-recorder goroutine: every cfg.FlightInterval it
+// appends one sample of counter deltas, gauges, and latency percentiles to
+// the ring (and its file mirror, when configured). One final sample is
+// taken at shutdown so the tail of a run is always covered.
+func (s *Server) recorder() {
+	defer close(s.flightDone)
+	defer s.flight.Close()
+	tick := time.NewTicker(s.cfg.FlightInterval)
+	defer tick.Stop()
+	// Baseline is server birth (all counters zero), not goroutine start:
+	// requests racing the recorder's spin-up must not vanish from the
+	// first interval's deltas — sum(samples) always equals the totals.
+	var prev flightCounters
+	for {
+		select {
+		case <-tick.C:
+			prev = s.sample(prev)
+		case <-s.flightStop:
+			s.sample(prev)
+			return
+		}
+	}
+}
+
+func (s *Server) sample(prev flightCounters) flightCounters {
+	cur := s.snapCounters()
+	s.flightMu.Lock()
+	warm50 := s.warmHist.percentile(0.50)
+	warm99 := s.warmHist.percentile(0.99)
+	cold50 := s.coldHist.percentile(0.50)
+	cold99 := s.coldHist.percentile(0.99)
+	s.warmHist.reset()
+	s.coldHist.reset()
+	s.flightMu.Unlock()
+	s.mu.Lock()
+	dirty := len(s.dirty)
+	s.mu.Unlock()
+	fs := FlightSample{
+		UnixNanos:  time.Now().UnixNano(),
+		QueueDepth: clampU32(s.adm.pending.Load()),
+		BatchMax:   clampU32(s.batchMaxWin.Swap(0)),
+		Requests:   clampU32(cur.requests - prev.requests),
+		CacheHits:  clampU32(cur.hits - prev.hits),
+		Warm:       clampU32(cur.warm - prev.warm),
+		Cold:       clampU32(cur.cold - prev.cold),
+		Batches:    clampU32(cur.batches - prev.batches),
+		Shed:       clampU32(cur.shed - prev.shed),
+		Expired:    clampU32(cur.expired - prev.expired),
+		Errors:     clampU32(cur.errs - prev.errs),
+		WarmP50us:  warm50,
+		WarmP99us:  warm99,
+		ColdP50us:  cold50,
+		ColdP99us:  cold99,
+		DirtyRows:  clampU32(int64(dirty)),
+		Applies:    clampU32(cur.applies - prev.applies),
+	}
+	s.flight.Append(fs) // best-effort: a failed file write keeps the in-memory ring going
+	return cur
+}
+
+func clampU32(v int64) uint32 {
+	if v < 0 {
+		return 0
+	}
+	if v > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(v)
+}
+
+// Flight returns the retained flight-recorder samples oldest-first (nil
+// when the recorder is disabled via a negative FlightInterval).
+func (s *Server) Flight() []FlightSample {
+	if s.flight == nil {
+		return nil
+	}
+	return s.flight.Samples()
+}
+
+// FlightSpec describes the recorder configuration for /metrics handlers.
+type FlightSpec struct {
+	Interval time.Duration
+	Slots    int
+	Path     string
+}
+
+// FlightInfo reports the recorder configuration (zero value if disabled).
+func (s *Server) FlightInfo() FlightSpec {
+	if s.flight == nil {
+		return FlightSpec{}
+	}
+	return FlightSpec{Interval: s.cfg.FlightInterval, Slots: s.cfg.FlightSlots, Path: s.cfg.FlightPath}
 }
 
 // lruCache is a minimal bounded LRU over score vectors. Callers hold the

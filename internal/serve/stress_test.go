@@ -175,7 +175,7 @@ func TestStressConcurrentScoreAndApply(t *testing.T) {
 						muts = append(muts, graph.UpdateNodeFeat(s, feat))
 					}
 				}
-				if _, err := srv.Apply(muts); err != nil {
+				if _, err := srv.Apply(context.Background(), muts); err != nil {
 					errs <- err
 					return
 				}
