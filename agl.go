@@ -38,6 +38,7 @@ import (
 	"agl/internal/graph"
 	"agl/internal/mapreduce"
 	"agl/internal/nn"
+	"agl/internal/placement"
 	"agl/internal/ps"
 	"agl/internal/sampling"
 	"agl/internal/serve"
@@ -388,6 +389,60 @@ func CreateMappedStore(path string, src EmbeddingStore) error {
 // checksum the full file, Close to unmap it.
 func OpenMappedStore(path string) (*MappedEmbeddingStore, error) {
 	return serve.OpenMapped(path)
+}
+
+// Cluster serving types. A fleet of replicas partitions the warm embedding
+// tier by node-id hash slot under an epoch-versioned placement table:
+// requests for non-owned nodes proxy to the owner, link scores
+// scatter-gather the two endpoint embeddings, mutations route to the
+// owning replica and fan out invalidations cluster-wide, and slots migrate
+// live between replicas with bit-correct results throughout (writes pause
+// briefly; reads never do). See cmd/aglserve's -peers/-replica-id/-slots
+// flags and README's "Running a cluster".
+type (
+	// PlacementTable is the epoch-versioned slot->replica ownership map.
+	// Build one with EvenPlacement, evolve it with WithOwner (epoch+1),
+	// persist it with WriteFile/ReadPlacementFile.
+	PlacementTable = placement.Table
+	// Replica wraps a Server into a cluster member: it owns the slots the
+	// placement table assigns it and routes everything else.
+	Replica = serve.Replica
+	// ClusterStats snapshots a Replica's routing and fan-out counters.
+	ClusterStats = serve.ClusterStats
+	// MigrateResult summarizes one live slot migration.
+	MigrateResult = serve.MigrateResult
+	// EpochError reports a request fenced for carrying a stale placement
+	// epoch; it unwraps to ErrStaleEpoch and is retryable after refetching
+	// the table. aglserve maps it to HTTP 409 "stale_epoch".
+	EpochError = placement.EpochError
+)
+
+// ErrStaleEpoch is the sentinel every EpochError unwraps to.
+var ErrStaleEpoch = placement.ErrStaleEpoch
+
+// PlacementSlots is the default hash-slot count for cluster placement.
+const PlacementSlots = placement.DefaultSlots
+
+// SlotOf maps a node id to its hash slot.
+func SlotOf(id int64, slots int) int { return placement.SlotOf(id, slots) }
+
+// EvenPlacement builds an epoch-1 table spreading slots round-robin over
+// the replica addresses.
+func EvenPlacement(replicas []string, slots int) (*PlacementTable, error) {
+	return placement.Even(replicas, slots)
+}
+
+// ReadPlacementFile loads a placement table written with
+// PlacementTable.WriteFile.
+func ReadPlacementFile(path string) (*PlacementTable, error) {
+	return placement.ReadFile(path)
+}
+
+// NewReplica wraps srv into a cluster replica listening on listen for
+// peer RPCs. Call Join with the cluster's placement table to go live, and
+// Close on shutdown.
+func NewReplica(id int, srv *Server, listen string) (*Replica, error) {
+	return serve.NewReplica(id, srv, listen)
 }
 
 // Serve starts an online inference server for m over g. store may be nil,

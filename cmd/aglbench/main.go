@@ -182,6 +182,8 @@ func main() {
 			run("oocore", func() (fmt.Stringer, error) { return experiments.OOCore(opt) })
 		case "overload":
 			run("overload", func() (fmt.Stringer, error) { return experiments.Overload(opt) })
+		case "cluster":
+			run("cluster", func() (fmt.Stringer, error) { return experiments.Cluster(opt) })
 		default:
 			fatalf("unknown experiment %q", name)
 		}

@@ -16,6 +16,23 @@
 //	GET  /metrics?last=N         flight-recorder snapshot (newest N samples)
 //	GET  /healthz                liveness
 //
+// Cluster mode (see "Running a cluster" in README.md): -peers lists every
+// replica's internal RPC address and -replica-id says which one this
+// process is. The warm embedding tier is partitioned across replicas by
+// node-id hash slot (-slots, default 256); requests for nodes this replica
+// does not own are proxied to the owner, link scores scatter-gather the
+// two endpoint embeddings, and /update mutations route to the owning
+// replica and fan out invalidations cluster-wide. Three extra endpoints
+// exist only in cluster mode:
+//
+//	GET  /placement              current epoch + slot->replica table
+//	GET  /cluster                replica routing/fan-out counters
+//	POST /admin/migrate?slot=S&to=R   live-migrate one slot to replica R
+//
+// A request carrying a placement epoch the replica has moved past fails
+// with 409 {"error":{"code":"stale_epoch",...}} — retryable after
+// refetching /placement.
+//
 // Every error response uses one JSON envelope,
 // {"error":{"code":"...","message":"..."}}, with stable codes:
 // bad_request, not_found, gone, overloaded (429, with Retry-After),
@@ -56,6 +73,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"time"
 
 	"agl/internal/core"
@@ -63,9 +81,21 @@ import (
 	"agl/internal/graph"
 	"agl/internal/mapreduce"
 	"agl/internal/nn"
+	"agl/internal/placement"
 	"agl/internal/sampling"
 	"agl/internal/serve"
 )
+
+// scoreAPI is the request surface the HTTP handlers route through. In
+// single-process mode it is the *serve.Server itself; in cluster mode it
+// is the *serve.Replica wrapper, which proxies non-owned nodes to the
+// owning replica and fans out mutations cluster-wide.
+type scoreAPI interface {
+	Score(ctx context.Context, node int64) ([]float64, error)
+	ScoreMany(ctx context.Context, nodes []int64) ([][]float64, []error)
+	ScoreLink(ctx context.Context, src, dst int64) (float64, error)
+	Apply(ctx context.Context, muts []graph.Mutation) (*serve.ApplyResult, error)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -94,6 +124,10 @@ func main() {
 	flightPath := flag.String("flight", "", "mirror the always-on metrics ring to this flight-recorder file (read it with aglmetrics)")
 	flightSlots := flag.Int("flight-slots", 0, "flight-recorder ring capacity in samples (0 selects 3600)")
 	flightInterval := flag.Duration("flight-interval", 0, "flight-recorder sampling period (0 selects 1s)")
+	peers := flag.String("peers", "", "cluster mode: comma-separated internal RPC addresses, one per replica (index = replica id)")
+	replicaID := flag.Int("replica-id", 0, "cluster mode: this process's index into -peers")
+	slots := flag.Int("slots", placement.DefaultSlots, "cluster mode: hash-slot count (must match across replicas)")
+	placementPath := flag.String("placement", "", "cluster mode: load the slot->replica table from this file instead of the even default")
 	flag.Parse()
 
 	if *nodePath == "" || *edgePath == "" {
@@ -116,6 +150,32 @@ func main() {
 	strat, err := sampling.Parse(*strategy)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Cluster membership resolves before the store is built so the warm
+	// tier can be partitioned: each replica keeps only the embeddings it
+	// owns under the placement table.
+	clusterMode := *peers != ""
+	var (
+		peerList []string
+		table    *placement.Table
+	)
+	if clusterMode {
+		peerList = strings.Split(*peers, ",")
+		if *replicaID < 0 || *replicaID >= len(peerList) {
+			log.Fatalf("-replica-id %d out of range for %d peers", *replicaID, len(peerList))
+		}
+		if *placementPath != "" {
+			table, err = placement.ReadFile(*placementPath)
+		} else {
+			table, err = placement.Even(peerList, *slots)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := table.Validate(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var store serve.Store
@@ -156,12 +216,25 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ms, err := serve.NewStore(0, res.Embeddings)
+		embs := res.Embeddings
+		if clusterMode {
+			// Keep only the owned shard: non-owned nodes proxy to their
+			// owner, so holding their rows would just triple warm memory.
+			owned := make(map[int64][]float64)
+			for id, emb := range embs {
+				if table.OwnerOf(id) == *replicaID {
+					owned[id] = emb
+				}
+			}
+			embs = owned
+		}
+		ms, err := serve.NewStore(0, embs)
 		if err != nil {
 			log.Fatal(err)
 		}
 		store = ms
-		log.Printf("precomputed %d embeddings in %s", ms.Len(), time.Since(t0).Round(time.Millisecond))
+		log.Printf("precomputed %d embeddings, kept %d in %s",
+			len(res.Embeddings), ms.Len(), time.Since(t0).Round(time.Millisecond))
 		if *saveStore != "" {
 			f, err := os.Create(*saveStore)
 			if err != nil {
@@ -193,6 +266,25 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// In cluster mode every request routes through the Replica: owned nodes
+	// serve locally, everything else proxies to the owner over the internal
+	// RPC mesh, and link scores scatter-gather the two endpoint embeddings.
+	var api scoreAPI = srv
+	var rep *serve.Replica
+	if clusterMode {
+		rep, err = serve.NewReplica(*replicaID, srv, peerList[*replicaID])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.Join(table); err != nil {
+			log.Fatal(err)
+		}
+		api = rep
+		log.Printf("cluster replica %d/%d on %s: epoch %d, %d/%d slots owned",
+			*replicaID, len(peerList), rep.Addr(), table.Epoch,
+			len(table.SlotsOf(*replicaID)), table.Slots())
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /score", func(w http.ResponseWriter, r *http.Request) {
 		id, err := strconv.ParseInt(r.URL.Query().Get("node"), 10, 64)
@@ -200,7 +292,7 @@ func main() {
 			writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("bad node parameter: %w", err))
 			return
 		}
-		scores, err := srv.Score(r.Context(), id)
+		scores, err := api.Score(r.Context(), id)
 		if err != nil {
 			serveError(w, err)
 			return
@@ -218,7 +310,7 @@ func main() {
 			writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("bad dst parameter: %w", err))
 			return
 		}
-		logit, err := srv.ScoreLink(r.Context(), src, dst)
+		logit, err := api.ScoreLink(r.Context(), src, dst)
 		if err != nil {
 			serveError(w, err)
 			return
@@ -237,7 +329,7 @@ func main() {
 			writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("bad request body: %w", err))
 			return
 		}
-		scores, errs := srv.ScoreMany(r.Context(), req.Nodes)
+		scores, errs := api.ScoreMany(r.Context(), req.Nodes)
 		out := make(map[string][]float64, len(req.Nodes))
 		failed := map[string]string{}
 		for i, id := range req.Nodes {
@@ -273,7 +365,7 @@ func main() {
 			writeError(w, http.StatusBadRequest, "bad_request", err)
 			return
 		}
-		res, err := srv.Apply(r.Context(), muts)
+		res, err := api.Apply(r.Context(), muts)
 		if err != nil {
 			serveError(w, err)
 			return
@@ -371,6 +463,32 @@ func main() {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	if rep != nil {
+		mux.HandleFunc("GET /placement", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, rep.Table())
+		})
+		mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, rep.ClusterStats())
+		})
+		mux.HandleFunc("POST /admin/migrate", func(w http.ResponseWriter, r *http.Request) {
+			slot, err := strconv.Atoi(r.URL.Query().Get("slot"))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("bad slot parameter: %w", err))
+				return
+			}
+			to, err := strconv.Atoi(r.URL.Query().Get("to"))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("bad to parameter: %w", err))
+				return
+			}
+			res, err := rep.Migrate(r.Context(), slot, to)
+			if err != nil {
+				serveError(w, err)
+				return
+			}
+			writeJSON(w, res)
+		})
+	}
 
 	storeLen := 0
 	if store != nil {
@@ -405,6 +523,9 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
+	}
+	if rep != nil {
+		rep.Close() // severs the RPC mesh before the local server goes down
 	}
 	srv.Close()
 }
@@ -451,6 +572,10 @@ func decodeMutations(r *http.Request) ([]graph.Mutation, []error, error) {
 // clients branch on error.code, never on the message text.
 func errStatus(err error) (int, string) {
 	switch {
+	case errors.Is(err, placement.ErrStaleEpoch):
+		// Retryable: the client refetches /placement and resends with the
+		// current epoch.
+		return http.StatusConflict, "stale_epoch"
 	case errors.Is(err, serve.ErrOverloaded):
 		return http.StatusTooManyRequests, "overloaded"
 	case errors.Is(err, serve.ErrUnknownNode), errors.Is(err, graph.ErrUnknownNode),

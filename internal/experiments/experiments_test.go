@@ -159,6 +159,35 @@ func TestTrainPerfQuick(t *testing.T) {
 	}
 }
 
+func TestClusterQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := Cluster(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The experiment hard-fails on any divergence from the unsharded
+	// reference (warm/link/migration bit-exact, cold within the 1e-9
+	// consistency contract); reaching here means every check held.
+	if res.MigrationWrongAnswers != 0 || res.MigrationProbes == 0 {
+		t.Fatalf("migration window: %d probes, %d wrong answers", res.MigrationProbes, res.MigrationWrongAnswers)
+	}
+	if res.MigrationRowsMoved <= 0 {
+		t.Fatalf("migration moved %d rows, want > 0", res.MigrationRowsMoved)
+	}
+	m := res.Metrics()
+	for _, k := range []string{"warm_p50_ns", "cold_p50_ns", "link_p99_ns",
+		"migration_pause_ms", "migration_wrong_answers", "scaling_shortfall_pct"} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("metric %q missing from the bench-regression set", k)
+		}
+	}
+	if m["warm_p50_ns"] <= 0 || m["link_p99_ns"] <= 0 {
+		t.Fatalf("malformed latency metrics %+v", m)
+	}
+}
+
 func TestServeQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")

@@ -1,12 +1,11 @@
 package ps
 
 import (
-	"fmt"
-	"net"
-	"net/rpc"
-	"sync"
+	"context"
+	"time"
 
 	"agl/internal/nn"
+	"agl/internal/rpcx"
 	"agl/internal/tensor"
 )
 
@@ -74,65 +73,70 @@ func (s *ShardService) Deregister(_ *Empty, _ *Empty) error {
 }
 
 // Serve exposes every shard of the cluster over TCP on loopback, returning
-// one address per shard and a stop function.
+// one address per shard and a stop function. Stop closes the listeners AND
+// every accepted connection (via rpcx.Server's conn tracking), so no
+// sockets or serving goroutines outlive it.
 func Serve(c *Cluster) (addrs []string, stop func(), err error) {
-	var listeners []net.Listener
-	var wg sync.WaitGroup
+	var servers []*rpcx.Server
 	closeAll := func() {
-		for _, l := range listeners {
-			l.Close()
+		for _, s := range servers {
+			s.Close()
 		}
-		wg.Wait()
 	}
 	for i := 0; i < c.NumShards(); i++ {
-		srv := rpc.NewServer()
-		if err := srv.RegisterName("Shard", &ShardService{shard: c.Shard(i)}); err != nil {
+		srv := rpcx.NewServer()
+		if err := srv.Register("Shard", &ShardService{shard: c.Shard(i)}); err != nil {
 			closeAll()
 			return nil, nil, err
 		}
-		l, err := net.Listen("tcp", "127.0.0.1:0")
+		addr, err := srv.Listen("127.0.0.1:0")
 		if err != nil {
 			closeAll()
 			return nil, nil, err
 		}
-		listeners = append(listeners, l)
-		addrs = append(addrs, l.Addr().String())
-		wg.Add(1)
-		go func(l net.Listener, srv *rpc.Server) {
-			defer wg.Done()
-			for {
-				conn, err := l.Accept()
-				if err != nil {
-					return
-				}
-				go srv.ServeConn(conn)
-			}
-		}(l, srv)
+		servers = append(servers, srv)
+		addrs = append(addrs, addr)
 	}
 	return addrs, closeAll, nil
 }
 
-// remoteClient is a Client speaking net/rpc to a served cluster.
+// remoteClient is a Client speaking net/rpc to a served cluster through
+// pooled rpcx connections (one pool per shard address).
 type remoteClient struct {
-	conns []*rpc.Client
+	conns   []*rpcx.Client
+	perCall time.Duration // 0 = no deadline
 }
 
 // Dial connects a worker to the shard addresses returned by Serve. The
-// shard order must match the serving cluster's.
-func Dial(addrs []string) (Client, error) {
-	rc := &remoteClient{}
+// shard order must match the serving cluster's. Connections are pooled
+// and dialed lazily; Close releases them.
+func Dial(addrs []string) (Client, error) { return DialTimeout(addrs, 0) }
+
+// DialTimeout is Dial with a per-call deadline pushed down to the socket
+// (0 means none). Sync-mode training barriers block pushes indefinitely
+// by design, so only async workers should set one.
+func DialTimeout(addrs []string, perCall time.Duration) (Client, error) {
+	rc := &remoteClient{perCall: perCall}
 	for _, a := range addrs {
-		c, err := rpc.Dial("tcp", a)
-		if err != nil {
-			rc.Close()
-			return nil, fmt.Errorf("ps: dial %s: %w", a, err)
-		}
-		rc.conns = append(rc.conns, c)
+		rc.conns = append(rc.conns, rpcx.NewClient(a))
 	}
 	return rc, nil
 }
 
-// Close tears down the connections.
+func (rc *remoteClient) ctx() (context.Context, context.CancelFunc) {
+	if rc.perCall <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), rc.perCall)
+}
+
+func (rc *remoteClient) call(method string, args, reply any, shard int) error {
+	ctx, cancel := rc.ctx()
+	defer cancel()
+	return rc.conns[shard].Call(ctx, method, args, reply)
+}
+
+// Close tears down the connection pools.
 func (rc *remoteClient) Close() {
 	for _, c := range rc.conns {
 		if c != nil {
@@ -142,14 +146,14 @@ func (rc *remoteClient) Close() {
 }
 
 func (rc *remoteClient) Register() {
-	for _, c := range rc.conns {
-		_ = c.Call("Shard.Register", &Empty{}, &Empty{})
+	for i := range rc.conns {
+		_ = rc.call("Shard.Register", &Empty{}, &Empty{}, i)
 	}
 }
 
 func (rc *remoteClient) Deregister() {
-	for _, c := range rc.conns {
-		_ = c.Call("Shard.Deregister", &Empty{}, &Empty{})
+	for i := range rc.conns {
+		_ = rc.call("Shard.Deregister", &Empty{}, &Empty{}, i)
 	}
 }
 
@@ -165,7 +169,7 @@ func (rc *remoteClient) PullInto(params *nn.ParamSet) error {
 			continue
 		}
 		var reply PullReply
-		if err := rc.conns[i].Call("Shard.Pull", &PullArgs{Names: ns}, &reply); err != nil {
+		if err := rc.call("Shard.Pull", &PullArgs{Names: ns}, &reply, i); err != nil {
 			return err
 		}
 		for name, d := range reply.Values {
@@ -193,7 +197,7 @@ func (rc *remoteClient) PushGrads(params *nn.ParamSet) error {
 		}
 		calls++
 		go func(i int, g map[string]MatrixData) {
-			errs <- rc.conns[i].Call("Shard.Push", &PushArgs{Grads: g}, &Empty{})
+			errs <- rc.call("Shard.Push", &PushArgs{Grads: g}, &Empty{}, i)
 		}(i, g)
 	}
 	var first error

@@ -1,0 +1,278 @@
+// Package rpcx is the repo's internal RPC substrate: net/rpc + gob over
+// loopback/datacenter TCP, wrapped with the two things raw net/rpc lacks
+// for production use — pooled context-aware clients with deadline
+// propagation, and servers that track their connections so shutdown
+// actually closes them.
+//
+// It was extracted from internal/ps (which re-dialed per worker and leaked
+// accepted conns on shutdown) and is shared by the parameter-server layer
+// and the sharded serving tier's replica-to-replica calls.
+//
+// Error semantics across a Call: an application-level error returned by
+// the remote method arrives as rpc.ServerError and leaves the connection
+// healthy (it is returned to the pool); any transport error — dial
+// failure, i/o timeout from a context deadline, broken pipe — discards
+// the connection. Context cancellation aborts an in-flight call by
+// closing its connection; the pooled idle connections are untouched.
+package rpcx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed is returned by calls on a Client or Server after Close.
+var ErrClosed = errors.New("rpcx: closed")
+
+// maxIdle bounds the per-address idle pool; connections beyond it are
+// closed on release rather than retained. Concurrency above maxIdle still
+// works — excess calls dial — but steady state keeps at most this many
+// sockets per peer.
+const maxIdle = 4
+
+// Client is a pooled RPC client for one remote address. It is safe for
+// concurrent use; each in-flight call owns one pooled connection
+// exclusively, so net.Conn deadlines apply per call.
+type Client struct {
+	addr string
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	closed bool
+
+	dials atomic.Int64
+}
+
+type clientConn struct {
+	nc net.Conn
+	rc *rpc.Client
+}
+
+// NewClient returns a client for addr. No connection is made until the
+// first Call (so constructing clients for not-yet-listening peers is
+// fine).
+func NewClient(addr string) *Client { return &Client{addr: addr} }
+
+// Addr returns the remote address this client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// Dials reports how many TCP connections this client has opened — the
+// pooling observable (N sequential calls should cost 1 dial, not N).
+func (c *Client) Dials() int64 { return c.dials.Load() }
+
+// Call invokes serviceMethod remotely, honoring ctx: its deadline is
+// pushed down onto the connection (the remote side also receives it via
+// whatever args encode), and cancellation aborts the call by closing the
+// connection it occupies.
+func (c *Client) Call(ctx context.Context, serviceMethod string, args, reply any) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	cn, err := c.get(ctx)
+	if err != nil {
+		return err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		cn.nc.SetDeadline(dl)
+	}
+	call := cn.rc.Go(serviceMethod, args, reply, make(chan *rpc.Call, 1))
+	select {
+	case <-ctx.Done():
+		// Abort: closing the conn fails the pending read and unblocks Go's
+		// call; wait for it so nothing races on reply.
+		cn.nc.Close()
+		<-call.Done
+		cn.rc.Close()
+		return ctx.Err()
+	case <-call.Done:
+	}
+	if call.Error == nil {
+		cn.nc.SetDeadline(time.Time{})
+		c.put(cn)
+		return nil
+	}
+	if _, ok := call.Error.(rpc.ServerError); ok {
+		// The remote method returned an error; the stream itself is fine.
+		cn.nc.SetDeadline(time.Time{})
+		c.put(cn)
+		return call.Error
+	}
+	// Transport-level failure: the connection is poisoned.
+	cn.nc.Close()
+	cn.rc.Close()
+	if cerr := ctx.Err(); cerr != nil {
+		// An i/o timeout caused by our own deadline reads better as the
+		// context error the caller can errors.Is against.
+		return cerr
+	}
+	var ne net.Error
+	if errors.As(call.Error, &ne) && ne.Timeout() {
+		// The only deadline ever set on the socket is the ctx deadline
+		// pushed above, so a timeout IS the deadline expiring — but the
+		// socket's poller timer can fire a beat before the context's own
+		// timer goroutine flips ctx.Err() non-nil. Map it explicitly so
+		// callers never see a raw i/o timeout from their own deadline.
+		return fmt.Errorf("rpcx: call %s on %s: %w", serviceMethod, c.addr, context.DeadlineExceeded)
+	}
+	return fmt.Errorf("rpcx: call %s on %s: %w", serviceMethod, c.addr, call.Error)
+}
+
+func (c *Client) get(ctx context.Context) (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		cn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cn, nil
+	}
+	c.mu.Unlock()
+
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcx: dial %s: %w", c.addr, err)
+	}
+	c.dials.Add(1)
+	return &clientConn{nc: nc, rc: rpc.NewClient(nc)}, nil
+}
+
+func (c *Client) put(cn *clientConn) {
+	c.mu.Lock()
+	if c.closed || len(c.idle) >= maxIdle {
+		c.mu.Unlock()
+		cn.rc.Close()
+		return
+	}
+	c.idle = append(c.idle, cn)
+	c.mu.Unlock()
+}
+
+// Close shuts the client: idle connections are closed now, in-flight ones
+// as their calls finish. Subsequent Calls return ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, cn := range idle {
+		cn.rc.Close()
+	}
+	return nil
+}
+
+// Server wraps rpc.Server with a tracked accept loop: Close tears down the
+// listener AND every accepted connection, then waits for the per-conn
+// goroutines — no leaked sockets, no goroutines past shutdown.
+type Server struct {
+	rs *rpc.Server
+
+	mu       sync.Mutex
+	l        net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	acceptWG sync.WaitGroup
+	connWG   sync.WaitGroup
+}
+
+// NewServer returns an empty server; Register services, then Listen.
+func NewServer() *Server {
+	return &Server{rs: rpc.NewServer(), conns: make(map[net.Conn]struct{})}
+}
+
+// Register publishes rcvr's exported methods under name.
+func (s *Server) Register(name string, rcvr any) error {
+	return s.rs.RegisterName(name, rcvr)
+}
+
+// Listen binds addr (use "127.0.0.1:0" for an ephemeral loopback port) and
+// starts the accept loop. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return "", ErrClosed
+	}
+	s.l = l
+	s.mu.Unlock()
+
+	s.acceptWG.Add(1)
+	go func() {
+		defer s.acceptWG.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.connWG.Add(1)
+			s.mu.Unlock()
+			go func(conn net.Conn) {
+				defer s.connWG.Done()
+				s.rs.ServeConn(conn)
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}(conn)
+		}
+	}()
+	return l.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Listen.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.l == nil {
+		return ""
+	}
+	return s.l.Addr().String()
+}
+
+// Close stops accepting, severs every live connection, and waits for all
+// serving goroutines to exit. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.l
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	s.acceptWG.Wait()
+	s.connWG.Wait()
+	return nil
+}

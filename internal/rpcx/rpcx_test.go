@@ -1,0 +1,285 @@
+package rpcx
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/rpc"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoService is the test fixture: Echo succeeds, Fail returns an
+// application error, Block parks until released (for deadline tests).
+type echoService struct {
+	mu       sync.Mutex
+	release  chan struct{}
+	blocking int
+}
+
+type EchoArgs struct{ S string }
+type EchoReply struct{ S string }
+
+func (e *echoService) Echo(args *EchoArgs, reply *EchoReply) error {
+	reply.S = args.S
+	return nil
+}
+
+func (e *echoService) Fail(args *EchoArgs, reply *EchoReply) error {
+	return errors.New("app-level failure: " + args.S)
+}
+
+func (e *echoService) Block(args *EchoArgs, reply *EchoReply) error {
+	e.mu.Lock()
+	e.blocking++
+	ch := e.release
+	e.mu.Unlock()
+	<-ch
+	reply.S = "released"
+	return nil
+}
+
+func startEcho(t *testing.T) (*Server, *echoService, string) {
+	t.Helper()
+	svc := &echoService{release: make(chan struct{})}
+	srv := NewServer()
+	if err := srv.Register("Echo", svc); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, svc, addr
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	_, _, addr := startEcho(t)
+	c := NewClient(addr)
+	defer c.Close()
+	var reply EchoReply
+	if err := c.Call(context.Background(), "Echo.Echo", &EchoArgs{S: "hi"}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.S != "hi" {
+		t.Fatalf("reply = %q", reply.S)
+	}
+}
+
+// TestPoolingReusesConnections: N sequential calls ride one TCP
+// connection — the bug this package exists to fix was one dial per call.
+func TestPoolingReusesConnections(t *testing.T) {
+	_, _, addr := startEcho(t)
+	c := NewClient(addr)
+	defer c.Close()
+	for i := 0; i < 50; i++ {
+		var reply EchoReply
+		if err := c.Call(context.Background(), "Echo.Echo", &EchoArgs{S: "x"}, &reply); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := c.Dials(); d != 1 {
+		t.Fatalf("50 sequential calls used %d dials, want 1", d)
+	}
+}
+
+// TestAppErrorKeepsConnection: rpc.ServerError means the remote method
+// failed, not the transport — the connection must go back to the pool.
+func TestAppErrorKeepsConnection(t *testing.T) {
+	_, _, addr := startEcho(t)
+	c := NewClient(addr)
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		var reply EchoReply
+		err := c.Call(context.Background(), "Echo.Fail", &EchoArgs{S: "boom"}, &reply)
+		if err == nil {
+			t.Fatal("Fail succeeded")
+		}
+		if _, ok := err.(rpc.ServerError); !ok {
+			t.Fatalf("error type %T, want rpc.ServerError", err)
+		}
+		if !strings.Contains(err.Error(), "app-level failure: boom") {
+			t.Fatalf("error = %v", err)
+		}
+	}
+	if d := c.Dials(); d != 1 {
+		t.Fatalf("app errors burned connections: %d dials", d)
+	}
+}
+
+// TestDeadlinePropagation: a call against a parked method returns once the
+// context deadline passes (the deadline reaches the socket), and the
+// poisoned connection is not reused.
+func TestDeadlinePropagation(t *testing.T) {
+	_, svc, addr := startEcho(t)
+	defer close(svc.release)
+	c := NewClient(addr)
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	var reply EchoReply
+	err := c.Call(ctx, "Echo.Block", &EchoArgs{}, &reply)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 3*time.Second {
+		t.Fatalf("deadline not propagated: call took %v", el)
+	}
+
+	// The next call must work on a fresh connection.
+	if err := c.Call(context.Background(), "Echo.Echo", &EchoArgs{S: "after"}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Dials(); d != 2 {
+		t.Fatalf("dials = %d, want 2 (timed-out conn discarded)", d)
+	}
+}
+
+// TestCancellationAbortsInFlight: cancel (not deadline) unblocks a parked
+// call promptly.
+func TestCancellationAbortsInFlight(t *testing.T) {
+	_, svc, addr := startEcho(t)
+	defer close(svc.release)
+	c := NewClient(addr)
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		var reply EchoReply
+		done <- c.Call(ctx, "Echo.Block", &EchoArgs{}, &reply)
+	}()
+	// Wait for the call to actually park server-side, then cancel.
+	for i := 0; i < 200; i++ {
+		svc.mu.Lock()
+		b := svc.blocking
+		svc.mu.Unlock()
+		if b > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not abort the call")
+	}
+}
+
+// TestPreCancelledContext short-circuits without touching the network.
+func TestPreCancelledContext(t *testing.T) {
+	c := NewClient("127.0.0.1:1") // nothing listens here
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var reply EchoReply
+	if err := c.Call(ctx, "Echo.Echo", &EchoArgs{}, &reply); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if c.Dials() != 0 {
+		t.Fatal("dialed despite cancelled context")
+	}
+}
+
+func TestClientClose(t *testing.T) {
+	_, _, addr := startEcho(t)
+	c := NewClient(addr)
+	var reply EchoReply
+	if err := c.Call(context.Background(), "Echo.Echo", &EchoArgs{S: "x"}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := c.Call(context.Background(), "Echo.Echo", &EchoArgs{S: "x"}, &reply); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestServerCloseSeversConnections: Close severs live connections (so
+// blocked clients unblock immediately) and then drains: it returns only
+// once every handler goroutine has finished — net/rpc cannot preempt a
+// running handler, so the parked one must be released for Close to drain.
+func TestServerCloseSeversConnections(t *testing.T) {
+	srv, svc, addr := startEcho(t)
+	c := NewClient(addr)
+	defer c.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		var reply EchoReply
+		done <- c.Call(context.Background(), "Echo.Block", &EchoArgs{}, &reply)
+	}()
+	for i := 0; i < 200; i++ {
+		svc.mu.Lock()
+		b := svc.blocking
+		svc.mu.Unlock()
+		if b > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	closeDone := make(chan struct{})
+	go func() { srv.Close(); close(closeDone) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("call survived server shutdown")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server Close left the client hanging")
+	}
+	close(svc.release) // let the parked handler return so Close can drain
+	select {
+	case <-closeDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not drain after handlers returned")
+	}
+	// The port must actually be released.
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after Close: %v", err)
+	}
+	l.Close()
+}
+
+// TestConcurrentCallsBoundedPool: heavy concurrency works and the idle
+// pool stays bounded afterwards.
+func TestConcurrentCallsBoundedPool(t *testing.T) {
+	_, _, addr := startEcho(t)
+	c := NewClient(addr)
+	defer c.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				var reply EchoReply
+				if err := c.Call(context.Background(), "Echo.Echo", &EchoArgs{S: "c"}, &reply); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c.mu.Lock()
+	idle := len(c.idle)
+	c.mu.Unlock()
+	if idle > maxIdle {
+		t.Fatalf("idle pool %d exceeds bound %d", idle, maxIdle)
+	}
+}

@@ -212,7 +212,15 @@ func (s *Server) Apply(ctx context.Context, muts []graph.Mutation) (*ApplyResult
 		if _, wasDirty := s.dirty[id]; wasDirty {
 			continue
 		}
-		if _, inStore := s.store.Lookup(id); inStore {
+		// A warm row needing invalidation can live in the base store OR
+		// only in the overlay (re-admitted rows shadow the store; rows
+		// installed by a slot migration may have no store row at all on
+		// this replica). Either way it goes dirty: the lookup misses, the
+		// next request recomputes cold on the new version, and the first
+		// recompute re-admits it warm.
+		_, inStore := s.store.Lookup(id)
+		_, inOverlay := s.overlay[id]
+		if inStore || inOverlay {
 			s.dirty[id] = struct{}{}
 			delete(s.overlay, id) // a re-admitted embedding is stale too
 			res.Invalidated++

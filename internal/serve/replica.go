@@ -1,0 +1,1079 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agl/internal/graph"
+	"agl/internal/placement"
+	"agl/internal/rpcx"
+)
+
+// This file is the sharded serving tier: a Replica wraps one Server and
+// routes by the placement table, turning N aglserve processes into one
+// cluster.
+//
+// Partitioning model. The GRAPH is fully replicated — every replica
+// applies every mutation batch, because cold scoring needs arbitrary k-hop
+// neighborhoods and those do not respect hash-slot boundaries. What is
+// partitioned is the WARM state: each replica's embedding store, overlay,
+// and score cache hold only the node ids whose hash slot it owns, so N
+// replicas hold N-th of the warm tier each and run N independent batcher
+// goroutines (the cold-path throughput multiplier).
+//
+// Request routing. Score/Apply for a non-owned id forward over rpcx to the
+// owner, stamped with the router's placement epoch; the owner fences on
+// epoch equality and rejects mismatches with placement.EpochError, which
+// the router resolves by exchanging tables and retrying (bounded). Warm
+// cross-shard link scoring is a two-replica scatter-gather: one Embed RPC
+// per endpoint owner in parallel, then the pairwise head runs locally
+// (models are replicated, ScoreVec is stateless).
+//
+// Mutation flow. A batch routes to the owner of its first mutation's
+// primary node. The owner applies locally, appends the applied batch to
+// its authority log (per-replica sequence, decoupled from graph versions
+// so follower-applied batches never echo), and synchronously fans the log
+// tail out to every peer before returning — the same catch-up-feed shape
+// as MutationsSince, keyed by (owner, seq). Each follower applies the
+// batch through its own Server.Apply, so the k-hop dependency BFS runs
+// everywhere and invalidation is cluster-wide: after Apply returns, every
+// replica serves scores consistent with the new graph.
+//
+// Migration. Migrate moves one slot from its owner to another replica
+// under a cluster-wide WRITE freeze (reads never pause): freeze + drain
+// in-flight applies everywhere, snapshot the slot's clean rows, install
+// them at the destination, push the epoch-bumped table (destination
+// first), drop the source rows, unfreeze. The freeze makes the snapshot
+// quiescent; the epoch fence makes the handover atomic for routed
+// requests; and a replica with a stale table that self-serves a dropped
+// slot still answers correctly (the full graph is local and leftover rows
+// stay invalidation-tracked) — just slower, until the push reaches it.
+//
+// Known limits (documented, ROADMAP item): membership is fixed at boot
+// (migration moves slots among live replicas; it does not add or remove
+// them), the placement table is static/file-seeded rather than
+// consensus-backed, and a peer that stays unreachable past the authority
+// log's capacity desyncs (counted in ClusterStats.FanoutErrors) until
+// restarted from a fresh snapshot.
+
+// replicaLogCap bounds the authority log, mirroring graph.DefaultLogCap.
+const replicaLogCap = 1024
+
+// routeRetries bounds epoch-fence retry loops; each retry exchanges
+// tables with the rejecting peer, so a handful always converges outside
+// of actual partitions.
+const routeRetries = 4
+
+// DefaultFreezeTTL is the migration write-freeze watchdog: every frozen
+// replica thaws itself after this long even if the coordinator dies
+// mid-migration, so a failed migration costs one bounded pause, not a
+// wedged cluster.
+const DefaultFreezeTTL = 10 * time.Second
+
+// ---------------------------------------------------------------------------
+// Wire types (gob over rpcx).
+
+// ScoreArgs routes one Score to the owning replica.
+type ScoreArgs struct {
+	Epoch             uint64
+	Node              int64
+	DeadlineUnixNanos int64 // 0 = none
+}
+
+// ScoreReply carries the score vector back.
+type ScoreReply struct{ Scores []float64 }
+
+// EmbedArgs requests one layer-K embedding (link-scoring scatter).
+type EmbedArgs struct {
+	Epoch             uint64
+	Node              int64
+	DeadlineUnixNanos int64
+}
+
+// EmbedReply carries the embedding back.
+type EmbedReply struct{ Emb []float64 }
+
+// ApplyArgs forwards a whole mutation batch to its owning replica.
+type ApplyArgs struct {
+	Epoch             uint64
+	Muts              []graph.Mutation
+	DeadlineUnixNanos int64
+}
+
+// ApplyReply is the gob-safe form of ApplyResult ("" = nil error).
+type ApplyReply struct {
+	Version     uint64
+	Applied     int
+	Invalidated int
+	Errs        []string
+}
+
+// AuthEntry is one authority-log record: a batch this replica accepted as
+// slot owner, under its own monotone sequence.
+type AuthEntry struct {
+	Seq  uint64
+	Muts []graph.Mutation
+}
+
+// SyncArgs pushes the authority-log tail (FromSeq, last] to a follower.
+type SyncArgs struct {
+	From    int // owning replica id
+	FromSeq uint64
+	Entries []AuthEntry
+}
+
+// SyncReply acks the highest contiguously applied sequence.
+type SyncReply struct{ AckSeq uint64 }
+
+// InstallArgs delivers a migrating slot's clean warm rows.
+type InstallArgs struct {
+	Epoch uint64
+	Slot  int
+	Rows  map[int64][]float64
+}
+
+// InstallReply reports how many rows were admitted.
+type InstallReply struct{ Installed int }
+
+// TableArgs pushes a placement table (adopted iff its epoch is newer).
+type TableArgs struct{ Table *placement.Table }
+
+// TableReply reports the receiver's epoch after the push (or fetch).
+type TableReply struct {
+	Epoch uint64
+	Table *placement.Table
+}
+
+// FreezeArgs opens a write freeze with a watchdog TTL; the reply is sent
+// only after in-flight authority applies drain.
+type FreezeArgs struct{ TTLNanos int64 }
+
+// NoArgs is the empty RPC body.
+type NoArgs struct{}
+
+// ---------------------------------------------------------------------------
+// Error codec: typed serve errors flattened to tagged strings for the
+// net/rpc boundary and re-typed on the caller, so HTTP status mapping
+// (404/429/408/...) survives cross-replica forwarding.
+
+const (
+	wireUnknownNode = "serve/unknown-node:"
+	wireNoEdgeHead  = "serve/no-edge-head:"
+	wireClosed      = "serve/closed:"
+	wireExpired     = "serve/expired:"
+	wireShed        = "serve/shed:" // shed:<retryAfterNs>:<pending>:<limit>:
+	wireDeadline    = "serve/deadline:"
+	wireCanceled    = "serve/canceled:"
+)
+
+func errToWire(err error) error {
+	if err == nil {
+		return nil
+	}
+	var shed *ShedError
+	switch {
+	case errors.As(err, &shed):
+		return fmt.Errorf("%s%d:%d:%d: %s", wireShed,
+			shed.RetryAfter.Nanoseconds(), shed.Pending, shed.Limit, err)
+	case errors.Is(err, ErrUnknownNode):
+		return fmt.Errorf("%s %w", wireUnknownNode, err)
+	case errors.Is(err, ErrNoEdgeHead):
+		return fmt.Errorf("%s %w", wireNoEdgeHead, err)
+	case errors.Is(err, ErrExpired):
+		return fmt.Errorf("%s %w", wireExpired, err)
+	case errors.Is(err, ErrClosed):
+		return fmt.Errorf("%s %w", wireClosed, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%s %w", wireDeadline, err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("%s %w", wireCanceled, err)
+	}
+	return placement.EncodeError(err)
+}
+
+func errFromWire(err error) error {
+	if err == nil {
+		return nil
+	}
+	s := err.Error()
+	if i := strings.Index(s, wireShed); i >= 0 {
+		rest := s[i+len(wireShed):]
+		parts := strings.SplitN(rest, ":", 4)
+		if len(parts) == 4 {
+			ra, e1 := strconv.ParseInt(parts[0], 10, 64)
+			pend, e2 := strconv.Atoi(parts[1])
+			lim, e3 := strconv.Atoi(parts[2])
+			if e1 == nil && e2 == nil && e3 == nil {
+				return &ShedError{RetryAfter: time.Duration(ra), Pending: pend, Limit: lim}
+			}
+		}
+		return err
+	}
+	for _, m := range []struct {
+		tag string
+		err error
+	}{
+		{wireUnknownNode, ErrUnknownNode},
+		{wireNoEdgeHead, ErrNoEdgeHead},
+		{wireExpired, ErrExpired},
+		{wireClosed, ErrClosed},
+		{wireDeadline, context.DeadlineExceeded},
+		{wireCanceled, context.Canceled},
+	} {
+		if strings.Contains(s, m.tag) {
+			return fmt.Errorf("replica: %w", m.err)
+		}
+	}
+	return placement.DecodeError(err)
+}
+
+// ---------------------------------------------------------------------------
+// Write freezer.
+
+// freezer gates NEW authority applies during migration; follower Sync
+// applies are deliberately NOT gated (an in-flight authority apply must be
+// able to finish its fan-out, or the drain below would deadlock).
+type freezer struct {
+	mu     sync.Mutex
+	frozen bool
+	thaw   chan struct{} // non-nil while frozen; closed on unfreeze
+	timer  *time.Timer
+	start  time.Time
+
+	inflight sync.WaitGroup // in-flight authority applies
+
+	pausedNs atomic.Int64 // cumulative frozen time (metric)
+}
+
+// enter blocks while frozen, then claims an in-flight slot.
+func (f *freezer) enter(ctx context.Context) error {
+	for {
+		f.mu.Lock()
+		if !f.frozen {
+			f.inflight.Add(1)
+			f.mu.Unlock()
+			return nil
+		}
+		ch := f.thaw
+		f.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func (f *freezer) exit() { f.inflight.Done() }
+
+// freeze opens the gate and DRAINS: it returns only once every in-flight
+// authority apply (fan-out included) has finished, so post-freeze state is
+// quiescent. The TTL watchdog thaws a replica whose coordinator died.
+func (f *freezer) freeze(ttl time.Duration) {
+	f.mu.Lock()
+	if !f.frozen {
+		f.frozen = true
+		f.thaw = make(chan struct{})
+		f.start = time.Now()
+	}
+	if f.timer != nil {
+		f.timer.Stop()
+	}
+	f.timer = time.AfterFunc(ttl, f.unfreeze)
+	f.mu.Unlock()
+	f.inflight.Wait()
+}
+
+func (f *freezer) unfreeze() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.frozen {
+		return
+	}
+	f.frozen = false
+	f.pausedNs.Add(time.Since(f.start).Nanoseconds())
+	close(f.thaw)
+	if f.timer != nil {
+		f.timer.Stop()
+		f.timer = nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Replica.
+
+// ClusterStats snapshots the cluster-layer counters of one replica.
+type ClusterStats struct {
+	ReplicaID    int    // this replica's index
+	Epoch        uint64 // current placement epoch
+	OwnedSlots   int    // slots owned under the current table
+	AuthSeq      uint64 // authority-log high-water mark
+	Forwards     int64  // requests forwarded to a peer (score/embed/apply)
+	EpochRejects int64  // epoch-fence bounces seen as a caller
+	FanoutErrors int64  // follower syncs that failed or partially acked
+	PausedMs     int64  // cumulative write-freeze time on this replica
+}
+
+// Replica is one member of a sharded serving cluster: a Server plus the
+// placement-routed RPC fabric. Create with NewReplica (which binds the
+// internal RPC listener), then Join with the cluster's placement table.
+type Replica struct {
+	id  int
+	srv *Server
+
+	rpc *rpcx.Server
+
+	tmu   sync.RWMutex
+	table *placement.Table
+	peers []*rpcx.Client // indexed by replica id; nil at self
+
+	frz freezer
+
+	// Authority log (this replica as owner). amu is held across fan-out
+	// RPCs to keep per-owner entries totally ordered; Sync handlers on the
+	// receiving side use fmu, never amu, so cross-replica apply cycles
+	// cannot deadlock.
+	amu     sync.Mutex
+	authSeq uint64
+	authLog []AuthEntry
+	cursors []uint64 // cursors[peer] = last seq acked by peer
+
+	// Follower state (this replica as receiver of peers' authority logs).
+	fmu     sync.Mutex
+	applied []uint64 // applied[owner] = last seq applied from owner
+
+	migrateMu sync.Mutex
+
+	forwards     atomic.Int64
+	epochRejects atomic.Int64
+	fanoutErrs   atomic.Int64
+
+	freezeTTL time.Duration
+	closed    atomic.Bool
+}
+
+// NewReplica wraps srv as cluster member id and binds the internal RPC
+// listener on listen ("127.0.0.1:0" picks an ephemeral port — read it back
+// with Addr for table construction). The replica rejects traffic until
+// Join installs a placement table.
+func NewReplica(id int, srv *Server, listen string) (*Replica, error) {
+	if id < 0 {
+		return nil, fmt.Errorf("serve: replica id %d must be >= 0", id)
+	}
+	if srv == nil {
+		return nil, errors.New("serve: nil server")
+	}
+	r := &Replica{id: id, srv: srv, freezeTTL: DefaultFreezeTTL}
+	r.rpc = rpcx.NewServer()
+	if err := r.rpc.Register("Replica", &replicaService{r: r}); err != nil {
+		return nil, err
+	}
+	if _, err := r.rpc.Listen(listen); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Addr returns the bound internal RPC address.
+func (r *Replica) Addr() string { return r.rpc.Addr() }
+
+// ID returns this replica's index.
+func (r *Replica) ID() int { return r.id }
+
+// Server exposes the wrapped local Server (stats, mutation feed, flight
+// recorder — everything that is per-replica rather than cluster-routed).
+func (r *Replica) Server() *Server { return r.srv }
+
+// SetFreezeTTL overrides the migration freeze watchdog (tests).
+func (r *Replica) SetFreezeTTL(d time.Duration) { r.freezeTTL = d }
+
+// Join installs the cluster's placement table and dials peers (lazily —
+// peers need not be listening yet). The table must list this replica's
+// bound address at index id.
+func (r *Replica) Join(t *placement.Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if r.id >= len(t.Replicas) {
+		return fmt.Errorf("serve: replica id %d not in table of %d replicas", r.id, len(t.Replicas))
+	}
+	if t.Replicas[r.id] != r.Addr() {
+		return fmt.Errorf("serve: table lists %q at index %d, but this replica is bound to %q",
+			t.Replicas[r.id], r.id, r.Addr())
+	}
+	peers := make([]*rpcx.Client, len(t.Replicas))
+	for i, addr := range t.Replicas {
+		if i == r.id {
+			continue
+		}
+		peers[i] = rpcx.NewClient(addr)
+	}
+	r.tmu.Lock()
+	r.table = t.Clone()
+	r.peers = peers
+	r.tmu.Unlock()
+
+	r.amu.Lock()
+	r.cursors = make([]uint64, len(t.Replicas))
+	r.amu.Unlock()
+	r.fmu.Lock()
+	r.applied = make([]uint64, len(t.Replicas))
+	r.fmu.Unlock()
+	return nil
+}
+
+// Table returns the replica's current placement table (a shared snapshot;
+// treat as immutable).
+func (r *Replica) Table() *placement.Table {
+	r.tmu.RLock()
+	defer r.tmu.RUnlock()
+	return r.table
+}
+
+func (r *Replica) peerClient(peer int) *rpcx.Client {
+	r.tmu.RLock()
+	defer r.tmu.RUnlock()
+	if peer < 0 || peer >= len(r.peers) {
+		return nil
+	}
+	return r.peers[peer]
+}
+
+// Close tears the cluster fabric down: RPC listener, peer connections, and
+// any freeze this replica holds. The wrapped Server is NOT closed — its
+// lifetime belongs to the caller.
+func (r *Replica) Close() error {
+	if r.closed.Swap(true) {
+		return nil
+	}
+	r.frz.unfreeze()
+	r.rpc.Close()
+	r.tmu.RLock()
+	peers := r.peers
+	r.tmu.RUnlock()
+	for _, p := range peers {
+		if p != nil {
+			p.Close()
+		}
+	}
+	return nil
+}
+
+// ClusterStats snapshots the cluster-layer counters.
+func (r *Replica) ClusterStats() ClusterStats {
+	t := r.Table()
+	r.amu.Lock()
+	seq := r.authSeq
+	r.amu.Unlock()
+	cs := ClusterStats{
+		ReplicaID:    r.id,
+		AuthSeq:      seq,
+		Forwards:     r.forwards.Load(),
+		EpochRejects: r.epochRejects.Load(),
+		FanoutErrors: r.fanoutErrs.Load(),
+		PausedMs:     r.frz.pausedNs.Load() / int64(time.Millisecond),
+	}
+	if t != nil {
+		cs.Epoch = t.Epoch
+		cs.OwnedSlots = len(t.SlotsOf(r.id))
+	}
+	return cs
+}
+
+func (r *Replica) call(ctx context.Context, peer int, method string, args, reply any) error {
+	c := r.peerClient(peer)
+	if c == nil {
+		return fmt.Errorf("serve: replica %d has no route to peer %d (Join not called?)", r.id, peer)
+	}
+	return errFromWire(c.Call(ctx, method, args, reply))
+}
+
+// fence rejects requests stamped with a different placement epoch.
+func (r *Replica) fence(epoch uint64) error {
+	t := r.Table()
+	if t == nil {
+		return errors.New("serve: replica has no placement table")
+	}
+	if t.Epoch != epoch {
+		return &placement.EpochError{Have: t.Epoch, Got: epoch}
+	}
+	return nil
+}
+
+// shouldRetryRoute handles an epoch-fence bounce: exchange tables with the
+// rejecting peer (adopt theirs if newer, push ours if theirs is older) and
+// signal one more routing attempt.
+func (r *Replica) shouldRetryRoute(ctx context.Context, peer, attempt int, err error) bool {
+	var ee *placement.EpochError
+	if !errors.As(err, &ee) || attempt >= routeRetries {
+		return false
+	}
+	r.epochRejects.Add(1)
+	if ee.Have > ee.Got {
+		// Peer is ahead: fetch its table.
+		var reply TableReply
+		if ferr := r.call(ctx, peer, "Replica.FetchTable", &NoArgs{}, &reply); ferr == nil && reply.Table != nil {
+			r.adoptTable(reply.Table)
+		}
+	} else {
+		// Peer is behind: push ours.
+		var reply TableReply
+		_ = r.call(ctx, peer, "Replica.PushTable", &TableArgs{Table: r.Table()}, &reply)
+	}
+	// Brief backoff so a mid-push window settles before the next attempt.
+	select {
+	case <-time.After(time.Duration(attempt+1) * 2 * time.Millisecond):
+	case <-ctx.Done():
+		return false
+	}
+	return true
+}
+
+// adoptTable installs t iff it is strictly newer than the current table.
+func (r *Replica) adoptTable(t *placement.Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	r.tmu.Lock()
+	defer r.tmu.Unlock()
+	if r.table == nil || t.Epoch > r.table.Epoch {
+		r.table = t.Clone()
+	}
+	return nil
+}
+
+func deadlineArg(ctx context.Context) int64 {
+	if d, ok := ctx.Deadline(); ok {
+		return d.UnixNano()
+	}
+	return 0
+}
+
+func ctxFor(deadlineNanos int64) (context.Context, context.CancelFunc) {
+	if deadlineNanos <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithDeadline(context.Background(), time.Unix(0, deadlineNanos))
+}
+
+// ---------------------------------------------------------------------------
+// Routed request paths.
+
+// Score routes one node score to its owning replica (or serves it locally
+// when this replica owns the id), retrying through epoch-fence bounces.
+func (r *Replica) Score(ctx context.Context, node int64) ([]float64, error) {
+	for attempt := 0; ; attempt++ {
+		t := r.Table()
+		if t == nil {
+			return nil, errors.New("serve: replica has no placement table")
+		}
+		owner := t.OwnerOf(node)
+		if owner == r.id {
+			return r.srv.Score(ctx, node)
+		}
+		r.forwards.Add(1)
+		var reply ScoreReply
+		err := r.call(ctx, owner, "Replica.Score",
+			&ScoreArgs{Epoch: t.Epoch, Node: node, DeadlineUnixNanos: deadlineArg(ctx)}, &reply)
+		if err == nil {
+			return reply.Scores, nil
+		}
+		if !r.shouldRetryRoute(ctx, owner, attempt, err) {
+			return nil, err
+		}
+	}
+}
+
+// ScoreMany routes a bulk request node by node (each to its owner), with
+// the same positional partial-failure contract as Server.ScoreMany.
+func (r *Replica) ScoreMany(ctx context.Context, nodes []int64) ([][]float64, []error) {
+	out := make([][]float64, len(nodes))
+	errs := make([]error, len(nodes))
+	sem := make(chan struct{}, 4*r.srv.cfg.MaxBatch)
+	var wg sync.WaitGroup
+	for i, id := range nodes {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, id int64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = r.Score(ctx, id)
+		}(i, id)
+	}
+	wg.Wait()
+	return out, errs
+}
+
+// Embed resolves one endpoint embedding from its owner (local or remote).
+func (r *Replica) Embed(ctx context.Context, node int64) ([]float64, error) {
+	for attempt := 0; ; attempt++ {
+		t := r.Table()
+		if t == nil {
+			return nil, errors.New("serve: replica has no placement table")
+		}
+		owner := t.OwnerOf(node)
+		if owner == r.id {
+			return r.srv.Embed(ctx, node)
+		}
+		r.forwards.Add(1)
+		var reply EmbedReply
+		err := r.call(ctx, owner, "Replica.Embed",
+			&EmbedArgs{Epoch: t.Epoch, Node: node, DeadlineUnixNanos: deadlineArg(ctx)}, &reply)
+		if err == nil {
+			return reply.Emb, nil
+		}
+		if !r.shouldRetryRoute(ctx, owner, attempt, err) {
+			return nil, err
+		}
+	}
+}
+
+// ScoreLink scores the (src, dst) pair cluster-wide: both endpoints on
+// this replica short-circuits to the local fast path; otherwise the two
+// endpoint embeddings are gathered from their owners in parallel (the
+// scatter) and the replicated pairwise head scores them locally (the
+// gather). Consistency matches the single-process contract: each endpoint
+// embedding is individually consistent with a committed graph version.
+func (r *Replica) ScoreLink(ctx context.Context, src, dst int64) (float64, error) {
+	t := r.Table()
+	if t == nil {
+		return 0, errors.New("serve: replica has no placement table")
+	}
+	if t.OwnerOf(src) == r.id && t.OwnerOf(dst) == r.id {
+		return r.srv.ScoreLink(ctx, src, dst)
+	}
+	var hs, hd []float64
+	var es, ed error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); hs, es = r.Embed(ctx, src) }()
+	go func() { defer wg.Done(); hd, ed = r.Embed(ctx, dst) }()
+	wg.Wait()
+	if es != nil {
+		return 0, es
+	}
+	if ed != nil {
+		return 0, ed
+	}
+	return r.srv.ScoreVecLink(hs, hd)
+}
+
+// primaryNode is the id a mutation batch routes by: the mutated node for
+// node ops, the edge head (Dst — the invalidation seed) for edge ops.
+func primaryNode(m graph.Mutation) int64 {
+	switch m.Op {
+	case graph.OpAddEdge, graph.OpRemoveEdge:
+		return m.Dst
+	}
+	return m.ID
+}
+
+// Apply routes a whole mutation batch to the owner of its first mutation's
+// primary node; the owner applies, logs, and synchronously fans out to
+// every peer before returning, so on success the mutation is visible (and
+// its invalidations applied) cluster-wide.
+func (r *Replica) Apply(ctx context.Context, muts []graph.Mutation) (*ApplyResult, error) {
+	if len(muts) == 0 {
+		return r.srv.Apply(ctx, muts)
+	}
+	for attempt := 0; ; attempt++ {
+		t := r.Table()
+		if t == nil {
+			return nil, errors.New("serve: replica has no placement table")
+		}
+		owner := t.OwnerOf(primaryNode(muts[0]))
+		if owner == r.id {
+			return r.applyAsOwner(ctx, muts)
+		}
+		r.forwards.Add(1)
+		var reply ApplyReply
+		err := r.call(ctx, owner, "Replica.Apply",
+			&ApplyArgs{Epoch: t.Epoch, Muts: muts, DeadlineUnixNanos: deadlineArg(ctx)}, &reply)
+		if err == nil {
+			return reply.toResult(), nil
+		}
+		if !r.shouldRetryRoute(ctx, owner, attempt, err) {
+			return nil, err
+		}
+	}
+}
+
+func (r *Replica) applyAsOwner(ctx context.Context, muts []graph.Mutation) (*ApplyResult, error) {
+	if err := r.frz.enter(ctx); err != nil {
+		return nil, err
+	}
+	defer r.frz.exit()
+	res, err := r.srv.Apply(ctx, muts)
+	if err != nil || res.Applied == 0 {
+		return res, err
+	}
+	applied := make([]graph.Mutation, 0, res.Applied)
+	for i := range muts {
+		if res.Errs[i] == nil {
+			applied = append(applied, muts[i])
+		}
+	}
+	// Log + fan out under amu: per-owner entries stay totally ordered and
+	// every peer acks before Apply returns. Fan-out runs on its own clock
+	// (not the caller's deadline): a caller timeout must not leave peers
+	// behind on a batch that already committed locally.
+	r.amu.Lock()
+	defer r.amu.Unlock()
+	r.authSeq++
+	r.authLog = append(r.authLog, AuthEntry{Seq: r.authSeq, Muts: applied})
+	r.trimAuthLogLocked()
+	fctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	r.fanoutLocked(fctx)
+	return res, err
+}
+
+// trimAuthLogLocked drops entries every peer has acked, hard-capped at
+// replicaLogCap (an unreachable peer then desyncs — counted, documented).
+func (r *Replica) trimAuthLogLocked() {
+	minAck := r.authSeq
+	for p := range r.cursors {
+		if p == r.id {
+			continue
+		}
+		if r.cursors[p] < minAck {
+			minAck = r.cursors[p]
+		}
+	}
+	keepFrom := 0
+	for keepFrom < len(r.authLog) && r.authLog[keepFrom].Seq <= minAck {
+		keepFrom++
+	}
+	if over := len(r.authLog) - keepFrom - replicaLogCap; over > 0 {
+		keepFrom += over
+	}
+	if keepFrom > 0 {
+		r.authLog = append([]AuthEntry(nil), r.authLog[keepFrom:]...)
+	}
+}
+
+// fanoutLocked pushes the authority-log tail to every peer (amu held).
+func (r *Replica) fanoutLocked(ctx context.Context) {
+	r.tmu.RLock()
+	n := len(r.peers)
+	r.tmu.RUnlock()
+	for p := 0; p < n; p++ {
+		if p == r.id {
+			continue
+		}
+		r.syncPeerLocked(ctx, p)
+	}
+}
+
+func (r *Replica) syncPeerLocked(ctx context.Context, p int) {
+	cursor := r.cursors[p]
+	var ents []AuthEntry
+	for _, e := range r.authLog {
+		if e.Seq > cursor {
+			ents = append(ents, e)
+		}
+	}
+	if len(ents) == 0 {
+		return
+	}
+	if ents[0].Seq != cursor+1 {
+		// The log was trimmed past this peer's cursor: it cannot be caught
+		// up incrementally anymore.
+		r.fanoutErrs.Add(1)
+		return
+	}
+	var reply SyncReply
+	if err := r.call(ctx, p, "Replica.Sync",
+		&SyncArgs{From: r.id, FromSeq: cursor, Entries: ents}, &reply); err != nil {
+		r.fanoutErrs.Add(1)
+		return
+	}
+	if reply.AckSeq > r.cursors[p] {
+		r.cursors[p] = reply.AckSeq
+	}
+	if reply.AckSeq < ents[len(ents)-1].Seq {
+		r.fanoutErrs.Add(1)
+	}
+}
+
+func (rep *ApplyReply) toResult() *ApplyResult {
+	res := &ApplyResult{
+		Version:     rep.Version,
+		Applied:     rep.Applied,
+		Invalidated: rep.Invalidated,
+		Errs:        make([]error, len(rep.Errs)),
+	}
+	for i, s := range rep.Errs {
+		if s != "" {
+			res.Errs[i] = errors.New(s)
+		}
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Migration.
+
+// MigrateResult summarizes one completed slot migration.
+type MigrateResult struct {
+	Slot      int           `json:"slot"`
+	From      int           `json:"from"`
+	To        int           `json:"to"`
+	Epoch     uint64        `json:"epoch"`      // placement epoch after the move
+	RowsMoved int           `json:"rows_moved"` // clean warm rows installed at the destination
+	Pause     time.Duration `json:"pause_ns"`   // cluster write-freeze duration
+}
+
+// Migrate moves one slot from this replica (which must own it) to dst,
+// live: reads keep flowing the whole time (routed reads bounce off the
+// epoch fence for at most the table-push window), writes pause for the
+// freeze-snapshot-install-push sequence, and the result is bit-identical
+// serving — the destination answers warm from the installed rows, and
+// every row a concurrent-looking mutation could have touched was already
+// dirty (excluded from the snapshot) or is invalidated by the normal
+// fan-out after the thaw.
+func (r *Replica) Migrate(ctx context.Context, slot, dst int) (*MigrateResult, error) {
+	r.migrateMu.Lock()
+	defer r.migrateMu.Unlock()
+
+	t := r.Table()
+	if t == nil {
+		return nil, errors.New("serve: replica has no placement table")
+	}
+	if slot < 0 || slot >= t.Slots() {
+		return nil, fmt.Errorf("serve: slot %d out of range [0,%d)", slot, t.Slots())
+	}
+	if t.Owner(slot) != r.id {
+		return nil, fmt.Errorf("serve: replica %d does not own slot %d (owner is %d)", r.id, slot, t.Owner(slot))
+	}
+	if dst == r.id {
+		return nil, fmt.Errorf("serve: slot %d already lives on replica %d", slot, dst)
+	}
+	if dst < 0 || dst >= len(t.Replicas) {
+		return nil, fmt.Errorf("serve: destination %d out of range [0,%d)", dst, len(t.Replicas))
+	}
+
+	next, err := t.WithOwner(slot, dst)
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. Cluster-wide write freeze + drain. Self first (stop producing),
+	// then peers; each Freeze reply means that replica is drained.
+	pauseStart := time.Now()
+	r.frz.freeze(r.freezeTTL)
+	for p := 0; p < len(t.Replicas); p++ {
+		if p == r.id {
+			continue
+		}
+		if err := r.call(ctx, p, "Replica.Freeze", &FreezeArgs{TTLNanos: int64(r.freezeTTL)}, &struct{}{}); err != nil {
+			r.unfreezeAll(t)
+			return nil, fmt.Errorf("serve: freeze replica %d: %w", p, err)
+		}
+	}
+
+	// 2. Quiescent snapshot of the slot's clean warm rows.
+	rows := r.srv.RowsInSlot(slot, t.Slots(), placement.SlotOf)
+
+	// 3. Install at the destination (old epoch — the handover hasn't
+	// happened yet).
+	var ir InstallReply
+	if err := r.call(ctx, dst, "Replica.Install",
+		&InstallArgs{Epoch: t.Epoch, Slot: slot, Rows: rows}, &ir); err != nil {
+		r.unfreezeAll(t)
+		return nil, fmt.Errorf("serve: install slot %d on replica %d: %w", slot, dst, err)
+	}
+
+	// 4. Push the epoch-bumped table: destination first (it must accept
+	// routed traffic the moment anyone routes by the new table), then the
+	// rest, self last. A replica the push misses keeps bouncing routed
+	// requests off the fence until the retry exchange delivers the table.
+	if err := r.call(ctx, dst, "Replica.PushTable", &TableArgs{Table: next}, &TableReply{}); err != nil {
+		// Destination never learned it owns the slot — abort (rows
+		// installed there are harmless: overlay rows are invalidation-
+		// tracked and it owns none of them for routing).
+		r.unfreezeAll(t)
+		return nil, fmt.Errorf("serve: push table to replica %d: %w", dst, err)
+	}
+	for p := 0; p < len(t.Replicas); p++ {
+		if p == r.id || p == dst {
+			continue
+		}
+		if err := r.call(ctx, p, "Replica.PushTable", &TableArgs{Table: next}, &TableReply{}); err != nil {
+			r.fanoutErrs.Add(1) // fence + retry exchange will converge it
+		}
+	}
+	if err := r.adoptTable(next); err != nil {
+		r.unfreezeAll(next)
+		return nil, err
+	}
+
+	// 5. Drop the moved rows locally (hygiene — leftover base-store rows
+	// stay invalidation-tracked and are never routed to).
+	r.srv.DropRows(func(id int64) bool { return placement.SlotOf(id, next.Slots()) == slot })
+
+	// 6. Thaw.
+	r.unfreezeAll(next)
+	return &MigrateResult{
+		Slot:      slot,
+		From:      r.id,
+		To:        dst,
+		Epoch:     next.Epoch,
+		RowsMoved: ir.Installed,
+		Pause:     time.Since(pauseStart),
+	}, nil
+}
+
+// unfreezeAll thaws self and every peer (best effort — the TTL watchdog
+// covers a peer the call cannot reach).
+func (r *Replica) unfreezeAll(t *placement.Table) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for p := 0; p < len(t.Replicas); p++ {
+		if p == r.id {
+			continue
+		}
+		_ = r.call(ctx, p, "Replica.Unfreeze", &NoArgs{}, &struct{}{})
+	}
+	r.frz.unfreeze()
+}
+
+// ---------------------------------------------------------------------------
+// RPC service (the callee side of everything above).
+
+type replicaService struct{ r *Replica }
+
+func (rs *replicaService) Score(args *ScoreArgs, reply *ScoreReply) error {
+	r := rs.r
+	if err := r.fence(args.Epoch); err != nil {
+		return errToWire(err)
+	}
+	ctx, cancel := ctxFor(args.DeadlineUnixNanos)
+	defer cancel()
+	scores, err := r.srv.Score(ctx, args.Node)
+	if err != nil {
+		return errToWire(err)
+	}
+	reply.Scores = scores
+	return nil
+}
+
+func (rs *replicaService) Embed(args *EmbedArgs, reply *EmbedReply) error {
+	r := rs.r
+	if err := r.fence(args.Epoch); err != nil {
+		return errToWire(err)
+	}
+	ctx, cancel := ctxFor(args.DeadlineUnixNanos)
+	defer cancel()
+	emb, err := r.srv.Embed(ctx, args.Node)
+	if err != nil {
+		return errToWire(err)
+	}
+	reply.Emb = emb
+	return nil
+}
+
+func (rs *replicaService) Apply(args *ApplyArgs, reply *ApplyReply) error {
+	r := rs.r
+	if err := r.fence(args.Epoch); err != nil {
+		return errToWire(err)
+	}
+	ctx, cancel := ctxFor(args.DeadlineUnixNanos)
+	defer cancel()
+	// Ownership is the caller's routing decision; fencing guaranteed we
+	// agree on the table, so apply as owner here.
+	res, err := r.applyAsOwner(ctx, args.Muts)
+	if err != nil {
+		return errToWire(err)
+	}
+	reply.Version = res.Version
+	reply.Applied = res.Applied
+	reply.Invalidated = res.Invalidated
+	reply.Errs = make([]string, len(res.Errs))
+	for i, e := range res.Errs {
+		if e != nil {
+			reply.Errs[i] = e.Error()
+		}
+	}
+	return nil
+}
+
+// Sync applies a peer's authority-log tail. Not epoch-fenced (catch-up
+// must flow across epoch changes) and not freeze-gated (see freezer).
+func (rs *replicaService) Sync(args *SyncArgs, reply *SyncReply) error {
+	r := rs.r
+	r.fmu.Lock()
+	defer r.fmu.Unlock()
+	if args.From < 0 || args.From >= len(r.applied) {
+		return errToWire(fmt.Errorf("serve: sync from unknown replica %d", args.From))
+	}
+	last := r.applied[args.From]
+	for _, e := range args.Entries {
+		if e.Seq <= last {
+			continue // duplicate delivery — idempotent
+		}
+		if e.Seq != last+1 {
+			break // gap: ack what we have, owner re-sends from there
+		}
+		if _, err := r.srv.Apply(context.Background(), e.Muts); err != nil {
+			break
+		}
+		last = e.Seq
+	}
+	r.applied[args.From] = last
+	reply.AckSeq = last
+	return nil
+}
+
+func (rs *replicaService) Install(args *InstallArgs, reply *InstallReply) error {
+	r := rs.r
+	if err := r.fence(args.Epoch); err != nil {
+		return errToWire(err)
+	}
+	reply.Installed = r.srv.InstallRows(args.Rows)
+	return nil
+}
+
+func (rs *replicaService) PushTable(args *TableArgs, reply *TableReply) error {
+	r := rs.r
+	if args.Table == nil {
+		return errToWire(errors.New("serve: nil table push"))
+	}
+	if err := r.adoptTable(args.Table); err != nil {
+		return errToWire(err)
+	}
+	reply.Epoch = r.Table().Epoch
+	return nil
+}
+
+func (rs *replicaService) FetchTable(_ *NoArgs, reply *TableReply) error {
+	t := rs.r.Table()
+	if t == nil {
+		return errToWire(errors.New("serve: replica has no placement table"))
+	}
+	reply.Epoch = t.Epoch
+	reply.Table = t.Clone()
+	return nil
+}
+
+// Freeze opens the write freeze and replies only after this replica's
+// in-flight authority applies drain (the coordinator's quiescence point).
+func (rs *replicaService) Freeze(args *FreezeArgs, _ *struct{}) error {
+	ttl := time.Duration(args.TTLNanos)
+	if ttl <= 0 {
+		ttl = DefaultFreezeTTL
+	}
+	rs.r.frz.freeze(ttl)
+	return nil
+}
+
+func (rs *replicaService) Unfreeze(_ *NoArgs, _ *struct{}) error {
+	rs.r.frz.unfreeze()
+	return nil
+}

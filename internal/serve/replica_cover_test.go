@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"agl/internal/placement"
+)
+
+// reflatten simulates the net/rpc boundary: the server returns err.Error()
+// as a plain string and the client wraps it in a fresh error value, so the
+// only thing that survives is the tagged text.
+func reflatten(err error) error {
+	if err == nil {
+		return nil
+	}
+	return errors.New(err.Error())
+}
+
+// TestErrWireCodec: every typed serve error must survive the
+// flatten-to-string RPC boundary so HTTP status mapping works on the
+// routing replica exactly as it does on the owner.
+func TestErrWireCodec(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		in   error
+		want error
+	}{
+		{"unknown-node", fmt.Errorf("score: %w", ErrUnknownNode), ErrUnknownNode},
+		{"no-edge-head", fmt.Errorf("link: %w", ErrNoEdgeHead), ErrNoEdgeHead},
+		{"expired", fmt.Errorf("batch: %w", ErrExpired), ErrExpired},
+		{"closed", ErrClosed, ErrClosed},
+		{"deadline", context.DeadlineExceeded, context.DeadlineExceeded},
+		{"canceled", fmt.Errorf("call: %w", context.Canceled), context.Canceled},
+		{"stale-epoch", &placement.EpochError{Have: 3, Got: 1}, placement.ErrStaleEpoch},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := errFromWire(reflatten(errToWire(tc.in)))
+			if !errors.Is(got, tc.want) {
+				t.Fatalf("decoded %v, want errors.Is(%v)", got, tc.want)
+			}
+		})
+	}
+
+	// ShedError carries fields, not just identity: RetryAfter/Pending/Limit
+	// must cross the wire intact for the 429 Retry-After header.
+	shed := &ShedError{RetryAfter: 250 * time.Millisecond, Pending: 9, Limit: 8}
+	got := errFromWire(reflatten(errToWire(fmt.Errorf("admission: %w", shed))))
+	var back *ShedError
+	if !errors.As(got, &back) {
+		t.Fatalf("decoded %v, want *ShedError", got)
+	}
+	if back.RetryAfter != shed.RetryAfter || back.Pending != shed.Pending || back.Limit != shed.Limit {
+		t.Fatalf("shed fields lost: %+v want %+v", back, shed)
+	}
+	if !errors.Is(got, ErrOverloaded) {
+		t.Fatal("decoded shed error does not unwrap to ErrOverloaded")
+	}
+
+	// Untyped errors pass through as opaque text; a mangled shed payload
+	// degrades to the raw error instead of a zero-valued ShedError.
+	if errFromWire(nil) != nil || errToWire(nil) != nil {
+		t.Fatal("nil must stay nil across the codec")
+	}
+	plain := errFromWire(reflatten(errToWire(errors.New("disk on fire"))))
+	if plain == nil || plain.Error() == "" {
+		t.Fatal("plain error lost its message")
+	}
+	mangled := errFromWire(errors.New(wireShed + "not-a-number:x:y: boom"))
+	if errors.As(mangled, &back) {
+		t.Fatal("mangled shed payload decoded to a typed ShedError")
+	}
+}
+
+// TestEpochBounceResyncsTables: a routed call that hits an epoch fence
+// must heal the divergence in both directions — fetch the peer's table
+// when the peer is ahead, push ours when the peer is behind — and then
+// succeed on the retry, invisibly to the caller.
+func TestEpochBounceResyncsTables(t *testing.T) {
+	cl := buildCluster(t, 2)
+	ctx := context.Background()
+
+	// A probe owned by replica 1 at every epoch in this test (only slot
+	// `moved` changes hands below).
+	t1 := cl.reps[0].Table()
+	var probe int64 = -1
+	moved := -1
+	for s := 0; s < testClusterSlots && moved < 0; s++ {
+		if t1.Owner(s) == 0 {
+			moved = s
+		}
+	}
+	for _, n := range cl.g.Nodes {
+		if s := placement.SlotOf(n.ID, testClusterSlots); t1.Owner(s) == 1 && s != moved {
+			probe = n.ID
+			break
+		}
+	}
+	if probe < 0 {
+		t.Fatal("no probe node owned by replica 1")
+	}
+	want, err := cl.ref.Score(ctx, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Peer ahead: replica 1 has adopted epoch 2, replica 0 still routes
+	// with epoch 1. The bounce must fetch the newer table.
+	t2, err := t1.WithOwner(moved, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.reps[1].adoptTable(t2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.reps[0].Score(ctx, probe)
+	if err != nil {
+		t.Fatalf("routed score after peer-ahead bounce: %v", err)
+	}
+	if !scoresEqual(got, want) {
+		t.Fatalf("score diverged through epoch bounce: %v want %v", got, want)
+	}
+	if e := cl.reps[0].Table().Epoch; e != t2.Epoch {
+		t.Fatalf("caller did not adopt the fetched table: epoch %d want %d", e, t2.Epoch)
+	}
+
+	// Peer behind: replica 0 moves on to epoch 3 alone. The bounce must
+	// push the newer table down to replica 1.
+	t3, err := t2.WithOwner(moved, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.reps[0].adoptTable(t3); err != nil {
+		t.Fatal(err)
+	}
+	got, err = cl.reps[0].Score(ctx, probe)
+	if err != nil {
+		t.Fatalf("routed score after peer-behind bounce: %v", err)
+	}
+	if !scoresEqual(got, want) {
+		t.Fatalf("score diverged through epoch push: %v want %v", got, want)
+	}
+	if e := cl.reps[1].Table().Epoch; e != t3.Epoch {
+		t.Fatalf("peer did not accept the pushed table: epoch %d want %d", e, t3.Epoch)
+	}
+	if cl.reps[0].ClusterStats().EpochRejects == 0 {
+		t.Fatal("epoch bounces left no trace in ClusterStats")
+	}
+}
+
+// TestReplicaScoreManyRouted: the bulk path keeps Server.ScoreMany's
+// positional partial-failure contract while routing each id to its owner.
+func TestReplicaScoreManyRouted(t *testing.T) {
+	cl := buildCluster(t, 3)
+	ctx := context.Background()
+
+	entry := cl.reps[2]
+	if entry.ID() != 2 {
+		t.Fatalf("ID() = %d want 2", entry.ID())
+	}
+	ids := make([]int64, 0, 13)
+	for _, n := range cl.g.Nodes[:12] {
+		ids = append(ids, n.ID)
+	}
+	// One id that no replica knows, owned by a peer so the error is
+	// forwarded, decoded, and slotted at the right position.
+	missing := int64(20_000_000)
+	for entry.Table().OwnerOf(missing) == entry.ID() {
+		missing++
+	}
+	ids = append(ids, missing)
+
+	scores, errs := entry.ScoreMany(ctx, ids)
+	if len(scores) != len(ids) || len(errs) != len(ids) {
+		t.Fatalf("positional contract broken: %d/%d results for %d ids", len(scores), len(errs), len(ids))
+	}
+	for i, id := range ids[:12] {
+		if errs[i] != nil {
+			t.Fatalf("node %d: %v", id, errs[i])
+		}
+		want, err := cl.ref.Score(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !scoresEqual(scores[i], want) {
+			t.Fatalf("node %d routed score %v != reference %v", id, scores[i], want)
+		}
+	}
+	if last := errs[len(errs)-1]; !errors.Is(last, ErrUnknownNode) {
+		t.Fatalf("missing id error = %v, want ErrUnknownNode at its position", last)
+	}
+}

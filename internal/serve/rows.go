@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+)
+
+// This file is the Server's row-level surface for the cluster layer
+// (replica.go): embedding extraction for cross-shard scatter-gather, and
+// the bulk row snapshot/install/drop primitives the slot-migration
+// protocol is built from. None of it is needed (or reached) in
+// single-process serving.
+
+// Embed returns node's layer-K embedding — the scatter half of cross-shard
+// link scoring. Warm rows return immediately; everything else resolves
+// through the same micro-batched single-flight cold pipeline as Score
+// (admission control and deadlines included). The returned slice is the
+// caller's to keep.
+func (s *Server) Embed(ctx context.Context, node int64) ([]float64, error) {
+	emb, c, err := s.embedStart(ctx, node)
+	if err != nil {
+		return nil, err
+	}
+	if c != nil {
+		if emb, err = s.waitEmb(ctx, c); err != nil {
+			return nil, err
+		}
+	}
+	// embedStart's warm path returns a view into store memory; copy so the
+	// result survives the store (and any RPC serialization happening off
+	// this goroutine).
+	return append([]float64(nil), emb...), nil
+}
+
+// RowsInSlot snapshots every clean warm row whose id falls in the given
+// hash slot — the migration payload. Dirty rows are deliberately excluded:
+// they carry no servable value, and the destination recomputes them cold
+// exactly as this replica would have. Rows are deep copies.
+func (s *Server) RowsInSlot(slot, slots int, slotOf func(id int64, slots int) int) map[int64][]float64 {
+	out := make(map[int64][]float64)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.store.Range(func(id int64, emb []float64) bool {
+		if slotOf(id, slots) != slot {
+			return true
+		}
+		if _, d := s.dirty[id]; d {
+			return true
+		}
+		if ov, ok := s.overlay[id]; ok {
+			emb = ov // re-admitted row shadows the store
+		}
+		out[id] = append([]float64(nil), emb...)
+		return true
+	})
+	// Overlay rows with no base store row (installed by a previous
+	// migration, or re-admitted after the base store was built without
+	// them).
+	for id, ov := range s.overlay {
+		if slotOf(id, slots) != slot {
+			continue
+		}
+		if _, d := s.dirty[id]; d {
+			continue
+		}
+		if _, seen := out[id]; !seen {
+			out[id] = append([]float64(nil), ov...)
+		}
+	}
+	return out
+}
+
+// InstallRows admits migrated rows into the warm tier (the overlay, which
+// shadows the base store). A row this replica has already marked dirty is
+// NOT resurrected: the dirty flag records a mutation the incoming snapshot
+// may predate, and a cold recompute is always correct while a stale warm
+// row never is.
+func (s *Server) InstallRows(rows map[int64][]float64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, emb := range rows {
+		if _, d := s.dirty[id]; d {
+			continue
+		}
+		s.overlay[id] = append([]float64(nil), emb...)
+		n++
+	}
+	return n
+}
+
+// DropRows discards overlay rows, dirty flags, and cache entries for every
+// id matching the predicate — the source-side cleanup after a slot
+// migrates away. Base store rows cannot be deleted (the store is
+// read-only) but they stay invalidation-tracked by Apply, so a stale
+// router asking this replica anyway still gets a correct answer, just a
+// slower one.
+func (s *Server) DropRows(match func(id int64) bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id := range s.overlay {
+		if match(id) {
+			delete(s.overlay, id)
+			n++
+		}
+	}
+	for id := range s.dirty {
+		if match(id) {
+			delete(s.dirty, id)
+		}
+	}
+	for _, id := range s.cache.keys() {
+		if match(id) {
+			s.cache.remove(id)
+		}
+	}
+	return n
+}
+
+// WarmRow reports whether id currently serves warm (clean store or overlay
+// row) — a test and stats observable for migration.
+func (s *Server) WarmRow(id int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.lookupEmbLocked(id)
+	return ok
+}
+
+// keys lists the cached ids (callers hold the server mutex).
+func (l *lruCache) keys() []int64 {
+	out := make([]int64, 0, len(l.m))
+	for id := range l.m {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ScoreVecLink scores a link directly from two endpoint embeddings — the
+// gather half of cross-shard link scoring, used by the cluster router once
+// both embeddings arrive. The model must have an edge head.
+func (s *Server) ScoreVecLink(hu, hv []float64) (float64, error) {
+	if s.model.Edge == nil {
+		return 0, ErrNoEdgeHead
+	}
+	if len(hu) != s.model.Cfg.Hidden || len(hv) != s.model.Cfg.Hidden {
+		return 0, fmt.Errorf("serve: embedding dim (%d,%d) does not match model hidden %d",
+			len(hu), len(hv), s.model.Cfg.Hidden)
+	}
+	return s.model.Edge.ScoreVec(hu, hv), nil
+}

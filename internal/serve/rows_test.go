@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"agl/internal/gnn"
+	"agl/internal/graph"
+)
+
+// slotMod is the test slot function: trivially invertible so each case can
+// place ids in slots by construction.
+func slotMod(id int64, slots int) int { return int(id % int64(slots)) }
+
+// TestRowSurfaceForMigration exercises the Server primitives the slot
+// migration protocol is assembled from: snapshot (RowsInSlot), install
+// (InstallRows), drop (DropRows), and the WarmRow observable — including
+// the dirty-row exclusions that make a migrated snapshot always safe to
+// serve.
+func TestRowSurfaceForMigration(t *testing.T) {
+	g, model, inf := testLinkGraph(t, gnn.EdgeHeadBilinear)
+	store, err := NewStore(0, inf.Embeddings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Seed: 4}, model, g, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+
+	ids := g.IDs()
+	var even, odd int64 = -1, -1
+	for _, id := range ids {
+		if id%2 == 0 && even < 0 {
+			even = id
+		}
+		if id%2 == 1 && odd < 0 {
+			odd = id
+		}
+	}
+	if even < 0 || odd < 0 {
+		t.Fatal("dataset has no even/odd id pair")
+	}
+
+	// Dirty one even id via a real mutation: the snapshot must skip it.
+	if _, err := srv.Apply(ctx, []graph.Mutation{graph.UpdateNodeFeat(even, make([]float64, g.FeatureDim()))}); err != nil {
+		t.Fatal(err)
+	}
+	rows := srv.RowsInSlot(0, 2, slotMod)
+	if _, ok := rows[even]; ok {
+		t.Fatalf("dirty row %d leaked into the migration snapshot", even)
+	}
+	if _, ok := rows[odd]; ok {
+		t.Fatalf("slot-1 row %d leaked into the slot-0 snapshot", odd)
+	}
+	if len(rows) == 0 {
+		t.Fatal("slot-0 snapshot empty")
+	}
+
+	// InstallRows must not resurrect the dirty row, and an overlay-only id
+	// (no base store row) must round-trip through the next snapshot.
+	ghost := ids[len(ids)-1]*2 + 2 // even, not in the store
+	installed := srv.InstallRows(map[int64][]float64{
+		even:  make([]float64, model.Cfg.Hidden),
+		ghost: make([]float64, model.Cfg.Hidden),
+	})
+	if installed != 1 {
+		t.Fatalf("installed %d rows, want 1 (dirty id must be refused)", installed)
+	}
+	if !srv.WarmRow(ghost) || srv.WarmRow(even) {
+		t.Fatalf("warm observability wrong: ghost=%v dirty=%v", srv.WarmRow(ghost), srv.WarmRow(even))
+	}
+	rows = srv.RowsInSlot(0, 2, slotMod)
+	if _, ok := rows[ghost]; !ok {
+		t.Fatal("overlay-only row missing from snapshot")
+	}
+
+	// DropRows clears the overlay and dirty bookkeeping for the slot.
+	dropped := srv.DropRows(func(id int64) bool { return slotMod(id, 2) == 0 })
+	if dropped != 1 {
+		t.Fatalf("dropped %d overlay rows, want 1", dropped)
+	}
+	if srv.WarmRow(ghost) {
+		t.Fatal("dropped row still serves warm")
+	}
+}
+
+// TestEmbedTiersAndScoreVecLink pins the scatter-gather halves to the
+// single-process link path: owner-side Embed (warm and cold) feeding
+// ScoreVecLink must reproduce ScoreLink's logit exactly.
+func TestEmbedTiersAndScoreVecLink(t *testing.T) {
+	g, model, inf := testLinkGraph(t, gnn.EdgeHeadBilinear)
+	store, err := NewStore(0, inf.Embeddings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := New(Config{Seed: 4}, model, g, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	coldModel, err := gnn.UnmarshalModel(mustMarshal(t, model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := New(Config{Seed: 4}, coldModel, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	ctx := context.Background()
+
+	ids := g.IDs()
+	u, v := ids[0], ids[1]
+	hu, err := warm.Embed(ctx, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv, err := warm.Embed(ctx, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The warm result is a copy, not a store view.
+	orig := hu[0]
+	hu[0] = math.Inf(1)
+	again, err := warm.Embed(ctx, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != orig {
+		t.Fatal("Embed returned a store view: caller mutation leaked back")
+	}
+	hu[0] = orig
+
+	gathered, err := warm.ScoreVecLink(hu, hv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := warm.ScoreLink(ctx, u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gathered != direct {
+		t.Fatalf("gathered %v != direct %v", gathered, direct)
+	}
+
+	// Cold Embed (no store) runs the batcher and agrees with warm.
+	chu, err := cold.Embed(ctx, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range chu {
+		if math.Abs(chu[i]-hu[i]) > 1e-9 {
+			t.Fatalf("cold embed dim %d: %v vs warm %v", i, chu[i], hu[i])
+		}
+	}
+
+	// Error surface: unknown id, dimension mismatch, missing edge head.
+	if _, err := warm.Embed(ctx, 1<<40); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown-node embed err = %v", err)
+	}
+	if _, err := warm.ScoreVecLink(hu[:1], hv); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	plainModel, err := gnn.NewModel(gnn.Config{
+		Kind: gnn.KindGCN, InDim: g.FeatureDim(), Hidden: 8, Classes: 1, Layers: 2, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := New(Config{Seed: 4}, plainModel, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, err := plain.ScoreVecLink(hu, hv); !errors.Is(err, ErrNoEdgeHead) {
+		t.Fatalf("edge-head-less ScoreVecLink err = %v", err)
+	}
+}
+
+// TestFlightAccessors covers the recorder's observability surface: the
+// ring's Len/Seq bookkeeping past wraparound and the server-level
+// spec/samples accessors.
+func TestFlightAccessors(t *testing.T) {
+	ring, err := NewFlightRing(3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ring.Close()
+	for i := 0; i < 5; i++ {
+		if err := ring.Append(FlightSample{UnixNanos: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ring.Len() != 3 || ring.Seq() != 5 {
+		t.Fatalf("ring Len=%d Seq=%d, want 3/5 after wraparound", ring.Len(), ring.Seq())
+	}
+
+	g, model, _ := testLinkGraph(t, gnn.EdgeHeadBilinear)
+	srv, err := New(Config{Seed: 4, FlightSlots: 7}, model, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if spec := srv.FlightInfo(); spec.Slots != 7 || spec.Interval <= 0 {
+		t.Fatalf("flight spec %+v", spec)
+	}
+	if srv.Flight() == nil {
+		t.Fatal("always-on recorder returned nil samples slice")
+	}
+}
