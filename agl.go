@@ -310,11 +310,22 @@ type (
 	// ServeStats snapshots a Server's request and mutation accounting.
 	ServeStats = serve.Stats
 	// EmbeddingStore is the read interface of a final-layer node-embedding
-	// store. Two backends implement it: the sharded heap store built by
-	// NewEmbeddingStore, and the out-of-core mmap'd store opened by
-	// OpenMappedStore. Lookup results alias backend memory — copy before
-	// retaining (see serve.Store for the full contract).
+	// store, organized around a row codec: LookupRow returns a node's row
+	// in the backend's native encoding (an EmbeddingRow), LookupInto
+	// decodes into a caller-owned float64 buffer. Three backends implement
+	// it: the sharded heap store built by NewEmbeddingStore, the
+	// out-of-core mmap'd store opened by OpenMappedStore, and the
+	// int8-quantized store opened by OpenQuantStore. LookupRow results may
+	// alias backend memory — Clone before retaining (see serve.Store for
+	// the full contract).
 	EmbeddingStore = serve.Store
+	// EmbeddingRow is one store row in its native codec: full-precision
+	// float64s (CodecF64) or affine-quantized int8s with a per-row scale
+	// and zero-point (CodecQ8). Floats decodes either form; two CodecQ8
+	// rows under a dot-product edge head score without decoding at all.
+	EmbeddingRow = serve.Row
+	// RowCodec names an EmbeddingRow's encoding.
+	RowCodec = serve.Codec
 	// MemEmbeddingStore is the heap-resident EmbeddingStore backend.
 	MemEmbeddingStore = serve.MemStore
 	// MappedEmbeddingStore is the out-of-core EmbeddingStore backend: a
@@ -322,6 +333,17 @@ type (
 	// deserialization, so open is O(1) and resident memory is bounded by
 	// what the page cache keeps warm. Close it when done.
 	MappedEmbeddingStore = serve.MappedStore
+	// QuantEmbeddingStore is the int8-quantized EmbeddingStore backend:
+	// each row stores one int8 per dimension plus a float32 scale and
+	// zero-point (~7-8x smaller than MemEmbeddingStore), served either
+	// from the heap (QuantizeStore) or mmap'd from an AGLQNT01 file
+	// (OpenQuantStore). Under a dot-product edge head, link scores compute
+	// directly on the quantized rows. Close it when done.
+	QuantEmbeddingStore = serve.QuantStore
+	// StoreSpec is the declarative store-backend selection (mem, mmap, or
+	// quant; open-from-file or build-from-embeddings; verify and save)
+	// shared by cmd/aglserve's flag surface and embedding API users.
+	StoreSpec = serve.StoreSpec
 	// ApplyResult summarizes one mutation batch committed with
 	// Server.Apply: the new graph version, which mutations applied
 	// (positional errors, partial-failure semantics), and how many cache
@@ -391,6 +413,27 @@ func OpenMappedStore(path string) (*MappedEmbeddingStore, error) {
 	return serve.OpenMapped(path)
 }
 
+// QuantizeStore quantizes src's rows to int8 (per-row affine scale +
+// zero-point) into a heap-resident QuantEmbeddingStore. Rows with
+// non-finite values are rejected.
+func QuantizeStore(src EmbeddingStore) (*QuantEmbeddingStore, error) {
+	return serve.Quantize(src)
+}
+
+// CreateQuantStore quantizes src to the AGLQNT01 file layout at path,
+// staged and renamed into place atomically. Open the result with
+// OpenQuantStore.
+func CreateQuantStore(path string, src EmbeddingStore) error {
+	return serve.CreateQuant(path, src)
+}
+
+// OpenQuantStore maps the quantized store at path in O(1) time and
+// memory, mirroring OpenMappedStore: header checks are eager, row pages
+// fault in on demand, Verify checksums the full file, Close unmaps it.
+func OpenQuantStore(path string) (*QuantEmbeddingStore, error) {
+	return serve.OpenQuant(path)
+}
+
 // Cluster serving types. A fleet of replicas partitions the warm embedding
 // tier by node-id hash slot under an epoch-versioned placement table:
 // requests for non-owned nodes proxy to the owner, link scores
@@ -455,8 +498,7 @@ func NewReplica(id int, srv *Server, listen string) (*Replica, error) {
 // micro-batch before the forward pass runs (ErrExpired), and under
 // saturation cold requests are shed fast with a *ShedError instead of
 // queueing (errors.Is ErrOverloaded; warm and cached requests are never
-// shed). The deprecated no-context Server.ApplyNoCtx remains for one
-// release.
+// shed).
 //
 // The served graph is dynamic: srv.Apply commits mutation batches (built
 // with AddNode/AddEdge/RemoveEdge/UpdateNodeFeat) and invalidates exactly

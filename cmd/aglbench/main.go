@@ -184,6 +184,8 @@ func main() {
 			run("overload", func() (fmt.Stringer, error) { return experiments.Overload(opt) })
 		case "cluster":
 			run("cluster", func() (fmt.Stringer, error) { return experiments.Cluster(opt) })
+		case "quant":
+			run("quant", func() (fmt.Stringer, error) { return experiments.Quant(opt) })
 		default:
 			fatalf("unknown experiment %q", name)
 		}

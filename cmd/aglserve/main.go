@@ -11,7 +11,8 @@
 //	GET  /link?src=A&dst=B       pair score (link models) -> {"logit":..,"score":..}
 //	POST /scores {"nodes":[..]}  bulk      -> {"scores":{"ID":[...],...}}
 //	POST /update                 stream graph mutations (single or batch)
-//	GET  /mutations?since=V      catch-up feed of applied batches (410 when trimmed)
+//	GET  /mutations?since=V      catch-up feed of applied batches (410 when trimmed);
+//	                             &codec=q8 packs feature payloads as int8
 //	GET  /stats                  request + mutation accounting
 //	GET  /metrics?last=N         flight-recorder snapshot (newest N samples)
 //	GET  /healthz                liveness
@@ -56,9 +57,21 @@
 // next request for an affected node recomputes on the new graph.
 //
 // With -precompute (the default) GraphInfer runs once at startup so steady
-// traffic is served from the embedding store + prediction slice; -store
-// loads a previously saved store instead, and -save-store persists the
-// computed one for the next boot.
+// traffic is served from the embedding store + prediction slice. The store
+// backend is selected with one flag set:
+//
+//	-store-backend mem|mmap|quant   implementation (default mem)
+//	-store-path FILE                open a saved store instead of precomputing
+//	-store-save FILE                persist the store in the backend's format
+//	-store-verify                   full checksum pass at startup
+//	-store-quant                    shorthand for -store-backend quant
+//
+// mem is the heap-resident AGLEMB02 store, mmap serves the AGLMAP01 layout
+// out-of-core with O(1) startup, and quant serves int8-quantized rows
+// (AGLQNT01, ~7-8x smaller than mem) that score links without dequantizing
+// under a dot-product edge head. The pre-redesign flags -store,
+// -store-mmap, -save-store and -save-store-mmap remain as deprecated
+// aliases onto this set.
 package main
 
 import (
@@ -110,11 +123,15 @@ func main() {
 	hubThreshold := flag.Int("hub-threshold", 0, "re-indexing threshold for the precompute run (match training)")
 	seed := flag.Int64("seed", 1, "sampling seed (match training)")
 	precompute := flag.Bool("precompute", true, "run GraphInfer at startup to build the embedding store")
-	storePath := flag.String("store", "", "load the embedding store from this file instead of precomputing")
-	storeMmap := flag.String("store-mmap", "", "serve the embedding store mmap'd from this file (out-of-core; O(1) open)")
-	storeVerify := flag.Bool("store-verify", false, "checksum the mmap'd store's payload sections at startup")
-	saveStore := flag.String("save-store", "", "write the precomputed embedding store to this file")
-	saveStoreMmap := flag.String("save-store-mmap", "", "write the precomputed store to this file in the mmap layout")
+	storeBackend := flag.String("store-backend", "", "embedding store backend: mem (heap, default), mmap (out-of-core), or quant (int8-quantized)")
+	storeFile := flag.String("store-path", "", "open the embedding store from this file (the backend's native format) instead of precomputing")
+	storeSave := flag.String("store-save", "", "persist the embedding store to this file in the backend's native format")
+	storeVerify := flag.Bool("store-verify", false, "run the store file's full checksum verification at startup")
+	storeQuant := flag.Bool("store-quant", false, "serve int8-quantized embeddings (shorthand for -store-backend quant)")
+	storeOld := flag.String("store", "", "deprecated: alias for -store-path with the mem backend")
+	storeMmapOld := flag.String("store-mmap", "", "deprecated: alias for -store-backend mmap -store-path")
+	saveStoreOld := flag.String("save-store", "", "deprecated: alias for -store-save with the mem backend")
+	saveStoreMmapOld := flag.String("save-store-mmap", "", "deprecated: alias for -store-backend mmap -store-save")
 	cacheSize := flag.Int("cache", 4096, "LRU score-cache entries")
 	maxBatch := flag.Int("max-batch", 64, "micro-batch size cap")
 	maxWait := flag.Duration("max-wait", 0, "micro-batch linger: wait up to this long for batch companions (0 flushes greedily)")
@@ -133,6 +150,54 @@ func main() {
 	if *nodePath == "" || *edgePath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Fold the flag surface (including the deprecated per-backend aliases)
+	// into one StoreSpec; conflicting selections fail fast instead of
+	// silently preferring one flag over another.
+	spec := serve.StoreSpec{
+		Backend: *storeBackend, Path: *storeFile,
+		Verify: *storeVerify, SavePath: *storeSave,
+	}
+	setBackend := func(backend, from string) {
+		if spec.Backend != "" && spec.Backend != backend {
+			log.Fatalf("%s conflicts with -store-backend %s", from, spec.Backend)
+		}
+		spec.Backend = backend
+	}
+	if *storeQuant {
+		setBackend(serve.BackendQuant, "-store-quant")
+	}
+	for _, alias := range []struct {
+		name, val, backend string
+		save               bool
+	}{
+		{"-store", *storeOld, serve.BackendMem, false},
+		{"-store-mmap", *storeMmapOld, serve.BackendMmap, false},
+		{"-save-store", *saveStoreOld, serve.BackendMem, true},
+		{"-save-store-mmap", *saveStoreMmapOld, serve.BackendMmap, true},
+	} {
+		if alias.val == "" {
+			continue
+		}
+		log.Printf("flag %s is deprecated; use -store-backend/-store-path/-store-save", alias.name)
+		if alias.backend != serve.BackendMem {
+			setBackend(alias.backend, alias.name)
+		}
+		if alias.save {
+			if spec.SavePath != "" && spec.SavePath != alias.val {
+				log.Fatalf("%s conflicts with -store-save %s", alias.name, spec.SavePath)
+			}
+			spec.SavePath = alias.val
+		} else {
+			if spec.Path != "" && spec.Path != alias.val {
+				log.Fatalf("%s conflicts with -store-path %s", alias.name, spec.Path)
+			}
+			spec.Path = alias.val
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
 	}
 	mf, err := os.Open(*modelPath)
 	if err != nil {
@@ -179,80 +244,53 @@ func main() {
 	}
 
 	var store serve.Store
-	switch {
-	case *storeMmap != "":
+	if spec.Path != "" || *precompute {
 		t0 := time.Now()
-		ms, err := serve.OpenMapped(*storeMmap)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer ms.Close()
-		if *storeVerify {
-			if err := ms.Verify(); err != nil {
-				log.Fatal(err)
-			}
-		}
-		store = ms
-		log.Printf("mapped %d embeddings (dim %d) from %s in %s",
-			ms.Len(), ms.Dim(), *storeMmap, time.Since(t0).Round(time.Microsecond))
-	case *storePath != "":
-		f, err := os.Open(*storePath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ms, err := serve.ReadStore(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		store = ms
-		log.Printf("loaded %d embeddings (dim %d) from %s", ms.Len(), ms.Dim(), *storePath)
-	case *precompute:
-		t0 := time.Now()
-		res, err := core.Infer(core.InferConfig{
-			MaxNeighbors: *maxNeighbors, Strategy: strat, Seed: *seed,
-			HubThreshold: *hubThreshold, KeepEmbeddings: true,
-		}, model, mapreduce.MemInput(core.TableRecords(g)))
-		if err != nil {
-			log.Fatal(err)
-		}
-		embs := res.Embeddings
-		if clusterMode {
-			// Keep only the owned shard: non-owned nodes proxy to their
-			// owner, so holding their rows would just triple warm memory.
-			owned := make(map[int64][]float64)
-			for id, emb := range embs {
-				if table.OwnerOf(id) == *replicaID {
-					owned[id] = emb
-				}
-			}
-			embs = owned
-		}
-		ms, err := serve.NewStore(0, embs)
-		if err != nil {
-			log.Fatal(err)
-		}
-		store = ms
-		log.Printf("precomputed %d embeddings, kept %d in %s",
-			len(res.Embeddings), ms.Len(), time.Since(t0).Round(time.Millisecond))
-		if *saveStore != "" {
-			f, err := os.Create(*saveStore)
+		var embs map[int64][]float64
+		computed := 0
+		if spec.Path == "" {
+			res, err := core.Infer(core.InferConfig{
+				MaxNeighbors: *maxNeighbors, Strategy: strat, Seed: *seed,
+				HubThreshold: *hubThreshold, KeepEmbeddings: true,
+			}, model, mapreduce.MemInput(core.TableRecords(g)))
 			if err != nil {
 				log.Fatal(err)
 			}
-			if _, err := ms.WriteTo(f); err != nil {
-				log.Fatal(err)
+			embs = res.Embeddings
+			computed = len(embs)
+			if clusterMode {
+				// Keep only the owned shard: non-owned nodes proxy to their
+				// owner, so holding their rows would just triple warm memory.
+				owned := make(map[int64][]float64)
+				for id, emb := range embs {
+					if table.OwnerOf(id) == *replicaID {
+						owned[id] = emb
+					}
+				}
+				embs = owned
 			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-			log.Printf("saved embedding store to %s", *saveStore)
 		}
-		if *saveStoreMmap != "" {
-			if err := serve.CreateMapped(*saveStoreMmap, ms); err != nil {
-				log.Fatal(err)
-			}
-			log.Printf("saved mmap-layout embedding store to %s", *saveStoreMmap)
+		st, closeStore, err := spec.Open(embs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer closeStore()
+		store = st
+		backend := spec.Backend
+		if backend == "" {
+			backend = serve.BackendMem
+		}
+		if spec.Path != "" {
+			log.Printf("opened %s store: %d embeddings (dim %d, codec %s) from %s in %s",
+				backend, st.Len(), st.Dim(), st.RowCodec(), spec.Path,
+				time.Since(t0).Round(time.Microsecond))
+		} else {
+			log.Printf("precomputed %d embeddings, serving %d (dim %d, codec %s) via the %s backend in %s",
+				computed, st.Len(), st.Dim(), st.RowCodec(), backend,
+				time.Since(t0).Round(time.Millisecond))
+		}
+		if spec.SavePath != "" {
+			log.Printf("saved %s-format embedding store to %s", backend, spec.SavePath)
 		}
 	}
 
@@ -428,7 +466,20 @@ func main() {
 		if len(entries) > 0 {
 			version = entries[len(entries)-1].Version
 		}
-		writeJSON(w, map[string]any{"version": version, "entries": entries})
+		// ?codec=q8 packs feature payloads as int8 (lossy, error bounded by
+		// scale/2 per component) — a bandwidth trade the poller opts into.
+		// The decoder (Mutation.UnmarshalJSON) accepts both forms.
+		var wireEntries any = entries
+		switch codec := r.URL.Query().Get("codec"); codec {
+		case "", "f64":
+		case "q8":
+			wireEntries = graph.QuantizeLog(entries)
+		default:
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Errorf("bad codec parameter %q (want f64 or q8)", codec))
+			return
+		}
+		writeJSON(w, map[string]any{"version": version, "entries": wireEntries})
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, srv.Stats())

@@ -196,7 +196,7 @@ func buildClusterHarness(opt Options, n, nodes, slots int) (*clusterHarness, err
 				shard[id] = emb
 			}
 		}
-		rep.Server().InstallRows(shard)
+		rep.Server().InstallRows(serve.FloatRows(shard))
 		if err := rep.Join(ptab); err != nil {
 			h.close()
 			return nil, err

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"agl/internal/core"
+	"agl/internal/datagen"
+	"agl/internal/gnn"
+	"agl/internal/mapreduce"
+	"agl/internal/nn"
+	"agl/internal/serve"
+	"agl/internal/wire"
+)
+
+// QuantResult records the quantized-serving tradeoff: how much warm-tier
+// memory the int8 store saves versus the float backends, and what it costs
+// in link quality (served AUC) and warm pair-scoring latency. Under the
+// dot-product edge head the quantized warm path never dequantizes, so the
+// overhead column is the honest price of the density win.
+type QuantResult struct {
+	Nodes     int
+	TestPairs int
+	Dim       int
+
+	// MemAUC/QuantAUC are held-out link AUCs computed from SERVED scores
+	// (warm ScoreLink over the respective backend), not offline
+	// evaluation: exactly what a caller of the quantized tier observes.
+	MemAUC, QuantAUC float64
+
+	// MemBytes/QuantBytes are the serialized store footprints; Density is
+	// their ratio — how many quantized stores fit in one float store's
+	// bytes (equivalently the nodes/GB multiplier).
+	MemBytes, QuantBytes int64
+	Density              float64
+
+	MemRequests        int
+	MemP50, MemP99     time.Duration
+	QuantRequests      int
+	QuantP50, QuantP99 time.Duration
+	// OverheadPct is max(0, p50(quant)/p50(mem) - 1) in percent: the warm
+	// link-path latency cost of serving packed rows.
+	OverheadPct float64
+
+	Text string
+}
+
+func (r *QuantResult) String() string { return r.Text }
+
+// Metrics implements MetricsProvider; everything is lower-is-better.
+// auc_regret_pct is the served-AUC cost of quantization relative to the
+// float backend on the identical workload — the claim the quantized tier
+// is held to ("packing rows to int8 costs nothing you can measure") —
+// not the model's absolute AUC, which belongs to the link experiment.
+// density_shortfall_pct is how far the measured density ratio falls below
+// the 4x acceptance floor (0 when it clears the floor). Both sit at 0 in
+// the committed baseline, so a regression trips the guard via the
+// zero-baseline rule (compare against the bare tolerance).
+func (r *QuantResult) Metrics() map[string]float64 {
+	shortfall := (4 - r.Density) / 4 * 100
+	if shortfall < 0 {
+		shortfall = 0
+	}
+	regret := 0.0
+	if r.MemAUC > 0 {
+		regret = (r.MemAUC - r.QuantAUC) / r.MemAUC * 100
+	}
+	if regret < 0 {
+		regret = 0
+	}
+	return map[string]float64{
+		"auc_regret_pct":        regret,
+		"density_shortfall_pct": shortfall,
+		"warm_p50_ns":           float64(r.QuantP50),
+		"warm_overhead_pct":     r.OverheadPct,
+	}
+}
+
+// Quant runs the quantized-serving experiment: train a dot-head link model
+// on the UUG split, precompute embeddings once, serve the identical warm
+// pair workload from the float store and from its int8-quantized twin, and
+// compare footprint, served AUC, and warm latency.
+func Quant(opt Options) (*QuantResult, error) {
+	nodes, featDim, maxTrain, epochs := 4000, 32, 3000, 10
+	warmReqs := 2000
+	if opt.Quick {
+		nodes, featDim, maxTrain, epochs = 1500, 16, 2000, 16
+		warmReqs = 500
+	}
+	ds, err := datagen.UUG(datagen.UUGConfig{
+		Nodes: nodes, FeatDim: featDim, AttachEdges: 5,
+		FeatureNoise: 0.5, Homophily: 0.92, Seed: opt.Seed + 21,
+	})
+	if err != nil {
+		return nil, err
+	}
+	links, err := datagen.Links(ds, datagen.LinkConfig{
+		TestFrac: 0.1, NegPerPos: 1, MaxTrainPairs: maxTrain, Seed: opt.Seed + 22,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &QuantResult{Nodes: nodes, TestPairs: len(links.Test)}
+
+	opt.logf("quant: flatten + train %d epochs (dot edge head)", epochs)
+	tables := mapreduce.MemInput(core.TableRecords(links.G))
+	flatCfg := core.FlatConfig{Hops: 2, NumReducers: 8, TempDir: opt.TempDir, Seed: opt.Seed}
+	flatCfg.EdgeTargets = links.Train
+	trainFlat, err := core.Flatten(flatCfg, tables, nil)
+	if err != nil {
+		return nil, err
+	}
+	// The dot head is the quantized tier's showcase: ScoreLink on two
+	// CodecQ8 rows computes the logit directly on int8 payloads.
+	tr, err := core.Train(core.TrainConfig{
+		Model: gnn.Config{
+			Kind: gnn.KindGCN, InDim: links.G.FeatureDim(), Hidden: 16, Classes: 1,
+			Layers: 2, Act: nn.ActTanh, Seed: opt.Seed + 23, EdgeHead: gnn.EdgeHeadDot,
+		},
+		Loss: core.LossBCE, Epochs: epochs, BatchSize: 64, LR: 0.02,
+		Workers: 4, NegativeRatio: 2, Seed: opt.Seed + 24,
+		Pipeline: true, Pruning: true,
+	}, trainFlat.Records)
+	if err != nil {
+		return nil, err
+	}
+
+	opt.logf("quant: GraphInfer precompute over %d nodes", nodes)
+	inf, err := core.Infer(core.InferConfig{
+		Seed: opt.Seed, TempDir: opt.TempDir, NumReducers: 8, KeepEmbeddings: true,
+	}, tr.Model, tables)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := serve.NewStore(0, inf.Embeddings)
+	if err != nil {
+		return nil, err
+	}
+	quant, err := serve.Quantize(mem)
+	if err != nil {
+		return nil, err
+	}
+	res.Dim = mem.Dim()
+	if res.MemBytes, err = mem.WriteTo(io.Discard); err != nil {
+		return nil, err
+	}
+	if res.QuantBytes, err = quant.WriteTo(io.Discard); err != nil {
+		return nil, err
+	}
+	res.Density = float64(res.MemBytes) / float64(res.QuantBytes)
+
+	// Two servers over the SAME graph and weights, differing only in the
+	// store backend. The model is round-tripped so no state is shared.
+	model2, err := gnn.UnmarshalModel(mustRemarshal(tr.Model))
+	if err != nil {
+		return nil, err
+	}
+	memSrv, err := serve.New(serve.Config{Seed: opt.Seed}, tr.Model, links.G, mem)
+	if err != nil {
+		return nil, err
+	}
+	defer memSrv.Close()
+	quantSrv, err := serve.New(serve.Config{Seed: opt.Seed}, model2, links.G, quant)
+	if err != nil {
+		return nil, err
+	}
+	defer quantSrv.Close()
+
+	// Served AUC over the held-out split: both backends score the same
+	// labeled pairs through the warm link path.
+	opt.logf("quant: served AUC over %d held-out pairs, both backends", len(links.Test))
+	if res.MemAUC, err = servedAUC(memSrv, links.Test); err != nil {
+		return nil, err
+	}
+	if res.QuantAUC, err = servedAUC(quantSrv, links.Test); err != nil {
+		return nil, err
+	}
+
+	reqPairs := make([][2]int64, 0, warmReqs)
+	for i := 0; len(reqPairs) < warmReqs; i++ {
+		p := links.Train[i%len(links.Train)]
+		reqPairs = append(reqPairs, [2]int64{p.Src, p.Dst})
+	}
+	opt.logf("quant: warm phase, %d pair requests per backend", warmReqs)
+	memLats, err := scorePairs(memSrv, reqPairs)
+	if err != nil {
+		return nil, err
+	}
+	quantLats, err := scorePairs(quantSrv, reqPairs)
+	if err != nil {
+		return nil, err
+	}
+	res.MemRequests, res.QuantRequests = len(memLats), len(quantLats)
+	res.MemP50, res.MemP99 = pctl(memLats, 50), pctl(memLats, 99)
+	res.QuantP50, res.QuantP99 = pctl(quantLats, 50), pctl(quantLats, 99)
+	if over := (float64(res.QuantP50)/float64(res.MemP50) - 1) * 100; over > 0 {
+		res.OverheadPct = over
+	}
+
+	res.Text = fmt.Sprintf(
+		"Quantized serving: %d-node UUG link workload (GCN+dot, dim %d)\n"+
+			"store footprint: %s float64 -> %s int8 = %.2fx density (target >= 4x)\n"+
+			"served AUC: %.4f float -> %.4f quantized (regret %+.4f)\n%s"+
+			"warm p50 overhead: %.1f%% (dot head scores int8 rows without dequantizing)\n",
+		nodes, res.Dim, fmtBytes(res.MemBytes), fmtBytes(res.QuantBytes), res.Density,
+		res.MemAUC, res.QuantAUC, res.MemAUC-res.QuantAUC,
+		table([]string{"Backend", "Requests", "p50", "p99"}, [][]string{
+			{"mem (float64)", fmt.Sprintf("%d", res.MemRequests), fmtLatency(res.MemP50), fmtLatency(res.MemP99)},
+			{"quant (int8)", fmt.Sprintf("%d", res.QuantRequests), fmtLatency(res.QuantP50), fmtLatency(res.QuantP99)},
+		}),
+		res.OverheadPct)
+	return res, nil
+}
+
+// servedAUC scores labeled pairs through the server's warm link path and
+// returns the ROC-AUC (ties counted half, the standard rank formulation).
+func servedAUC(srv *serve.Server, pairs []wire.EdgeTarget) (float64, error) {
+	type scored struct {
+		s     float64
+		label int
+	}
+	all := make([]scored, 0, len(pairs))
+	pos, neg := 0, 0
+	for _, p := range pairs {
+		logit, err := srv.ScoreLink(context.Background(), p.Src, p.Dst)
+		if err != nil {
+			return 0, fmt.Errorf("pair (%d,%d): %w", p.Src, p.Dst, err)
+		}
+		all = append(all, scored{logit, int(p.Label)})
+		if p.Label == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0, fmt.Errorf("degenerate AUC split: %d positives, %d negatives", pos, neg)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].s < all[b].s })
+	// Rank-sum with midranks for ties.
+	var rankSum float64
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].s == all[i].s {
+			j++
+		}
+		midrank := float64(i+j+1) / 2 // 1-based average rank of the tie group
+		for k := i; k < j; k++ {
+			if all[k].label == 1 {
+				rankSum += midrank
+			}
+		}
+		i = j
+	}
+	return (rankSum - float64(pos)*float64(pos+1)/2) / (float64(pos) * float64(neg)), nil
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// mustRemarshal round-trips a model's weights to detach a second server's
+// state from the first.
+func mustRemarshal(m *gnn.Model) []byte {
+	b, err := gnn.MarshalModel(m)
+	if err != nil {
+		panic(err) // marshalling a freshly trained model cannot fail
+	}
+	return b
+}

@@ -110,6 +110,12 @@ type mutationJSON struct {
 	Src    int64     `json:"src"`
 	Dst    int64     `json:"dst"`
 	Weight float64   `json:"weight,omitempty"`
+	// Quantized feature payload (the ?codec=q8 feed form, see
+	// mutation_q8.go): base64 int8 bytes plus the affine pair. Mutually
+	// exclusive with Feat; q8 wins when both are present.
+	FeatQ8    []byte  `json:"feat_q8,omitempty"`
+	FeatScale float32 `json:"feat_scale,omitempty"`
+	FeatZero  float32 `json:"feat_zero,omitempty"`
 }
 
 // MarshalJSON encodes the mutation with a string op name.
@@ -120,7 +126,9 @@ func (m Mutation) MarshalJSON() ([]byte, error) {
 	})
 }
 
-// UnmarshalJSON decodes a mutation encoded by MarshalJSON.
+// UnmarshalJSON decodes a mutation encoded by MarshalJSON or by the q8
+// feed form (feat_q8/feat_scale/feat_zero), which dequantizes here so
+// every consumer of the wire type handles both transparently.
 func (m *Mutation) UnmarshalJSON(b []byte) error {
 	var w mutationJSON
 	if err := json.Unmarshal(b, &w); err != nil {
@@ -130,7 +138,11 @@ func (m *Mutation) UnmarshalJSON(b []byte) error {
 	if err != nil {
 		return err
 	}
-	*m = Mutation{Op: op, ID: w.ID, Feat: w.Feat, Src: w.Src, Dst: w.Dst, Weight: w.Weight}
+	feat := w.Feat
+	if len(w.FeatQ8) > 0 {
+		feat = dequantFeat(w.FeatQ8, w.FeatScale, w.FeatZero)
+	}
+	*m = Mutation{Op: op, ID: w.ID, Feat: feat, Src: w.Src, Dst: w.Dst, Weight: w.Weight}
 	return nil
 }
 

@@ -86,6 +86,77 @@ func BenchmarkScoreColdForward(b *testing.B) {
 	}
 }
 
+// linkBenchServer builds a dot-head link server over the requested store
+// backend ("mem" or "quant") for the warm pair-scoring benchmarks.
+func linkBenchServer(b *testing.B, backend string) (*Server, *graph.Graph) {
+	b.Helper()
+	ds, err := datagen.UUG(datagen.UUGConfig{Nodes: 2000, FeatDim: 16, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := gnn.NewModel(gnn.Config{
+		Kind: gnn.KindGCN, InDim: ds.G.FeatureDim(), Hidden: 16, Classes: 1,
+		Layers: 2, Act: nn.ActTanh, Seed: 5, EdgeHead: gnn.EdgeHeadDot,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Infer(core.InferConfig{Seed: 4, TempDir: b.TempDir(), KeepEmbeddings: true},
+		model, mapreduce.MemInput(core.TableRecords(ds.G)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem, err := NewStore(16, res.Embeddings)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var store Store = mem
+	if backend == "quant" {
+		store, err = Quantize(mem)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv, err := New(Config{Seed: 4}, model, ds.G, store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return srv, ds.G
+}
+
+// BenchmarkScoreLinkWarmMem measures the warm pair path over the float64
+// store: two lookups + float dot.
+func BenchmarkScoreLinkWarmMem(b *testing.B) {
+	srv, g := linkBenchServer(b, "mem")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := g.Nodes[i%len(g.Nodes)].ID
+		dst := g.Nodes[(i*7+1)%len(g.Nodes)].ID
+		if _, err := srv.ScoreLink(ctx, src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScoreLinkWarmQuant measures the same workload over the int8
+// store: two lookups + quantDot, no dequantization.
+func BenchmarkScoreLinkWarmQuant(b *testing.B) {
+	srv, g := linkBenchServer(b, "quant")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := g.Nodes[i%len(g.Nodes)].ID
+		dst := g.Nodes[(i*7+1)%len(g.Nodes)].ID
+		if _, err := srv.ScoreLink(ctx, src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkScoreParallelHot measures contended throughput on a small hot
 // working set — the hub-traffic shape single-flight and the LRU exist for.
 func BenchmarkScoreParallelHot(b *testing.B) {

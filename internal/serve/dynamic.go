@@ -218,7 +218,7 @@ func (s *Server) Apply(ctx context.Context, muts []graph.Mutation) (*ApplyResult
 		// this replica). Either way it goes dirty: the lookup misses, the
 		// next request recomputes cold on the new version, and the first
 		// recompute re-admits it warm.
-		_, inStore := s.store.Lookup(id)
+		_, inStore := s.store.LookupRow(id)
 		_, inOverlay := s.overlay[id]
 		if inStore || inOverlay {
 			s.dirty[id] = struct{}{}
@@ -229,14 +229,6 @@ func (s *Server) Apply(ctx context.Context, muts []graph.Mutation) (*ApplyResult
 	s.mu.Unlock()
 	s.invalidations.Add(int64(res.Invalidated))
 	return res, nil
-}
-
-// ApplyNoCtx is the pre-context form of Apply.
-//
-// Deprecated: use Apply(ctx, muts); this wrapper is kept for one release
-// so existing callers migrate without a flag day.
-func (s *Server) ApplyNoCtx(muts []graph.Mutation) (*ApplyResult, error) {
-	return s.Apply(context.Background(), muts)
 }
 
 // Graph returns the server's current graph snapshot and its version. The

@@ -324,9 +324,9 @@ func TestServeConfigValidationError(t *testing.T) {
 	}
 }
 
-// TestApplyContextAndDeprecatedWrapper covers the context-first Apply and
-// the one-release compatibility wrapper.
-func TestApplyContextAndDeprecatedWrapper(t *testing.T) {
+// TestApplyContext covers the context-first Apply: a cancelled context
+// aborts before committing, a live one commits normally.
+func TestApplyContext(t *testing.T) {
 	g, model, res := testGraph(t)
 	store, err := NewStore(0, res.Embeddings)
 	if err != nil {
@@ -348,12 +348,11 @@ func TestApplyContextAndDeprecatedWrapper(t *testing.T) {
 	for i := range feat {
 		feat[i] = float64(i)
 	}
-	//lint:ignore SA1019 exercising the deprecated compatibility wrapper
-	ar, err := srv.ApplyNoCtx([]graph.Mutation{graph.UpdateNodeFeat(0, feat)})
+	ar, err := srv.Apply(context.Background(), []graph.Mutation{graph.UpdateNodeFeat(0, feat)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ar.Applied != 1 {
-		t.Fatalf("ApplyNoCtx applied %d, want 1", ar.Applied)
+		t.Fatalf("Apply applied %d, want 1", ar.Applied)
 	}
 }

@@ -96,8 +96,54 @@ type EmbedArgs struct {
 	DeadlineUnixNanos int64
 }
 
-// EmbedReply carries the embedding back.
-type EmbedReply struct{ Emb []float64 }
+// WireRow is the gob form of a Row: rows cross the cluster in their
+// native codec, so a quantized replica's scatter-gather and migration
+// payloads stay int8 on the wire (1 byte per dimension + 8 bytes of
+// scale/zero instead of 8 bytes per dimension) and float rows stay
+// bit-exact float64 — the cluster's bit-identical-serving invariant never
+// rides through a lossy re-encode.
+type WireRow struct {
+	F []float64 // CodecF64 payload (nil for quantized rows)
+
+	Q     []int8 // CodecQ8 payload
+	Scale float32
+	Zero  float32
+}
+
+// rowToWire flattens a Row for the RPC boundary (referencing, not
+// copying — gob serializes immediately).
+func rowToWire(r Row) WireRow {
+	return WireRow{F: r.F64, Q: r.Q8, Scale: r.Scale, Zero: r.Zero}
+}
+
+// row re-types a WireRow; the decoded slices are owned by the receiver.
+func (w WireRow) row() Row {
+	if w.Q != nil {
+		return Q8Row(w.Q, w.Scale, w.Zero)
+	}
+	return F64Row(w.F)
+}
+
+// wireRows converts a row map for the RPC boundary.
+func wireRows(rows map[int64]Row) map[int64]WireRow {
+	out := make(map[int64]WireRow, len(rows))
+	for id, r := range rows {
+		out[id] = rowToWire(r)
+	}
+	return out
+}
+
+// rowsFromWire re-types a received row map.
+func rowsFromWire(rows map[int64]WireRow) map[int64]Row {
+	out := make(map[int64]Row, len(rows))
+	for id, w := range rows {
+		out[id] = w.row()
+	}
+	return out
+}
+
+// EmbedReply carries the embedding back in its native codec.
+type EmbedReply struct{ Row WireRow }
 
 // ApplyArgs forwards a whole mutation batch to its owning replica.
 type ApplyArgs struct {
@@ -131,11 +177,12 @@ type SyncArgs struct {
 // SyncReply acks the highest contiguously applied sequence.
 type SyncReply struct{ AckSeq uint64 }
 
-// InstallArgs delivers a migrating slot's clean warm rows.
+// InstallArgs delivers a migrating slot's clean warm rows in their native
+// codecs.
 type InstallArgs struct {
 	Epoch uint64
 	Slot  int
-	Rows  map[int64][]float64
+	Rows  map[int64]WireRow
 }
 
 // InstallReply reports how many rows were admitted.
@@ -610,28 +657,39 @@ func (r *Replica) ScoreMany(ctx context.Context, nodes []int64) ([][]float64, []
 	return out, errs
 }
 
-// Embed resolves one endpoint embedding from its owner (local or remote).
-func (r *Replica) Embed(ctx context.Context, node int64) ([]float64, error) {
+// EmbedRow resolves one endpoint row from its owner (local or remote) in
+// the owner's stored codec.
+func (r *Replica) EmbedRow(ctx context.Context, node int64) (Row, error) {
 	for attempt := 0; ; attempt++ {
 		t := r.Table()
 		if t == nil {
-			return nil, errors.New("serve: replica has no placement table")
+			return Row{}, errors.New("serve: replica has no placement table")
 		}
 		owner := t.OwnerOf(node)
 		if owner == r.id {
-			return r.srv.Embed(ctx, node)
+			return r.srv.EmbedRow(ctx, node)
 		}
 		r.forwards.Add(1)
 		var reply EmbedReply
 		err := r.call(ctx, owner, "Replica.Embed",
 			&EmbedArgs{Epoch: t.Epoch, Node: node, DeadlineUnixNanos: deadlineArg(ctx)}, &reply)
 		if err == nil {
-			return reply.Emb, nil
+			return reply.Row.row(), nil
 		}
 		if !r.shouldRetryRoute(ctx, owner, attempt, err) {
-			return nil, err
+			return Row{}, err
 		}
 	}
+}
+
+// Embed resolves one endpoint embedding from its owner, decoded to
+// float64s the caller owns.
+func (r *Replica) Embed(ctx context.Context, node int64) ([]float64, error) {
+	row, err := r.EmbedRow(ctx, node)
+	if err != nil {
+		return nil, err
+	}
+	return row.Floats(nil), nil
 }
 
 // ScoreLink scores the (src, dst) pair cluster-wide: both endpoints on
@@ -648,12 +706,12 @@ func (r *Replica) ScoreLink(ctx context.Context, src, dst int64) (float64, error
 	if t.OwnerOf(src) == r.id && t.OwnerOf(dst) == r.id {
 		return r.srv.ScoreLink(ctx, src, dst)
 	}
-	var hs, hd []float64
+	var hs, hd Row
 	var es, ed error
 	var wg sync.WaitGroup
 	wg.Add(2)
-	go func() { defer wg.Done(); hs, es = r.Embed(ctx, src) }()
-	go func() { defer wg.Done(); hd, ed = r.Embed(ctx, dst) }()
+	go func() { defer wg.Done(); hs, es = r.EmbedRow(ctx, src) }()
+	go func() { defer wg.Done(); hd, ed = r.EmbedRow(ctx, dst) }()
 	wg.Wait()
 	if es != nil {
 		return 0, es
@@ -661,7 +719,7 @@ func (r *Replica) ScoreLink(ctx context.Context, src, dst int64) (float64, error
 	if ed != nil {
 		return 0, ed
 	}
-	return r.srv.ScoreVecLink(hs, hd)
+	return r.srv.ScoreVecLink(ctx, hs, hd)
 }
 
 // primaryNode is the id a mutation batch routes by: the mutated node for
@@ -885,7 +943,7 @@ func (r *Replica) Migrate(ctx context.Context, slot, dst int) (*MigrateResult, e
 	// happened yet).
 	var ir InstallReply
 	if err := r.call(ctx, dst, "Replica.Install",
-		&InstallArgs{Epoch: t.Epoch, Slot: slot, Rows: rows}, &ir); err != nil {
+		&InstallArgs{Epoch: t.Epoch, Slot: slot, Rows: wireRows(rows)}, &ir); err != nil {
 		r.unfreezeAll(t)
 		return nil, fmt.Errorf("serve: install slot %d on replica %d: %w", slot, dst, err)
 	}
@@ -971,11 +1029,11 @@ func (rs *replicaService) Embed(args *EmbedArgs, reply *EmbedReply) error {
 	}
 	ctx, cancel := ctxFor(args.DeadlineUnixNanos)
 	defer cancel()
-	emb, err := r.srv.Embed(ctx, args.Node)
+	row, err := r.srv.EmbedRow(ctx, args.Node)
 	if err != nil {
 		return errToWire(err)
 	}
-	reply.Emb = emb
+	reply.Row = rowToWire(row)
 	return nil
 }
 
@@ -1036,7 +1094,7 @@ func (rs *replicaService) Install(args *InstallArgs, reply *InstallReply) error 
 	if err := r.fence(args.Epoch); err != nil {
 		return errToWire(err)
 	}
-	reply.Installed = r.srv.InstallRows(args.Rows)
+	reply.Installed = r.srv.InstallRows(rowsFromWire(args.Rows))
 	return nil
 }
 

@@ -103,7 +103,7 @@ func buildCluster(t *testing.T, n int) *cluster {
 				owned[id] = emb
 			}
 		}
-		r.Server().InstallRows(owned)
+		r.Server().InstallRows(FloatRows(owned))
 	}
 	return &cluster{reps: reps, ref: ref, g: ds.G}
 }

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+)
+
+// Codec identifies the packed layout of a stored embedding row. It is the
+// descriptor half of the Store redesign: a Row carries its codec with it,
+// so call sites that only ever need float64s decode through Floats, while
+// codec-aware paths (the quantized dot-product scorer, the wire encoders)
+// branch on Codec and work on the packed payload directly.
+type Codec uint8
+
+const (
+	// CodecF64 is the full-precision layout: 8 bytes per dimension.
+	CodecF64 Codec = iota
+	// CodecQ8 is the int8 affine-quantized layout: 1 byte per dimension
+	// plus a per-row float32 scale and zero-point. A stored q decodes to
+	// (float64(q) - zero) * scale.
+	CodecQ8
+)
+
+// String returns the codec's wire name.
+func (c Codec) String() string {
+	switch c {
+	case CodecF64:
+		return "f64"
+	case CodecQ8:
+		return "q8"
+	}
+	return fmt.Sprintf("codec(%d)", uint8(c))
+}
+
+// Row is one embedding in its stored codec. Exactly one payload slice is
+// populated: F64 for CodecF64 rows, Q8 (plus Scale/Zero) for CodecQ8 rows.
+// A zero Row means "no row".
+//
+// Aliasing contract: a Row returned by a Store lookup or Range may alias
+// backend memory (a heap slab, or mmap'd pages that become invalid after
+// Close). Treat the payload as read-only and use Clone or FloatsCopy
+// before retaining it past the lookup.
+type Row struct {
+	F64 []float64
+
+	Q8    []int8
+	Scale float32 // CodecQ8: dequantization scale, > 0 for a valid row
+	Zero  float32 // CodecQ8: zero-point, in quantized units
+}
+
+// F64Row wraps a float64 vector as a full-precision Row. The slice is
+// referenced, not copied.
+func F64Row(v []float64) Row { return Row{F64: v} }
+
+// Q8Row wraps a quantized payload as an int8 Row. The slice is referenced,
+// not copied.
+func Q8Row(q []int8, scale, zero float32) Row {
+	return Row{Q8: q, Scale: scale, Zero: zero}
+}
+
+// Codec returns the row's layout. A zero Row reports CodecF64.
+func (r Row) Codec() Codec {
+	if r.Q8 != nil {
+		return CodecQ8
+	}
+	return CodecF64
+}
+
+// Dim returns the row's dimensionality.
+func (r Row) Dim() int {
+	if r.Q8 != nil {
+		return len(r.Q8)
+	}
+	return len(r.F64)
+}
+
+// IsZero reports whether the row carries no payload.
+func (r Row) IsZero() bool { return r.F64 == nil && r.Q8 == nil }
+
+// Floats returns the row decoded to float64s. For CodecF64 rows it returns
+// the payload itself (a view — same aliasing contract as the Row); for
+// CodecQ8 rows it dequantizes into buf (reused when its capacity suffices,
+// allocated otherwise). Callers that retain the result must use FloatsCopy.
+func (r Row) Floats(buf []float64) []float64 {
+	if r.Q8 == nil {
+		return r.F64
+	}
+	return dequantInto(buf, r.Q8, r.Scale, r.Zero)
+}
+
+// FloatsCopy returns the row decoded to float64s in freshly allocated
+// memory the caller owns.
+func (r Row) FloatsCopy() []float64 {
+	if r.Q8 == nil {
+		if r.F64 == nil {
+			return nil
+		}
+		return append([]float64(nil), r.F64...)
+	}
+	return dequantInto(make([]float64, len(r.Q8)), r.Q8, r.Scale, r.Zero)
+}
+
+// Clone returns a deep copy of the row in its native codec.
+func (r Row) Clone() Row {
+	cp := r
+	if r.F64 != nil {
+		cp.F64 = append([]float64(nil), r.F64...)
+	}
+	if r.Q8 != nil {
+		cp.Q8 = append([]int8(nil), r.Q8...)
+	}
+	return cp
+}
+
+// quantizeRow encodes src into dst (len(dst) == len(src)) with per-row
+// affine int8 quantization: scale spans the row's [min, max] across the
+// 255 usable steps and zero maps min to -128, so the absolute
+// reconstruction error is at most scale/2. Both parameters are rounded to
+// float32 before quantizing, so encode and decode see identical values.
+// Non-finite inputs are rejected: NaN/Inf have no meaningful affine image
+// and would silently poison the whole row's scale.
+func quantizeRow(dst []int8, src []float64) (scale, zero float32, err error) {
+	if len(dst) != len(src) {
+		return 0, 0, fmt.Errorf("serve: quantize: dst dim %d != src dim %d", len(dst), len(src))
+	}
+	low, high := math.Inf(1), math.Inf(-1)
+	for i, v := range src {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, 0, fmt.Errorf("serve: quantize: non-finite value %v at dim %d", v, i)
+		}
+		if v < low {
+			low = v
+		}
+		if v > high {
+			high = v
+		}
+	}
+	var s64 float64
+	switch {
+	case len(src) == 0:
+		return 1, 0, nil
+	case low == high && low == 0:
+		s64 = 1
+	case low == high:
+		s64 = math.Abs(low) / 127
+	default:
+		s64 = (high - low) / 255
+	}
+	scale = float32(s64)
+	s64 = float64(scale) // quantize against the value decode will see
+	zero = float32(-128 - low/s64)
+	z64 := float64(zero)
+	for i, v := range src {
+		q := math.Round(v/s64 + z64)
+		if q < -128 {
+			q = -128
+		} else if q > 127 {
+			q = 127
+		}
+		dst[i] = int8(q)
+	}
+	return scale, zero, nil
+}
+
+// dequantInto decodes q into dst (reused when capacity suffices, allocated
+// otherwise) and returns the decoded slice.
+func dequantInto(dst []float64, q []int8, scale, zero float32) []float64 {
+	if cap(dst) < len(q) {
+		dst = make([]float64, len(q))
+	}
+	dst = dst[:len(q)]
+	s, z := float64(scale), float64(zero)
+	for i, v := range q {
+		dst[i] = (float64(v) - z) * s
+	}
+	return dst
+}
+
+// quantDot computes the dot product of two quantized rows without
+// dequantizing either: expanding sum((qu-zu)*su * (qv-zv)*sv) gives three
+// integer accumulators (exact in int64 — |q| <= 128, so d <= 2^48 dims
+// before sum(qu*qv) could overflow) and one final float rescale.
+func quantDot(u, v Row) float64 {
+	var qq, su64, sv64 int64
+	vq := v.Q8[:len(u.Q8)] // hoist the bounds check out of the loop
+	for i, a := range u.Q8 {
+		b := vq[i]
+		qq += int64(a) * int64(b)
+		su64 += int64(a)
+		sv64 += int64(b)
+	}
+	zu, zv := float64(u.Zero), float64(v.Zero)
+	d := float64(len(u.Q8))
+	return float64(u.Scale) * float64(v.Scale) *
+		(float64(qq) - zv*float64(su64) - zu*float64(sv64) + d*zu*zv)
+}

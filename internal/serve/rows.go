@@ -8,39 +8,56 @@ import (
 // This file is the Server's row-level surface for the cluster layer
 // (replica.go): embedding extraction for cross-shard scatter-gather, and
 // the bulk row snapshot/install/drop primitives the slot-migration
-// protocol is built from. None of it is needed (or reached) in
-// single-process serving.
+// protocol is built from. Rows move through this surface in their native
+// codec (Row), so a quantized store migrates and scatter-gathers packed
+// int8 payloads without round-tripping through float64. None of it is
+// needed (or reached) in single-process serving.
 
-// Embed returns node's layer-K embedding — the scatter half of cross-shard
-// link scoring. Warm rows return immediately; everything else resolves
-// through the same micro-batched single-flight cold pipeline as Score
-// (admission control and deadlines included). The returned slice is the
-// caller's to keep.
+// EmbedRow returns node's layer-K embedding in its stored codec — the
+// scatter half of cross-shard link scoring. Warm rows return immediately
+// (cloned, caller-owned); everything else resolves through the same
+// micro-batched single-flight cold pipeline as Score (admission control
+// and deadlines included) and comes back full-precision.
+func (s *Server) EmbedRow(ctx context.Context, node int64) (Row, error) {
+	row, c, err := s.embedStart(ctx, node)
+	if err != nil {
+		return Row{}, err
+	}
+	if c != nil {
+		emb, err := s.waitEmb(ctx, c)
+		if err != nil {
+			return Row{}, err
+		}
+		// c.emb is shared with every other waiter on the call; copy.
+		return F64Row(append([]float64(nil), emb...)), nil
+	}
+	// embedStart's warm path returns a view into store memory; clone so
+	// the result survives the store (and any RPC serialization happening
+	// off this goroutine).
+	return row.Clone(), nil
+}
+
+// Embed returns node's layer-K embedding decoded to float64s the caller
+// owns. Prefer EmbedRow where the codec should survive (wire transfer,
+// quantized link scoring); Embed is the decode-at-the-edge form.
 func (s *Server) Embed(ctx context.Context, node int64) ([]float64, error) {
-	emb, c, err := s.embedStart(ctx, node)
+	row, err := s.EmbedRow(ctx, node)
 	if err != nil {
 		return nil, err
 	}
-	if c != nil {
-		if emb, err = s.waitEmb(ctx, c); err != nil {
-			return nil, err
-		}
-	}
-	// embedStart's warm path returns a view into store memory; copy so the
-	// result survives the store (and any RPC serialization happening off
-	// this goroutine).
-	return append([]float64(nil), emb...), nil
+	return row.Floats(nil), nil
 }
 
 // RowsInSlot snapshots every clean warm row whose id falls in the given
-// hash slot — the migration payload. Dirty rows are deliberately excluded:
-// they carry no servable value, and the destination recomputes them cold
-// exactly as this replica would have. Rows are deep copies.
-func (s *Server) RowsInSlot(slot, slots int, slotOf func(id int64, slots int) int) map[int64][]float64 {
-	out := make(map[int64][]float64)
+// hash slot — the migration payload, in each row's native codec. Dirty
+// rows are deliberately excluded: they carry no servable value, and the
+// destination recomputes them cold exactly as this replica would have.
+// Rows are deep copies.
+func (s *Server) RowsInSlot(slot, slots int, slotOf func(id int64, slots int) int) map[int64]Row {
+	out := make(map[int64]Row)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.store.Range(func(id int64, emb []float64) bool {
+	s.store.Range(func(id int64, row Row) bool {
 		if slotOf(id, slots) != slot {
 			return true
 		}
@@ -48,9 +65,9 @@ func (s *Server) RowsInSlot(slot, slots int, slotOf func(id int64, slots int) in
 			return true
 		}
 		if ov, ok := s.overlay[id]; ok {
-			emb = ov // re-admitted row shadows the store
+			row = ov // re-admitted row shadows the store
 		}
-		out[id] = append([]float64(nil), emb...)
+		out[id] = row.Clone()
 		return true
 	})
 	// Overlay rows with no base store row (installed by a previous
@@ -64,26 +81,37 @@ func (s *Server) RowsInSlot(slot, slots int, slotOf func(id int64, slots int) in
 			continue
 		}
 		if _, seen := out[id]; !seen {
-			out[id] = append([]float64(nil), ov...)
+			out[id] = ov.Clone()
 		}
 	}
 	return out
 }
 
+// FloatRows wraps a float64 row map as CodecF64 Rows (referencing the
+// slices, not copying) — the adapter for callers holding raw GraphInfer
+// embeddings.
+func FloatRows(rows map[int64][]float64) map[int64]Row {
+	out := make(map[int64]Row, len(rows))
+	for id, emb := range rows {
+		out[id] = F64Row(emb)
+	}
+	return out
+}
+
 // InstallRows admits migrated rows into the warm tier (the overlay, which
-// shadows the base store). A row this replica has already marked dirty is
-// NOT resurrected: the dirty flag records a mutation the incoming snapshot
-// may predate, and a cold recompute is always correct while a stale warm
-// row never is.
-func (s *Server) InstallRows(rows map[int64][]float64) int {
+// shadows the base store), preserving each row's codec. A row this replica
+// has already marked dirty is NOT resurrected: the dirty flag records a
+// mutation the incoming snapshot may predate, and a cold recompute is
+// always correct while a stale warm row never is.
+func (s *Server) InstallRows(rows map[int64]Row) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
-	for id, emb := range rows {
+	for id, row := range rows {
 		if _, d := s.dirty[id]; d {
 			continue
 		}
-		s.overlay[id] = append([]float64(nil), emb...)
+		s.overlay[id] = row.Clone()
 		n++
 	}
 	return n
@@ -123,7 +151,7 @@ func (s *Server) DropRows(match func(id int64) bool) int {
 func (s *Server) WarmRow(id int64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.lookupEmbLocked(id)
+	_, ok := s.lookupRowLocked(id)
 	return ok
 }
 
@@ -136,16 +164,22 @@ func (l *lruCache) keys() []int64 {
 	return out
 }
 
-// ScoreVecLink scores a link directly from two endpoint embeddings — the
-// gather half of cross-shard link scoring, used by the cluster router once
-// both embeddings arrive. The model must have an edge head.
-func (s *Server) ScoreVecLink(hu, hv []float64) (float64, error) {
+// ScoreVecLink scores a link directly from two endpoint rows — the gather
+// half of cross-shard link scoring, used by the cluster router once both
+// rows arrive. Rows are scored in their native codecs: two quantized rows
+// under a dot-product head never dequantize. The model must have an edge
+// head. ctx is checked once up front (the scoring itself is a few
+// arithmetic ops — too small to be interruptible).
+func (s *Server) ScoreVecLink(ctx context.Context, u, v Row) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if s.model.Edge == nil {
 		return 0, ErrNoEdgeHead
 	}
-	if len(hu) != s.model.Cfg.Hidden || len(hv) != s.model.Cfg.Hidden {
-		return 0, fmt.Errorf("serve: embedding dim (%d,%d) does not match model hidden %d",
-			len(hu), len(hv), s.model.Cfg.Hidden)
+	if u.Dim() != s.model.Cfg.Hidden || v.Dim() != s.model.Cfg.Hidden {
+		return 0, fmt.Errorf("serve: row dim (%d,%d) does not match model hidden %d",
+			u.Dim(), v.Dim(), s.model.Cfg.Hidden)
 	}
-	return s.model.Edge.ScoreVec(hu, hv), nil
+	return s.scoreRows(u, v), nil
 }

@@ -64,10 +64,10 @@ func TestRowSurfaceForMigration(t *testing.T) {
 	// InstallRows must not resurrect the dirty row, and an overlay-only id
 	// (no base store row) must round-trip through the next snapshot.
 	ghost := ids[len(ids)-1]*2 + 2 // even, not in the store
-	installed := srv.InstallRows(map[int64][]float64{
+	installed := srv.InstallRows(FloatRows(map[int64][]float64{
 		even:  make([]float64, model.Cfg.Hidden),
 		ghost: make([]float64, model.Cfg.Hidden),
-	})
+	}))
 	if installed != 1 {
 		t.Fatalf("installed %d rows, want 1 (dirty id must be refused)", installed)
 	}
@@ -136,7 +136,7 @@ func TestEmbedTiersAndScoreVecLink(t *testing.T) {
 	}
 	hu[0] = orig
 
-	gathered, err := warm.ScoreVecLink(hu, hv)
+	gathered, err := warm.ScoreVecLink(ctx, F64Row(hu), F64Row(hv))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestEmbedTiersAndScoreVecLink(t *testing.T) {
 	if _, err := warm.Embed(ctx, 1<<40); !errors.Is(err, ErrUnknownNode) {
 		t.Fatalf("unknown-node embed err = %v", err)
 	}
-	if _, err := warm.ScoreVecLink(hu[:1], hv); err == nil {
+	if _, err := warm.ScoreVecLink(ctx, F64Row(hu[:1]), F64Row(hv)); err == nil {
 		t.Fatal("dimension mismatch accepted")
 	}
 	plainModel, err := gnn.NewModel(gnn.Config{
@@ -177,7 +177,7 @@ func TestEmbedTiersAndScoreVecLink(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer plain.Close()
-	if _, err := plain.ScoreVecLink(hu, hv); !errors.Is(err, ErrNoEdgeHead) {
+	if _, err := plain.ScoreVecLink(ctx, F64Row(hu), F64Row(hv)); !errors.Is(err, ErrNoEdgeHead) {
 		t.Fatalf("edge-head-less ScoreVecLink err = %v", err)
 	}
 }

@@ -56,18 +56,30 @@ func TestStoreLookupAndRoundTrip(t *testing.T) {
 	if store.Len() != len(embs) || store.Dim() != 8 {
 		t.Fatalf("store len=%d dim=%d, want %d/8", store.Len(), store.Dim(), len(embs))
 	}
+	if store.RowCodec() != CodecF64 {
+		t.Fatalf("MemStore codec = %v, want %v", store.RowCodec(), CodecF64)
+	}
+	buf64 := make([]float64, store.Dim())
 	for id, want := range embs {
-		got, ok := store.Lookup(id)
+		row, ok := store.LookupRow(id)
 		if !ok {
 			t.Fatalf("node %d missing from store", id)
+		}
+		got := row.Floats(nil)
+		into, ok2 := store.LookupInto(buf64, id)
+		if !ok2 {
+			t.Fatalf("node %d missing via LookupInto", id)
 		}
 		for j := range want {
 			if got[j] != want[j] {
 				t.Fatalf("node %d dim %d: got %v want %v", id, j, got[j], want[j])
 			}
+			if into[j] != want[j] {
+				t.Fatalf("LookupInto node %d dim %d: got %v want %v", id, j, into[j], want[j])
+			}
 		}
 	}
-	if _, ok := store.Lookup(99999); ok {
+	if _, ok := store.LookupRow(99999); ok {
 		t.Fatal("lookup of absent id succeeded")
 	}
 
@@ -84,10 +96,11 @@ func TestStoreLookupAndRoundTrip(t *testing.T) {
 			loaded.Len(), loaded.Dim(), store.Len(), store.Dim())
 	}
 	for id, want := range embs {
-		got, ok := loaded.Lookup(id)
+		row, ok := loaded.LookupRow(id)
 		if !ok {
 			t.Fatalf("node %d missing after roundtrip", id)
 		}
+		got := row.Floats(nil)
 		for j := range want {
 			if got[j] != want[j] {
 				t.Fatalf("roundtrip node %d dim %d: got %v want %v", id, j, got[j], want[j])

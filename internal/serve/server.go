@@ -203,8 +203,8 @@ type Server struct {
 	flat     *core.LocalFlattener // extractor for the current version (swapped by Apply)
 	version  uint64               // version flat/cache/dirty reflect
 	cache    *lruCache
-	overlay  map[int64][]float64 // recomputed embeddings overriding the base store
-	dirty    map[int64]struct{}  // store rows invalidated by mutations
+	overlay  map[int64]Row      // recomputed/installed rows overriding the base store
+	dirty    map[int64]struct{} // store rows invalidated by mutations
 	inflight map[int64]*call
 
 	// ws is the cold-path workspace: all model execution runs on the
@@ -285,11 +285,13 @@ func (c *call) extendDeadline(d int64) {
 }
 
 // New starts a Server for model over g, optionally backed by an embedding
-// store built from GraphInfer output (nil serves everything cold). Both
-// backends work: a heap MemStore or an mmap'd MappedStore — the server
-// never writes through the store, so dirty rows from mutations live in a
-// resident overlay either way. The model's prediction slice is segmented
-// out once at startup.
+// store built from GraphInfer output (nil serves everything cold). Every
+// backend works: a heap MemStore, an mmap'd MappedStore, or an
+// int8-quantized QuantStore — the server never writes through the store,
+// so dirty rows from mutations live in a resident overlay either way, and
+// rows flow through the tier in their native codec (a QuantStore's
+// dot-product link scoring never dequantizes). The model's prediction
+// slice is segmented out once at startup.
 func New(cfg Config, model *gnn.Model, g *graph.Graph, store Store) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -330,7 +332,7 @@ func New(cfg Config, model *gnn.Model, g *graph.Graph, store Store) (*Server, er
 			Seed:         cfg.Seed,
 		}, g),
 		cache:    newLRU(cfg.CacheSize),
-		overlay:  make(map[int64][]float64),
+		overlay:  make(map[int64]Row),
 		dirty:    make(map[int64]struct{}),
 		inflight: make(map[int64]*call),
 		ws:       tensor.NewWorkspace(),
@@ -387,14 +389,16 @@ func (s *Server) Score(ctx context.Context, node int64) ([]float64, error) {
 		s.collapsed.Add(1)
 		return s.wait(ctx, c)
 	}
-	if emb, ok := s.lookupEmbLocked(node); ok {
+	if row, ok := s.lookupRowLocked(node); ok {
 		ver := s.version
 		s.mu.Unlock()
 		// Warm path, inline: the prediction slice is a pure function of
 		// the stored embedding, so it runs on the caller's goroutine and
 		// never queues behind cold-path batches — under cold saturation
-		// warm latency is untouched by design, not by luck.
-		scores := core.ScoresFromLogits(gnn.ApplyDense(s.head.Head, emb))
+		// warm latency is untouched by design, not by luck. A CodecF64 row
+		// feeds the head as a zero-copy view; a CodecQ8 row dequantizes
+		// dim floats here (the only decode on the node warm path).
+		scores := core.ScoresFromLogits(gnn.ApplyDense(s.head.Head, row.Floats(nil)))
 		s.warm.Add(1)
 		s.observeWarm(time.Since(start))
 		s.mu.Lock()
@@ -501,12 +505,12 @@ func (s *Server) ScoreLink(ctx context.Context, src, dst int64) (float64, error)
 		s.errors.Add(1)
 		return 0, ErrClosed
 	}
-	hs, okS := s.lookupEmbLocked(src)
-	hd, okD := s.lookupEmbLocked(dst)
+	hs, okS := s.lookupRowLocked(src)
+	hd, okD := s.lookupRowLocked(dst)
 	s.mu.Unlock()
 	if okS && okD {
 		s.linkWarm.Add(1)
-		return s.model.Edge.ScoreVec(hs, hd), nil
+		return s.scoreRows(hs, hd), nil
 	}
 	// Queue every missing endpoint before waiting on either, so the
 	// batcher can fold both cold extractions into one micro-batch (and a
@@ -524,62 +528,78 @@ func (s *Server) ScoreLink(ctx context.Context, src, dst int64) (float64, error)
 		}
 	}
 	if cs != nil {
-		if hs, err = s.waitEmb(ctx, cs); err != nil {
+		var emb []float64
+		if emb, err = s.waitEmb(ctx, cs); err != nil {
 			return 0, err
 		}
+		hs = F64Row(emb)
 	}
 	if cd != nil {
-		if hd, err = s.waitEmb(ctx, cd); err != nil {
+		var emb []float64
+		if emb, err = s.waitEmb(ctx, cd); err != nil {
 			return 0, err
 		}
+		hd = F64Row(emb)
 	}
 	s.linkCold.Add(1)
-	return s.model.Edge.ScoreVec(hs, hd), nil
+	return s.scoreRows(hs, hd), nil
+}
+
+// scoreRows runs the pairwise edge head on two rows in whatever codecs
+// they arrive in. When both rows are int8-quantized and the head is a
+// plain dot product, the score is computed directly on the packed payloads
+// (integer accumulate, one final rescale) — the dequantize-free warm path.
+// Every other combination decodes to floats first.
+func (s *Server) scoreRows(u, v Row) float64 {
+	if s.model.Edge.Kind == gnn.EdgeHeadDot && u.Codec() == CodecQ8 && v.Codec() == CodecQ8 {
+		return quantDot(u, v)
+	}
+	return s.model.Edge.ScoreVec(u.Floats(nil), v.Floats(nil))
 }
 
 // embedStart resolves one node's layer-K embedding or queues its
-// computation: warm hits return the embedding immediately; otherwise the
+// computation: warm hits return the stored row (native codec) immediately; otherwise the
 // returned call is registered with the batcher (sharing any in-flight
 // Score/ScoreLink computation for the same node, single-flight) and the
 // caller collects it with waitEmb. A dirty row recomputed this way
 // re-admits warm for everyone, same as node scoring. Queueing a fresh
 // computation passes admission control: a saturated cold path sheds the
 // link request with a *ShedError instead of registering.
-func (s *Server) embedStart(ctx context.Context, node int64) ([]float64, *call, error) {
+func (s *Server) embedStart(ctx context.Context, node int64) (Row, *call, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.errors.Add(1)
-		return nil, nil, ErrClosed
+		return Row{}, nil, ErrClosed
 	}
-	if emb, ok := s.lookupEmbLocked(node); ok {
+	if row, ok := s.lookupRowLocked(node); ok {
 		s.mu.Unlock()
-		return emb, nil, nil
+		return row, nil, nil
 	}
 	if c, ok := s.inflight[node]; ok {
 		s.mu.Unlock()
 		c.extendDeadline(deadlineOf(ctx))
 		s.collapsed.Add(1)
-		return nil, c, nil
+		return Row{}, c, nil
 	}
 	s.mu.Unlock()
 	if err := s.adm.admit(); err != nil {
 		s.shed.Add(1)
-		return nil, nil, err
+		return Row{}, nil, err
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.adm.release()
 		s.errors.Add(1)
-		return nil, nil, ErrClosed
+		return Row{}, nil, ErrClosed
 	}
 	if c, ok := s.inflight[node]; ok {
 		s.mu.Unlock()
 		s.adm.release()
 		c.extendDeadline(deadlineOf(ctx))
 		s.collapsed.Add(1)
-		return nil, c, nil
+		return Row{}, c, nil
 	}
 	c := &call{id: node, done: make(chan struct{}), enq: time.Now(), admitted: true}
 	c.deadline.Store(deadlineOf(ctx))
@@ -589,7 +609,7 @@ func (s *Server) embedStart(ctx context.Context, node int64) ([]float64, *call, 
 	// Same deliberate plain send as Score: a registered call is always
 	// consumed by the batcher or its shutdown drain.
 	s.reqs <- c
-	return nil, c, nil
+	return Row{}, c, nil
 }
 
 func (s *Server) waitEmb(ctx context.Context, c *call) ([]float64, error) {
@@ -777,17 +797,20 @@ func (s *Server) drain() {
 	}
 }
 
-// lookupEmbLocked resolves a node's warm embedding: dirty rows miss (they
-// must recompute on the current graph version), the overlay (recomputed
-// rows) shadows the base store. Callers hold s.mu.
-func (s *Server) lookupEmbLocked(id int64) ([]float64, bool) {
+// lookupRowLocked resolves a node's warm row in its stored codec: dirty
+// rows miss (they must recompute on the current graph version), the
+// overlay (recomputed/installed rows) shadows the base store. The payload
+// may alias store or overlay memory; overlay entries are replaced, never
+// mutated in place, so a returned row stays valid after the lock drops.
+// Callers hold s.mu.
+func (s *Server) lookupRowLocked(id int64) (Row, bool) {
 	if _, isDirty := s.dirty[id]; isDirty {
-		return nil, false
+		return Row{}, false
 	}
-	if emb, ok := s.overlay[id]; ok {
-		return emb, true
+	if row, ok := s.overlay[id]; ok {
+		return row, true
 	}
-	return s.store.Lookup(id)
+	return s.store.LookupRow(id)
 }
 
 // process scores one micro-batch: store-backed nodes through the
@@ -800,16 +823,16 @@ func (s *Server) process(batch []*call) {
 	s.batches.Add(1)
 	s.recordBatch(len(batch))
 	var coldCalls []*call
-	var warmEmbs [][]float64 // parallel to the warm prefix handled inline
+	var warmRows []Row // parallel to the warm prefix handled inline
 
 	s.mu.Lock()
 	flat := s.flat
 	ver := s.version
 	warmCalls := batch[:0:0]
 	for _, c := range batch {
-		if emb, ok := s.lookupEmbLocked(c.id); ok {
+		if row, ok := s.lookupRowLocked(c.id); ok {
 			warmCalls = append(warmCalls, c)
-			warmEmbs = append(warmEmbs, emb)
+			warmRows = append(warmRows, row)
 			continue
 		}
 		coldCalls = append(coldCalls, c)
@@ -824,7 +847,7 @@ func (s *Server) process(batch []*call) {
 	// would only delay the batchmates that can still make theirs.
 	now := time.Now().UnixNano()
 	coldEst := int64(len(coldCalls)) * s.adm.perReqNs.Load()
-	keptW, keptE := warmCalls[:0], warmEmbs[:0]
+	keptW, keptE := warmCalls[:0], warmRows[:0]
 	for i, c := range warmCalls {
 		if c.deadline.Load() < now {
 			c.err = ErrExpired
@@ -832,9 +855,9 @@ func (s *Server) process(batch []*call) {
 			continue
 		}
 		keptW = append(keptW, c)
-		keptE = append(keptE, warmEmbs[i])
+		keptE = append(keptE, warmRows[i])
 	}
-	warmCalls, warmEmbs = keptW, keptE
+	warmCalls, warmRows = keptW, keptE
 	kept := coldCalls[:0]
 	for _, c := range coldCalls {
 		if c.deadline.Load() < now+coldEst {
@@ -847,11 +870,12 @@ func (s *Server) process(batch []*call) {
 	coldCalls = kept
 
 	for i, c := range warmCalls {
-		c.scores = core.ScoresFromLogits(gnn.ApplyDense(s.head.Head, warmEmbs[i]))
-		// Copy: warmEmbs[i] is a Lookup view into store memory, and c.emb
-		// outlives this batch (ScoreLink waiters read it after resolution;
-		// for a MappedStore the view also dies with Close).
-		c.emb = append([]float64(nil), warmEmbs[i]...)
+		// FloatsCopy, not Floats: the row payload is a lookup view into
+		// store memory, and c.emb outlives this batch (ScoreLink waiters
+		// read it after resolution; for mmap-backed stores the view also
+		// dies with Close).
+		c.emb = warmRows[i].FloatsCopy()
+		c.scores = core.ScoresFromLogits(gnn.ApplyDense(s.head.Head, c.emb))
 		s.warm.Add(1)
 		s.observeWarm(time.Since(c.enq))
 	}
@@ -915,7 +939,10 @@ func (s *Server) process(batch []*call) {
 				continue
 			}
 			if _, isDirty := s.dirty[c.id]; isDirty {
-				s.overlay[c.id] = c.emb // already a heap copy of coldEmb.Row(i)
+				// c.emb is already a heap copy of coldEmb.Row(i); recomputed
+				// rows re-admit full-precision even over a quantized base
+				// store — the overlay is resident memory either way.
+				s.overlay[c.id] = F64Row(c.emb)
 				delete(s.dirty, c.id)
 				s.readmitted.Add(1)
 			}

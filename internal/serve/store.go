@@ -9,11 +9,14 @@
 // versioned copy-on-write snapshots, and a reverse k-hop dependency index
 // keeps the cache and store incrementally consistent (dynamic.go).
 //
-// Two store backends implement the Store interface: MemStore holds the
+// Three store backends implement the Store interface: MemStore holds the
 // embeddings on the heap (sharded, built directly from GraphInfer output),
-// and MappedStore (store_mmap.go) serves a fixed-stride on-disk layout
-// through mmap with zero deserialization, so the resident footprint is
-// whatever the page cache keeps warm rather than the whole store.
+// MappedStore (store_mmap.go) serves a fixed-stride on-disk layout through
+// mmap with zero deserialization, so the resident footprint is whatever
+// the page cache keeps warm rather than the whole store, and QuantStore
+// (store_quant.go) packs each row to int8 with a per-row affine scale and
+// zero-point — ~8x smaller rows, served either dequantize-on-read or,
+// for dot-product edge heads, scored directly in the quantized domain.
 package serve
 
 import (
@@ -38,28 +41,41 @@ var crcTable = crc64.MakeTable(crc64.ECMA)
 
 // Store is the read interface of an embedding store backend. The serving
 // tier (Server, ScoreLink, dynamic invalidation) works identically over
-// any implementation; MemStore keeps embeddings on the heap, MappedStore
-// serves an mmap'd file.
+// any implementation; MemStore keeps float64 embeddings on the heap,
+// MappedStore serves an mmap'd file, QuantStore serves int8-quantized
+// rows. Rows travel as typed Row values carrying their codec, so packed
+// layouts flow through the tier without being decoded at the store
+// boundary — the old `Lookup(id) []float64` surface could only express
+// raw float views and forced every backend to decode eagerly.
 //
-// Aliasing contract: the slice returned by Lookup is a view into the
-// backend's memory (a heap slab for MemStore, the mapped region for
-// MappedStore). It must be treated as read-only and must be copied before
-// being retained across a batch boundary, stored in any structure that
-// outlives the current request, or exposed to code that may mutate it —
-// for MappedStore, writing through the view would fault or corrupt the
-// shared page-cache pages.
+// Aliasing contract: the Row payload returned by LookupRow/Range is a
+// view into the backend's memory (a heap slab for MemStore, the mapped
+// region for MappedStore/QuantStore). It must be treated as read-only and
+// must be cloned (Row.Clone / Row.FloatsCopy) before being retained
+// across a batch boundary, stored in any structure that outlives the
+// current request, or exposed to code that may mutate it — for the
+// mmap-backed stores, writing through the view would fault or corrupt the
+// shared page-cache pages, and the view dies with Close. LookupInto is
+// the exception: it always decodes into caller-owned memory.
 type Store interface {
-	// Lookup returns the stored embedding for id. The returned slice
-	// aliases backend memory — see the interface comment for the contract.
-	Lookup(id int64) ([]float64, bool)
+	// LookupRow returns the stored row for id in the backend's native
+	// codec. The payload aliases backend memory — see the interface
+	// comment for the contract.
+	LookupRow(id int64) (Row, bool)
+	// LookupInto decodes the stored row for id to float64s in dst (reused
+	// when its capacity suffices, allocated otherwise). The result is
+	// caller-owned — never a backend view.
+	LookupInto(dst []float64, id int64) ([]float64, bool)
+	// RowCodec returns the codec every stored row uses.
+	RowCodec() Codec
 	// Len returns the number of stored embeddings.
 	Len() int
 	// Dim returns the embedding dimensionality (0 for an empty store).
 	Dim() int
-	// Range iterates the stored (id, embedding) pairs until fn returns
-	// false. The embedding slice aliases backend memory, same contract as
-	// Lookup; it is only valid for the duration of the callback.
-	Range(fn func(id int64, emb []float64) bool)
+	// Range iterates the stored (id, row) pairs until fn returns false.
+	// The row payload aliases backend memory, same contract as LookupRow;
+	// it is only valid for the duration of the callback.
+	Range(fn func(id int64, row Row) bool)
 	// WriteTo serializes the store in the backend's native on-disk layout.
 	WriteTo(w io.Writer) (int64, error)
 }
@@ -119,9 +135,9 @@ func shardOf(id int64, shards int) int {
 	return int(h % uint64(shards))
 }
 
-// Lookup returns the stored embedding for id. The returned slice aliases
-// the store's slab — read-only, copy before retaining (see Store).
-func (s *MemStore) Lookup(id int64) ([]float64, bool) {
+// lookup returns the stored embedding slice for id, aliasing the shard
+// slab.
+func (s *MemStore) lookup(id int64) ([]float64, bool) {
 	if s == nil || s.count == 0 {
 		return nil, false
 	}
@@ -132,6 +148,33 @@ func (s *MemStore) Lookup(id int64) ([]float64, bool) {
 	}
 	return sh.data[i*s.dim : (i+1)*s.dim : (i+1)*s.dim], true
 }
+
+// LookupRow returns the stored row for id. The payload aliases the
+// store's slab — read-only, clone before retaining (see Store).
+func (s *MemStore) LookupRow(id int64) (Row, bool) {
+	v, ok := s.lookup(id)
+	if !ok {
+		return Row{}, false
+	}
+	return F64Row(v), true
+}
+
+// LookupInto decodes the stored row for id into caller-owned memory.
+func (s *MemStore) LookupInto(dst []float64, id int64) ([]float64, bool) {
+	v, ok := s.lookup(id)
+	if !ok {
+		return nil, false
+	}
+	if cap(dst) < len(v) {
+		dst = make([]float64, len(v))
+	}
+	dst = dst[:len(v)]
+	copy(dst, v)
+	return dst, true
+}
+
+// RowCodec returns CodecF64: MemStore rows are full-precision floats.
+func (s *MemStore) RowCodec() Codec { return CodecF64 }
 
 // Len returns the number of stored embeddings.
 func (s *MemStore) Len() int {
@@ -149,17 +192,17 @@ func (s *MemStore) Dim() int {
 	return s.dim
 }
 
-// Range iterates the stored embeddings shard by shard (ids ascending
-// within a shard). The emb slice aliases the shard slab, valid only for
-// the duration of the callback.
-func (s *MemStore) Range(fn func(id int64, emb []float64) bool) {
+// Range iterates the stored rows shard by shard (ids ascending within a
+// shard). The row payload aliases the shard slab, valid only for the
+// duration of the callback.
+func (s *MemStore) Range(fn func(id int64, row Row) bool) {
 	if s == nil {
 		return
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		for j, id := range sh.ids {
-			if !fn(id, sh.data[j*s.dim:(j+1)*s.dim:(j+1)*s.dim]) {
+			if !fn(id, F64Row(sh.data[j*s.dim:(j+1)*s.dim:(j+1)*s.dim])) {
 				return
 			}
 		}

@@ -12,7 +12,7 @@ import (
 
 // MappedStore is the out-of-core Store backend: a fixed-stride on-disk
 // layout mapped into the address space and served with zero
-// deserialization. Lookup is a binary search over the mapped id index
+// deserialization. A lookup is a binary search over the mapped id index
 // plus a pointer into the mapped row region, so a warm lookup is a
 // page-cache hit and opening a store is O(1) in its size — only the
 // 64-byte header is read and verified eagerly.
@@ -38,7 +38,7 @@ import (
 // invalidation overlays recomputed rows in resident memory (Server.overlay)
 // and never writes the mapped file. It is immutable after open and safe
 // for concurrent readers; Close unmaps the file, after which previously
-// returned Lookup views are invalid.
+// returned row views are invalid.
 type MappedStore struct {
 	path   string
 	data   []byte // the whole file (mmap'd, or heap-read on platforms without mmap)
@@ -82,7 +82,7 @@ func (h *mappedHeader) encode() [mappedHeaderSize]byte {
 // crash mid-write never leaves a half-written store at path.
 func CreateMapped(path string, src Store) error {
 	ids := make([]int64, 0, src.Len())
-	src.Range(func(id int64, _ []float64) bool {
+	src.Range(func(id int64, _ Row) bool {
 		ids = append(ids, id)
 		return true
 	})
@@ -126,11 +126,13 @@ func writeMapped(f *os.File, src Store, sortedIDs []int64) error {
 		return err
 	}
 	dim := src.Dim()
+	scratch := make([]float64, dim)
 	for _, id := range sortedIDs {
-		emb, ok := src.Lookup(id)
+		emb, ok := src.LookupInto(scratch, id)
 		if !ok || len(emb) != dim {
 			return fmt.Errorf("store changed during write: node %d (dim %d, want %d)", id, len(emb), dim)
 		}
+		scratch = emb
 		for _, v := range emb {
 			if err := bw.writeUint64(mathFloat64bits(v)); err != nil {
 				return err
@@ -259,10 +261,9 @@ func OpenMapped(path string) (*MappedStore, error) {
 	return s, nil
 }
 
-// Lookup returns the stored embedding for id. The returned slice is a
-// view straight into the mapped file — read-only, copy before retaining,
-// invalid after Close (see Store).
-func (s *MappedStore) Lookup(id int64) ([]float64, bool) {
+// lookup returns the stored embedding slice for id, a view straight into
+// the mapped file.
+func (s *MappedStore) lookup(id int64) ([]float64, bool) {
 	if s == nil || s.count == 0 {
 		return nil, false
 	}
@@ -272,6 +273,34 @@ func (s *MappedStore) Lookup(id int64) ([]float64, bool) {
 	}
 	return s.rows[i*s.dim : (i+1)*s.dim : (i+1)*s.dim], true
 }
+
+// LookupRow returns the stored row for id. The payload is a view straight
+// into the mapped file — read-only, clone before retaining, invalid after
+// Close (see Store).
+func (s *MappedStore) LookupRow(id int64) (Row, bool) {
+	v, ok := s.lookup(id)
+	if !ok {
+		return Row{}, false
+	}
+	return F64Row(v), true
+}
+
+// LookupInto decodes the stored row for id into caller-owned memory.
+func (s *MappedStore) LookupInto(dst []float64, id int64) ([]float64, bool) {
+	v, ok := s.lookup(id)
+	if !ok {
+		return nil, false
+	}
+	if cap(dst) < len(v) {
+		dst = make([]float64, len(v))
+	}
+	dst = dst[:len(v)]
+	copy(dst, v)
+	return dst, true
+}
+
+// RowCodec returns CodecF64: mapped rows are full-precision floats.
+func (s *MappedStore) RowCodec() Codec { return CodecF64 }
 
 // Len returns the number of stored embeddings.
 func (s *MappedStore) Len() int {
@@ -289,14 +318,14 @@ func (s *MappedStore) Dim() int {
 	return s.dim
 }
 
-// Range iterates the stored embeddings in ascending id order. The emb
-// slice aliases the mapped region, valid only for the callback.
-func (s *MappedStore) Range(fn func(id int64, emb []float64) bool) {
+// Range iterates the stored rows in ascending id order. The row payload
+// aliases the mapped region, valid only for the callback.
+func (s *MappedStore) Range(fn func(id int64, row Row) bool) {
 	if s == nil {
 		return
 	}
 	for i, id := range s.ids {
-		if !fn(id, s.rows[i*s.dim:(i+1)*s.dim:(i+1)*s.dim]) {
+		if !fn(id, F64Row(s.rows[i*s.dim:(i+1)*s.dim:(i+1)*s.dim])) {
 			return
 		}
 	}

@@ -72,14 +72,15 @@ func TestMappedStoreMatchesMemStore(t *testing.T) {
 	}
 	// Present ids: bit-identical rows. Absent ids: both miss.
 	for id := int64(-1500); id < 1500; id++ {
-		me, mok := mem.Lookup(id)
-		pe, pok := mapped.Lookup(id)
+		mr, mok := mem.LookupRow(id)
+		pr, pok := mapped.LookupRow(id)
 		if mok != pok {
 			t.Fatalf("id %d: mem ok=%v mapped ok=%v", id, mok, pok)
 		}
 		if !mok {
 			continue
 		}
+		me, pe := mr.F64, pr.F64
 		for j := range me {
 			if math.Float64bits(me[j]) != math.Float64bits(pe[j]) {
 				t.Fatalf("id %d dim %d: mem %x mapped %x", id, j,
@@ -89,8 +90,8 @@ func TestMappedStoreMatchesMemStore(t *testing.T) {
 	}
 	// Range must visit the identical (id, row) set.
 	got := make(map[int64][]float64, mapped.Len())
-	mapped.Range(func(id int64, emb []float64) bool {
-		got[id] = append([]float64(nil), emb...)
+	mapped.Range(func(id int64, row Row) bool {
+		got[id] = row.FloatsCopy()
 		return true
 	})
 	if len(got) != len(embs) {
@@ -158,7 +159,7 @@ func TestMappedStoreEmpty(t *testing.T) {
 	if ms.Len() != 0 || ms.Dim() != 0 {
 		t.Fatalf("empty store len=%d dim=%d", ms.Len(), ms.Dim())
 	}
-	if _, ok := ms.Lookup(1); ok {
+	if _, ok := ms.LookupRow(1); ok {
 		t.Fatal("empty store returned a row")
 	}
 	if err := ms.Close(); err != nil {
@@ -167,7 +168,7 @@ func TestMappedStoreEmpty(t *testing.T) {
 	if err := ms.Close(); err != nil { // idempotent
 		t.Fatal(err)
 	}
-	if _, ok := ms.Lookup(1); ok {
+	if _, ok := ms.LookupRow(1); ok {
 		t.Fatal("closed store returned a row")
 	}
 	var nilStore *MappedStore
@@ -367,9 +368,10 @@ func legacyV1Bytes(t *testing.T, s *MemStore) []byte {
 	return buf.Bytes()
 }
 
-// TestLookupAliasingContract pins the documented Lookup contract on both
-// backends: the returned view is capacity-capped (an append cannot clobber
-// the neighboring row) and a caller-side copy is fully detached.
+// TestLookupAliasingContract pins the documented LookupRow contract on
+// both float backends: the returned F64 view is capacity-capped (an
+// append cannot clobber the neighboring row) and a caller-side copy is
+// fully detached.
 func TestLookupAliasingContract(t *testing.T) {
 	embs := randomEmbeddings(29, 100, 4)
 	mem, err := NewStore(4, embs)
@@ -387,23 +389,24 @@ func TestLookupAliasingContract(t *testing.T) {
 	} {
 		t.Run(backend.name, func(t *testing.T) {
 			var someID int64
-			backend.store.Range(func(id int64, _ []float64) bool {
+			backend.store.Range(func(id int64, _ Row) bool {
 				someID = id
 				return false
 			})
-			v, ok := backend.store.Lookup(someID)
+			row, ok := backend.store.LookupRow(someID)
 			if !ok {
 				t.Fatal("lookup miss")
 			}
+			v := row.F64
 			if cap(v) != len(v) {
-				t.Fatalf("Lookup view has spare capacity (%d > %d): an append would scribble on the backend",
+				t.Fatalf("LookupRow view has spare capacity (%d > %d): an append would scribble on the backend",
 					cap(v), len(v))
 			}
 			// The documented pattern — copy before retaining — must detach.
-			cp := append([]float64(nil), v...)
+			cp := row.FloatsCopy()
 			cp[0] = math.Pi
-			after, _ := backend.store.Lookup(someID)
-			if math.Float64bits(after[0]) == math.Float64bits(math.Pi) &&
+			after, _ := backend.store.LookupRow(someID)
+			if math.Float64bits(after.F64[0]) == math.Float64bits(math.Pi) &&
 				math.Float64bits(v[0]) != math.Float64bits(math.Pi) {
 				t.Fatal("mutating a copy reached the backend")
 			}
@@ -486,16 +489,16 @@ func TestStoreNilAndEmptyReceivers(t *testing.T) {
 	if mem.Len() != 0 || mem.Dim() != 0 {
 		t.Fatal("nil MemStore reports non-empty")
 	}
-	if _, ok := mem.Lookup(1); ok {
+	if _, ok := mem.LookupRow(1); ok {
 		t.Fatal("nil MemStore resolved a lookup")
 	}
-	mem.Range(func(int64, []float64) bool { t.Fatal("Range callback on nil store"); return true })
+	mem.Range(func(int64, Row) bool { t.Fatal("Range callback on nil store"); return true })
 
 	var mapped *MappedStore
 	if mapped.Len() != 0 || mapped.Dim() != 0 {
 		t.Fatal("nil MappedStore reports non-empty")
 	}
-	mapped.Range(func(int64, []float64) bool { t.Fatal("Range callback on nil store"); return true })
+	mapped.Range(func(int64, Row) bool { t.Fatal("Range callback on nil store"); return true })
 	var buf bytes.Buffer
 	if _, err := mapped.WriteTo(&buf); err != nil {
 		t.Fatal(err)
@@ -515,7 +518,7 @@ func TestStoreRangeEarlyStop(t *testing.T) {
 	mapped := mappedFromMem(t, src)
 	for name, st := range map[string]Store{"mem": src, "mmap": mapped} {
 		seen := 0
-		st.Range(func(int64, []float64) bool {
+		st.Range(func(int64, Row) bool {
 			seen++
 			return false
 		})

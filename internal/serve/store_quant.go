@@ -1,0 +1,409 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"sort"
+	"unsafe"
+)
+
+// QuantStore is the int8-quantized Store backend: each row is packed to
+// one byte per dimension plus a per-row float32 scale and zero-point
+// (affine quantization over the row's own value range, reconstruction
+// error at most scale/2 per dimension). At dim d a row costs d+8 bytes
+// against the float backends' 8d, so a store fits roughly 8x the nodes
+// per GB (4.25x at dim 16 counting the shared 8-byte id index entry).
+//
+// Rows are served in their packed codec: LookupRow returns a CodecQ8 Row,
+// and the serving tier's dot-product edge head scores pairs directly on
+// the int8 payloads (quantDot) — the warm link path never dequantizes.
+// Paths that need floats decode through Row.Floats/LookupInto.
+//
+// On-disk layout (little-endian throughout):
+//
+//	offset  0  magic "AGLQNT01"                     (8 bytes)
+//	offset  8  uint32 dim                           (4 bytes)
+//	offset 12  uint32 reserved, zero                (4 bytes)
+//	offset 16  uint64 count                         (8 bytes)
+//	offset 24  uint64 CRC64(index section)          (8 bytes)
+//	offset 32  uint64 CRC64(meta section)           (8 bytes)
+//	offset 40  uint64 CRC64(row section)            (8 bytes)
+//	offset 48  uint64 CRC64(header bytes [0,48))    (8 bytes)
+//	offset 56  zero padding                         (8 bytes)
+//	offset 64  index: count x int64 node ids, sorted ascending
+//	           meta:  count x {float32 scale, float32 zero}
+//	           rows:  count x dim x int8, row i belongs to index[i]
+//
+// Open discipline matches MappedStore: OpenQuant reads and verifies only
+// the 64-byte header (O(1) in store size), Verify checksums the bulk
+// sections on demand. A QuantStore is strictly read-only — dynamic
+// invalidation overlays recomputed rows in resident memory — and safe for
+// concurrent readers; Close unmaps the file, invalidating returned row
+// views.
+type QuantStore struct {
+	path   string
+	data   []byte // the whole file (mmap'd, or heap-read without mmap)
+	ids    []int64
+	meta   []float32 // 2*count: scale at 2i, zero at 2i+1
+	rows   []int8
+	dim    int
+	count  int
+	mapped bool
+}
+
+var quantMagic = [8]byte{'A', 'G', 'L', 'Q', 'N', 'T', '0', '1'}
+
+const quantCRCRange = 48 // header CRC covers bytes [0, 48)
+
+// quantHeader is the decoded fixed-size header.
+type quantHeader struct {
+	dim      uint32
+	count    uint64
+	indexCRC uint64
+	metaCRC  uint64
+	rowsCRC  uint64
+}
+
+func (h *quantHeader) encode() [mappedHeaderSize]byte {
+	var b [mappedHeaderSize]byte
+	copy(b[0:8], quantMagic[:])
+	binary.LittleEndian.PutUint32(b[8:12], h.dim)
+	binary.LittleEndian.PutUint64(b[16:24], h.count)
+	binary.LittleEndian.PutUint64(b[24:32], h.indexCRC)
+	binary.LittleEndian.PutUint64(b[32:40], h.metaCRC)
+	binary.LittleEndian.PutUint64(b[40:48], h.rowsCRC)
+	binary.LittleEndian.PutUint64(b[48:56], crc64.Checksum(b[:quantCRCRange], crcTable))
+	return b
+}
+
+// Quantize builds a heap-resident QuantStore from any source store,
+// encoding every row with per-row affine int8 parameters. It fails on
+// non-finite values: NaN/Inf have no affine image and would corrupt the
+// row's scale (serve such stores from a float backend instead).
+func Quantize(src Store) (*QuantStore, error) {
+	if src == nil {
+		src = (*MemStore)(nil)
+	}
+	count, dim := src.Len(), src.Dim()
+	s := &QuantStore{
+		ids:   make([]int64, 0, count),
+		meta:  make([]float32, 0, 2*count),
+		rows:  make([]int8, 0, count*dim),
+		dim:   dim,
+		count: count,
+	}
+	src.Range(func(id int64, _ Row) bool {
+		s.ids = append(s.ids, id)
+		return true
+	})
+	sort.Slice(s.ids, func(a, b int) bool { return s.ids[a] < s.ids[b] })
+	scratch := make([]float64, dim)
+	q := make([]int8, dim)
+	for _, id := range s.ids {
+		emb, ok := src.LookupInto(scratch, id)
+		if !ok || len(emb) != dim {
+			return nil, fmt.Errorf("serve: quantize: store changed during encode: node %d (dim %d, want %d)",
+				id, len(emb), dim)
+		}
+		scale, zero, err := quantizeRow(q, emb)
+		if err != nil {
+			return nil, fmt.Errorf("serve: quantize node %d: %w", id, err)
+		}
+		s.meta = append(s.meta, scale, zero)
+		s.rows = append(s.rows, q...)
+	}
+	return s, nil
+}
+
+// CreateQuant quantizes src and writes it to path in the AGLQNT01 layout.
+// The file is staged at path+".tmp" and renamed into place on success, so
+// a crash mid-write never leaves a half-written store at path.
+func CreateQuant(path string, src Store) error {
+	qs, err := Quantize(src)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after the rename
+	if _, err := qs.WriteTo(f); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: write quant store %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// OpenQuant maps the quantized store at path. Open is O(1) regardless of
+// store size: it reads and verifies only the 64-byte header (magic,
+// header checksum, and that the declared geometry matches the file size),
+// then maps the file read-only. Use Verify to additionally checksum the
+// index, meta, and row sections.
+func OpenQuant(path string) (*QuantStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < mappedHeaderSize {
+		return nil, fmt.Errorf("serve: quant store %s truncated: %d bytes, want at least the %d-byte header",
+			path, size, mappedHeaderSize)
+	}
+	var hdr [mappedHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("serve: quant store %s: read header: %w", path, err)
+	}
+	if string(hdr[0:8]) != string(quantMagic[:]) {
+		return nil, fmt.Errorf("serve: quant store %s: bad magic %q at offset 0 (want %q)",
+			path, hdr[0:8], quantMagic[:])
+	}
+	wantHeaderCRC := binary.LittleEndian.Uint64(hdr[48:56])
+	if got := crc64.Checksum(hdr[:quantCRCRange], crcTable); got != wantHeaderCRC {
+		return nil, fmt.Errorf("serve: quant store %s: header checksum mismatch at offset 48: got %#016x, want %#016x",
+			path, got, wantHeaderCRC)
+	}
+	dim := binary.LittleEndian.Uint32(hdr[8:12])
+	count := binary.LittleEndian.Uint64(hdr[16:24])
+	if dim > 1<<20 || count > 1<<40 || (count > 0 && dim == 0) {
+		return nil, fmt.Errorf("serve: quant store %s: implausible header at offset 8 (dim=%d count=%d)",
+			path, dim, count)
+	}
+	indexBytes := count * 8
+	metaBytes := count * 8
+	rowBytes := count * uint64(dim)
+	want := int64(mappedHeaderSize + indexBytes + metaBytes + rowBytes)
+	if size < want {
+		return nil, fmt.Errorf("serve: quant store %s truncated at offset %d: %d bytes, header at offset 16 declares %d (count=%d dim=%d)",
+			path, size, size, want, count, dim)
+	}
+	if size > want {
+		return nil, fmt.Errorf("serve: quant store %s: %d trailing bytes past offset %d (count=%d dim=%d)",
+			path, size-want, want, count, dim)
+	}
+	data, mapped, err := mmapFile(f, size)
+	if err != nil {
+		return nil, fmt.Errorf("serve: mmap %s: %w", path, err)
+	}
+	metaEnd := mappedHeaderSize + indexBytes + metaBytes
+	s := &QuantStore{
+		path:   path,
+		data:   data,
+		ids:    bytesToInt64s(data[mappedHeaderSize : mappedHeaderSize+indexBytes]),
+		meta:   bytesToFloat32s(data[mappedHeaderSize+indexBytes : metaEnd]),
+		rows:   bytesToInt8s(data[metaEnd:want]),
+		dim:    int(dim),
+		count:  int(count),
+		mapped: mapped,
+	}
+	return s, nil
+}
+
+// rowAt returns row i as a CodecQ8 Row aliasing the backing memory.
+func (s *QuantStore) rowAt(i int) Row {
+	return Q8Row(s.rows[i*s.dim:(i+1)*s.dim:(i+1)*s.dim], s.meta[2*i], s.meta[2*i+1])
+}
+
+// LookupRow returns the stored row for id in its packed int8 codec. The
+// payload aliases the store's memory — read-only, clone before retaining,
+// invalid after Close (see Store). The binary search is hand-rolled
+// rather than sort.Search: this sits on the warm link path, where the
+// closure-call overhead is measurable against a ~100ns request.
+func (s *QuantStore) LookupRow(id int64) (Row, bool) {
+	if s == nil || s.count == 0 {
+		return Row{}, false
+	}
+	lo, hi := 0, len(s.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(s.ids) || s.ids[lo] != id {
+		return Row{}, false
+	}
+	return s.rowAt(lo), true
+}
+
+// LookupInto dequantizes the stored row for id into caller-owned memory.
+func (s *QuantStore) LookupInto(dst []float64, id int64) ([]float64, bool) {
+	r, ok := s.LookupRow(id)
+	if !ok {
+		return nil, false
+	}
+	return dequantInto(dst, r.Q8, r.Scale, r.Zero), true
+}
+
+// RowCodec returns CodecQ8: every stored row is int8-quantized.
+func (s *QuantStore) RowCodec() Codec { return CodecQ8 }
+
+// Len returns the number of stored embeddings.
+func (s *QuantStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.count
+}
+
+// Dim returns the embedding dimensionality (0 for an empty store).
+func (s *QuantStore) Dim() int {
+	if s == nil {
+		return 0
+	}
+	return s.dim
+}
+
+// Range iterates the stored rows in ascending id order. The row payload
+// aliases the backing memory, valid only for the callback.
+func (s *QuantStore) Range(fn func(id int64, row Row) bool) {
+	if s == nil {
+		return
+	}
+	for i, id := range s.ids {
+		if !fn(id, s.rowAt(i)) {
+			return
+		}
+	}
+}
+
+// WriteTo serializes the store in the AGLQNT01 layout. A mapped store
+// copies its raw bytes; a heap-built store (Quantize) encodes the
+// sections and their checksums.
+func (s *QuantStore) WriteTo(w io.Writer) (int64, error) {
+	if s != nil && s.data != nil {
+		n, err := w.Write(s.data)
+		return int64(n), err
+	}
+	if s == nil {
+		s = &QuantStore{}
+	}
+	idx := make([]byte, len(s.ids)*8)
+	for i, id := range s.ids {
+		binary.LittleEndian.PutUint64(idx[i*8:], uint64(id))
+	}
+	meta := make([]byte, len(s.meta)*4)
+	for i, v := range s.meta {
+		binary.LittleEndian.PutUint32(meta[i*4:], mathFloat32bits(v))
+	}
+	rows := make([]byte, len(s.rows))
+	for i, v := range s.rows {
+		rows[i] = byte(v)
+	}
+	h := quantHeader{
+		dim:      uint32(s.dim),
+		count:    uint64(s.count),
+		indexCRC: crc64.Checksum(idx, crcTable),
+		metaCRC:  crc64.Checksum(meta, crcTable),
+		rowsCRC:  crc64.Checksum(rows, crcTable),
+	}
+	hdr := h.encode()
+	var n int64
+	for _, section := range [][]byte{hdr[:], idx, meta, rows} {
+		m, err := w.Write(section)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Verify checksums the index, meta, and row sections against the header —
+// the full-file integrity check deferred from open. Heap-built stores
+// (Quantize) have no file backing and verify trivially.
+func (s *QuantStore) Verify() error {
+	if s == nil || s.data == nil {
+		return nil
+	}
+	indexEnd := mappedHeaderSize + len(s.ids)*8
+	metaEnd := indexEnd + len(s.meta)*4
+	sections := []struct {
+		name       string
+		start, end int
+		wantOff    int
+	}{
+		{"index", mappedHeaderSize, indexEnd, 24},
+		{"meta", indexEnd, metaEnd, 32},
+		{"row", metaEnd, len(s.data), 40},
+	}
+	for _, sec := range sections {
+		want := binary.LittleEndian.Uint64(s.data[sec.wantOff : sec.wantOff+8])
+		if got := crc64.Checksum(s.data[sec.start:sec.end], crcTable); got != want {
+			return fmt.Errorf("serve: quant store %s: %s checksum mismatch (section at offset %d): got %#016x, want %#016x",
+				s.path, sec.name, sec.start, got, want)
+		}
+	}
+	return nil
+}
+
+// Path returns the file the store was opened from ("" for a heap-built
+// store).
+func (s *QuantStore) Path() string {
+	if s == nil {
+		return ""
+	}
+	return s.path
+}
+
+// Close unmaps the file. Rows previously returned by LookupRow/Range are
+// invalid afterwards. Close is idempotent and a no-op for heap-built
+// stores.
+func (s *QuantStore) Close() error {
+	if s == nil || s.data == nil {
+		return nil
+	}
+	data, mapped := s.data, s.mapped
+	s.data, s.ids, s.meta, s.rows, s.count, s.dim = nil, nil, nil, nil, 0, 0
+	if mapped {
+		return munmapFile(data)
+	}
+	return nil
+}
+
+// mathFloat32bits avoids importing math for one call site.
+func mathFloat32bits(v float32) uint32 { return *(*uint32)(unsafe.Pointer(&v)) }
+
+// bytesToFloat32s reinterprets b as little-endian float32s; same cast /
+// fallback split as bytesToInt64s.
+func bytesToFloat32s(b []byte) []float32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		bits := binary.LittleEndian.Uint32(b[i*4:])
+		out[i] = *(*float32)(unsafe.Pointer(&bits))
+	}
+	return out
+}
+
+// bytesToInt8s reinterprets b as int8s — byte-width, so always zero-copy.
+func bytesToInt8s(b []byte) []int8 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int8)(unsafe.Pointer(&b[0])), len(b))
+}

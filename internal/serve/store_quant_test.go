@@ -1,0 +1,519 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"agl/internal/gnn"
+	"agl/internal/graph"
+)
+
+// finiteEmbeddings mirrors randomEmbeddings without the NaN/Inf payloads:
+// quantization has no affine image for non-finite values (Quantize rejects
+// them by contract), so the quant property tests draw from finite rows
+// with mixed magnitudes instead.
+func finiteEmbeddings(seed int64, n, dim int) map[int64][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	embs := make(map[int64][]float64, n)
+	for len(embs) < n {
+		id := int64(rng.Intn(4*n)) - int64(2*n)
+		h := make([]float64, dim)
+		mag := math.Pow(10, float64(rng.Intn(7)-3)) // 1e-3 .. 1e3
+		for j := range h {
+			switch rng.Intn(16) {
+			case 0:
+				h[j] = 0
+			default:
+				h[j] = rng.NormFloat64() * mag
+			}
+		}
+		embs[id] = h
+	}
+	return embs
+}
+
+// quantFromMem quantizes a MemStore to the AGLQNT01 file layout and opens
+// it, closing on test cleanup.
+func quantFromMem(t *testing.T, src *MemStore) *QuantStore {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "store.aglqnt")
+	if err := CreateQuant(path, src); err != nil {
+		t.Fatal(err)
+	}
+	qs, err := OpenQuant(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { qs.Close() })
+	return qs
+}
+
+// TestQuantRoundTripErrorBound is the quantizer's core property: for any
+// finite row, every dequantized value sits within half a quantization step
+// of the original — |x̂ - x| <= scale/2 (plus float32 rounding headroom).
+func TestQuantRoundTripErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	q := make([]int8, 16)
+	dst := make([]float64, 16)
+	for trial := 0; trial < 2000; trial++ {
+		row := make([]float64, 16)
+		mag := math.Pow(10, float64(rng.Intn(9)-4)) // 1e-4 .. 1e4
+		for j := range row {
+			row[j] = rng.NormFloat64() * mag
+		}
+		scale, zero, err := quantizeRow(q, row)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := dequantInto(dst, q, scale, zero)
+		bound := float64(scale) / 2
+		for j := range row {
+			// The half-step bound plus a relative term for the float32
+			// rounding of scale/zero themselves.
+			if diff := math.Abs(got[j] - row[j]); diff > bound+1e-6*(1+math.Abs(row[j])) {
+				t.Fatalf("trial %d dim %d: |%v - %v| = %v exceeds scale/2 = %v (scale %v zero %v)",
+					trial, j, got[j], row[j], diff, bound, scale, zero)
+			}
+		}
+	}
+
+	// Degenerate rows quantize exactly: constant, zero, and empty.
+	for _, row := range [][]float64{
+		{3.5, 3.5, 3.5},
+		{-2.25, -2.25},
+		{0, 0, 0, 0},
+		{},
+	} {
+		scale, zero, err := quantizeRow(q[:len(row)], row)
+		if err != nil {
+			t.Fatalf("degenerate row %v: %v", row, err)
+		}
+		got := dequantInto(dst[:0], q[:len(row)], scale, zero)
+		for j := range row {
+			if math.Abs(got[j]-row[j]) > float64(scale)/2+1e-6*(1+math.Abs(row[j])) {
+				t.Fatalf("degenerate row %v dim %d: got %v", row, j, got[j])
+			}
+		}
+	}
+}
+
+// TestQuantizeRejectsNonFinite: NaN/Inf rows have no affine image and must
+// fail loudly (naming the node), never encode to garbage.
+func TestQuantizeRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		mem, err := NewStore(1, map[int64][]float64{
+			1: {1, 2, 3},
+			7: {0.5, bad, 1.5},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Quantize(mem); err == nil {
+			t.Fatalf("Quantize accepted %v", bad)
+		} else if !strings.Contains(err.Error(), "node 7") {
+			t.Fatalf("error %q does not name the offending node", err)
+		}
+	}
+}
+
+// TestQuantStoreMatchesMemStore is the backend-equivalence property for
+// the quant layout: every Store method must answer consistently with the
+// heap backend, up to the documented scale/2 reconstruction error.
+func TestQuantStoreMatchesMemStore(t *testing.T) {
+	embs := finiteEmbeddings(43, 400, 6)
+	mem, err := NewStore(8, embs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant := quantFromMem(t, mem)
+
+	if quant.Len() != mem.Len() || quant.Dim() != mem.Dim() {
+		t.Fatalf("quant len/dim %d/%d, mem %d/%d", quant.Len(), quant.Dim(), mem.Len(), mem.Dim())
+	}
+	if quant.RowCodec() != CodecQ8 {
+		t.Fatalf("quant codec %v, want %v", quant.RowCodec(), CodecQ8)
+	}
+	buf := make([]float64, quant.Dim())
+	for id := int64(-1200); id < 1200; id++ {
+		row, qok := quant.LookupRow(id)
+		want, mok := embs[id]
+		if qok != mok {
+			t.Fatalf("id %d: quant ok=%v mem ok=%v", id, qok, mok)
+		}
+		if !qok {
+			continue
+		}
+		if row.Codec() != CodecQ8 || row.Dim() != quant.Dim() {
+			t.Fatalf("id %d: row codec %v dim %d", id, row.Codec(), row.Dim())
+		}
+		via, ok := quant.LookupInto(buf, id)
+		if !ok {
+			t.Fatalf("id %d missing via LookupInto", id)
+		}
+		dec := row.Floats(nil)
+		bound := float64(row.Scale)/2 + 1e-6
+		for j := range want {
+			if math.Float64bits(dec[j]) != math.Float64bits(via[j]) {
+				t.Fatalf("id %d dim %d: Floats %v != LookupInto %v", id, j, dec[j], via[j])
+			}
+			if diff := math.Abs(dec[j] - want[j]); diff > bound*(1+math.Abs(want[j])) {
+				t.Fatalf("id %d dim %d: |%v - %v| = %v exceeds bound %v",
+					id, j, dec[j], want[j], diff, bound)
+			}
+		}
+	}
+	// Range visits the same id set, ascending, with rows matching LookupRow.
+	var prev int64 = math.MinInt64
+	seen := 0
+	quant.Range(func(id int64, row Row) bool {
+		if id <= prev {
+			t.Fatalf("Range out of order: %d after %d", id, prev)
+		}
+		prev = id
+		seen++
+		direct, ok := quant.LookupRow(id)
+		if !ok || &direct.Q8[0] != &row.Q8[0] {
+			t.Fatalf("Range row for %d does not alias LookupRow", id)
+		}
+		return true
+	})
+	if seen != len(embs) {
+		t.Fatalf("Range visited %d ids, want %d", seen, len(embs))
+	}
+}
+
+// TestQuantFileRoundTrip: a heap-built store (Quantize) and its mapped
+// twin serialize to identical bytes, and those bytes re-open as an
+// identical store.
+func TestQuantFileRoundTrip(t *testing.T) {
+	mem, err := NewStore(4, finiteEmbeddings(47, 80, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap, err := Quantize(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := quantFromMem(t, mem)
+
+	var heapBytes, mappedBytes bytes.Buffer
+	if _, err := heap.WriteTo(&heapBytes); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mapped.WriteTo(&mappedBytes); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(heapBytes.Bytes(), mappedBytes.Bytes()) {
+		t.Fatal("heap and mapped serializations differ")
+	}
+	disk, err := os.ReadFile(mapped.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mappedBytes.Bytes(), disk) {
+		t.Fatal("WriteTo bytes differ from the backing file")
+	}
+	if err := mapped.Verify(); err != nil {
+		t.Fatalf("Verify on a freshly written store: %v", err)
+	}
+	// Identical quantization parameters and payloads on both forms.
+	mapped.Range(func(id int64, row Row) bool {
+		h, ok := heap.LookupRow(id)
+		if !ok || h.Scale != row.Scale || h.Zero != row.Zero {
+			t.Fatalf("id %d: heap meta (%v,%v) vs mapped (%v,%v)", id, h.Scale, h.Zero, row.Scale, row.Zero)
+		}
+		for j := range h.Q8 {
+			if h.Q8[j] != row.Q8[j] {
+				t.Fatalf("id %d dim %d: heap %d vs mapped %d", id, j, h.Q8[j], row.Q8[j])
+			}
+		}
+		return true
+	})
+
+	// Zero embeddings is a valid store; nil heap store serializes the bare
+	// header.
+	empty := &MemStore{shards: make([]storeShard, 1)}
+	path := filepath.Join(t.TempDir(), "empty.aglqnt")
+	if err := CreateQuant(path, empty); err != nil {
+		t.Fatal(err)
+	}
+	qs, err := OpenQuant(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.Len() != 0 || qs.Dim() != 0 {
+		t.Fatalf("empty store len=%d dim=%d", qs.Len(), qs.Dim())
+	}
+	if _, ok := qs.LookupRow(1); ok {
+		t.Fatal("empty store returned a row")
+	}
+	if err := qs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := qs.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	var nilStore *QuantStore
+	if nilStore.Len() != 0 || nilStore.Dim() != 0 || nilStore.Verify() != nil {
+		t.Fatal("nil QuantStore not empty")
+	}
+}
+
+// TestOpenQuantCorruption is the table-driven corruption suite for the
+// quant layout, mirroring TestOpenMappedCorruption: every damaged fixture
+// must be rejected at open with an error naming what broke and where.
+func TestOpenQuantCorruption(t *testing.T) {
+	mem, err := NewStore(2, finiteEmbeddings(53, 40, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	goodPath := filepath.Join(dir, "good.aglqnt")
+	if err := CreateQuant(goodPath, mem); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(goodPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"empty file", func(b []byte) []byte { return nil }, "truncated"},
+		{"shorter than header", func(b []byte) []byte { return b[:40] }, "truncated"},
+		{"bad magic", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			copy(out[0:8], "NOTQUANT")
+			return out
+		}, "bad magic"},
+		{"header bit flip", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[16] ^= 0x01 // count byte: header CRC must catch it
+			return out
+		}, "header checksum mismatch"},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-5] }, "truncated"},
+		{"trailing bytes", func(b []byte) []byte { return append(append([]byte(nil), b...), 0, 0, 0) }, "trailing bytes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, strings.ReplaceAll(tc.name, " ", "_")+".aglqnt")
+			if err := os.WriteFile(path, tc.mutate(good), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := OpenQuant(path)
+			if err == nil {
+				t.Fatal("corrupted store opened")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestQuantVerifyDetectsSectionCorruption: payload damage the O(1) open
+// does not scan for must be caught by Verify, naming the broken section.
+func TestQuantVerifyDetectsSectionCorruption(t *testing.T) {
+	mem, err := NewStore(2, finiteEmbeddings(59, 40, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodPath := filepath.Join(t.TempDir(), "good.aglqnt")
+	if err := CreateQuant(goodPath, mem); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(goodPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexEnd := mappedHeaderSize + mem.Len()*8
+	metaEnd := indexEnd + mem.Len()*8
+
+	cases := []struct {
+		name    string
+		offset  int
+		wantSub string
+	}{
+		{"index flip", mappedHeaderSize + 3, "index checksum mismatch"},
+		{"meta flip", indexEnd + 2, "meta checksum mismatch"},
+		{"row flip", metaEnd + 5, "row checksum mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := append([]byte(nil), good...)
+			bad[tc.offset] ^= 0x40
+			path := filepath.Join(t.TempDir(), "bad.aglqnt")
+			if err := os.WriteFile(path, bad, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			qs, err := OpenQuant(path) // open is O(1): payload damage passes
+			if err != nil {
+				t.Fatalf("open after payload flip should succeed (header intact): %v", err)
+			}
+			defer qs.Close()
+			verr := qs.Verify()
+			if verr == nil {
+				t.Fatal("Verify missed the flipped byte")
+			}
+			if !strings.Contains(verr.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", verr, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestServeQuantBackend runs the serving tier over mem and quant backends
+// under a dot-product edge head: node scores and link logits must agree
+// within the quantization error budget, warm traffic must actually serve
+// warm, and — the tentpole invariant — the quantized warm link path must
+// reproduce the dequantize-then-score reference exactly (quantDot computes
+// the same affine expansion in exact int64 arithmetic).
+func TestServeQuantBackend(t *testing.T) {
+	g, model, inf := testLinkGraph(t, gnn.EdgeHeadDot)
+	mem, err := NewStore(8, inf.Embeddings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant := quantFromMem(t, mem)
+
+	memSrv, err := New(Config{Seed: 4}, model, g, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer memSrv.Close()
+	model2, err := gnn.UnmarshalModel(mustMarshal(t, model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantSrv, err := New(Config{Seed: 4}, model2, g, quant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer quantSrv.Close()
+
+	// Embeddings are tanh-bounded, so per-dim reconstruction error is at
+	// most ~(2/255)/2 and a hidden-dim dot/dense accumulation stays well
+	// inside this tolerance.
+	const tol = 0.1
+	ctx := context.Background()
+	ids := g.IDs()
+	for i := 0; i < 40; i++ {
+		id := ids[i*5%len(ids)]
+		a, err := memSrv.Score(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := quantSrv.Score(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range a {
+			if math.Abs(a[j]-b[j]) > tol {
+				t.Fatalf("node %d dim %d: mem %v quant %v", id, j, a[j], b[j])
+			}
+		}
+	}
+	for i := 0; i < 25; i++ {
+		src, dst := ids[i], ids[(i*13+7)%len(ids)]
+		if src == dst {
+			continue
+		}
+		a, err := memSrv.ScoreLink(ctx, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := quantSrv.ScoreLink(ctx, src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a-b) > tol {
+			t.Fatalf("pair (%d,%d): mem %v quant %v", src, dst, a, b)
+		}
+
+		// quantDot vs the dequantize-then-dot reference: identical up to
+		// float64 rounding, since both expand the same affine form.
+		ru, uok := quant.LookupRow(src)
+		rv, vok := quant.LookupRow(dst)
+		if !uok || !vok {
+			t.Fatalf("pair (%d,%d) missing from quant store", src, dst)
+		}
+		gathered, err := quantSrv.ScoreVecLink(ctx, ru, rv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := model2.Edge.ScoreVec(ru.Floats(nil), rv.Floats(nil))
+		if math.Abs(gathered-ref) > 1e-9*(1+math.Abs(ref)) {
+			t.Fatalf("pair (%d,%d): quantDot %v vs dequantized reference %v", src, dst, gathered, ref)
+		}
+		if math.Float64bits(gathered) != math.Float64bits(b) {
+			t.Fatalf("pair (%d,%d): ScoreVecLink %v != warm ScoreLink %v", src, dst, gathered, b)
+		}
+	}
+	if st := quantSrv.Stats(); st.Warm == 0 || st.LinkWarm == 0 {
+		t.Fatalf("quant server never served warm: %+v", st)
+	}
+}
+
+// TestQuantWarmPathRaceStress hammers the quantized warm path from many
+// goroutines while mutations invalidate rows — the -race exercise for the
+// int8 fast path, the overlay re-admission flow, and their interaction.
+func TestQuantWarmPathRaceStress(t *testing.T) {
+	g, model, inf := testLinkGraph(t, gnn.EdgeHeadDot)
+	mem, err := NewStore(4, inf.Embeddings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant := quantFromMem(t, mem)
+	srv, err := New(Config{Seed: 4}, model, g, quant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx := context.Background()
+	ids := g.IDs()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				src := ids[(w*31+i)%len(ids)]
+				dst := ids[(w*17+i*7+1)%len(ids)]
+				if _, err := srv.Score(ctx, src); err != nil {
+					t.Errorf("Score: %v", err)
+					return
+				}
+				if src != dst {
+					if _, err := srv.ScoreLink(ctx, src, dst); err != nil {
+						t.Errorf("ScoreLink: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		feat := make([]float64, g.FeatureDim())
+		for i := 0; i < 20; i++ {
+			id := ids[(i*13)%len(ids)]
+			if _, err := srv.Apply(ctx, []graph.Mutation{graph.UpdateNodeFeat(id, feat)}); err != nil {
+				t.Errorf("Apply: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
