@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Assertions for the e2e-chaos job (SIGKILL a replica under traffic).
+
+The shell side records traffic and placement snapshots; this script holds
+the numeric judgments so tolerance handling lives in one place:
+
+    chaos_check.py verify <expected.json> <traffic.jsonl> [tol]
+        expected.json is one /score payload ({"node":N,"scores":[...]});
+        traffic.jsonl lines are "<http-code> <body-json>". Every 200
+        answer must match the expected scores within tol (default 1e-9 —
+        rows inherited through failover recompute cold, which is close,
+        not bit-equal). Fails on any wrong answer, on zero served
+        requests, or if none of the last 5 requests succeeded (the fleet
+        must have CONVERGED, not merely survived).
+    chaos_check.py owners <placement.json> <victim>
+        Fails if the dead replica still owns any slot.
+    chaos_check.py close <a.json> <b.json> [tol]
+        Fails if the two /score payloads differ beyond tol.
+"""
+import json
+import sys
+
+
+def scores(path):
+    with open(path) as f:
+        return json.load(f)["scores"]
+
+
+def close(a, b, tol):
+    return len(a) == len(b) and all(abs(x - y) <= tol for x, y in zip(a, b))
+
+
+def cmd_verify(expected_path, traffic_path, tol):
+    want = scores(expected_path)
+    total = served = wrong = 0
+    tail = []
+    with open(traffic_path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            total += 1
+            code, _, body = line.partition(" ")
+            ok = False
+            if code == "200":
+                served += 1
+                ok = True
+                try:
+                    got = json.loads(body)["scores"]
+                except (json.JSONDecodeError, KeyError):
+                    wrong += 1
+                else:
+                    if not close(got, want, tol):
+                        wrong += 1
+                        print(f"wrong answer: {body}", file=sys.stderr)
+            tail.append(ok)
+    print(f"chaos traffic: total={total} served={served} wrong={wrong}")
+    if total == 0 or served == 0:
+        print("no traffic served — the zero-wrong-answers claim is vacuous", file=sys.stderr)
+        return 1
+    if wrong > 0:
+        return 1
+    if not any(tail[-5:]):
+        print("none of the last 5 requests succeeded — fleet did not converge", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_owners(placement_path, victim):
+    with open(placement_path) as f:
+        table = json.load(f)
+    owned = [s for s, o in enumerate(table["owners"]) if o == victim]
+    if owned:
+        print(f"replica {victim} still owns slots {owned} at epoch {table['epoch']}", file=sys.stderr)
+        return 1
+    print(f"replica {victim} owns nothing at epoch {table['epoch']}")
+    return 0
+
+
+def main():
+    mode = sys.argv[1]
+    if mode == "verify":
+        tol = float(sys.argv[4]) if len(sys.argv) > 4 else 1e-9
+        return cmd_verify(sys.argv[2], sys.argv[3], tol)
+    if mode == "owners":
+        return cmd_owners(sys.argv[2], int(sys.argv[3]))
+    if mode == "close":
+        tol = float(sys.argv[4]) if len(sys.argv) > 4 else 1e-9
+        if not close(scores(sys.argv[2]), scores(sys.argv[3]), tol):
+            print(f"{sys.argv[2]} and {sys.argv[3]} diverge beyond {tol}", file=sys.stderr)
+            return 1
+        return 0
+    print(f"unknown mode {mode!r}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("aglbench: ")
 
-	exp := flag.String("exp", "all", "comma-separated experiments: table1|table2|table3|table4|table5|fig7|fig8|shuffle|serve|update|link|train|oocore|overload|all")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1|table2|table3|table4|table5|fig7|fig8|shuffle|serve|update|link|train|oocore|overload|cluster|quant|chaos|all")
 	quick := flag.Bool("quick", false, "CI-scale datasets and epochs")
 	seed := flag.Int64("seed", 1, "global seed")
 	verbose := flag.Bool("v", false, "progress logging")
@@ -186,6 +186,8 @@ func main() {
 			run("cluster", func() (fmt.Stringer, error) { return experiments.Cluster(opt) })
 		case "quant":
 			run("quant", func() (fmt.Stringer, error) { return experiments.Quant(opt) })
+		case "chaos":
+			run("chaos", func() (fmt.Stringer, error) { return experiments.Chaos(opt) })
 		default:
 			fatalf("unknown experiment %q", name)
 		}

@@ -34,10 +34,20 @@
 // with 409 {"error":{"code":"stale_epoch",...}} — retryable after
 // refetching /placement.
 //
+// With -raft the placement table is additionally replicated through a
+// raft log (one vote per replica, majority commit): migrations and
+// failovers become committed log entries, a leader-driven failure
+// detector watches heartbeat replies, and a replica dead past
+// -dead-after has its slots automatically reassigned to survivors. See
+// "Failure model" in README.md for exactly what this does and does not
+// survive.
+//
 // Every error response uses one JSON envelope,
 // {"error":{"code":"...","message":"..."}}, with stable codes:
 // bad_request, not_found, gone, overloaded (429, with Retry-After),
-// deadline_exceeded, canceled, unavailable, internal. -deadline bounds
+// peer_down (503, with Retry-After: the owning replica is unreachable and
+// failover has not landed yet — resend after the hint), deadline_exceeded,
+// canceled, unavailable, internal. -deadline bounds
 // each request end to end; under cold-path saturation (-shed) requests are
 // rejected with 429 instead of queueing. -flight mirrors the always-on
 // metrics ring to a fixed-size file readable with aglmetrics.
@@ -95,6 +105,7 @@ import (
 	"agl/internal/mapreduce"
 	"agl/internal/nn"
 	"agl/internal/placement"
+	"agl/internal/rpcx"
 	"agl/internal/sampling"
 	"agl/internal/serve"
 )
@@ -145,6 +156,10 @@ func main() {
 	replicaID := flag.Int("replica-id", 0, "cluster mode: this process's index into -peers")
 	slots := flag.Int("slots", placement.DefaultSlots, "cluster mode: hash-slot count (must match across replicas)")
 	placementPath := flag.String("placement", "", "cluster mode: load the slot->replica table from this file instead of the even default")
+	raftOn := flag.Bool("raft", false, "cluster mode: replicate the placement table through a raft log, with leader-driven failure detection and automatic slot failover")
+	raftDir := flag.String("raft-dir", "", "cluster mode: directory for this replica's raft WAL (empty runs without persistence — crash-restart then forgets votes and log)")
+	suspectAfter := flag.Duration("suspect-after", 2*time.Second, "cluster mode: heartbeat-reply age at which a peer is counted suspect")
+	deadAfter := flag.Duration("dead-after", 5*time.Second, "cluster mode: heartbeat-reply age at which a peer is declared dead and its slots fail over")
 	flag.Parse()
 
 	if *nodePath == "" || *edgePath == "" {
@@ -321,6 +336,21 @@ func main() {
 		log.Printf("cluster replica %d/%d on %s: epoch %d, %d/%d slots owned",
 			*replicaID, len(peerList), rep.Addr(), table.Epoch,
 			len(table.SlotsOf(*replicaID)), table.Slots())
+		if *raftOn {
+			if err := rep.EnableConsensus(serve.ConsensusConfig{
+				WALDir:       *raftDir,
+				SuspectAfter: *suspectAfter,
+				DeadAfter:    *deadAfter,
+				Logf:         log.Printf,
+			}); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("raft-backed placement on (wal dir %q, suspect after %s, dead after %s)",
+				*raftDir, *suspectAfter, *deadAfter)
+		}
+	}
+	if *raftOn && !clusterMode {
+		log.Fatal("-raft requires cluster mode (-peers)")
 	}
 
 	mux := http.NewServeMux()
@@ -635,6 +665,11 @@ func errStatus(err error) (int, string) {
 	case errors.Is(err, graph.ErrBadMutation), errors.Is(err, graph.ErrDuplicateNode),
 		errors.Is(err, serve.ErrNoEdgeHead):
 		return http.StatusBadRequest, "bad_request"
+	case errors.Is(err, rpcx.ErrPeerDown):
+		// The owning replica is unreachable (circuit breaker open or
+		// retries exhausted) and no failover table has landed yet.
+		// Retryable: a Retry-After hint accompanies the 503.
+		return http.StatusServiceUnavailable, "peer_down"
 	case errors.Is(err, serve.ErrClosed):
 		return http.StatusServiceUnavailable, "unavailable"
 	case errors.Is(err, context.DeadlineExceeded):
@@ -652,9 +687,17 @@ func errStatus(err error) (int, string) {
 // deriving status and code; shed responses carry a Retry-After hint.
 func serveError(w http.ResponseWriter, err error) {
 	status, code := errStatus(err)
+	retryAfter := time.Duration(0)
 	var shed *serve.ShedError
 	if errors.As(err, &shed) {
-		secs := int((shed.RetryAfter + time.Second - 1) / time.Second)
+		retryAfter = shed.RetryAfter
+	}
+	var down *rpcx.PeerDownError
+	if errors.As(err, &down) {
+		retryAfter = down.RetryAfter
+	}
+	if retryAfter > 0 {
+		secs := int((retryAfter + time.Second - 1) / time.Second)
 		if secs < 1 {
 			secs = 1
 		}

@@ -1,0 +1,200 @@
+// Package clockx is the injectable time source shared by every
+// timing-sensitive subsystem that wants deterministic tests: the
+// consensus heartbeat/election timers and the serving tier's migration
+// write-freeze TTL watchdog both take a Clock instead of calling the
+// time package directly. Production code passes Real (zero cost beyond
+// an interface call); tests pass a Fake and drive it with Advance, so a
+// "10 second watchdog fired" assertion runs in microseconds and never
+// flakes under load.
+//
+// The surface is deliberately the minimal subset those callers need —
+// Now, Since, AfterFunc, NewTimer — not a full time-package mirror.
+package clockx
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Timer is the stop-handle for a scheduled callback. Stop reports
+// whether it prevented the callback from firing (mirrors
+// time.Timer.Stop); Reset re-arms the timer for d from now, reporting
+// whether it was still pending (mirrors time.Timer.Reset).
+type Timer interface {
+	Stop() bool
+	Reset(d time.Duration) bool
+}
+
+// Clock abstracts the wall clock and callback scheduling.
+type Clock interface {
+	Now() time.Time
+	Since(t time.Time) time.Duration
+	// AfterFunc schedules f to run on its own goroutine after d.
+	AfterFunc(d time.Duration, f func()) Timer
+	// Sleep blocks the calling goroutine for d (a Fake clock wakes it
+	// when Advance crosses the deadline).
+	Sleep(d time.Duration)
+}
+
+// Real is the production clock: thin forwarding to the time package.
+type Real struct{}
+
+// Now returns time.Now().
+func (Real) Now() time.Time { return time.Now() }
+
+// Since returns time.Since(t).
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// AfterFunc forwards to time.AfterFunc.
+func (Real) AfterFunc(d time.Duration, f func()) Timer { return time.AfterFunc(d, f) }
+
+// Sleep forwards to time.Sleep.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Fake is a manually advanced clock for deterministic tests. Time only
+// moves when Advance is called; timers due at or before the new time
+// fire synchronously (on the Advance goroutine, outside the clock lock,
+// in deadline order), so a test can Advance past a watchdog TTL and
+// immediately assert its effect without sleeping.
+type Fake struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    int
+	timers []*fakeTimer
+	wake   chan struct{} // closed+replaced on every Advance (Sleep wakeups)
+}
+
+// NewFake returns a Fake clock starting at an arbitrary fixed epoch.
+func NewFake() *Fake {
+	return &Fake{
+		now:  time.Date(2020, 8, 31, 0, 0, 0, 0, time.UTC), // VLDB'20 day one
+		wake: make(chan struct{}),
+	}
+}
+
+// Now returns the current fake time.
+func (c *Fake) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Since returns the fake duration elapsed since t.
+func (c *Fake) Since(t time.Time) time.Duration {
+	return c.Now().Sub(t)
+}
+
+// AfterFunc schedules f at now+d. A non-positive d fires on the next
+// Advance call (not immediately), keeping test ordering explicit.
+func (c *Fake) AfterFunc(d time.Duration, f func()) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	t := &fakeTimer{c: c, seq: c.seq, when: c.now.Add(d), f: f, armed: true}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+// Sleep blocks until Advance moves the clock to or past now+d.
+func (c *Fake) Sleep(d time.Duration) {
+	c.mu.Lock()
+	deadline := c.now.Add(d)
+	for c.now.Before(deadline) {
+		wake := c.wake
+		c.mu.Unlock()
+		<-wake
+		c.mu.Lock()
+	}
+	c.mu.Unlock()
+}
+
+// Advance moves the clock forward by d and fires every armed timer
+// whose deadline falls in the crossed window, in deadline order
+// (creation order breaks ties). Callbacks run synchronously on the
+// caller's goroutine without the clock lock held, so they may schedule
+// new timers; a new timer due within the already-crossed window fires
+// during this same Advance.
+func (c *Fake) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for {
+		t := c.nextDueLocked(target)
+		if t == nil {
+			break
+		}
+		// Step time to the timer's deadline before firing so the
+		// callback observes a causally consistent Now().
+		if t.when.After(c.now) {
+			c.now = t.when
+		}
+		t.armed = false
+		f := t.f
+		c.mu.Unlock()
+		f()
+		c.mu.Lock()
+	}
+	c.now = target
+	close(c.wake)
+	c.wake = make(chan struct{})
+	c.mu.Unlock()
+}
+
+// nextDueLocked returns the earliest armed timer due at or before
+// target, or nil.
+func (c *Fake) nextDueLocked(target time.Time) *fakeTimer {
+	live := c.timers[:0]
+	for _, t := range c.timers {
+		if t.armed {
+			live = append(live, t)
+		}
+	}
+	c.timers = live
+	sort.SliceStable(c.timers, func(i, j int) bool {
+		if !c.timers[i].when.Equal(c.timers[j].when) {
+			return c.timers[i].when.Before(c.timers[j].when)
+		}
+		return c.timers[i].seq < c.timers[j].seq
+	})
+	if len(c.timers) == 0 || c.timers[0].when.After(target) {
+		return nil
+	}
+	return c.timers[0]
+}
+
+type fakeTimer struct {
+	c     *Fake
+	seq   int
+	when  time.Time
+	f     func()
+	armed bool
+}
+
+// Stop disarms the timer, reporting whether it was still pending.
+func (t *fakeTimer) Stop() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	was := t.armed
+	t.armed = false
+	return was
+}
+
+// Reset re-arms the timer for d from the current fake time, reporting
+// whether it was still pending.
+func (t *fakeTimer) Reset(d time.Duration) bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	was := t.armed
+	t.when = t.c.now.Add(d)
+	t.armed = true
+	if !was {
+		// A fired timer re-armed: make sure it is back in the queue.
+		for _, q := range t.c.timers {
+			if q == t {
+				return was
+			}
+		}
+		t.c.timers = append(t.c.timers, t)
+	}
+	return was
+}

@@ -1,0 +1,131 @@
+package clockx
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFakeAdvanceFiresInOrder(t *testing.T) {
+	c := NewFake()
+	var mu sync.Mutex
+	var order []int
+	c.AfterFunc(3*time.Second, func() { mu.Lock(); order = append(order, 3); mu.Unlock() })
+	c.AfterFunc(1*time.Second, func() { mu.Lock(); order = append(order, 1); mu.Unlock() })
+	c.AfterFunc(2*time.Second, func() { mu.Lock(); order = append(order, 2); mu.Unlock() })
+
+	c.Advance(1500 * time.Millisecond)
+	mu.Lock()
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("after 1.5s: fired %v, want [1]", order)
+	}
+	mu.Unlock()
+
+	c.Advance(10 * time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fired %v, want [1 2 3]", order)
+	}
+}
+
+func TestFakeStopPreventsFire(t *testing.T) {
+	c := NewFake()
+	var fired atomic.Bool
+	tm := c.AfterFunc(time.Second, func() { fired.Store(true) })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer should report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	c.Advance(5 * time.Second)
+	if fired.Load() {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestFakeResetReArms(t *testing.T) {
+	c := NewFake()
+	var n atomic.Int32
+	tm := c.AfterFunc(time.Second, func() { n.Add(1) })
+	c.Advance(2 * time.Second)
+	if n.Load() != 1 {
+		t.Fatalf("fired %d times, want 1", n.Load())
+	}
+	if tm.Reset(time.Second) {
+		t.Fatal("Reset on fired timer should report false")
+	}
+	c.Advance(2 * time.Second)
+	if n.Load() != 2 {
+		t.Fatalf("after reset fired %d times, want 2", n.Load())
+	}
+	// Reset while pending pushes the deadline out.
+	tm.Reset(10 * time.Second)
+	c.Advance(5 * time.Second)
+	if n.Load() != 2 {
+		t.Fatal("timer fired before pushed-out deadline")
+	}
+	c.Advance(6 * time.Second)
+	if n.Load() != 3 {
+		t.Fatalf("after deadline fired %d times, want 3", n.Load())
+	}
+}
+
+func TestFakeCallbackSchedulesWithinWindow(t *testing.T) {
+	c := NewFake()
+	var hits []time.Time
+	c.AfterFunc(time.Second, func() {
+		hits = append(hits, c.Now())
+		c.AfterFunc(time.Second, func() { hits = append(hits, c.Now()) })
+	})
+	c.Advance(5 * time.Second)
+	if len(hits) != 2 {
+		t.Fatalf("chained timer fired %d times in window, want 2", len(hits))
+	}
+	if got := hits[1].Sub(hits[0]); got != time.Second {
+		t.Fatalf("chained deadline gap %v, want 1s", got)
+	}
+}
+
+func TestFakeSleepWakesOnAdvance(t *testing.T) {
+	c := NewFake()
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(3 * time.Second)
+		close(done)
+	}()
+	// Give the sleeper a moment to park, then advance past its deadline.
+	time.Sleep(10 * time.Millisecond)
+	c.Advance(time.Second)
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before deadline")
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.Advance(2 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not wake after Advance crossed deadline")
+	}
+}
+
+func TestRealClockSmoke(t *testing.T) {
+	var c Clock = Real{}
+	t0 := c.Now()
+	var fired atomic.Bool
+	tm := c.AfterFunc(time.Millisecond, func() { fired.Store(true) })
+	defer tm.Stop()
+	deadline := time.Now().Add(time.Second)
+	for !fired.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !fired.Load() {
+		t.Fatal("real AfterFunc never fired")
+	}
+	if c.Since(t0) <= 0 {
+		t.Fatal("Since went backwards")
+	}
+}

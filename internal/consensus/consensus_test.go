@@ -1,0 +1,512 @@
+package consensus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memTransport delivers RPCs by direct handler call, with a switchable
+// partition and per-node disconnect — and it records every leadership
+// claim it carries (term → leaders), which is what the election-safety
+// property is asserted over.
+type memTransport struct {
+	mu      sync.Mutex
+	nodes   map[string]*Node
+	cut     map[string]bool // nodes on the minority side of the partition
+	leaders map[uint64]map[string]bool
+}
+
+func newMemTransport() *memTransport {
+	return &memTransport{
+		nodes:   make(map[string]*Node),
+		cut:     make(map[string]bool),
+		leaders: make(map[uint64]map[string]bool),
+	}
+}
+
+func (tr *memTransport) connect(id string, n *Node) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.nodes[id] = n
+}
+
+func (tr *memTransport) disconnect(id string) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	delete(tr.nodes, id)
+}
+
+// partition puts ids on one side, everyone else on the other.
+func (tr *memTransport) partition(ids ...string) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.cut = make(map[string]bool)
+	for _, id := range ids {
+		tr.cut[id] = true
+	}
+}
+
+func (tr *memTransport) heal() { tr.partition() }
+
+// route returns the destination node, or an error if the pair is
+// severed or the destination is down.
+func (tr *memTransport) route(src, dst string) (*Node, error) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.cut[src] != tr.cut[dst] {
+		return nil, errors.New("memtransport: partitioned")
+	}
+	n := tr.nodes[dst]
+	if n == nil {
+		return nil, errors.New("memtransport: peer down")
+	}
+	return n, nil
+}
+
+func (tr *memTransport) RequestVote(ctx context.Context, peer string, args *VoteArgs, reply *VoteReply) error {
+	n, err := tr.route(args.Candidate, peer)
+	if err != nil {
+		return err
+	}
+	n.HandleRequestVote(args, reply)
+	return nil
+}
+
+func (tr *memTransport) AppendEntries(ctx context.Context, peer string, args *AppendArgs, reply *AppendReply) error {
+	tr.mu.Lock()
+	set := tr.leaders[args.Term]
+	if set == nil {
+		set = make(map[string]bool)
+		tr.leaders[args.Term] = set
+	}
+	set[args.Leader] = true
+	tr.mu.Unlock()
+	n, err := tr.route(args.Leader, peer)
+	if err != nil {
+		return err
+	}
+	n.HandleAppendEntries(args, reply)
+	return nil
+}
+
+// leadersPerTerm snapshots the observed claims.
+func (tr *memTransport) leadersPerTerm() map[uint64][]string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make(map[uint64][]string)
+	for term, set := range tr.leaders {
+		for id := range set {
+			out[term] = append(out[term], id)
+		}
+	}
+	return out
+}
+
+// recFSM records applied entries in order.
+type recFSM struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+func (f *recFSM) Apply(e Entry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.entries = append(f.entries, e)
+}
+
+func (f *recFSM) cmds() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, len(f.entries))
+	for i, e := range f.entries {
+		out[i] = string(e.Cmd)
+	}
+	return out
+}
+
+// testCluster spins up n nodes over one memTransport. walDir == "" runs
+// without persistence.
+func testCluster(t *testing.T, n int, walDir string) (*memTransport, []*Node, []*recFSM, []string) {
+	t.Helper()
+	tr := newMemTransport()
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%d", i)
+	}
+	nodes := make([]*Node, n)
+	fsms := make([]*recFSM, n)
+	for i, id := range ids {
+		fsms[i] = &recFSM{}
+		nd := startNode(t, tr, ids, id, fsms[i], walDir)
+		nodes[i] = nd
+	}
+	return tr, nodes, fsms, ids
+}
+
+func startNode(t *testing.T, tr *memTransport, ids []string, id string, fsm FSM, walDir string) *Node {
+	t.Helper()
+	walPath := ""
+	if walDir != "" {
+		walPath = filepath.Join(walDir, id+".wal")
+	}
+	nd, err := New(Config{
+		ID:                 id,
+		Peers:              ids,
+		WALPath:            walPath,
+		Transport:          tr,
+		FSM:                fsm,
+		HeartbeatInterval:  15 * time.Millisecond,
+		ElectionTimeoutMin: 60 * time.Millisecond,
+		ElectionTimeoutMax: 120 * time.Millisecond,
+		Seed:               int64(len(id)) * 37,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.connect(id, nd)
+	return nd
+}
+
+// waitFor polls cond for up to timeout.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// findLeader returns the current self-declared leader among live nodes.
+func findLeader(nodes []*Node) *Node {
+	for _, nd := range nodes {
+		if nd != nil && nd.IsLeader() {
+			return nd
+		}
+	}
+	return nil
+}
+
+// propose finds the leader and proposes, retrying through election
+// churn until committed or the deadline passes.
+func propose(t *testing.T, nodes []*Node, cmd string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		ld := findLeader(nodes)
+		if ld == nil {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		err := ld.Propose(ctx, []byte(cmd))
+		cancel()
+		if err == nil {
+			return
+		}
+		if errors.Is(err, ErrNotLeader) || errors.Is(err, ErrLost) ||
+			errors.Is(err, context.DeadlineExceeded) {
+			continue
+		}
+		t.Fatalf("propose %q: %v", cmd, err)
+	}
+	t.Fatalf("propose %q never committed", cmd)
+}
+
+func closeAll(nodes []*Node) {
+	for _, nd := range nodes {
+		if nd != nil {
+			nd.Close()
+		}
+	}
+}
+
+// TestElectionSafety is the core safety property: across repeated
+// forced re-elections (partitioning away whoever currently leads),
+// no term ever has two leaders.
+func TestElectionSafety(t *testing.T) {
+	tr, nodes, _, ids := testCluster(t, 5, "")
+	defer closeAll(nodes)
+
+	waitFor(t, 5*time.Second, "initial leader", func() bool { return findLeader(nodes) != nil })
+	for round := 0; round < 6; round++ {
+		ld := findLeader(nodes)
+		if ld == nil {
+			waitFor(t, 5*time.Second, "re-elected leader", func() bool { return findLeader(nodes) != nil })
+			ld = findLeader(nodes)
+		}
+		// Cut the leader (plus one more node, keeping a 3/5 majority)
+		// and wait for the majority side to elect a replacement.
+		other := ids[round%len(ids)]
+		if other == ld.cfg.ID {
+			other = ids[(round+1)%len(ids)]
+		}
+		tr.partition(ld.cfg.ID, other)
+		waitFor(t, 5*time.Second, "majority-side leader", func() bool {
+			for _, nd := range nodes {
+				if nd.IsLeader() && nd != ld && nd.cfg.ID != other {
+					return true
+				}
+			}
+			return false
+		})
+		tr.heal()
+		// Let the deposed leader rejoin and the cluster settle.
+		waitFor(t, 5*time.Second, "single settled leader", func() bool {
+			count := 0
+			for _, nd := range nodes {
+				if nd.IsLeader() {
+					count++
+				}
+			}
+			return count == 1
+		})
+	}
+
+	for term, claimants := range tr.leadersPerTerm() {
+		if len(claimants) > 1 {
+			t.Fatalf("election safety violated: term %d claimed by %v", term, claimants)
+		}
+	}
+}
+
+// TestCommitDurabilityAcrossMinorityRestart: entries committed while a
+// minority is down (crashed, WAL intact) reach the restarted node, and
+// everything it had before the crash survives — the log is durable and
+// converges identically on every member.
+func TestCommitDurabilityAcrossMinorityRestart(t *testing.T) {
+	dir := t.TempDir()
+	tr, nodes, fsms, ids := testCluster(t, 3, dir)
+	defer func() { closeAll(nodes) }()
+
+	for i := 0; i < 4; i++ {
+		propose(t, nodes, fmt.Sprintf("cmd-%d", i))
+	}
+	// All three FSMs converge on the first four commands.
+	waitFor(t, 5*time.Second, "initial convergence", func() bool {
+		for _, f := range fsms {
+			if len(f.cmds()) != 4 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Crash a follower (minority of one).
+	victim := -1
+	for i, nd := range nodes {
+		if !nd.IsLeader() {
+			victim = i
+			break
+		}
+	}
+	tr.disconnect(ids[victim])
+	nodes[victim].Close()
+
+	// The surviving majority keeps committing.
+	live := make([]*Node, len(nodes))
+	copy(live, nodes)
+	live[victim] = nil
+	for i := 4; i < 8; i++ {
+		propose(t, live, fmt.Sprintf("cmd-%d", i))
+	}
+
+	// Restart the victim from its WAL: it must recover its pre-crash
+	// log and catch up to all eight commands, in order.
+	fsms[victim] = &recFSM{}
+	nodes[victim] = startNode(t, tr, ids, ids[victim], fsms[victim], dir)
+	waitFor(t, 10*time.Second, "restarted node catch-up", func() bool {
+		return len(fsms[victim].cmds()) == 8
+	})
+	want := fsms[victim].cmds()
+	for i, c := range want {
+		if c != fmt.Sprintf("cmd-%d", i) {
+			t.Fatalf("restarted node applied %v (bad at %d)", want, i)
+		}
+	}
+	if nodes[victim].Term() == 0 {
+		t.Fatal("restarted node lost its term")
+	}
+}
+
+// TestLeaderCrashFailover: killing the leader yields a new leader that
+// can commit — the availability half of the failure model.
+func TestLeaderCrashFailover(t *testing.T) {
+	dir := t.TempDir()
+	tr, nodes, fsms, ids := testCluster(t, 3, dir)
+	defer closeAll(nodes)
+
+	propose(t, nodes, "before")
+	ld := findLeader(nodes)
+	if ld == nil {
+		t.Fatal("no leader after commit")
+	}
+	var ldIdx int
+	for i := range nodes {
+		if nodes[i] == ld {
+			ldIdx = i
+		}
+	}
+	tr.disconnect(ids[ldIdx])
+	ld.Close()
+	live := make([]*Node, len(nodes))
+	copy(live, nodes)
+	live[ldIdx] = nil
+
+	waitFor(t, 5*time.Second, "new leader after crash", func() bool {
+		l := findLeader(live)
+		return l != nil
+	})
+	propose(t, live, "after")
+	for i, f := range fsms {
+		if i == ldIdx {
+			continue
+		}
+		waitFor(t, 5*time.Second, "survivor convergence", func() bool {
+			cs := f.cmds()
+			return len(cs) == 2 && cs[0] == "before" && cs[1] == "after"
+		})
+	}
+}
+
+// TestProposeOnFollowerFailsFast: non-leaders reject with the typed
+// hint instead of hanging.
+func TestProposeOnFollowerFailsFast(t *testing.T) {
+	_, nodes, _, _ := testCluster(t, 3, "")
+	defer closeAll(nodes)
+	waitFor(t, 5*time.Second, "leader", func() bool { return findLeader(nodes) != nil })
+	ld := findLeader(nodes)
+	for _, nd := range nodes {
+		if nd == ld {
+			continue
+		}
+		err := nd.Propose(context.Background(), []byte("x"))
+		var nle *NotLeaderError
+		if !errors.As(err, &nle) || !errors.Is(err, ErrNotLeader) {
+			t.Fatalf("follower Propose: want NotLeaderError, got %v", err)
+		}
+	}
+}
+
+// TestSingleNodeCommits: a cluster of one elects itself and commits
+// immediately — the degenerate deployment must work.
+func TestSingleNodeCommits(t *testing.T) {
+	fsm := &recFSM{}
+	nd, err := New(Config{
+		ID:                 "solo",
+		Peers:              []string{"solo"},
+		WALPath:            filepath.Join(t.TempDir(), "solo.wal"),
+		FSM:                fsm,
+		HeartbeatInterval:  10 * time.Millisecond,
+		ElectionTimeoutMin: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	waitFor(t, 2*time.Second, "self-election", nd.IsLeader)
+	if err := nd.Propose(ctx, []byte("only")); err != nil {
+		t.Fatal(err)
+	}
+	if got := fsm.cmds(); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("fsm = %v", got)
+	}
+}
+
+// TestWALReplayTornTail: a WAL whose final record is cut mid-write
+// replays everything before the tear and keeps working.
+func TestWALReplayTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	w, st, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.term != 0 || len(st.log) != 0 {
+		t.Fatalf("fresh wal state = %+v", st)
+	}
+	if err := w.saveMeta(7, "node-1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if err := w.appendEntry(Entry{Index: i, Term: 7, Cmd: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.sync(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Tear the tail: chop 5 bytes off the last record.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, st2, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if st2.term != 7 || st2.vote != "node-1" {
+		t.Fatalf("replayed meta = term %d vote %q", st2.term, st2.vote)
+	}
+	if len(st2.log) != 2 {
+		t.Fatalf("replayed %d entries, want 2 (torn third dropped)", len(st2.log))
+	}
+	// The file still appends cleanly after the trim.
+	if err := w2.appendEntry(Entry{Index: 3, Term: 8, Cmd: []byte("re")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.sync(); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	_, st3, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st3.log) != 3 || st3.log[2].Term != 8 {
+		t.Fatalf("post-repair replay = %+v", st3.log)
+	}
+}
+
+// TestWALTruncateRecord: conflict truncation survives replay.
+func TestWALTruncateRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trunc.wal")
+	w, _, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 4; i++ {
+		w.appendEntry(Entry{Index: i, Term: 1, Cmd: []byte{byte(i)}})
+	}
+	w.truncateFrom(3)
+	w.appendEntry(Entry{Index: 3, Term: 2, Cmd: []byte("new")})
+	w.sync()
+	w.Close()
+	_, st, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.log) != 3 {
+		t.Fatalf("log len %d, want 3", len(st.log))
+	}
+	if st.log[2].Term != 2 || string(st.log[2].Cmd) != "new" {
+		t.Fatalf("overwritten entry = %+v", st.log[2])
+	}
+}

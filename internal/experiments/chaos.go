@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"agl/internal/rpcx"
+	"agl/internal/serve"
+)
+
+// failoverCeiling is the hard bound on automatic recovery: if a crashed
+// replica's slots have not been reassigned and re-serving within this
+// window, the experiment fails — unavailability must be bounded, not
+// merely eventual.
+const failoverCeiling = 15 * time.Second
+
+// ChaosResult records the fault-injection experiment: a raft-backed
+// 3-replica cluster first serves routed reads through a seeded
+// drop/delay/duplicate chaos schedule (correctness bit-exact, failures
+// absorbed by the idempotent-retry + circuit-breaker stack), then loses
+// a replica outright and must fail its slots over to the survivors with
+// no operator action and zero wrong answers.
+type ChaosResult struct {
+	Nodes    int
+	Replicas int
+	Slots    int
+
+	// Chaos-read phase (proxied reads through an adversarial transport).
+	ChaosReads    int   // routed reads attempted under chaos
+	ChaosInjected int64 // faults the chaos schedule injected
+	ChaosRetries  int64 // transparent idempotent-retry attempts
+	ChaosPeerDown int   // reads that surfaced ErrPeerDown (breaker open)
+	ChaosFailures int   // reads that failed even after client retries
+	BreakerOpens  int64 // circuit-breaker open transitions during chaos
+	WrongAnswers  int   // both phases; zero is a hard invariant
+	ChaosReadP50  time.Duration
+	ChaosReadP99  time.Duration
+
+	// Crash-failover phase.
+	Victim           int           // replica index killed
+	VictimSlots      int           // slots it owned at the kill
+	Failover         time.Duration // kill -> victim-owned id served again
+	FailoverEpoch    uint64        // placement epoch after failover
+	UnavailableReads int           // reads failed inside the failover window
+	PostProbes       int           // reads verified after failover
+
+	Text string
+}
+
+func (r *ChaosResult) String() string { return r.Text }
+
+// Metrics implements the bench-regression contract (lower is better).
+// wrong_answers and read_failures carry zero baselines — the experiment
+// also hard-fails on any wrong answer or unrecovered failover.
+func (r *ChaosResult) Metrics() map[string]float64 {
+	return map[string]float64{
+		"failover_ms":   float64(r.Failover) / float64(time.Millisecond),
+		"wrong_answers": float64(r.WrongAnswers),
+		"read_failures": float64(r.ChaosFailures),
+		"read_p99_ns":   float64(r.ChaosReadP99),
+	}
+}
+
+// chaosConsensus is the experiment's raft timer profile: tight enough
+// that detection + failover completes in well under a second of real
+// time, loose enough to be stable on a loaded CI box.
+func chaosConsensus(walDir string, seed int64) serve.ConsensusConfig {
+	return serve.ConsensusConfig{
+		WALDir:             walDir,
+		HeartbeatInterval:  20 * time.Millisecond,
+		ElectionTimeoutMin: 100 * time.Millisecond,
+		ElectionTimeoutMax: 200 * time.Millisecond,
+		SuspectAfter:       150 * time.Millisecond,
+		DeadAfter:          400 * time.Millisecond,
+		Seed:               seed,
+	}
+}
+
+// Chaos runs the fault-injection experiment.
+func Chaos(opt Options) (*ChaosResult, error) {
+	const replicas = 3
+	nodes, slots := 1200, 64
+	if opt.Quick {
+		nodes = 600
+	}
+
+	h, err := buildClusterHarness(opt, replicas, nodes, slots)
+	if err != nil {
+		return nil, err
+	}
+	defer h.close()
+	res := &ChaosResult{Nodes: nodes, Replicas: replicas, Slots: slots}
+
+	walDir, err := os.MkdirTemp(opt.TempDir, "aglchaos-raft-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(walDir)
+	for i, rep := range h.reps {
+		cfg := chaosConsensus(walDir, opt.Seed+int64(i)*13)
+		cfg.Logf = opt.Logf
+		if err := rep.EnableConsensus(cfg); err != nil {
+			return nil, fmt.Errorf("chaos: enable consensus on replica %d: %w", i, err)
+		}
+	}
+	leader := func() int {
+		for i, rep := range h.reps {
+			if n := rep.ConsensusNode(); n != nil && n.IsLeader() {
+				return i
+			}
+		}
+		return -1
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for leader() < 0 {
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("chaos: no raft leader elected within 10s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	opt.logf("chaos: raft leader is replica %d", leader())
+
+	// Phase 1 — routed reads through a seeded, deterministic chaos
+	// schedule on replica 0's peer links: 8%% of calls dropped, all calls
+	// delayed, 5%% duplicated. Drops surface as transport errors, so they
+	// exercise exactly the retry + breaker machinery a flaky network
+	// would; every answer that does come back must be bit-exact.
+	ch := rpcx.NewChaos(opt.Seed + 77)
+	tab := h.reps[0].Table()
+	for i, addr := range tab.Replicas {
+		if i == 0 {
+			continue
+		}
+		ch.Set(addr, rpcx.ChaosPolicy{
+			Drop:        0.08,
+			Delay:       200 * time.Microsecond,
+			DelayJitter: 600 * time.Microsecond,
+			Duplicate:   0.05,
+		})
+	}
+	h.reps[0].SetChaos(ch)
+
+	chaosN := len(h.warm)
+	if chaosN > 400 {
+		chaosN = 400
+	}
+	opt.logf("chaos: %d routed reads through the chaos schedule", chaosN)
+	lats := make(latSlice, 0, chaosN)
+	for _, id := range h.warm[:chaosN] {
+		want, err := h.ref.Score(context.Background(), id)
+		if err != nil {
+			return nil, err
+		}
+		res.ChaosReads++
+		t0 := time.Now()
+		got, err := h.reps[0].Score(context.Background(), id)
+		lats = append(lats, time.Since(t0))
+		if err != nil {
+			// A breaker that opened under the fault schedule fails fast;
+			// a real client would back off on the 503's Retry-After and
+			// resend. Model that once, after the cooldown.
+			if !errors.Is(err, rpcx.ErrPeerDown) {
+				res.ChaosFailures++
+				continue
+			}
+			res.ChaosPeerDown++
+			time.Sleep(rpcx.DefaultBreakerCooldown + 50*time.Millisecond)
+			if got, err = h.reps[0].Score(context.Background(), id); err != nil {
+				res.ChaosFailures++
+				continue
+			}
+		}
+		if !scoresBitEqual(got, want) {
+			res.WrongAnswers++
+		}
+	}
+	h.reps[0].SetChaos(nil)
+	res.ChaosInjected = ch.Injected()
+	cs := h.reps[0].ClusterStats()
+	res.ChaosRetries = cs.ProxiedRetries
+	res.BreakerOpens = cs.BreakerOpens
+	sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+	res.ChaosReadP50, res.ChaosReadP99 = lats.p50(), lats.p99()
+	if res.ChaosInjected == 0 {
+		return nil, fmt.Errorf("chaos: schedule injected no faults over %d reads — phase is vacuous", res.ChaosReads)
+	}
+	if res.WrongAnswers > 0 {
+		return nil, fmt.Errorf("chaos: %d of %d reads under fault injection diverged from reference", res.WrongAnswers, res.ChaosReads)
+	}
+
+	// Phase 2 — replica crash and automatic failover. Kill a non-leader
+	// survivor-side peer (leader crash + election is covered by the
+	// consensus suite); replica 0 stays up as the probe entry point.
+	victim := 1
+	if leader() == victim {
+		victim = 2
+	}
+	res.Victim = victim
+	tab = h.reps[0].Table()
+	res.VictimSlots = len(tab.SlotsOf(victim))
+	if res.VictimSlots == 0 {
+		return nil, fmt.Errorf("chaos: victim replica %d owns no slots", victim)
+	}
+
+	// Pin expectations before the kill. Victim-owned rows lose their warm
+	// copies and recompute cold on a survivor — the documented 1e-9
+	// contract; everything else must stay bit-exact.
+	var victimIDs, otherIDs []int64
+	for _, id := range h.warm {
+		if tab.OwnerOf(id) == victim {
+			if len(victimIDs) < 40 {
+				victimIDs = append(victimIDs, id)
+			}
+		} else if len(otherIDs) < 40 {
+			otherIDs = append(otherIDs, id)
+		}
+	}
+	if len(victimIDs) == 0 {
+		return nil, fmt.Errorf("chaos: no warm ids owned by victim replica %d", victim)
+	}
+	expected := make(map[int64][]float64, len(victimIDs)+len(otherIDs))
+	for _, id := range append(append([]int64(nil), victimIDs...), otherIDs...) {
+		want, err := h.ref.Score(context.Background(), id)
+		if err != nil {
+			return nil, err
+		}
+		expected[id] = want
+	}
+
+	opt.logf("chaos: killing replica %d (%d slots owned)", victim, res.VictimSlots)
+	killAt := time.Now()
+	if err := h.reps[victim].Close(); err != nil {
+		return nil, err
+	}
+
+	// Hammer a victim-owned id until it answers again: that round trip —
+	// detector silence, committed failover entry, route retry — is the
+	// unavailability window. Reads inside it may fail (bounded, counted);
+	// they must never be wrong.
+	probe := victimIDs[0]
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		got, err := h.reps[0].Score(ctx, probe)
+		cancel()
+		if err == nil {
+			if !scoresClose(got, expected[probe]) {
+				return nil, fmt.Errorf("chaos: first post-failover answer for node %d diverged from reference", probe)
+			}
+			res.Failover = time.Since(killAt)
+			break
+		}
+		res.UnavailableReads++
+		if time.Since(killAt) > failoverCeiling {
+			return nil, fmt.Errorf("chaos: replica %d slots not failed over within %s (last error: %v)",
+				victim, failoverCeiling, err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	tab = h.reps[0].Table()
+	res.FailoverEpoch = tab.Epoch
+	for s := 0; s < tab.Slots(); s++ {
+		if tab.Owner(s) == victim {
+			return nil, fmt.Errorf("chaos: slot %d still owned by dead replica %d after failover", s, victim)
+		}
+	}
+
+	// Zero wrong answers across the whole surviving keyspace sample:
+	// inherited ids within 1e-9 (cold recompute), untouched ids bit-exact.
+	for _, id := range victimIDs {
+		got, err := h.reps[0].Score(context.Background(), id)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: post-failover score for node %d: %w", id, err)
+		}
+		res.PostProbes++
+		if !scoresClose(got, expected[id]) {
+			res.WrongAnswers++
+		}
+	}
+	for _, id := range otherIDs {
+		got, err := h.reps[0].Score(context.Background(), id)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: post-failover score for node %d: %w", id, err)
+		}
+		res.PostProbes++
+		if !scoresBitEqual(got, expected[id]) {
+			res.WrongAnswers++
+		}
+	}
+	if res.WrongAnswers > 0 {
+		return nil, fmt.Errorf("chaos: %d wrong answers after failover", res.WrongAnswers)
+	}
+
+	res.Text = fmt.Sprintf(
+		"Chaos: %d-node graph over %d raft-backed replicas, %d hash slots\n"+
+			"fault injection: %d reads, %d faults injected (seeded, deterministic), %d retries absorbed, "+
+			"%d breaker opens, %d peer-down backoffs, %d failures, p50 %s p99 %s\n"+
+			"crash failover: replica %d killed (%d slots) -> re-served in %s at epoch %d, "+
+			"%d reads failed inside the window\n"+
+			"correctness: %d post-failover probes, %d wrong answers "+
+			"(inherited slots within 1e-9 cold contract, untouched slots bit-exact)\n",
+		nodes, replicas, slots,
+		res.ChaosReads, res.ChaosInjected, res.ChaosRetries,
+		res.BreakerOpens, res.ChaosPeerDown, res.ChaosFailures,
+		fmtLatency(res.ChaosReadP50), fmtLatency(res.ChaosReadP99),
+		victim, res.VictimSlots, res.Failover.Round(time.Millisecond), res.FailoverEpoch,
+		res.UnavailableReads,
+		res.PostProbes, res.WrongAnswers)
+	return res, nil
+}

@@ -94,5 +94,5 @@ func table(header []string, rows [][]string) string {
 var AllExperiments = []string{
 	"table1", "table2", "table3", "table4", "table5",
 	"fig7", "fig8", "shuffle", "serve", "update", "link", "train", "oocore",
-	"overload", "cluster", "quant",
+	"overload", "cluster", "quant", "chaos",
 }

@@ -188,6 +188,37 @@ func TestClusterQuick(t *testing.T) {
 	}
 }
 
+func TestChaosQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	res, err := Chaos(quickOpts(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The experiment hard-fails on wrong answers, a vacuous fault
+	// schedule, or an unrecovered failover; reaching here means the
+	// cluster survived injected faults AND a replica kill correctly.
+	if res.WrongAnswers != 0 {
+		t.Fatalf("%d wrong answers", res.WrongAnswers)
+	}
+	if res.ChaosInjected == 0 || res.ChaosRetries == 0 {
+		t.Fatalf("fault schedule vacuous: %d injected, %d retries", res.ChaosInjected, res.ChaosRetries)
+	}
+	if res.Failover <= 0 || res.Failover > failoverCeiling {
+		t.Fatalf("failover took %v", res.Failover)
+	}
+	if res.VictimSlots == 0 || res.PostProbes == 0 {
+		t.Fatalf("kill phase vacuous: %d victim slots, %d post probes", res.VictimSlots, res.PostProbes)
+	}
+	m := res.Metrics()
+	for _, k := range []string{"failover_ms", "wrong_answers", "read_failures", "read_p99_ns"} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("metric %q missing from the bench-regression set", k)
+		}
+	}
+}
+
 func TestServeQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long experiment")

@@ -1,0 +1,125 @@
+package rpcx
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Chaos is the fault-injection hook: a seeded, deterministic policy
+// table keyed by peer address, shared across the clients of one process
+// and consulted at the top of every Call. It simulates the failure
+// modes a real cluster sees — dropped requests, added latency, a full
+// partition, duplicate delivery — without touching the network stack,
+// so the same schedule replays exactly under a fixed seed.
+//
+// Injected failures surface as ordinary *TransportError values: they
+// poison nothing (no real conn was involved) but count against the
+// circuit breaker and are retried by CallIdempotent exactly like real
+// ones, which is the point.
+type Chaos struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	policies map[string]ChaosPolicy
+	injected int64 // faults injected (drops + partitions), an observable
+}
+
+// ChaosPolicy is the per-peer fault mix. Zero value = no faults.
+type ChaosPolicy struct {
+	// Drop is the probability in [0,1] that a call fails with a
+	// simulated transport error before anything is sent.
+	Drop float64
+	// Partition fails every call to the peer (Drop = 1 with a clearer
+	// intent in the error text).
+	Partition bool
+	// Delay adds fixed latency before the call; DelayJitter adds a
+	// uniform random extra in [0, DelayJitter).
+	Delay       time.Duration
+	DelayJitter time.Duration
+	// Duplicate is the probability that a successful call is sent a
+	// second time (result discarded) — duplicate-delivery tolerance.
+	Duplicate float64
+}
+
+// NewChaos returns a chaos table with a deterministic seeded source.
+func NewChaos(seed int64) *Chaos {
+	return &Chaos{
+		rng:      rand.New(rand.NewSource(seed)),
+		policies: make(map[string]ChaosPolicy),
+	}
+}
+
+// Set installs (or replaces) the policy for addr.
+func (c *Chaos) Set(addr string, p ChaosPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.policies[addr] = p
+}
+
+// Clear removes every policy (heal the network).
+func (c *Chaos) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.policies = make(map[string]ChaosPolicy)
+}
+
+// Injected reports how many faults (drops and partition rejections)
+// have fired so far.
+func (c *Chaos) Injected() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injected
+}
+
+// chaosDecision is what a single Call draws from the table.
+type chaosDecision struct {
+	drop      bool
+	partition bool
+	delay     time.Duration
+	duplicate bool
+}
+
+// decide draws this call's fate for addr. All randomness happens here,
+// under one lock, off one source — deterministic given the seed and the
+// sequence of calls.
+func (c *Chaos) decide(addr string) chaosDecision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.policies[addr]
+	if !ok {
+		return chaosDecision{}
+	}
+	var d chaosDecision
+	if p.Partition {
+		d.partition = true
+		c.injected++
+		return d
+	}
+	if p.Drop > 0 && c.rng.Float64() < p.Drop {
+		d.drop = true
+		c.injected++
+		return d
+	}
+	d.delay = p.Delay
+	if p.DelayJitter > 0 {
+		d.delay += time.Duration(c.rng.Int63n(int64(p.DelayJitter)))
+	}
+	if p.Duplicate > 0 && c.rng.Float64() < p.Duplicate {
+		d.duplicate = true
+	}
+	return d
+}
+
+// SetChaos installs (or removes, with nil) the chaos table consulted by
+// this client's calls. Safe to flip at runtime.
+func (c *Client) SetChaos(ch *Chaos) {
+	c.chaosMu.Lock()
+	c.chaos = ch
+	c.chaosMu.Unlock()
+}
+
+func (c *Client) chaosTable() *Chaos {
+	c.chaosMu.Lock()
+	defer c.chaosMu.Unlock()
+	return c.chaos
+}

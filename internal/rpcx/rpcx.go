@@ -19,12 +19,14 @@ package rpcx
 import (
 	"context"
 	"errors"
-	"fmt"
+	"math/rand"
 	"net"
 	"net/rpc"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"agl/internal/clockx"
 )
 
 // ErrClosed is returned by calls on a Client or Server after Close.
@@ -46,7 +48,26 @@ type Client struct {
 	idle   []*clientConn
 	closed bool
 
-	dials atomic.Int64
+	dials   atomic.Int64
+	retries atomic.Int64
+
+	// Circuit breaker (resilience.go). Disabled until SetBreaker.
+	bmu        sync.Mutex
+	bThreshold int
+	bCooldown  time.Duration
+	bFails     int
+	bOpenUntil time.Time
+	bProbing   bool
+	bOpensN    atomic.Int64
+	clk        clockx.Clock
+
+	// Seeded jitter source for retry backoff (resilience.go).
+	rngMu sync.Mutex
+	rngV  *rand.Rand
+
+	// Fault injection (chaos.go). Nil in production.
+	chaosMu sync.Mutex
+	chaos   *Chaos
 }
 
 type clientConn struct {
@@ -70,10 +91,50 @@ func (c *Client) Dials() int64 { return c.dials.Load() }
 // pushed down onto the connection (the remote side also receives it via
 // whatever args encode), and cancellation aborts the call by closing the
 // connection it occupies.
+//
+// When a circuit breaker is enabled (SetBreaker) an open breaker fails
+// fast with a *PeerDownError; when a chaos table is installed
+// (SetChaos) the call may be dropped, delayed, or duplicated first.
 func (c *Client) Call(ctx context.Context, serviceMethod string, args, reply any) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if err := c.breakerAllow(); err != nil {
+		return err
+	}
+	var dup bool
+	if ch := c.chaosTable(); ch != nil {
+		d := ch.decide(c.addr)
+		switch {
+		case d.partition:
+			err := &TransportError{Addr: c.addr, Method: serviceMethod,
+				Err: errors.New("chaos: partitioned")}
+			c.breakerRecord(err)
+			return err
+		case d.drop:
+			err := &TransportError{Addr: c.addr, Method: serviceMethod,
+				Err: errors.New("chaos: dropped")}
+			c.breakerRecord(err)
+			return err
+		}
+		if d.delay > 0 {
+			if serr := c.sleepCtx(ctx, d.delay); serr != nil {
+				return serr
+			}
+		}
+		dup = d.duplicate
+	}
+	err := c.callOnce(ctx, serviceMethod, args, reply)
+	c.breakerRecord(err)
+	if err == nil && dup {
+		// Duplicate delivery: send the same call again and discard the
+		// outcome — the first answer already stands.
+		_ = c.callOnce(ctx, serviceMethod, args, reply)
+	}
+	return err
+}
+
+func (c *Client) callOnce(ctx context.Context, serviceMethod string, args, reply any) error {
 	cn, err := c.get(ctx)
 	if err != nil {
 		return err
@@ -118,9 +179,9 @@ func (c *Client) Call(ctx context.Context, serviceMethod string, args, reply any
 		// socket's poller timer can fire a beat before the context's own
 		// timer goroutine flips ctx.Err() non-nil. Map it explicitly so
 		// callers never see a raw i/o timeout from their own deadline.
-		return fmt.Errorf("rpcx: call %s on %s: %w", serviceMethod, c.addr, context.DeadlineExceeded)
+		return &TransportError{Addr: c.addr, Method: serviceMethod, Err: context.DeadlineExceeded}
 	}
-	return fmt.Errorf("rpcx: call %s on %s: %w", serviceMethod, c.addr, call.Error)
+	return &TransportError{Addr: c.addr, Method: serviceMethod, Err: call.Error}
 }
 
 func (c *Client) get(ctx context.Context) (*clientConn, error) {
@@ -140,7 +201,12 @@ func (c *Client) get(ctx context.Context) (*clientConn, error) {
 	var d net.Dialer
 	nc, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
-		return nil, fmt.Errorf("rpcx: dial %s: %w", c.addr, err)
+		if cerr := ctx.Err(); cerr != nil {
+			// Cancellation mid-dial is the caller's doing, not the
+			// peer's: surface the context error, untyped.
+			return nil, cerr
+		}
+		return nil, &TransportError{Addr: c.addr, Err: err}
 	}
 	c.dials.Add(1)
 	return &clientConn{nc: nc, rc: rpc.NewClient(nc)}, nil

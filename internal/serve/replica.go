@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"agl/internal/clockx"
+	"agl/internal/consensus"
 	"agl/internal/graph"
 	"agl/internal/placement"
 	"agl/internal/rpcx"
@@ -55,12 +57,21 @@ import (
 // slot still answers correctly (the full graph is local and leftover rows
 // stay invalidation-tracked) — just slower, until the push reaches it.
 //
+// Fault tolerance. With EnableConsensus (replica_consensus.go) the
+// placement table is the FSM of a raft-replicated log: migrations and
+// failovers commit as log entries, the leader's AppendEntries heartbeats
+// double as the failure detector, and a replica that dies has its slots
+// reassigned to survivors by a committed failover table — no operator
+// re-seed. Proxied reads retry transport failures with jittered backoff
+// and fail fast through a per-peer circuit breaker (typed ErrPeerDown →
+// HTTP 503 + Retry-After at the edge).
+//
 // Known limits (documented, ROADMAP item): membership is fixed at boot
-// (migration moves slots among live replicas; it does not add or remove
-// them), the placement table is static/file-seeded rather than
-// consensus-backed, and a peer that stays unreachable past the authority
-// log's capacity desyncs (counted in ClusterStats.FanoutErrors) until
-// restarted from a fresh snapshot.
+// (migration and failover move slots among the boot-time replica set; a
+// dead member still counts toward raft quorum, so a 3-replica cluster
+// tolerates exactly one failure), and a peer that stays unreachable past
+// the authority log's capacity desyncs (counted in
+// ClusterStats.FanoutErrors) until restarted from a fresh snapshot.
 
 // replicaLogCap bounds the authority log, mirroring graph.DefaultLogCap.
 const replicaLogCap = 1024
@@ -286,16 +297,28 @@ func errFromWire(err error) error {
 // freezer gates NEW authority applies during migration; follower Sync
 // applies are deliberately NOT gated (an in-flight authority apply must be
 // able to finish its fan-out, or the drain below would deadlock).
+//
+// Its TTL watchdog runs on an injected clockx.Clock so timing tests
+// advance a fake clock instead of sleeping out real TTLs.
 type freezer struct {
 	mu     sync.Mutex
 	frozen bool
 	thaw   chan struct{} // non-nil while frozen; closed on unfreeze
-	timer  *time.Timer
+	timer  clockx.Timer
 	start  time.Time
+	clk    clockx.Clock // nil = real time
 
 	inflight sync.WaitGroup // in-flight authority applies
 
 	pausedNs atomic.Int64 // cumulative frozen time (metric)
+}
+
+// clock returns the injected time source (callers hold f.mu).
+func (f *freezer) clock() clockx.Clock {
+	if f.clk == nil {
+		f.clk = clockx.Real{}
+	}
+	return f.clk
 }
 
 // enter blocks while frozen, then claims an in-flight slot.
@@ -324,15 +347,16 @@ func (f *freezer) exit() { f.inflight.Done() }
 // quiescent. The TTL watchdog thaws a replica whose coordinator died.
 func (f *freezer) freeze(ttl time.Duration) {
 	f.mu.Lock()
+	clk := f.clock()
 	if !f.frozen {
 		f.frozen = true
 		f.thaw = make(chan struct{})
-		f.start = time.Now()
+		f.start = clk.Now()
 	}
 	if f.timer != nil {
 		f.timer.Stop()
 	}
-	f.timer = time.AfterFunc(ttl, f.unfreeze)
+	f.timer = clk.AfterFunc(ttl, f.unfreeze)
 	f.mu.Unlock()
 	f.inflight.Wait()
 }
@@ -344,7 +368,7 @@ func (f *freezer) unfreeze() {
 		return
 	}
 	f.frozen = false
-	f.pausedNs.Add(time.Since(f.start).Nanoseconds())
+	f.pausedNs.Add(f.clock().Since(f.start).Nanoseconds())
 	close(f.thaw)
 	if f.timer != nil {
 		f.timer.Stop()
@@ -365,6 +389,16 @@ type ClusterStats struct {
 	EpochRejects int64  // epoch-fence bounces seen as a caller
 	FanoutErrors int64  // follower syncs that failed or partially acked
 	PausedMs     int64  // cumulative write-freeze time on this replica
+
+	// Consensus + cluster health (zero unless EnableConsensus).
+	ConsensusOn      bool   // raft-backed placement active
+	RaftLeader       string // known leader address ("" = none known)
+	RaftIsLeader     bool   // this replica currently leads
+	RaftTerm         uint64 // current raft term
+	HeartbeatsMissed int64  // suspect-or-worse detector observations
+	Failovers        int64  // committed failover tables proposed by this node
+	ProxiedRetries   int64  // backoff retries on proxied reads (all peers)
+	BreakerOpens     int64  // circuit-breaker open transitions (all peers)
 }
 
 // Replica is one member of a sharded serving cluster: a Server plus the
@@ -403,6 +437,10 @@ type Replica struct {
 
 	freezeTTL time.Duration
 	closed    atomic.Bool
+
+	// Consensus + failure detection (replica_consensus.go). nil unless
+	// EnableConsensus was called.
+	cns atomic.Pointer[replicaConsensus]
 }
 
 // NewReplica wraps srv as cluster member id and binds the internal RPC
@@ -440,6 +478,15 @@ func (r *Replica) Server() *Server { return r.srv }
 // SetFreezeTTL overrides the migration freeze watchdog (tests).
 func (r *Replica) SetFreezeTTL(d time.Duration) { r.freezeTTL = d }
 
+// SetClock injects the time source driving the freeze-TTL watchdog (and
+// any future replica-local timers), making timing tests deterministic.
+// Call before the first freeze.
+func (r *Replica) SetClock(clk clockx.Clock) {
+	r.frz.mu.Lock()
+	r.frz.clk = clk
+	r.frz.mu.Unlock()
+}
+
 // Join installs the cluster's placement table and dials peers (lazily —
 // peers need not be listening yet). The table must list this replica's
 // bound address at index id.
@@ -460,6 +507,9 @@ func (r *Replica) Join(t *placement.Table) error {
 			continue
 		}
 		peers[i] = rpcx.NewClient(addr)
+		// A dead peer costs one breaker cooldown, not a dial timeout per
+		// request; routed reads fail fast with ErrPeerDown → HTTP 503.
+		peers[i].SetBreaker(rpcx.DefaultBreakerThreshold, rpcx.DefaultBreakerCooldown)
 	}
 	r.tmu.Lock()
 	r.table = t.Clone()
@@ -472,7 +522,29 @@ func (r *Replica) Join(t *placement.Table) error {
 	r.fmu.Lock()
 	r.applied = make([]uint64, len(t.Replicas))
 	r.fmu.Unlock()
+	if r.srv != nil {
+		r.srv.SetClusterHealth(r.clusterHealth)
+	}
 	return nil
+}
+
+// clusterHealth feeds the wrapped Server's flight recorder (AGLFR002
+// cluster counters). Cumulative totals; the recorder computes deltas.
+func (r *Replica) clusterHealth() ClusterHealth {
+	var h ClusterHealth
+	r.tmu.RLock()
+	for _, p := range r.peers {
+		if p != nil {
+			h.ProxiedRetries += p.Retries()
+			h.BreakerOpens += p.BreakerOpens()
+		}
+	}
+	r.tmu.RUnlock()
+	if c := r.cns.Load(); c != nil {
+		h.HeartbeatsMissed = c.heartbeatsMissed.Load()
+		h.Failovers = c.failovers.Load()
+	}
+	return h
 }
 
 // Table returns the replica's current placement table (a shared snapshot;
@@ -498,6 +570,9 @@ func (r *Replica) peerClient(peer int) *rpcx.Client {
 func (r *Replica) Close() error {
 	if r.closed.Swap(true) {
 		return nil
+	}
+	if c := r.cns.Load(); c != nil {
+		c.close()
 	}
 	r.frz.unfreeze()
 	r.rpc.Close()
@@ -530,6 +605,21 @@ func (r *Replica) ClusterStats() ClusterStats {
 		cs.Epoch = t.Epoch
 		cs.OwnedSlots = len(t.SlotsOf(r.id))
 	}
+	r.tmu.RLock()
+	for _, p := range r.peers {
+		if p != nil {
+			cs.ProxiedRetries += p.Retries()
+			cs.BreakerOpens += p.BreakerOpens()
+		}
+	}
+	r.tmu.RUnlock()
+	if c := r.cns.Load(); c != nil {
+		cs.ConsensusOn = true
+		cs.RaftLeader, cs.RaftIsLeader = c.node.Leader()
+		cs.RaftTerm = c.node.Term()
+		cs.HeartbeatsMissed = c.heartbeatsMissed.Load()
+		cs.Failovers = c.failovers.Load()
+	}
 	return cs
 }
 
@@ -539,6 +629,54 @@ func (r *Replica) call(ctx context.Context, peer int, method string, args, reply
 		return fmt.Errorf("serve: replica %d has no route to peer %d (Join not called?)", r.id, peer)
 	}
 	return errFromWire(c.Call(ctx, method, args, reply))
+}
+
+// callIdempotent is call with jittered-backoff retries for transport
+// failures — routed reads only (the method must be safe to re-send).
+// Exhausted retries surface as *rpcx.PeerDownError.
+func (r *Replica) callIdempotent(ctx context.Context, peer int, method string, args, reply any) error {
+	c := r.peerClient(peer)
+	if c == nil {
+		return fmt.Errorf("serve: replica %d has no route to peer %d (Join not called?)", r.id, peer)
+	}
+	return errFromWire(c.CallIdempotent(ctx, method, args, reply))
+}
+
+// SetChaos installs a fault-injection table on every peer client (nil
+// removes it) — the aglbench chaos experiment's hook.
+func (r *Replica) SetChaos(ch *rpcx.Chaos) {
+	r.tmu.RLock()
+	defer r.tmu.RUnlock()
+	for _, p := range r.peers {
+		if p != nil {
+			p.SetChaos(ch)
+		}
+	}
+}
+
+// peerDownRetry reports whether a routed request that failed with
+// ErrPeerDown should re-route: it waits briefly for a failover to
+// reassign node away from the dead owner (the consensus FSM installs
+// the new table asynchronously). Callers re-check ownership on retry.
+func (r *Replica) peerDownRetry(ctx context.Context, node int64, owner, attempt int) bool {
+	if attempt >= routeRetries {
+		return false
+	}
+	const window, poll = 250 * time.Millisecond, 25 * time.Millisecond
+	for waited := time.Duration(0); ; waited += poll {
+		t := r.Table()
+		if t != nil && t.OwnerOf(node) != owner {
+			return true
+		}
+		if waited >= window {
+			return false
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return false
+		}
+	}
 }
 
 // fence rejects requests stamped with a different placement epoch.
@@ -626,10 +764,16 @@ func (r *Replica) Score(ctx context.Context, node int64) ([]float64, error) {
 		}
 		r.forwards.Add(1)
 		var reply ScoreReply
-		err := r.call(ctx, owner, "Replica.Score",
+		err := r.callIdempotent(ctx, owner, "Replica.Score",
 			&ScoreArgs{Epoch: t.Epoch, Node: node, DeadlineUnixNanos: deadlineArg(ctx)}, &reply)
 		if err == nil {
 			return reply.Scores, nil
+		}
+		if errors.Is(err, rpcx.ErrPeerDown) {
+			if r.peerDownRetry(ctx, node, owner, attempt) {
+				continue // failover moved the slot; re-route
+			}
+			return nil, err
 		}
 		if !r.shouldRetryRoute(ctx, owner, attempt, err) {
 			return nil, err
@@ -671,10 +815,16 @@ func (r *Replica) EmbedRow(ctx context.Context, node int64) (Row, error) {
 		}
 		r.forwards.Add(1)
 		var reply EmbedReply
-		err := r.call(ctx, owner, "Replica.Embed",
+		err := r.callIdempotent(ctx, owner, "Replica.Embed",
 			&EmbedArgs{Epoch: t.Epoch, Node: node, DeadlineUnixNanos: deadlineArg(ctx)}, &reply)
 		if err == nil {
 			return reply.Row.row(), nil
+		}
+		if errors.Is(err, rpcx.ErrPeerDown) {
+			if r.peerDownRetry(ctx, node, owner, attempt) {
+				continue
+			}
+			return Row{}, err
 		}
 		if !r.shouldRetryRoute(ctx, owner, attempt, err) {
 			return Row{}, err
@@ -755,6 +905,16 @@ func (r *Replica) Apply(ctx context.Context, muts []graph.Mutation) (*ApplyResul
 			&ApplyArgs{Epoch: t.Epoch, Muts: muts, DeadlineUnixNanos: deadlineArg(ctx)}, &reply)
 		if err == nil {
 			return reply.toResult(), nil
+		}
+		// A breaker-open fail-fast means nothing was sent, so re-routing
+		// a write after failover is safe (an ambiguous mid-call transport
+		// error is NOT retried — Apply is not idempotent).
+		var pd *rpcx.PeerDownError
+		if errors.As(err, &pd) {
+			if r.peerDownRetry(ctx, primaryNode(muts[0]), owner, attempt) {
+				continue
+			}
+			return nil, err
 		}
 		if !r.shouldRetryRoute(ctx, owner, attempt, err) {
 			return nil, err
@@ -948,16 +1108,32 @@ func (r *Replica) Migrate(ctx context.Context, slot, dst int) (*MigrateResult, e
 		return nil, fmt.Errorf("serve: install slot %d on replica %d: %w", slot, dst, err)
 	}
 
-	// 4. Push the epoch-bumped table: destination first (it must accept
-	// routed traffic the moment anyone routes by the new table), then the
-	// rest, self last. A replica the push misses keeps bouncing routed
-	// requests off the fence until the retry exchange delivers the table.
+	// 4. Commit the epoch-bumped table. With consensus enabled it is
+	// proposed as a raft log entry first — the handover is then durable
+	// (it survives this coordinator crashing right here) — and the
+	// direct pushes below become best-effort accelerators for replicas
+	// that have not seen the commit yet. Without consensus the pushes
+	// ARE the handover (PR-8 behavior).
+	if c := r.cns.Load(); c != nil {
+		if err := c.proposeTable(ctx, next); err != nil {
+			r.unfreezeAll(t)
+			return nil, fmt.Errorf("serve: commit table epoch %d: %w", next.Epoch, err)
+		}
+	}
+	// Push destination first (it must accept routed traffic the moment
+	// anyone routes by the new table), then the rest, self last. A
+	// replica the push misses keeps bouncing routed requests off the
+	// fence until the retry exchange (or the raft commit) delivers it.
 	if err := r.call(ctx, dst, "Replica.PushTable", &TableArgs{Table: next}, &TableReply{}); err != nil {
-		// Destination never learned it owns the slot — abort (rows
-		// installed there are harmless: overlay rows are invalidation-
-		// tracked and it owns none of them for routing).
-		r.unfreezeAll(t)
-		return nil, fmt.Errorf("serve: push table to replica %d: %w", dst, err)
+		if r.cns.Load() == nil {
+			// Destination never learned it owns the slot — abort (rows
+			// installed there are harmless: overlay rows are invalidation-
+			// tracked and it owns none of them for routing).
+			r.unfreezeAll(t)
+			return nil, fmt.Errorf("serve: push table to replica %d: %w", dst, err)
+		}
+		// Already raft-committed: the destination learns through the log.
+		r.fanoutErrs.Add(1)
 	}
 	for p := 0; p < len(t.Replicas); p++ {
 		if p == r.id || p == dst {
@@ -1133,5 +1309,45 @@ func (rs *replicaService) Freeze(args *FreezeArgs, _ *struct{}) error {
 
 func (rs *replicaService) Unfreeze(_ *NoArgs, _ *struct{}) error {
 	rs.r.frz.unfreeze()
+	return nil
+}
+
+// RaftVote delivers a raft RequestVote to this replica's consensus node.
+func (rs *replicaService) RaftVote(args *consensus.VoteArgs, reply *consensus.VoteReply) error {
+	c := rs.r.cns.Load()
+	if c == nil {
+		return errToWire(errors.New("serve: consensus not enabled"))
+	}
+	c.node.HandleRequestVote(args, reply)
+	return nil
+}
+
+// RaftAppend delivers a raft AppendEntries (also the heartbeat).
+func (rs *replicaService) RaftAppend(args *consensus.AppendArgs, reply *consensus.AppendReply) error {
+	c := rs.r.cns.Load()
+	if c == nil {
+		return errToWire(errors.New("serve: consensus not enabled"))
+	}
+	c.node.HandleAppendEntries(args, reply)
+	return nil
+}
+
+// ProposeTable accepts a forwarded placement proposal (a non-leader
+// coordinator routes its table here, to the raft leader).
+func (rs *replicaService) ProposeTable(args *TableArgs, reply *TableReply) error {
+	r := rs.r
+	c := r.cns.Load()
+	if c == nil {
+		return errToWire(errors.New("serve: consensus not enabled"))
+	}
+	if args.Table == nil {
+		return errToWire(errors.New("serve: nil table proposal"))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), proposeTimeout)
+	defer cancel()
+	if err := c.proposeLocal(ctx, args.Table); err != nil {
+		return errToWire(err)
+	}
+	reply.Epoch = args.Table.Epoch
 	return nil
 }

@@ -8,8 +8,8 @@ package serve
 //
 // File layout (little-endian):
 //
-//	offset 0   magic   "AGLFR001" (8 bytes)
-//	offset 8   slotSize  uint32   (bytes per sample, currently 72)
+//	offset 0   magic   "AGLFR002" (8 bytes)
+//	offset 8   slotSize  uint32   (bytes per sample, currently 88)
 //	offset 12  slotCount uint32   (ring capacity)
 //	offset 16  writeSeq  uint64   (total samples ever appended)
 //	offset 24  reserved  8 bytes  (zero)
@@ -20,6 +20,11 @@ package serve
 // slot write is a single WriteAt followed by a WriteAt of the header seq, so
 // a torn final slot is detectable (its UnixNanos predates its neighbors) but
 // never corrupts older samples.
+//
+// Version history: AGLFR001 used 72-byte slots (16 counter fields);
+// AGLFR002 appends four cluster-health counters for 88-byte slots.
+// ReadFlightFile decodes both — the four new fields read as zero from an
+// AGLFR001 file.
 
 import (
 	"encoding/binary"
@@ -31,9 +36,11 @@ import (
 )
 
 const (
-	flightMagic    = "AGLFR001"
+	flightMagic    = "AGLFR002"
+	flightMagicV1  = "AGLFR001"
 	flightHdrSize  = 32
-	flightSlotSize = 72
+	flightSlotSize = 88
+	flightSlotV1   = 72
 	flightSeqOff   = 16
 )
 
@@ -60,6 +67,12 @@ type FlightSample struct {
 	ColdP99us  uint32 `json:"cold_p99_us"`
 	DirtyRows  uint32 `json:"dirty_rows"` // store rows shadowed by the dynamic overlay (gauge)
 	Applies    uint32 `json:"applies"`    // mutation batches applied
+
+	// Cluster-health counters (AGLFR002; zero outside cluster mode).
+	HeartbeatsMissed uint32 `json:"heartbeats_missed"` // peers seen suspect/dead by the failure detector
+	Failovers        uint32 `json:"failovers"`         // committed failover tables
+	ProxiedRetries   uint32 `json:"proxied_retries"`   // idempotent proxied-read retry attempts
+	BreakerOpens     uint32 `json:"breaker_opens"`     // per-peer circuit-breaker open transitions
 }
 
 func (s *FlightSample) encode(buf []byte) {
@@ -70,6 +83,8 @@ func (s *FlightSample) encode(buf []byte) {
 	}
 }
 
+// decode reads as many fields as buf holds — an AGLFR001 slot (72 bytes)
+// fills the first 16 and leaves the cluster counters zero.
 func (s *FlightSample) decode(buf []byte) {
 	le := binary.LittleEndian
 	s.UnixNanos = int64(le.Uint64(buf[0:]))
@@ -78,18 +93,24 @@ func (s *FlightSample) decode(buf []byte) {
 		&s.Warm, &s.Cold, &s.Batches, &s.Shed,
 		&s.Expired, &s.Errors, &s.WarmP50us, &s.WarmP99us,
 		&s.ColdP50us, &s.ColdP99us, &s.DirtyRows, &s.Applies,
+		&s.HeartbeatsMissed, &s.Failovers, &s.ProxiedRetries, &s.BreakerOpens,
 	}
 	for i, p := range f {
-		*p = le.Uint32(buf[8+4*i:])
+		off := 8 + 4*i
+		if off+4 > len(buf) {
+			break
+		}
+		*p = le.Uint32(buf[off:])
 	}
 }
 
-func (s *FlightSample) fields() [16]uint32 {
-	return [16]uint32{
+func (s *FlightSample) fields() [20]uint32 {
+	return [20]uint32{
 		s.QueueDepth, s.BatchMax, s.Requests, s.CacheHits,
 		s.Warm, s.Cold, s.Batches, s.Shed,
 		s.Expired, s.Errors, s.WarmP50us, s.WarmP99us,
 		s.ColdP50us, s.ColdP99us, s.DirtyRows, s.Applies,
+		s.HeartbeatsMissed, s.Failovers, s.ProxiedRetries, s.BreakerOpens,
 	}
 }
 
@@ -220,19 +241,26 @@ func ReadFlightFile(path string) ([]FlightSample, error) {
 	if _, err := io.ReadFull(f, hdr); err != nil {
 		return nil, fmt.Errorf("serve: flight header: %w", err)
 	}
-	if string(hdr[:8]) != flightMagic {
+	var wantSlot uint32
+	switch string(hdr[:8]) {
+	case flightMagic:
+		wantSlot = flightSlotSize
+	case flightMagicV1:
+		wantSlot = flightSlotV1
+	default:
 		return nil, fmt.Errorf("serve: not a flight file (magic %q)", hdr[:8])
 	}
 	slotSize := binary.LittleEndian.Uint32(hdr[8:])
 	count := binary.LittleEndian.Uint32(hdr[12:])
 	seq := binary.LittleEndian.Uint64(hdr[16:])
-	if slotSize != flightSlotSize {
-		return nil, fmt.Errorf("serve: flight slot size %d unsupported (want %d)", slotSize, flightSlotSize)
+	if slotSize != wantSlot {
+		return nil, fmt.Errorf("serve: flight slot size %d unsupported (want %d)", slotSize, wantSlot)
 	}
 	if count == 0 || count > 1<<24 {
 		return nil, fmt.Errorf("serve: flight slot count %d out of range", count)
 	}
-	raw := make([]byte, int(count)*flightSlotSize)
+	ss := int(slotSize)
+	raw := make([]byte, int(count)*ss)
 	if _, err := io.ReadFull(f, raw); err != nil {
 		return nil, fmt.Errorf("serve: flight slots: %w", err)
 	}
@@ -244,7 +272,8 @@ func ReadFlightFile(path string) ([]FlightSample, error) {
 	out := make([]FlightSample, 0, seq-start)
 	for s := start; s < seq; s++ {
 		var fs FlightSample
-		fs.decode(raw[(s%n)*flightSlotSize:])
+		i := int(s%n) * ss
+		fs.decode(raw[i : i+ss])
 		out = append(out, fs)
 	}
 	return out, nil

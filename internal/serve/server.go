@@ -243,6 +243,11 @@ type Server struct {
 	invalidations, readmitted atomic.Int64
 
 	linkRequests, linkWarm, linkCold atomic.Int64
+
+	// health is an optional func() ClusterHealth registered by the
+	// cluster layer; the recorder samples it each interval for the
+	// AGLFR002 cluster counters.
+	health atomic.Value
 }
 
 // call is one de-duplicated score computation; waiters block on done. Every
@@ -987,11 +992,37 @@ func (s *Server) recordBatch(n int) {
 	}
 }
 
+// ClusterHealth is a cumulative snapshot of cluster-health counters,
+// produced by the cluster layer (see Replica) and sampled into AGLFR002
+// flight samples. All fields are monotonic totals; the recorder turns
+// them into per-interval deltas.
+type ClusterHealth struct {
+	HeartbeatsMissed int64 `json:"heartbeats_missed"`
+	Failovers        int64 `json:"failovers"`
+	ProxiedRetries   int64 `json:"proxied_retries"`
+	BreakerOpens     int64 `json:"breaker_opens"`
+}
+
+// SetClusterHealth registers the cluster-health counter source sampled
+// once per flight interval. Single-process servers never call this; the
+// AGLFR002 cluster fields then stay zero.
+func (s *Server) SetClusterHealth(fn func() ClusterHealth) {
+	s.health.Store(fn)
+}
+
+func (s *Server) clusterHealth() ClusterHealth {
+	if fn, ok := s.health.Load().(func() ClusterHealth); ok && fn != nil {
+		return fn()
+	}
+	return ClusterHealth{}
+}
+
 // flightCounters is the recorder's previous-tick snapshot; samples carry
 // per-interval deltas so a flat line really means "nothing happened".
 type flightCounters struct {
 	requests, hits, warm, cold, batches int64
 	shed, expired, errs, applies        int64
+	health                              ClusterHealth
 }
 
 func (s *Server) snapCounters() flightCounters {
@@ -1005,6 +1036,7 @@ func (s *Server) snapCounters() flightCounters {
 		expired:  s.expired.Load(),
 		errs:     s.errors.Load(),
 		applies:  s.applies.Load(),
+		health:   s.clusterHealth(),
 	}
 }
 
@@ -1063,6 +1095,11 @@ func (s *Server) sample(prev flightCounters) flightCounters {
 		ColdP99us:  cold99,
 		DirtyRows:  clampU32(int64(dirty)),
 		Applies:    clampU32(cur.applies - prev.applies),
+
+		HeartbeatsMissed: clampU32(cur.health.HeartbeatsMissed - prev.health.HeartbeatsMissed),
+		Failovers:        clampU32(cur.health.Failovers - prev.health.Failovers),
+		ProxiedRetries:   clampU32(cur.health.ProxiedRetries - prev.health.ProxiedRetries),
+		BreakerOpens:     clampU32(cur.health.BreakerOpens - prev.health.BreakerOpens),
 	}
 	s.flight.Append(fs) // best-effort: a failed file write keeps the in-memory ring going
 	return cur
